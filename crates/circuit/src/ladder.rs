@@ -1,0 +1,177 @@
+//! Distributed-RC wire builders: π-ladder discretisation of a wire
+//! segment's extracted parasitics.
+
+use crate::netlist::{Netlist, NodeId};
+use srlr_tech::WireRc;
+use srlr_units::{Capacitance, Resistance};
+
+/// How to discretise a wire into the netlist.
+///
+/// # Examples
+///
+/// ```
+/// use srlr_circuit::{LadderSpec, Netlist};
+/// use srlr_tech::WireGeometry;
+/// use srlr_units::Length;
+///
+/// let rc = WireGeometry::paper_default().extract(Length::from_millimeters(1.0));
+/// let mut net = Netlist::new();
+/// let a = net.node("near");
+/// let spec = LadderSpec::new(10);
+/// let far = spec.build(&mut net, a, rc, "w0");
+/// assert_ne!(a, far);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LadderSpec {
+    sections: usize,
+}
+
+impl LadderSpec {
+    /// A ladder with the given number of π sections.
+    ///
+    /// Ten sections keep the discretisation error of a distributed line
+    /// below a percent for the pulse widths used in this workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sections` is zero.
+    pub fn new(sections: usize) -> Self {
+        assert!(sections > 0, "a ladder needs at least one section");
+        Self { sections }
+    }
+
+    /// Number of π sections.
+    pub fn sections(self) -> usize {
+        self.sections
+    }
+
+    /// Builds the ladder into `net` starting from `near`, returning the
+    /// far-end node. Intermediate nodes are named `{prefix}.k`.
+    ///
+    /// Each π section carries `R/n` of series resistance with `C/2n` at
+    /// each side, so internal nodes accumulate `C/n` and the two ends
+    /// `C/2n` each.
+    pub fn build(self, net: &mut Netlist, near: NodeId, rc: WireRc, prefix: &str) -> NodeId {
+        let n = self.sections as f64;
+        let r_sec = Resistance::from_ohms(rc.resistance.ohms() / n);
+        let c_half = Capacitance::from_farads(rc.capacitance.farads() / (2.0 * n));
+
+        let mut prev = near;
+        net.add_capacitance(prev, c_half);
+        for k in 0..self.sections {
+            let next = net.node(&format!("{prefix}.{k}"));
+            net.add_resistor(prev, next, r_sec);
+            // Far side of this section: half from this section plus half
+            // from the next one (or just half at the very end).
+            let c = if k + 1 == self.sections {
+                c_half
+            } else {
+                c_half * 2.0
+            };
+            net.add_capacitance(next, c);
+            prev = next;
+        }
+        prev
+    }
+}
+
+impl Default for LadderSpec {
+    fn default() -> Self {
+        Self::new(10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stimulus::Stimulus;
+    use crate::sim::Transient;
+    use srlr_tech::WireGeometry;
+    use srlr_units::{Length, TimeInterval, Voltage};
+
+    #[test]
+    fn ladder_builds_expected_topology() {
+        let rc = WireGeometry::paper_default().extract(Length::from_millimeters(1.0));
+        let mut net = Netlist::new();
+        let near = net.node("near");
+        let far = LadderSpec::new(5).build(&mut net, near, rc, "w");
+        // near + 5 new nodes + gnd.
+        assert_eq!(net.node_count(), 7);
+        assert_eq!(net.element_count(), 5);
+        assert_eq!(net.node_name(far), "w.4");
+    }
+
+    #[test]
+    fn total_capacitance_is_conserved() {
+        let rc = WireGeometry::paper_default().extract(Length::from_millimeters(1.0));
+        let mut net = Netlist::new();
+        let near = net.node("near");
+        let far = LadderSpec::new(8).build(&mut net, near, rc, "w");
+        let total: f64 = (0..net.node_count())
+            .filter(|&i| i != 0)
+            .map(|i| net.node_capacitance[i])
+            .sum();
+        assert!(
+            (total - rc.capacitance.farads()).abs() < rc.capacitance.farads() * 0.01,
+            "total C = {total}"
+        );
+        let _ = far;
+    }
+
+    #[test]
+    fn step_delay_matches_distributed_line_estimate() {
+        // The 50 % step delay of a distributed RC line is ~0.38 R C.
+        let rc = WireGeometry::paper_default().extract(Length::from_millimeters(1.0));
+        let mut net = Netlist::new();
+        let near = net.node("near");
+        let far = LadderSpec::new(10).build(&mut net, near, rc, "w");
+        net.force(
+            near,
+            Stimulus::step(Voltage::zero(), Voltage::from_volts(0.8), TimeInterval::from_picoseconds(1.0)),
+        );
+        let result = Transient::new(&net).run(TimeInterval::from_nanoseconds(2.0));
+        let w = result.waveform(far);
+        let crossings = w.crossings(Voltage::from_volts(0.4));
+        assert!(!crossings.is_empty(), "far end never crossed 50 %");
+        let t50 = crossings[0].0 - TimeInterval::from_picoseconds(1.0);
+        let expect = rc.time_constant() * 0.38;
+        let err = (t50 - expect).abs().seconds() / expect.seconds();
+        assert!(err < 0.25, "t50 = {t50}, expected ~{expect}");
+    }
+
+    #[test]
+    fn narrow_pulse_attenuates_along_ladder() {
+        let rc = WireGeometry::paper_default().extract(Length::from_millimeters(1.0));
+        let mut net = Netlist::new();
+        let near = net.node("near");
+        let far = LadderSpec::new(10).build(&mut net, near, rc, "w");
+        net.force(
+            near,
+            Stimulus::pulse(
+                Voltage::zero(),
+                Voltage::from_volts(0.4),
+                TimeInterval::from_picoseconds(20.0),
+                TimeInterval::from_picoseconds(60.0),
+                TimeInterval::from_picoseconds(5.0),
+            ),
+        );
+        let result = Transient::new(&net).run(TimeInterval::from_nanoseconds(1.0));
+        let peak = result.waveform(far).peak();
+        assert!(
+            peak.volts() < 0.4 * 0.95,
+            "narrow pulse should attenuate, peak = {peak}"
+        );
+        assert!(peak.volts() > 0.05, "pulse should still arrive, peak = {peak}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one section")]
+    fn zero_sections_rejected() {
+        let _ = LadderSpec::new(0);
+    }
+
+    #[test]
+    fn default_is_ten_sections() {
+        assert_eq!(LadderSpec::default().sections(), 10);
+    }
+}

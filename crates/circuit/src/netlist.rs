@@ -1,0 +1,337 @@
+//! Netlist construction: nodes, passives, MOSFETs and forced sources.
+
+use crate::stimulus::Stimulus;
+use srlr_tech::{Device, MosKind};
+use srlr_units::{Capacitance, Resistance, Voltage};
+use std::collections::HashMap;
+
+/// Identifier of a circuit node.
+///
+/// `NodeId::GROUND` is the implicit 0 V reference; every other node is
+/// created through [`Netlist::node`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The ground reference node (always 0 V).
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Raw index of the node inside its netlist.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl core::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A circuit element.
+#[derive(Debug, Clone)]
+pub(crate) enum Element {
+    /// Linear resistor between two nodes.
+    Resistor {
+        a: NodeId,
+        b: NodeId,
+        conductance: f64,
+    },
+    /// A MOSFET; `device` carries the model, sizing and any variation.
+    Mosfet {
+        kind: MosKind,
+        drain: NodeId,
+        gate: NodeId,
+        source: NodeId,
+        device: Device,
+    },
+}
+
+/// A source forcing one node to follow a [`Stimulus`].
+#[derive(Debug, Clone)]
+pub(crate) struct ForcedNode {
+    pub node: NodeId,
+    pub stimulus: Stimulus,
+    pub label: String,
+}
+
+/// A circuit under construction.
+///
+/// See the [crate-level documentation](crate) for a complete example.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    names: Vec<String>,
+    by_name: HashMap<String, NodeId>,
+    /// Lumped capacitance to ground per node (farads).
+    pub(crate) node_capacitance: Vec<f64>,
+    pub(crate) elements: Vec<Element>,
+    pub(crate) forced: Vec<ForcedNode>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist containing only the ground node.
+    pub fn new() -> Self {
+        let mut n = Self {
+            names: Vec::new(),
+            by_name: HashMap::new(),
+            node_capacitance: Vec::new(),
+            elements: Vec::new(),
+            forced: Vec::new(),
+        };
+        let g = n.node("gnd");
+        debug_assert_eq!(g, NodeId::GROUND);
+        n
+    }
+
+    /// Creates (or returns the existing) node with the given name.
+    ///
+    /// Every node starts with a small parasitic capacitance to ground so
+    /// that no node is ever massless — an unloaded node would make the
+    /// integrator's `dV/dt = I/C` singular.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = NodeId(self.names.len());
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        // 10 aF parasitic floor.
+        self.node_capacitance.push(1e-17);
+        id
+    }
+
+    /// Creates a fresh anonymous node (unique auto-generated name).
+    pub fn anon_node(&mut self) -> NodeId {
+        let name = format!("_anon{}", self.names.len());
+        self.node(&name)
+    }
+
+    /// Looks up a node by name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of elements (resistors + transistors).
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Adds capacitance to ground at `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacitance is negative or the node is ground.
+    pub fn add_capacitance(&mut self, node: NodeId, c: Capacitance) {
+        assert!(c.farads() >= 0.0, "capacitance must be non-negative");
+        assert_ne!(node, NodeId::GROUND, "cannot load the ground node");
+        self.node_capacitance[node.0] += c.farads();
+    }
+
+    /// Adds a resistor between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistance is not strictly positive, or if `a == b`.
+    pub fn add_resistor(&mut self, a: NodeId, b: NodeId, r: Resistance) {
+        assert!(r.ohms() > 0.0, "resistance must be positive");
+        assert_ne!(a, b, "resistor terminals must differ");
+        self.elements.push(Element::Resistor {
+            a,
+            b,
+            conductance: 1.0 / r.ohms(),
+        });
+    }
+
+    /// Adds a MOSFET. The device's gate/drain/source junction capacitances
+    /// are automatically lumped onto the corresponding nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if drain and source are the same node.
+    pub fn add_mosfet(&mut self, device: Device, drain: NodeId, gate: NodeId, source: NodeId) {
+        assert_ne!(drain, source, "drain and source must differ");
+        let kind = device.kind();
+        if gate != NodeId::GROUND {
+            self.node_capacitance[gate.0] += device.gate_capacitance().farads();
+        }
+        if drain != NodeId::GROUND {
+            self.node_capacitance[drain.0] += device.drain_capacitance().farads();
+        }
+        if source != NodeId::GROUND {
+            self.node_capacitance[source.0] += device.drain_capacitance().farads();
+        }
+        self.elements.push(Element::Mosfet {
+            kind,
+            drain,
+            gate,
+            source,
+            device,
+        });
+    }
+
+    /// Forces `node` to follow `stimulus` exactly (an ideal source).
+    /// The charge the source injects is integrated for energy accounting
+    /// under the given node's name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is ground or already forced.
+    pub fn force(&mut self, node: NodeId, stimulus: Stimulus) {
+        assert_ne!(node, NodeId::GROUND, "ground is already forced to 0 V");
+        assert!(
+            self.forced.iter().all(|f| f.node != node),
+            "node {} is already forced",
+            self.node_name(node)
+        );
+        let label = self.node_name(node).to_owned();
+        self.forced.push(ForcedNode {
+            node,
+            stimulus,
+            label,
+        });
+    }
+
+    /// Convenience: creates a node named `name` held at a constant voltage
+    /// (e.g. a supply rail) and returns it.
+    pub fn rail(&mut self, name: &str, v: Voltage) -> NodeId {
+        let id = self.node(name);
+        self.force(id, Stimulus::dc(v));
+        id
+    }
+
+    /// Total lumped capacitance at a node (parasitics included).
+    pub fn capacitance_at(&self, node: NodeId) -> Capacitance {
+        Capacitance::from_farads(self.node_capacitance[node.0])
+    }
+
+    /// The stiffest (smallest) resistive time constant in the netlist,
+    /// used by the integrator to bound its step size. Returns `None` when
+    /// there are no resistors.
+    pub(crate) fn min_resistive_tau(&self) -> Option<f64> {
+        self.elements
+            .iter()
+            .filter_map(|e| match e {
+                Element::Resistor { a, b, conductance } => {
+                    let ca = self.node_capacitance[a.0];
+                    let cb = self.node_capacitance[b.0];
+                    // The smaller node capacitance governs stiffness.
+                    Some(ca.min(cb) / conductance)
+                }
+                Element::Mosfet { .. } => None,
+            })
+            .min_by(|x, y| x.partial_cmp(y).expect("tau is finite"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srlr_tech::MosfetModel;
+
+    #[test]
+    fn ground_exists_and_is_node_zero() {
+        let net = Netlist::new();
+        assert_eq!(net.find_node("gnd"), Some(NodeId::GROUND));
+        assert_eq!(net.node_count(), 1);
+    }
+
+    #[test]
+    fn node_creation_is_idempotent() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let again = net.node("a");
+        assert_eq!(a, again);
+        assert_eq!(net.node_count(), 2);
+        assert_eq!(net.node_name(a), "a");
+    }
+
+    #[test]
+    fn anon_nodes_are_unique() {
+        let mut net = Netlist::new();
+        let a = net.anon_node();
+        let b = net.anon_node();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn capacitance_accumulates() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.add_capacitance(a, Capacitance::from_femtofarads(10.0));
+        net.add_capacitance(a, Capacitance::from_femtofarads(5.0));
+        // 15 fF added on top of the 0.01 fF parasitic floor.
+        assert!((net.capacitance_at(a).femtofarads() - 15.0).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ground")]
+    fn loading_ground_is_rejected() {
+        let mut net = Netlist::new();
+        net.add_capacitance(NodeId::GROUND, Capacitance::from_femtofarads(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn self_resistor_rejected() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.add_resistor(a, a, Resistance::from_ohms(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already forced")]
+    fn double_force_rejected() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.force(a, Stimulus::dc(Voltage::from_volts(0.8)));
+        net.force(a, Stimulus::dc(Voltage::zero()));
+    }
+
+    #[test]
+    fn mosfet_loads_terminal_nodes() {
+        let mut net = Netlist::new();
+        let d = net.node("d");
+        let g = net.node("g");
+        let s = net.node("s");
+        let before = net.capacitance_at(g);
+        let dev = Device::new(MosKind::Nmos, MosfetModel::nmos_soi45(), 1e-6, 45e-9);
+        net.add_mosfet(dev, d, g, s);
+        assert!(net.capacitance_at(g) > before);
+        assert_eq!(net.element_count(), 1);
+    }
+
+    #[test]
+    fn min_tau_reflects_stiffest_pair() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        net.add_capacitance(a, Capacitance::from_femtofarads(100.0));
+        net.add_capacitance(b, Capacitance::from_femtofarads(1.0));
+        net.add_resistor(a, b, Resistance::from_kilohms(1.0));
+        let tau = net.min_resistive_tau().expect("has a resistor");
+        // ~1 fF * 1 kOhm = 1 ps (plus the tiny parasitic floor).
+        assert!((tau - 1.01e-12).abs() < 0.05e-12, "tau = {tau}");
+    }
+
+    #[test]
+    fn rail_is_forced() {
+        let mut net = Netlist::new();
+        let vdd = net.rail("vdd", Voltage::from_volts(0.8));
+        assert_eq!(net.node_name(vdd), "vdd");
+        assert_eq!(net.forced.len(), 1);
+    }
+}

@@ -1,0 +1,264 @@
+//! Voltage stimuli for forced nodes: DC, steps, piecewise-linear ramps and
+//! pulse trains built from bit sequences.
+
+use srlr_units::{TimeInterval, Voltage};
+
+/// A voltage-versus-time description for a forced node.
+///
+/// # Examples
+///
+/// ```
+/// use srlr_circuit::Stimulus;
+/// use srlr_units::{TimeInterval, Voltage};
+///
+/// let step = Stimulus::step(Voltage::zero(), Voltage::from_volts(0.8),
+///     TimeInterval::from_picoseconds(100.0));
+/// assert_eq!(step.at(TimeInterval::zero()), Voltage::zero());
+/// assert_eq!(step.at(TimeInterval::from_nanoseconds(1.0)), Voltage::from_volts(0.8));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stimulus {
+    /// Sorted (time-seconds, volts) breakpoints; linear in between, flat
+    /// outside.
+    points: Vec<(f64, f64)>,
+}
+
+impl Stimulus {
+    /// A constant voltage.
+    pub fn dc(v: Voltage) -> Self {
+        Self {
+            points: vec![(0.0, v.volts())],
+        }
+    }
+
+    /// A step from `from` to `to` at time `when`, with a 1 ps edge.
+    pub fn step(from: Voltage, to: Voltage, when: TimeInterval) -> Self {
+        let t = when.seconds();
+        Self {
+            points: vec![
+                (0.0, from.volts()),
+                (t, from.volts()),
+                (t + 1e-12, to.volts()),
+            ],
+        }
+    }
+
+    /// A piecewise-linear stimulus from explicit `(time, voltage)`
+    /// breakpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty or the times are not strictly
+    /// increasing.
+    pub fn pwl<I>(points: I) -> Self
+    where
+        I: IntoIterator<Item = (TimeInterval, Voltage)>,
+    {
+        let points: Vec<(f64, f64)> = points
+            .into_iter()
+            .map(|(t, v)| (t.seconds(), v.volts()))
+            .collect();
+        assert!(!points.is_empty(), "pwl stimulus needs at least one point");
+        for w in points.windows(2) {
+            assert!(
+                w[1].0 > w[0].0,
+                "pwl breakpoint times must be strictly increasing"
+            );
+        }
+        Self { points }
+    }
+
+    /// A single rectangular pulse: `low` before `start`, `high` for
+    /// `width`, back to `low`, with `edge`-long linear transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `edge` is not strictly positive.
+    pub fn pulse(
+        low: Voltage,
+        high: Voltage,
+        start: TimeInterval,
+        width: TimeInterval,
+        edge: TimeInterval,
+    ) -> Self {
+        assert!(width.seconds() > 0.0, "pulse width must be positive");
+        assert!(edge.seconds() > 0.0, "pulse edge must be positive");
+        let t0 = start.seconds();
+        let w = width.seconds();
+        let e = edge.seconds();
+        Self {
+            points: vec![
+                (0.0, low.volts()),
+                (t0, low.volts()),
+                (t0 + e, high.volts()),
+                (t0 + e + w, high.volts()),
+                (t0 + e + w + e, low.volts()),
+            ],
+        }
+    }
+
+    /// A return-to-zero pulse train encoding `bits`: each `1` bit produces
+    /// a pulse of the given `width` at the start of its bit period, each
+    /// `0` bit stays low. This is the pulse-modulated format the SRLR
+    /// link transmits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pulse `width` (plus edges) does not fit in the bit
+    /// period, or if `bits` is empty.
+    pub fn pulse_train(
+        bits: &[bool],
+        low: Voltage,
+        high: Voltage,
+        bit_period: TimeInterval,
+        width: TimeInterval,
+        edge: TimeInterval,
+    ) -> Self {
+        assert!(!bits.is_empty(), "pulse train needs at least one bit");
+        let period = bit_period.seconds();
+        let w = width.seconds();
+        let e = edge.seconds();
+        assert!(
+            w + 2.0 * e < period,
+            "pulse (width + 2 edges) must fit in the bit period"
+        );
+        let mut points = vec![(0.0, low.volts())];
+        for (i, &bit) in bits.iter().enumerate() {
+            if !bit {
+                continue;
+            }
+            let t0 = i as f64 * period + 0.1 * e;
+            points.push((t0, low.volts()));
+            points.push((t0 + e, high.volts()));
+            points.push((t0 + e + w, high.volts()));
+            points.push((t0 + e + w + e, low.volts()));
+        }
+        // The leading (0, low) point may coincide with an immediate pulse
+        // at bit 0; drop duplicates that violate monotonicity.
+        points.dedup_by(|b, a| b.0 <= a.0);
+        Self { points }
+    }
+
+    /// The stimulus voltage at time `t`.
+    pub fn at(&self, t: TimeInterval) -> Voltage {
+        Voltage::from_volts(self.value_at_seconds(t.seconds()))
+    }
+
+    pub(crate) fn value_at_seconds(&self, t: f64) -> f64 {
+        let pts = &self.points;
+        if t <= pts[0].0 {
+            return pts[0].1;
+        }
+        if t >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        // Binary search for the surrounding segment.
+        let idx = pts.partition_point(|&(pt, _)| pt <= t);
+        let (t0, v0) = pts[idx - 1];
+        let (t1, v1) = pts[idx];
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// The last breakpoint time — simulations should run at least this long
+    /// to see the whole stimulus.
+    pub fn duration(&self) -> TimeInterval {
+        TimeInterval::from_seconds(self.points[self.points.len() - 1].0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_flat() {
+        let s = Stimulus::dc(Voltage::from_volts(0.8));
+        assert_eq!(s.at(TimeInterval::zero()).volts(), 0.8);
+        assert_eq!(s.at(TimeInterval::from_seconds(1.0)).volts(), 0.8);
+    }
+
+    #[test]
+    fn step_transitions_at_the_right_time() {
+        let s = Stimulus::step(
+            Voltage::zero(),
+            Voltage::from_volts(0.8),
+            TimeInterval::from_picoseconds(100.0),
+        );
+        assert_eq!(s.at(TimeInterval::from_picoseconds(99.0)).volts(), 0.0);
+        assert!((s.at(TimeInterval::from_picoseconds(102.0)).volts() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pwl_interpolates_linearly() {
+        let s = Stimulus::pwl([
+            (TimeInterval::zero(), Voltage::zero()),
+            (TimeInterval::from_nanoseconds(1.0), Voltage::from_volts(1.0)),
+        ]);
+        let mid = s.at(TimeInterval::from_picoseconds(500.0));
+        assert!((mid.volts() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn pwl_rejects_unsorted_times() {
+        let _ = Stimulus::pwl([
+            (TimeInterval::from_nanoseconds(1.0), Voltage::zero()),
+            (TimeInterval::zero(), Voltage::zero()),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn pwl_rejects_empty() {
+        let _ = Stimulus::pwl(Vec::<(TimeInterval, Voltage)>::new());
+    }
+
+    #[test]
+    fn pulse_shape() {
+        let s = Stimulus::pulse(
+            Voltage::zero(),
+            Voltage::from_millivolts(400.0),
+            TimeInterval::from_picoseconds(50.0),
+            TimeInterval::from_picoseconds(100.0),
+            TimeInterval::from_picoseconds(5.0),
+        );
+        assert_eq!(s.at(TimeInterval::from_picoseconds(10.0)).volts(), 0.0);
+        let top = s.at(TimeInterval::from_picoseconds(100.0));
+        assert!((top.millivolts() - 400.0).abs() < 1e-9);
+        assert_eq!(s.at(TimeInterval::from_picoseconds(300.0)).volts(), 0.0);
+    }
+
+    #[test]
+    fn pulse_train_pulses_only_on_ones() {
+        let period = TimeInterval::from_picoseconds(250.0);
+        let s = Stimulus::pulse_train(
+            &[true, false, true],
+            Voltage::zero(),
+            Voltage::from_millivolts(400.0),
+            period,
+            TimeInterval::from_picoseconds(80.0),
+            TimeInterval::from_picoseconds(5.0),
+        );
+        // Mid-pulse of bit 0.
+        assert!(s.at(TimeInterval::from_picoseconds(50.0)).millivolts() > 390.0);
+        // Bit 1 stays low throughout.
+        assert_eq!(s.at(TimeInterval::from_picoseconds(375.0)).volts(), 0.0);
+        // Bit 2 pulses again.
+        assert!(s.at(TimeInterval::from_picoseconds(550.0)).millivolts() > 390.0);
+        // Total duration covers the last pulse.
+        assert!(s.duration().picoseconds() > 500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit in the bit period")]
+    fn oversized_pulse_rejected() {
+        let _ = Stimulus::pulse_train(
+            &[true],
+            Voltage::zero(),
+            Voltage::from_volts(0.4),
+            TimeInterval::from_picoseconds(100.0),
+            TimeInterval::from_picoseconds(99.0),
+            TimeInterval::from_picoseconds(5.0),
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Minimal flag parsing (`--name value` pairs) without external crates.
+
+use crate::CliError;
+use std::collections::HashMap;
+
+/// Parsed `--flag value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parses `rest` as alternating `--name value` pairs, validating
+    /// every name against `allowed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage error for unknown flags, missing values or stray
+    /// positional arguments.
+    pub fn parse(rest: &[String], allowed: &[&str]) -> Result<Self, CliError> {
+        let mut values = HashMap::new();
+        let mut it = rest.iter();
+        while let Some(flag) = it.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(CliError::Usage(format!(
+                    "unexpected positional argument `{flag}`"
+                )));
+            };
+            if !allowed.contains(&name) {
+                return Err(CliError::Usage(format!(
+                    "unknown flag `--{name}` (allowed: {})",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+            let Some(value) = it.next() else {
+                return Err(CliError::Usage(format!("flag `--{name}` needs a value")));
+            };
+            values.insert(name.to_owned(), value.clone());
+        }
+        Ok(Self { values })
+    }
+
+    /// Returns a flag parsed into `T`, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage error when the value does not parse.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                CliError::Usage(format!("flag `--{name}` got unparsable value `{raw}`"))
+            }),
+        }
+    }
+
+    /// Returns the raw string of a flag, if present.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let f = Flags::parse(&argv(&["--bits", "100", "--gbps", "4.1"]), &["bits", "gbps"]).unwrap();
+        assert_eq!(f.get_or("bits", 0usize).unwrap(), 100);
+        assert!((f.get_or("gbps", 0.0f64).unwrap() - 4.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_applies_when_absent() {
+        let f = Flags::parse(&argv(&[]), &["bits"]).unwrap();
+        assert_eq!(f.get_or("bits", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let err = Flags::parse(&argv(&["--nope", "1"]), &["bits"]).unwrap_err();
+        assert!(err.to_string().contains("--nope"));
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let err = Flags::parse(&argv(&["--bits"]), &["bits"]).unwrap_err();
+        assert!(err.to_string().contains("needs a value"));
+    }
+
+    #[test]
+    fn positional_rejected() {
+        let err = Flags::parse(&argv(&["17"]), &["bits"]).unwrap_err();
+        assert!(err.to_string().contains("positional"));
+    }
+
+    #[test]
+    fn unparsable_value_rejected() {
+        let f = Flags::parse(&argv(&["--bits", "soup"]), &["bits"]).unwrap();
+        assert!(f.get_or("bits", 0usize).is_err());
+    }
+}

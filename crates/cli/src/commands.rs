@@ -1,0 +1,381 @@
+//! The subcommand implementations.
+
+use crate::args::Flags;
+use crate::CliError;
+use srlr_core::sizing::SizingExplorer;
+use srlr_core::SrlrDesign;
+use srlr_link::ber::BerTester;
+use srlr_link::montecarlo::McExperiment;
+use srlr_link::{measure_eye, ComparisonTable, LinkConfig, SrlrLink};
+use srlr_noc::traffic::Pattern;
+use srlr_noc::{
+    DatapathKind, ExpressComparison, ExpressTopology, Mesh, Network, NocConfig, PowerModel,
+};
+use srlr_tech::Technology;
+use srlr_units::{DataRate, Voltage};
+use std::fmt::Write as _;
+
+/// The help text.
+pub fn help() -> String {
+    "srlr — reproduce the DATE'13 SRLR paper's experiments\n\
+     \n\
+     commands:\n\
+       table1                           Table I + Sec. IV headline numbers\n\
+       fig6   [--runs N]                Monte Carlo error probability vs swing\n\
+       fig8                             energy vs bandwidth density sweep\n\
+       waveforms                        Fig. 4 transient waveforms (ASCII)\n\
+       ber    [--bits N] [--gbps R]     PRBS bit-error-rate run\n\
+       eye    [--bits N]                demodulator eye margins\n\
+       noc    [--cols C] [--rows R] [--load F] [--datapath srlr|full]\n\
+       express [--interval K]           express-channel trade-off analysis\n\
+       sizing                           M1/M2 design-space sweep\n\
+       shmoo  [--bits N]                rate x swing pass/fail map\n\
+       supply                           VDD-scaling frontier\n\
+       temp                             temperature sweep (-40..105 C)\n\
+       bathtub [--jitter PS]            BER vs rate under width jitter\n\
+       crosstalk                        neighbour-activity scenarios\n\
+       help                             this text\n"
+        .to_owned()
+}
+
+/// `srlr bathtub [--jitter PS]`.
+pub fn bathtub(rest: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(rest, &["jitter", "bits"])?;
+    let jitter_ps: f64 = flags.get_or("jitter", 3.0)?;
+    let bits: usize = flags.get_or("bits", 2000)?;
+    if jitter_ps < 0.0 || bits == 0 {
+        return Err(CliError::Usage("need non-negative jitter, positive bits".into()));
+    }
+    let tech = Technology::soi45();
+    let design = SrlrDesign::paper_proposed(&tech);
+    let rates: Vec<DataRate> = (7..=14)
+        .map(|i| DataRate::from_gigabits_per_second(f64::from(i) * 0.5))
+        .collect();
+    let curve = srlr_link::bathtub::rate_bathtub(
+        &tech,
+        &design,
+        &rates,
+        srlr_units::TimeInterval::from_picoseconds(jitter_ps),
+        bits,
+        8,
+    );
+    Ok(format!(
+        "BER bathtub with {jitter_ps} ps/stage width jitter\n\n{}",
+        srlr_link::bathtub::render(&curve)
+    ))
+}
+
+/// `srlr crosstalk`.
+pub fn crosstalk() -> Result<String, CliError> {
+    let tech = Technology::soi45();
+    let design = SrlrDesign::paper_proposed(&tech);
+    let mut out = String::from("neighbour-activity (crosstalk) scenarios\n\n");
+    let _ = writeln!(out, "{:<12} {:>12} {:>20}", "neighbours", "cliff", "energy @4.1 Gb/s");
+    for p in srlr_link::crosstalk::crosstalk_sweep(&tech, &design) {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>12} {:>14.1} fJ/b/mm",
+            format!("{:?}", p.activity),
+            p.max_rate
+                .map_or("fails".to_owned(), |r| format!("{:.1} Gb/s", r.gigabits_per_second())),
+            p.energy.femtojoules_per_bit_per_millimeter(),
+        );
+    }
+    Ok(out)
+}
+
+/// `srlr shmoo [--bits N]`.
+pub fn shmoo(rest: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(rest, &["bits"])?;
+    let bits: usize = flags.get_or("bits", 512)?;
+    if bits == 0 {
+        return Err(CliError::Usage("--bits must be positive".into()));
+    }
+    let tech = Technology::soi45();
+    let plot = srlr_link::shmoo::paper_shmoo(&tech, bits);
+    Ok(format!(
+        "rate x swing shmoo, nominal die ('+' pass, '.' fail)\n\n{}\npassing fraction: {:.0} %\n",
+        plot.render(),
+        plot.pass_fraction() * 100.0
+    ))
+}
+
+/// `srlr supply`.
+pub fn supply() -> Result<String, CliError> {
+    let tech = Technology::soi45();
+    let design = SrlrDesign::paper_proposed(&tech);
+    let vdds: Vec<Voltage> = (6..=10)
+        .map(|i| Voltage::from_volts(f64::from(i) / 10.0))
+        .collect();
+    let points = srlr_link::supply::supply_sweep(&tech, &design, &vdds);
+    if points.is_empty() {
+        return Err(CliError::Experiment("no rail could signal".into()));
+    }
+    let mut out = String::from("VDD scaling (rated at 0.7 x cliff)\n\n");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>12} {:>16} {:>12}",
+        "VDD", "cliff", "energy", "power"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>9.1} Gb/s {:>12.1} fJ/b/mm {:>9.2} mW",
+            p.vdd.to_string(),
+            p.max_rate.gigabits_per_second(),
+            p.energy.femtojoules_per_bit_per_millimeter(),
+            p.power.milliwatts(),
+        );
+    }
+    Ok(out)
+}
+
+/// `srlr temp`.
+pub fn temp() -> Result<String, CliError> {
+    let tech = Technology::soi45();
+    let design = SrlrDesign::paper_proposed(&tech);
+    let mut out = String::from(
+        "temperature sweep at 4.1 Gb/s (adaptive bias tracking; PRBS 4k bits)\n\n",
+    );
+    let _ = writeln!(out, "{:>14} {:>10} {:>14}", "temperature", "errors", "worst ISI");
+    for celsius in [-40.0, 0.0, 27.0, 60.0, 85.0, 105.0] {
+        let t = srlr_tech::Temperature::from_celsius(celsius);
+        let var = t.as_variation();
+        let link = SrlrLink::on_die(&tech, &design, LinkConfig::paper_default(), &var);
+        let mut gen = srlr_link::Prbs::prbs15();
+        let bits = gen.take_bits(4096);
+        let outcome = link.transmit(&bits);
+        let errors = bits
+            .iter()
+            .zip(&outcome.received)
+            .filter(|(a, b)| a != b)
+            .count();
+        let _ = writeln!(
+            out,
+            "{:>14} {:>10} {:>14}",
+            t.to_string(),
+            errors,
+            outcome.max_baseline.to_string()
+        );
+    }
+    Ok(out)
+}
+
+/// `srlr table1`.
+pub fn table1() -> Result<String, CliError> {
+    let tech = Technology::soi45();
+    let mut out = ComparisonTable::paper_table1(&tech).render();
+    let metrics = SrlrLink::paper_test_chip(&tech).metrics();
+    let _ = writeln!(out, "\nmeasured test chip: {metrics}");
+    Ok(out)
+}
+
+/// `srlr fig6 [--runs N]`.
+pub fn fig6(rest: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(rest, &["runs"])?;
+    let runs: usize = flags.get_or("runs", 300)?;
+    if runs == 0 {
+        return Err(CliError::Usage("--runs must be positive".into()));
+    }
+    let tech = Technology::soi45();
+    let exp = McExperiment::paper_default(&tech).with_runs(runs);
+    let mut out = format!("Monte Carlo over {runs} dice per point\n\n");
+    let swings: Vec<Voltage> = (7..=11)
+        .map(|i| Voltage::from_millivolts(f64::from(i) * 50.0))
+        .collect();
+    let _ = writeln!(out, "{:>9} {:>22} {:>22}", "swing", "proposed", "straightforward");
+    let sweep_p = exp.swing_sweep(&SrlrDesign::paper_proposed(&tech), &swings);
+    let sweep_s = exp.swing_sweep(&SrlrDesign::straightforward(&tech), &swings);
+    for ((swing, p), (_, s)) in sweep_p.iter().zip(&sweep_s) {
+        let _ = writeln!(out, "{:>9} {:>22} {:>22}", swing.to_string(), p.to_string(), s.to_string());
+    }
+    let (p, s, ratio) = exp.immunity_ratio();
+    let _ = writeln!(
+        out,
+        "\nimmunity at the fabrication swing: proposed {p}, straightforward {s} => ratio {ratio:.2}x (paper: 3.7x)"
+    );
+    Ok(out)
+}
+
+/// `srlr fig8`.
+pub fn fig8() -> Result<String, CliError> {
+    let tech = Technology::soi45();
+    let mut out = String::from("energy vs bandwidth density (rated at 0.7 x cliff)\n\n");
+    let _ = writeln!(out, "{:<28} {:>12} {:>16}", "point", "Gb/s/um", "fJ/bit/cm");
+    for p in srlr_bench::fig8_measured_series(&tech, &[0.2, 0.3, 0.5, 0.7]) {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12.3} {:>16.1}",
+            p.label, p.bandwidth_density_gbps_um, p.energy_fj_per_bit_cm
+        );
+    }
+    for p in srlr_bench::fig8_published_points() {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12.3} {:>16.1}",
+            p.label, p.bandwidth_density_gbps_um, p.energy_fj_per_bit_cm
+        );
+    }
+    Ok(out)
+}
+
+/// `srlr waveforms`.
+pub fn waveforms() -> Result<String, CliError> {
+    let tech = Technology::soi45();
+    let waves = srlr_core::transient::SrlrTransientFixture::fig4(&tech);
+    let mut out = String::new();
+    let _ = writeln!(out, "IN (peak {}):", waves.input.peak());
+    out.push_str(&waves.input.ascii_plot(8, 80));
+    let _ = writeln!(out, "\nnode X:");
+    out.push_str(&waves.node_x.ascii_plot(8, 80));
+    let _ = writeln!(out, "\nOUT (peak {}):", waves.output.peak());
+    out.push_str(&waves.output.ascii_plot(8, 80));
+    let _ = writeln!(out, "\nNEXT IN (peak {}):", waves.next_input.peak());
+    out.push_str(&waves.next_input.ascii_plot(8, 80));
+    Ok(out)
+}
+
+/// `srlr ber [--bits N] [--gbps R]`.
+pub fn ber(rest: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(rest, &["bits", "gbps"])?;
+    let bits: usize = flags.get_or("bits", 1_000_000)?;
+    let gbps: f64 = flags.get_or("gbps", 4.1)?;
+    if bits == 0 || gbps <= 0.0 {
+        return Err(CliError::Usage("--bits and --gbps must be positive".into()));
+    }
+    let tech = Technology::soi45();
+    let config = LinkConfig::paper_default()
+        .with_data_rate(DataRate::from_gigabits_per_second(gbps));
+    let link = SrlrLink::on_die(
+        &tech,
+        &SrlrDesign::paper_proposed(&tech),
+        config,
+        &srlr_tech::GlobalVariation::nominal(),
+    );
+    let report = BerTester::prbs15().run(&link, bits);
+    Ok(format!(
+        "{report}\nenergy per bit: {}\n",
+        report.energy_per_bit()
+    ))
+}
+
+/// `srlr eye [--bits N]`.
+pub fn eye(rest: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(rest, &["bits"])?;
+    let bits: usize = flags.get_or("bits", 5_000)?;
+    if bits == 0 {
+        return Err(CliError::Usage("--bits must be positive".into()));
+    }
+    let tech = Technology::soi45();
+    let link = SrlrLink::paper_test_chip(&tech);
+    let eye = measure_eye(&link, bits);
+    Ok(format!(
+        "{eye}\nopen: {}\n",
+        if eye.is_open() { "yes" } else { "NO" }
+    ))
+}
+
+/// `srlr noc [...]`.
+pub fn noc(rest: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(rest, &["cols", "rows", "load", "datapath", "cycles"])?;
+    let cols: u16 = flags.get_or("cols", 8)?;
+    let rows: u16 = flags.get_or("rows", 8)?;
+    let load: f64 = flags.get_or("load", 0.05)?;
+    let cycles: u64 = flags.get_or("cycles", 2000)?;
+    if cols == 0 || rows == 0 || !(0.0..=1.0).contains(&load) || cycles == 0 {
+        return Err(CliError::Usage(
+            "need positive size/cycles and load in [0, 1]".into(),
+        ));
+    }
+    let datapath = match flags.get_str("datapath").unwrap_or("srlr") {
+        "srlr" => DatapathKind::SrlrLowSwing,
+        "full" => DatapathKind::FullSwingRepeated,
+        other => {
+            return Err(CliError::Usage(format!(
+                "--datapath must be `srlr` or `full`, got `{other}`"
+            )))
+        }
+    };
+    let tech = Technology::soi45();
+    let config = NocConfig::paper_default()
+        .with_size(cols, rows)
+        .with_datapath(datapath);
+    let mut net = Network::new(config);
+    let stats = net.run_warmup_and_measure(Pattern::UniformRandom, load, cycles / 4, cycles);
+    let model = PowerModel::for_datapath(&tech, config.flit_bits, datapath);
+    let power = model.report(&stats.energy, cycles, config.clock, config.mesh().len());
+    Ok(format!(
+        "{cols}x{rows} mesh, {datapath}, load {load}\ntraffic: {stats}\npower:   {power}\n"
+    ))
+}
+
+/// `srlr express [--interval K]`.
+pub fn express(rest: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(rest, &["interval"])?;
+    let interval: u16 = flags.get_or("interval", 4)?;
+    if !(2..8).contains(&interval) {
+        return Err(CliError::Usage("--interval must be in 2..8".into()));
+    }
+    let tech = Technology::soi45();
+    let topo = ExpressTopology::new(Mesh::new(8, 8), interval);
+    let c = ExpressComparison::evaluate(&tech, topo);
+    let (e, l) = c.express_avg_hops;
+    Ok(format!(
+        "express interval {interval} on an 8x8 mesh\n\
+         avg hops: mesh {:.2} vs express {:.2} ({:.2} express + {:.2} local) => {:.0} % fewer router visits\n\
+         avg datapath energy/bit: mesh {} vs express {} (ratio {:.2}x)\n\
+         driver area per express bit-lane: {:.0} um^2 vs {:.1} um^2 SRLR ({:.0}x)\n\
+         extra ports at express stations: {}\n",
+        c.srlr_avg_hops,
+        e + l,
+        e,
+        l,
+        c.hop_reduction() * 100.0,
+        c.srlr_energy_per_bit,
+        c.express_energy_per_bit,
+        c.energy_ratio(),
+        c.express_driver_area_um2,
+        c.srlr_cell_area_um2,
+        c.driver_area_ratio(),
+        topo.extra_ports_at_stations(),
+    ))
+}
+
+/// `srlr sizing`.
+pub fn sizing() -> Result<String, CliError> {
+    let tech = Technology::soi45();
+    let design = SrlrDesign::paper_proposed(&tech);
+    let explorer = SizingExplorer::new(&tech, design, 10);
+    let m1 = [0.15e-6, 0.3e-6, 0.6e-6, 1.2e-6];
+    let m2 = [0.06e-6, 0.12e-6, 0.3e-6];
+    let mut out = String::from(
+        "M1/M2 sizing sweep (10-stage chain, nominal + 5 corners)\n\n",
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>8} {:>8} {:>9} {:>14} {:>16}",
+        "M1 [um]", "M2 [um]", "nominal", "corners", "margin [mV]", "fJ/bit/mm"
+    );
+    for c in explorer.sweep(&m1, &m2) {
+        let _ = writeln!(
+            out,
+            "{:>8.2} {:>8.2} {:>8} {:>8}/5 {:>14.1} {:>16.1}",
+            c.m1_width_m * 1e6,
+            c.m2_width_m * 1e6,
+            if c.works_nominal { "ok" } else { "FAIL" },
+            c.corners_passed,
+            c.sense_margin.millivolts(),
+            c.energy.femtojoules_per_bit_per_millimeter(),
+        );
+    }
+    let best = explorer
+        .best(&m1, &m2)
+        .ok_or_else(|| CliError::Experiment("no viable sizing found".into()))?;
+    let _ = writeln!(
+        out,
+        "\nlowest-energy viable point: M1 {:.2} um / M2 {:.2} um",
+        best.m1_width_m * 1e6,
+        best.m2_width_m * 1e6
+    );
+    Ok(out)
+}

@@ -1,0 +1,197 @@
+//! Implementation of the `srlr` command-line tool.
+//!
+//! Each subcommand wraps one of the workspace's experiment harnesses so a
+//! user can regenerate any of the paper's results without touching
+//! Criterion:
+//!
+//! ```text
+//! srlr table1                  Table I + headline measurements
+//! srlr fig6 [--runs N]         Monte Carlo swing sweep
+//! srlr fig8                    energy vs bandwidth density
+//! srlr waveforms               Fig. 4 transient waveforms
+//! srlr ber [--bits N] [--gbps R]
+//! srlr eye [--bits N]
+//! srlr noc [--cols C --rows R --load F --datapath srlr|full]
+//! srlr express [--interval K]
+//! srlr sizing                  M1/M2 design-space sweep
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+use std::fmt;
+
+/// Errors surfaced to the shell.
+#[derive(Debug)]
+pub enum CliError {
+    /// Unknown subcommand or malformed flags.
+    Usage(String),
+    /// An experiment could not run with the given parameters.
+    Experiment(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Experiment(msg) => write!(f, "experiment error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Entry point shared by the binary and the tests: dispatches `argv`
+/// (without the program name) and returns the rendered output.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown commands or flags and
+/// [`CliError::Experiment`] when a run cannot produce a result.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = argv.split_first() else {
+        return Ok(commands::help());
+    };
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(commands::help()),
+        "table1" => commands::table1(),
+        "fig6" => commands::fig6(rest),
+        "fig8" => commands::fig8(),
+        "waveforms" => commands::waveforms(),
+        "ber" => commands::ber(rest),
+        "eye" => commands::eye(rest),
+        "noc" => commands::noc(rest),
+        "express" => commands::express(rest),
+        "sizing" => commands::sizing(),
+        "shmoo" => commands::shmoo(rest),
+        "supply" => commands::supply(),
+        "temp" => commands::temp(),
+        "bathtub" => commands::bathtub(rest),
+        "crosstalk" => commands::crosstalk(),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`; try `srlr help`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(args: &[&str]) -> Result<String, CliError> {
+        let argv: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        run(&argv)
+    }
+
+    #[test]
+    fn empty_argv_prints_help() {
+        let out = call(&[]).unwrap();
+        assert!(out.contains("srlr"));
+        assert!(out.contains("table1"));
+    }
+
+    #[test]
+    fn help_lists_all_commands() {
+        let out = call(&["help"]).unwrap();
+        for cmd in ["table1", "fig6", "fig8", "waveforms", "ber", "eye", "noc", "express", "sizing"] {
+            assert!(out.contains(cmd), "help must mention {cmd}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_is_a_usage_error() {
+        let err = call(&["fig99"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        assert!(err.to_string().contains("fig99"));
+    }
+
+    #[test]
+    fn table1_renders_rows() {
+        let out = call(&["table1"]).unwrap();
+        assert!(out.contains("This Work (measured)"));
+        assert!(out.contains("fJ/bit"));
+    }
+
+    #[test]
+    fn ber_with_small_budget_runs() {
+        let out = call(&["ber", "--bits", "5000"]).unwrap();
+        assert!(out.contains("errors"));
+    }
+
+    #[test]
+    fn ber_rejects_bad_flag() {
+        let err = call(&["ber", "--frobnicate"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn fig6_with_tiny_runs() {
+        let out = call(&["fig6", "--runs", "20"]).unwrap();
+        assert!(out.contains("proposed"));
+        assert!(out.contains("immunity"));
+    }
+
+    #[test]
+    fn eye_reports_margins() {
+        let out = call(&["eye", "--bits", "500"]).unwrap();
+        assert!(out.contains("margin"));
+    }
+
+    #[test]
+    fn noc_runs_a_small_mesh() {
+        let out = call(&["noc", "--cols", "4", "--rows", "4", "--load", "0.05"]).unwrap();
+        assert!(out.contains("pkts"));
+        assert!(out.contains("buffers"));
+    }
+
+    #[test]
+    fn express_prints_tradeoff() {
+        let out = call(&["express", "--interval", "4"]).unwrap();
+        assert!(out.contains("hop"));
+        assert!(out.contains("energy"));
+    }
+
+    #[test]
+    fn sizing_prints_candidates() {
+        let out = call(&["sizing"]).unwrap();
+        assert!(out.contains("M1"));
+        assert!(out.contains("viable"));
+    }
+
+    #[test]
+    fn shmoo_renders_map() {
+        let out = call(&["shmoo", "--bits", "64"]).unwrap();
+        assert!(out.contains('+'));
+        assert!(out.contains("passing fraction"));
+    }
+
+    #[test]
+    fn supply_lists_rails() {
+        let out = call(&["supply"]).unwrap();
+        assert!(out.contains("800 mV"));
+        assert!(out.contains("fJ/b/mm"));
+    }
+
+    #[test]
+    fn temp_sweeps_cleanly() {
+        let out = call(&["temp"]).unwrap();
+        assert!(out.contains("-40"));
+        assert!(out.contains("105"));
+    }
+
+    #[test]
+    fn bathtub_renders_wall() {
+        let out = call(&["bathtub", "--bits", "200"]).unwrap();
+        assert!(out.contains("clean") || out.contains("BER"));
+    }
+
+    #[test]
+    fn crosstalk_lists_scenarios() {
+        let out = call(&["crosstalk"]).unwrap();
+        assert!(out.contains("WorstCase"));
+        assert!(out.contains("Shielded"));
+    }
+}

@@ -1,0 +1,17 @@
+//! The `srlr` binary: see [`srlr_cli`] for the command set.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match srlr_cli::run(&argv) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("srlr: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

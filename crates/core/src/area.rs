@@ -1,0 +1,102 @@
+//! Area accounting for the SRLR datapath (Sec. I and Fig. 7).
+//!
+//! The paper reports each 1 mm SRLR occupying `10.2 × 4.7 = 47.9 um^2` of
+//! active silicon. A 64-bit 5-port mesh router needs 4 SRLR columns per
+//! port-bit (crossbar crosspoints along the datapath), so the full
+//! low-swing datapath is `47.9 × 64 × 5 × 4 ≈ 0.061 mm^2` — about 18 % of
+//! a 0.34 mm^2 three-stage router with 4 VCs and 16 buffers.
+
+use srlr_units::{Area, Length};
+
+/// Area model of the SRLR datapath inside a mesh router.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SrlrArea {
+    /// Drawn SRLR cell width.
+    pub cell_width: Length,
+    /// Drawn SRLR cell height.
+    pub cell_height: Length,
+    /// Reference full-router area (3-stage, 4 VCs, 16 buffers, from
+    /// DSENT-style synthesis in the same process).
+    pub router_area: Area,
+}
+
+impl SrlrArea {
+    /// The paper's numbers: a 10.2 um x 4.7 um cell and a 0.34 mm^2 router.
+    pub fn paper_default() -> Self {
+        Self {
+            cell_width: Length::from_micrometers(10.2),
+            cell_height: Length::from_micrometers(4.7),
+            router_area: Area::from_square_millimeters(0.34),
+        }
+    }
+
+    /// Active silicon area of one SRLR.
+    pub fn cell_area(&self) -> Area {
+        self.cell_width * self.cell_height
+    }
+
+    /// Area of a full low-swing datapath for a router with the given
+    /// width (bits), port count and SRLR columns per crosspoint path.
+    pub fn datapath_area(&self, bits: usize, ports: usize, columns: usize) -> Area {
+        self.cell_area() * (bits * ports * columns) as f64
+    }
+
+    /// The paper's configuration: 64 bits, 5 ports, 4 columns.
+    pub fn paper_datapath_area(&self) -> Area {
+        self.datapath_area(64, 5, 4)
+    }
+
+    /// Datapath area as a fraction of the reference router area.
+    pub fn datapath_fraction(&self, bits: usize, ports: usize, columns: usize) -> f64 {
+        self.datapath_area(bits, ports, columns).square_meters() / self.router_area.square_meters()
+    }
+}
+
+impl Default for SrlrArea {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_area_matches_paper() {
+        let a = SrlrArea::paper_default();
+        assert!((a.cell_area().square_micrometers() - 47.94).abs() < 0.01);
+    }
+
+    #[test]
+    fn datapath_area_matches_paper() {
+        // 47.9 x 64 x 5 x 4 = 0.0613 mm^2 (the paper rounds to 0.061).
+        let a = SrlrArea::paper_default();
+        let dp = a.paper_datapath_area();
+        assert!(
+            (dp.square_millimeters() - 0.0613).abs() < 0.001,
+            "datapath = {} mm^2",
+            dp.square_millimeters()
+        );
+    }
+
+    #[test]
+    fn datapath_fraction_is_about_18_percent() {
+        let a = SrlrArea::paper_default();
+        let frac = a.datapath_fraction(64, 5, 4);
+        assert!((frac - 0.18).abs() < 0.01, "fraction = {frac}");
+    }
+
+    #[test]
+    fn fraction_scales_with_bits() {
+        let a = SrlrArea::paper_default();
+        assert!(
+            (a.datapath_fraction(32, 5, 4) - a.datapath_fraction(64, 5, 4) / 2.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(SrlrArea::default(), SrlrArea::paper_default());
+    }
+}

@@ -1,0 +1,232 @@
+//! The SRLR-based low-swing crossbar switch (paper Fig. 3).
+//!
+//! A 5-port mesh crossbar has 20 crosspoints (each input can reach each
+//! of the other four outputs). The paper inserts a 3-port (`IN`, `OUT`,
+//! `EN`) SRLR at every crosspoint of every bit lane — `64 × 20` SRLRs for
+//! a 64-bit router — so the crossbar's wires also run at low swing, and
+//! the crosspoint repeater doubles as the output driver of the row.
+//! Because the SRLR insertion length equals the router-to-router
+//! distance, the same cell drives either a crossbar row or an inter-router
+//! link without resizing, which is what keeps the layout flat.
+//!
+//! This module models one bit-slice of that crossbar: crosspoint enables,
+//! pulse propagation from an input port to the selected output port, and
+//! the energy/area accounting of Sec. I.
+
+use crate::design::{SrlrChain, SrlrDesign};
+use crate::pulse::PulseState;
+use srlr_tech::{GlobalVariation, Technology};
+use srlr_units::Energy;
+
+/// Number of router ports.
+pub const PORTS: usize = 5;
+
+/// One bit-slice of the SRLR crossbar: a 5x5 grid of EN-gated repeaters
+/// (self-connections excluded, giving the paper's 20 crosspoints).
+#[derive(Debug, Clone)]
+pub struct SrlrCrossbar {
+    /// One single-stage chain per (input, output) crosspoint; the unused
+    /// diagonal holds `None`.
+    crosspoints: Vec<Option<SrlrChain>>,
+    /// Enable state per crosspoint.
+    enabled: Vec<bool>,
+}
+
+impl SrlrCrossbar {
+    /// Builds the crossbar for one bit lane on the given die.
+    ///
+    /// Each crosspoint is an independent SRLR stage driving a segment of
+    /// the design's insertion length (the crossbar row is laid out to
+    /// match the link pitch).
+    pub fn new(tech: &Technology, design: &SrlrDesign, var: &GlobalVariation) -> Self {
+        let crosspoints = (0..PORTS * PORTS)
+            .map(|idx| {
+                let (i, o) = (idx / PORTS, idx % PORTS);
+                (i != o).then(|| design.instantiate(tech, var, 1))
+            })
+            .collect();
+        Self {
+            crosspoints,
+            enabled: vec![false; PORTS * PORTS],
+        }
+    }
+
+    /// Number of physical crosspoints (the paper's 20 for 5 ports).
+    pub fn crosspoint_count(&self) -> usize {
+        self.crosspoints.iter().flatten().count()
+    }
+
+    /// Enables exactly the `input -> output` crosspoint on the output's
+    /// column, disabling every other input on that column (a column can
+    /// carry one flow at a time — the switch-allocator contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input == output` or either index is out of range.
+    pub fn select(&mut self, input: usize, output: usize) {
+        assert!(input < PORTS && output < PORTS, "port out of range");
+        assert_ne!(input, output, "a port cannot loop back to itself");
+        for i in 0..PORTS {
+            self.enabled[i * PORTS + output] = i == input;
+        }
+    }
+
+    /// Releases an output column (all its crosspoints disabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is out of range.
+    pub fn release(&mut self, output: usize) {
+        assert!(output < PORTS, "port out of range");
+        for i in 0..PORTS {
+            self.enabled[i * PORTS + output] = false;
+        }
+    }
+
+    /// Whether a crosspoint is currently enabled.
+    pub fn is_enabled(&self, input: usize, output: usize) -> bool {
+        self.enabled[input * PORTS + output]
+    }
+
+    /// Sends a pulse from `input` toward `output`, returning the pulse
+    /// delivered at the output port (dead when the crosspoint is not
+    /// selected — the EN-gated repeater simply does not fire) and the
+    /// energy consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input == output` or either index is out of range.
+    pub fn traverse(
+        &self,
+        input: usize,
+        output: usize,
+        pulse: PulseState,
+    ) -> (PulseState, Energy) {
+        assert!(input < PORTS && output < PORTS, "port out of range");
+        assert_ne!(input, output, "a port cannot loop back to itself");
+        if !self.is_enabled(input, output) {
+            return (PulseState::dead(), Energy::zero());
+        }
+        let chain = self.crosspoints[input * PORTS + output]
+            .as_ref()
+            .expect("off-diagonal crosspoint exists");
+        let outcome = chain.stages()[0].process(pulse);
+        (outcome.output, outcome.energy)
+    }
+
+    /// A healthy input pulse for this crossbar's design point.
+    pub fn nominal_input_pulse(&self) -> PulseState {
+        self.crosspoints
+            .iter()
+            .flatten()
+            .next()
+            .expect("crossbar has crosspoints")
+            .nominal_input_pulse()
+    }
+
+    /// Total SRLRs of a full-width crossbar (`bits` lanes).
+    pub fn srlr_count(bits: usize) -> usize {
+        bits * (PORTS * PORTS - PORTS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crossbar() -> SrlrCrossbar {
+        let tech = Technology::soi45();
+        let design = SrlrDesign::paper_proposed(&tech);
+        SrlrCrossbar::new(&tech, &design, &GlobalVariation::nominal())
+    }
+
+    #[test]
+    fn has_the_papers_twenty_crosspoints() {
+        assert_eq!(crossbar().crosspoint_count(), 20);
+        // 64 lanes x 20 = 1280 SRLRs, the paper's "64 x 20 SRLRs in total".
+        assert_eq!(SrlrCrossbar::srlr_count(64), 1280);
+    }
+
+    #[test]
+    fn selected_crosspoint_repeats_the_pulse() {
+        let mut xb = crossbar();
+        xb.select(1, 3);
+        let input = xb.nominal_input_pulse();
+        let (out, energy) = xb.traverse(1, 3, input);
+        assert!(out.is_valid(), "selected path must repeat: {out}");
+        assert!(energy.femtojoules() > 0.0);
+    }
+
+    #[test]
+    fn unselected_crosspoint_blocks_silently() {
+        let mut xb = crossbar();
+        xb.select(1, 3);
+        let input = xb.nominal_input_pulse();
+        // Same column, different input: disabled by the select.
+        let (out, energy) = xb.traverse(2, 3, input);
+        assert!(!out.is_valid());
+        assert_eq!(energy, Energy::zero());
+        // Different column entirely: never enabled.
+        let (out, _) = xb.traverse(1, 2, input);
+        assert!(!out.is_valid());
+    }
+
+    #[test]
+    fn select_is_exclusive_per_output_column() {
+        let mut xb = crossbar();
+        xb.select(0, 4);
+        assert!(xb.is_enabled(0, 4));
+        xb.select(2, 4);
+        assert!(xb.is_enabled(2, 4));
+        assert!(!xb.is_enabled(0, 4), "reselect must displace the old input");
+    }
+
+    #[test]
+    fn different_columns_are_independent() {
+        let mut xb = crossbar();
+        xb.select(0, 1);
+        xb.select(2, 3);
+        let p = xb.nominal_input_pulse();
+        assert!(xb.traverse(0, 1, p).0.is_valid());
+        assert!(xb.traverse(2, 3, p).0.is_valid());
+    }
+
+    #[test]
+    fn release_clears_a_column() {
+        let mut xb = crossbar();
+        xb.select(0, 1);
+        xb.release(1);
+        assert!(!xb.is_enabled(0, 1));
+        let p = xb.nominal_input_pulse();
+        assert!(!xb.traverse(0, 1, p).0.is_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "loop back")]
+    fn self_loop_rejected() {
+        let mut xb = crossbar();
+        xb.select(2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_port_rejected() {
+        let mut xb = crossbar();
+        xb.select(0, 7);
+    }
+
+    #[test]
+    fn crossbar_then_link_composes() {
+        // A pulse through a crosspoint then down a 10-stage link — the
+        // crossbar output is a proper link input (Fig. 3's integration).
+        let tech = Technology::soi45();
+        let design = SrlrDesign::paper_proposed(&tech);
+        let mut xb = SrlrCrossbar::new(&tech, &design, &GlobalVariation::nominal());
+        xb.select(4, 0);
+        let (pulse, _) = xb.traverse(4, 0, xb.nominal_input_pulse());
+        assert!(pulse.is_valid());
+        let link = design.instantiate(&tech, &GlobalVariation::nominal(), 10);
+        let out = link.propagate(pulse);
+        assert!(out.is_valid(), "crossbar output must survive the link");
+    }
+}

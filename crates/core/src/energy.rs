@@ -1,0 +1,147 @@
+//! Per-bit energy arithmetic for SRLR links.
+//!
+//! Pulse signaling only spends dynamic energy on `1` bits, so per-bit
+//! numbers depend on the ones density of the traffic (PRBS is ½). This
+//! module turns a chain's per-pulse energy into the paper's headline
+//! metrics: fJ/bit, fJ/bit/mm and total link power.
+
+use crate::design::SrlrChain;
+use srlr_units::{DataRate, Energy, EnergyPerBit, EnergyPerBitLength, Length, Power};
+
+/// Energy model of one resolved chain at its nominal operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageEnergyModel {
+    /// Energy of repeating one pulse through the whole chain.
+    pub chain_pulse_energy: Energy,
+    /// Standby leakage of the whole chain.
+    pub chain_leakage: Power,
+    /// Wire length the chain spans.
+    pub total_length: Length,
+    /// Number of stages.
+    pub stages: usize,
+}
+
+impl StageEnergyModel {
+    /// Measures the chain's per-pulse energy at its nominal fixed point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain cannot propagate its own nominal pulse (a
+    /// mis-designed chain has no meaningful energy number).
+    pub fn from_chain(chain: &SrlrChain) -> Self {
+        let (out, energy) = chain.propagate_with_energy(chain.nominal_input_pulse());
+        assert!(
+            out.is_valid(),
+            "chain fails at its nominal operating point; energy undefined"
+        );
+        Self {
+            chain_pulse_energy: energy,
+            chain_leakage: chain.total_leakage(),
+            total_length: chain.total_length(),
+            stages: chain.len(),
+        }
+    }
+
+    /// Energy per transmitted bit at the given ones density
+    /// (0.5 for PRBS).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ones_density` is outside `(0, 1]`.
+    pub fn energy_per_bit(&self, ones_density: f64) -> EnergyPerBit {
+        assert!(
+            ones_density > 0.0 && ones_density <= 1.0,
+            "ones density must be in (0, 1]"
+        );
+        EnergyPerBit::from_joules_per_bit(self.chain_pulse_energy.joules() * ones_density)
+    }
+
+    /// The paper's normalised metric: energy per bit per unit length.
+    pub fn energy_per_bit_per_length(&self, ones_density: f64) -> EnergyPerBitLength {
+        self.energy_per_bit(ones_density) / self.total_length
+    }
+
+    /// Average *dynamic* link power at a data rate and ones density.
+    pub fn link_power(&self, rate: DataRate, ones_density: f64) -> Power {
+        self.energy_per_bit(ones_density) * rate
+    }
+
+    /// Total link power: dynamic plus the chain's standby leakage.
+    pub fn total_power(&self, rate: DataRate, ones_density: f64) -> Power {
+        self.link_power(rate, ones_density) + self.chain_leakage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::SrlrDesign;
+    use srlr_tech::{GlobalVariation, Technology};
+
+    fn model() -> StageEnergyModel {
+        let tech = Technology::soi45();
+        let chain =
+            SrlrDesign::paper_proposed(&tech).instantiate(&tech, &GlobalVariation::nominal(), 10);
+        StageEnergyModel::from_chain(&chain)
+    }
+
+    #[test]
+    fn headline_energy_is_near_the_paper() {
+        // Target: 40.4 fJ/bit/mm at PRBS (ones density 0.5).
+        let m = model();
+        let e = m.energy_per_bit_per_length(0.5);
+        let fj = e.femtojoules_per_bit_per_millimeter();
+        assert!(
+            fj > 25.0 && fj < 60.0,
+            "energy {fj} fJ/bit/mm is out of the calibration band"
+        );
+    }
+
+    #[test]
+    fn link_power_is_near_the_paper() {
+        // Target: 1.66 mW at 4.1 Gb/s over 10 mm.
+        let m = model();
+        let p = m.link_power(DataRate::from_gigabits_per_second(4.1), 0.5);
+        assert!(
+            p.milliwatts() > 1.0 && p.milliwatts() < 2.6,
+            "link power {p} out of calibration band"
+        );
+    }
+
+    #[test]
+    fn all_ones_doubles_prbs_energy() {
+        let m = model();
+        let prbs = m.energy_per_bit(0.5);
+        let ones = m.energy_per_bit(1.0);
+        assert!((ones.value() / prbs.value() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "ones density")]
+    fn zero_density_rejected() {
+        let _ = model().energy_per_bit(0.0);
+    }
+
+    #[test]
+    fn leakage_is_a_small_fraction_of_active_power() {
+        // Tens of nA/um off-currents over ~11 um of devices per stage:
+        // sub-uW per SRLR, single-digit uW per 10 mm link — well under a
+        // percent of the 1.66 mW active power.
+        let m = model();
+        let leak = m.chain_leakage;
+        assert!(leak.microwatts() > 0.1, "leakage {leak} too low");
+        assert!(leak.microwatts() < 30.0, "leakage {leak} too high");
+        let active = m.link_power(DataRate::from_gigabits_per_second(4.1), 0.5);
+        assert!(leak.watts() / active.watts() < 0.02);
+        let total = m.total_power(DataRate::from_gigabits_per_second(4.1), 0.5);
+        assert!(total > active);
+    }
+
+    #[test]
+    fn per_bit_times_length_consistent() {
+        let m = model();
+        let per_len = m.energy_per_bit_per_length(0.5);
+        let recovered = per_len * m.total_length;
+        assert!((recovered.value() - m.energy_per_bit(0.5).value()).abs() < 1e-24);
+    }
+}

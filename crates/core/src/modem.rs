@@ -1,0 +1,163 @@
+//! Pulse modulator (PM) and demodulator (DM) — the only per-link overhead
+//! the SRLR scheme adds (Sec. II).
+//!
+//! The PM converts a level-coded bit into a return-to-zero pulse launched
+//! into the first wire segment; the DM at the far end converts a received
+//! pulse back into a level. Because the signaling is asynchronous, the DM
+//! is just a pulse-width/swing qualifier followed by a latch — no clock or
+//! sense amplifier is needed.
+
+use crate::pulse::PulseState;
+use srlr_units::{TimeInterval, Voltage};
+
+/// The pulse modulator: launches one pulse per `1` bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PulseModulator {
+    /// Width of the launched pulse.
+    pub pulse_width: TimeInterval,
+    /// Swing delivered at the first repeater's input (after the first
+    /// segment's attenuation).
+    pub delivered_swing: Voltage,
+}
+
+impl PulseModulator {
+    /// A modulator matched to a chain's nominal operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if width or swing is not strictly positive.
+    pub fn new(pulse_width: TimeInterval, delivered_swing: Voltage) -> Self {
+        assert!(pulse_width.seconds() > 0.0, "pulse width must be positive");
+        assert!(
+            delivered_swing.volts() > 0.0,
+            "delivered swing must be positive"
+        );
+        Self {
+            pulse_width,
+            delivered_swing,
+        }
+    }
+
+    /// Encodes one bit: `1` launches a pulse, `0` launches nothing.
+    pub fn encode(&self, bit: bool) -> PulseState {
+        if bit {
+            PulseState::new(self.pulse_width, self.delivered_swing)
+        } else {
+            PulseState::dead()
+        }
+    }
+
+    /// Encodes a bit slice into launch pulses.
+    pub fn encode_bits<'a>(
+        &'a self,
+        bits: &'a [bool],
+    ) -> impl Iterator<Item = PulseState> + 'a {
+        bits.iter().map(|&b| self.encode(b))
+    }
+}
+
+/// The demodulator: qualifies a received pulse into a bit decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Demodulator {
+    /// Narrowest pulse the DM latch can capture.
+    pub min_width: TimeInterval,
+    /// Smallest swing the DM input stage detects.
+    pub min_swing: Voltage,
+}
+
+impl Demodulator {
+    /// A demodulator with the given qualification limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either limit is negative.
+    pub fn new(min_width: TimeInterval, min_swing: Voltage) -> Self {
+        assert!(min_width.seconds() >= 0.0, "min width must be non-negative");
+        assert!(min_swing.volts() >= 0.0, "min swing must be non-negative");
+        Self {
+            min_width,
+            min_swing,
+        }
+    }
+
+    /// Decides the received bit: `true` iff the pulse is alive and clears
+    /// both qualification limits.
+    pub fn decide(&self, pulse: PulseState) -> bool {
+        pulse.is_valid() && pulse.width >= self.min_width && pulse.swing >= self.min_swing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pm() -> PulseModulator {
+        PulseModulator::new(
+            TimeInterval::from_picoseconds(110.0),
+            Voltage::from_millivolts(300.0),
+        )
+    }
+
+    fn dm() -> Demodulator {
+        Demodulator::new(
+            TimeInterval::from_picoseconds(20.0),
+            Voltage::from_millivolts(250.0),
+        )
+    }
+
+    #[test]
+    fn one_becomes_pulse_zero_becomes_silence() {
+        let m = pm();
+        assert!(m.encode(true).is_valid());
+        assert!(!m.encode(false).is_valid());
+    }
+
+    #[test]
+    fn encode_bits_matches_pattern() {
+        let m = pm();
+        let bits = [true, false, true, true];
+        let pulses: Vec<bool> = m.encode_bits(&bits).map(|p| p.is_valid()).collect();
+        assert_eq!(pulses, vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn loopback_through_dm() {
+        let m = pm();
+        let d = dm();
+        assert!(d.decide(m.encode(true)));
+        assert!(!d.decide(m.encode(false)));
+    }
+
+    #[test]
+    fn dm_rejects_narrow_pulse() {
+        let d = dm();
+        let narrow = PulseState::new(
+            TimeInterval::from_picoseconds(5.0),
+            Voltage::from_millivolts(300.0),
+        );
+        assert!(!d.decide(narrow));
+    }
+
+    #[test]
+    fn dm_rejects_weak_pulse() {
+        let d = dm();
+        let weak = PulseState::new(
+            TimeInterval::from_picoseconds(110.0),
+            Voltage::from_millivolts(100.0),
+        );
+        assert!(!d.decide(weak));
+    }
+
+    #[test]
+    fn dm_accepts_exactly_at_limits() {
+        let d = dm();
+        let edge = PulseState::new(d.min_width, d.min_swing);
+        assert!(d.decide(edge));
+    }
+
+    #[test]
+    #[should_panic(expected = "pulse width must be positive")]
+    fn zero_width_modulator_rejected() {
+        let _ = PulseModulator::new(TimeInterval::zero(), Voltage::from_millivolts(300.0));
+    }
+}

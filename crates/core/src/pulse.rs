@@ -1,0 +1,153 @@
+//! Pulse-domain state: the `(width, swing)` pair that one SRLR stage hands
+//! to the next.
+//!
+//! Sec. III-A of the paper analyses the link as a recurrence on output
+//! pulse widths (`W_out,0 > W_out,1 > ...` at a slow corner, the reverse at
+//! a fast one). [`PulseState`] is the state of that recurrence, extended
+//! with the swing voltage (which closes the feedback loop through the
+//! wire's channel attenuation) and the accumulated latency.
+
+use srlr_units::{TimeInterval, Voltage};
+
+/// A low-swing pulse at a stage boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PulseState {
+    /// Pulse width at the sensing threshold.
+    pub width: TimeInterval,
+    /// Peak swing at the receiving stage's input.
+    pub swing: Voltage,
+    /// Accumulated latency since the pulse was launched.
+    pub arrival: TimeInterval,
+}
+
+impl PulseState {
+    /// Creates a live pulse with zero accumulated latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if width or swing is negative.
+    pub fn new(width: TimeInterval, swing: Voltage) -> Self {
+        assert!(width.seconds() >= 0.0, "pulse width must be non-negative");
+        assert!(swing.volts() >= 0.0, "pulse swing must be non-negative");
+        Self {
+            width,
+            swing,
+            arrival: TimeInterval::zero(),
+        }
+    }
+
+    /// The canonical "no pulse" value: zero width and swing. Returned by a
+    /// stage when the incoming pulse could not be detected.
+    pub fn dead() -> Self {
+        Self {
+            width: TimeInterval::zero(),
+            swing: Voltage::zero(),
+            arrival: TimeInterval::zero(),
+        }
+    }
+
+    /// `true` when the pulse still carries a detectable signal
+    /// (strictly positive width *and* swing).
+    pub fn is_valid(&self) -> bool {
+        self.width.seconds() > 0.0 && self.swing.volts() > 0.0
+    }
+
+    /// Returns a copy with `extra` added to the accumulated latency.
+    #[must_use]
+    pub fn delayed_by(self, extra: TimeInterval) -> Self {
+        Self {
+            arrival: self.arrival + extra,
+            ..self
+        }
+    }
+}
+
+impl core::fmt::Display for PulseState {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.is_valid() {
+            write!(
+                f,
+                "pulse(width={}, swing={}, arrival={})",
+                self.width, self.swing, self.arrival
+            )
+        } else {
+            f.write_str("pulse(dead)")
+        }
+    }
+}
+
+/// What happened to a pulse inside one stage, with the launched drive and
+/// consumed energy. Produced by [`SrlrStage::process`].
+///
+/// [`SrlrStage::process`]: crate::stage::SrlrStage::process
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageOutcome {
+    /// The pulse delivered to the *next* stage's input (dead on failure).
+    pub output: PulseState,
+    /// Drive level the output driver launched onto the wire segment.
+    pub launched_drive: Voltage,
+    /// Dynamic energy consumed by the stage + wire for this pulse.
+    pub energy: srlr_units::Energy,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_pulse_is_valid() {
+        let p = PulseState::new(
+            TimeInterval::from_picoseconds(90.0),
+            Voltage::from_millivolts(300.0),
+        );
+        assert!(p.is_valid());
+        assert_eq!(p.arrival, TimeInterval::zero());
+    }
+
+    #[test]
+    fn dead_pulse_is_invalid() {
+        assert!(!PulseState::dead().is_valid());
+    }
+
+    #[test]
+    fn zero_width_is_invalid() {
+        let p = PulseState::new(TimeInterval::zero(), Voltage::from_millivolts(300.0));
+        assert!(!p.is_valid());
+    }
+
+    #[test]
+    fn zero_swing_is_invalid() {
+        let p = PulseState::new(TimeInterval::from_picoseconds(90.0), Voltage::zero());
+        assert!(!p.is_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_width_rejected() {
+        let _ = PulseState::new(
+            TimeInterval::from_picoseconds(-1.0),
+            Voltage::from_millivolts(300.0),
+        );
+    }
+
+    #[test]
+    fn delay_accumulates() {
+        let p = PulseState::new(
+            TimeInterval::from_picoseconds(90.0),
+            Voltage::from_millivolts(300.0),
+        )
+        .delayed_by(TimeInterval::from_picoseconds(50.0))
+        .delayed_by(TimeInterval::from_picoseconds(25.0));
+        assert!((p.arrival.picoseconds() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_distinguishes_dead() {
+        let live = PulseState::new(
+            TimeInterval::from_picoseconds(90.0),
+            Voltage::from_millivolts(300.0),
+        );
+        assert!(live.to_string().contains("width="));
+        assert_eq!(PulseState::dead().to_string(), "pulse(dead)");
+    }
+}

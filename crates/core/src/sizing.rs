@@ -1,0 +1,199 @@
+//! Transistor-sizing methodology (Sec. II): the M1/M2 ratio must give
+//! enough input sensitivity at the design swing, while keeping node X's
+//! standby level safe and the energy minimal.
+//!
+//! This module provides a small design-space explorer: it sweeps candidate
+//! M1/M2 sizings, checks nominal and corner operation of a full chain, and
+//! ranks the survivors by energy — the same procedure a designer would run
+//! in SPICE, executed against the pulse-domain model.
+
+use crate::design::SrlrDesign;
+use crate::energy::StageEnergyModel;
+use srlr_tech::{ProcessCorner, Technology};
+use srlr_units::{EnergyPerBitLength, Voltage};
+
+/// One evaluated sizing point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizingCandidate {
+    /// Drawn M1 width (metres).
+    pub m1_width_m: f64,
+    /// Drawn M2 width (metres).
+    pub m2_width_m: f64,
+    /// Whether a 10-stage chain propagates at the typical corner.
+    pub works_nominal: bool,
+    /// Number of the five global corners at which the chain propagates.
+    pub corners_passed: usize,
+    /// Nominal sense margin: delivered swing minus the sense threshold.
+    pub sense_margin: Voltage,
+    /// Nominal PRBS energy metric (meaningless when `!works_nominal`).
+    pub energy: EnergyPerBitLength,
+}
+
+impl SizingCandidate {
+    /// A candidate is viable when it works nominally and at every corner.
+    pub fn is_viable(&self) -> bool {
+        self.works_nominal && self.corners_passed == ProcessCorner::ALL.len()
+    }
+}
+
+/// Sweeps M1/M2 sizings for a design.
+#[derive(Debug, Clone)]
+pub struct SizingExplorer<'a> {
+    tech: &'a Technology,
+    design: SrlrDesign,
+    stages: usize,
+}
+
+impl<'a> SizingExplorer<'a> {
+    /// Creates an explorer for the given base design; candidate sizings
+    /// replace the design's M1/M2 widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is zero.
+    pub fn new(tech: &'a Technology, design: SrlrDesign, stages: usize) -> Self {
+        assert!(stages > 0, "explorer needs at least one stage");
+        Self {
+            tech,
+            design,
+            stages,
+        }
+    }
+
+    /// Evaluates one sizing point.
+    pub fn evaluate(&self, m1_width_m: f64, m2_width_m: f64) -> SizingCandidate {
+        let design = SrlrDesign {
+            m1_width_m,
+            m2_width_m,
+            ..self.design.clone()
+        };
+        let nominal = design.instantiate(
+            self.tech,
+            &srlr_tech::GlobalVariation::nominal(),
+            self.stages,
+        );
+        let input = nominal.nominal_input_pulse();
+        let works_nominal = nominal.propagate(input).is_valid();
+        let sense_margin = input.swing - nominal.stages()[0].sense_threshold;
+
+        let corners_passed = ProcessCorner::ALL
+            .iter()
+            .filter(|c| {
+                let chain = design.instantiate(self.tech, &c.variation(self.tech), self.stages);
+                chain.propagate(chain.nominal_input_pulse()).is_valid()
+            })
+            .count();
+
+        let energy = if works_nominal {
+            StageEnergyModel::from_chain(&nominal).energy_per_bit_per_length(0.5)
+        } else {
+            EnergyPerBitLength::zero()
+        };
+
+        SizingCandidate {
+            m1_width_m,
+            m2_width_m,
+            works_nominal,
+            corners_passed,
+            sense_margin,
+            energy,
+        }
+    }
+
+    /// Evaluates the cartesian sweep of the given width lists.
+    pub fn sweep(&self, m1_widths_m: &[f64], m2_widths_m: &[f64]) -> Vec<SizingCandidate> {
+        let mut out = Vec::with_capacity(m1_widths_m.len() * m2_widths_m.len());
+        for &w1 in m1_widths_m {
+            for &w2 in m2_widths_m {
+                out.push(self.evaluate(w1, w2));
+            }
+        }
+        out
+    }
+
+    /// The lowest-energy viable candidate of a sweep, if any.
+    pub fn best(&self, m1_widths_m: &[f64], m2_widths_m: &[f64]) -> Option<SizingCandidate> {
+        self.sweep(m1_widths_m, m2_widths_m)
+            .into_iter()
+            .filter(SizingCandidate::is_viable)
+            .min_by(|a, b| {
+                a.energy
+                    .value()
+                    .partial_cmp(&b.energy.value())
+                    .expect("energy is finite")
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn explorer(tech: &Technology) -> SizingExplorer<'_> {
+        SizingExplorer::new(tech, SrlrDesign::paper_proposed(tech), 10)
+    }
+
+    #[test]
+    fn paper_sizing_is_viable() {
+        let tech = Technology::soi45();
+        let e = explorer(&tech);
+        let c = e.evaluate(0.6e-6, 0.12e-6);
+        assert!(c.works_nominal, "paper sizing fails nominally");
+        assert!(
+            c.is_viable(),
+            "paper sizing fails at {} corners",
+            ProcessCorner::ALL.len() - c.corners_passed
+        );
+        assert!(c.sense_margin.volts() > 0.0);
+    }
+
+    #[test]
+    fn undersized_m1_loses_sensitivity() {
+        let tech = Technology::soi45();
+        let e = explorer(&tech);
+        let tiny = e.evaluate(0.05e-6, 0.12e-6);
+        let paper = e.evaluate(0.6e-6, 0.12e-6);
+        // A much smaller M1 discharges X more slowly and erodes margin.
+        assert!(tiny.corners_passed <= paper.corners_passed);
+    }
+
+    #[test]
+    fn oversized_keeper_raises_threshold() {
+        let tech = Technology::soi45();
+        let e = explorer(&tech);
+        let strong_keeper = e.evaluate(0.6e-6, 1.2e-6);
+        let paper = e.evaluate(0.6e-6, 0.12e-6);
+        assert!(strong_keeper.sense_margin < paper.sense_margin);
+    }
+
+    #[test]
+    fn best_picks_a_viable_low_energy_point() {
+        let tech = Technology::soi45();
+        let e = explorer(&tech);
+        let m1 = [0.4e-6, 0.6e-6, 0.9e-6];
+        let m2 = [0.12e-6, 0.24e-6];
+        let best = e.best(&m1, &m2);
+        let best = best.expect("at least the paper point should be viable");
+        assert!(best.is_viable());
+        // Every other viable candidate costs at least as much.
+        for c in e.sweep(&m1, &m2) {
+            if c.is_viable() {
+                assert!(c.energy.value() >= best.energy.value() - 1e-24);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_size_is_cartesian() {
+        let tech = Technology::soi45();
+        let e = explorer(&tech);
+        assert_eq!(e.sweep(&[0.4e-6, 0.6e-6], &[0.12e-6]).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stages_rejected() {
+        let tech = Technology::soi45();
+        let _ = SizingExplorer::new(&tech, SrlrDesign::paper_proposed(&tech), 0);
+    }
+}

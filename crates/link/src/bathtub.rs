@@ -1,0 +1,164 @@
+//! BER-versus-rate "bathtub": the margin curve between the operating
+//! point and the failure cliff, measured with timing jitter enabled.
+//!
+//! The silicon's 4.1 Gb/s rating holds BER < 1e-9; pushing the rate eats
+//! the jitter margin until errors appear. Sweeping the rate with the
+//! jittered transmitter produces the right-hand wall of the classic
+//! bathtub curve and shows how much slope sits between "rated" and
+//! "broken".
+
+use crate::link::{LinkConfig, SrlrLink};
+use crate::prbs::Prbs;
+use srlr_core::SrlrDesign;
+use srlr_tech::{GlobalVariation, Technology};
+use srlr_units::{DataRate, TimeInterval};
+
+/// One rate point of the bathtub.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BathtubPoint {
+    /// Data rate.
+    pub rate: DataRate,
+    /// Bit errors observed across all seeds.
+    pub errors: usize,
+    /// Total bits transmitted across all seeds.
+    pub bits: usize,
+}
+
+impl BathtubPoint {
+    /// Observed bit-error rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no bits were transmitted.
+    pub fn ber(&self) -> f64 {
+        assert!(self.bits > 0, "empty bathtub point");
+        self.errors as f64 / self.bits as f64
+    }
+}
+
+/// Sweeps data rate with per-stage width jitter, accumulating errors over
+/// `seeds` independent noise streams of `bits_per_seed` PRBS bits each.
+///
+/// # Panics
+///
+/// Panics if any count is zero or the jitter is negative.
+pub fn rate_bathtub(
+    tech: &Technology,
+    design: &SrlrDesign,
+    rates: &[DataRate],
+    jitter_sigma: TimeInterval,
+    bits_per_seed: usize,
+    seeds: u64,
+) -> Vec<BathtubPoint> {
+    assert!(!rates.is_empty(), "need at least one rate");
+    assert!(bits_per_seed > 0 && seeds > 0, "need a bit budget");
+    assert!(jitter_sigma.seconds() >= 0.0, "jitter must be non-negative");
+    let nominal = GlobalVariation::nominal();
+    rates
+        .iter()
+        .map(|&rate| {
+            let config = LinkConfig::paper_default().with_data_rate(rate);
+            let link = SrlrLink::on_die(tech, design, config, &nominal);
+            let mut errors = 0usize;
+            let mut bits = 0usize;
+            for seed in 0..seeds {
+                let tx = Prbs::prbs7_with_seed((seed % 126 + 1) as u32).take_bits(bits_per_seed);
+                let out = link.transmit_with_jitter(&tx, jitter_sigma, seed);
+                errors += tx
+                    .iter()
+                    .zip(&out.received)
+                    .filter(|(a, b)| a != b)
+                    .count();
+                bits += tx.len();
+            }
+            BathtubPoint { rate, errors, bits }
+        })
+        .collect()
+}
+
+/// Renders the bathtub as an ASCII row per rate.
+pub fn render(points: &[BathtubPoint]) -> String {
+    let mut out = String::new();
+    for p in points {
+        let bar = if p.errors == 0 {
+            "clean".to_owned()
+        } else {
+            format!("BER {:.1e} {}", p.ber(), "#".repeat((p.ber().log10() + 7.0).max(1.0) as usize))
+        };
+        out.push_str(&format!(
+            "{:>6.1} Gb/s  {}\n",
+            p.rate.gigabits_per_second(),
+            bar
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> Vec<BathtubPoint> {
+        let tech = Technology::soi45();
+        let design = SrlrDesign::paper_proposed(&tech);
+        let rates: Vec<DataRate> = [3.5, 4.1, 5.0, 5.6, 6.2, 7.0]
+            .iter()
+            .map(|&g| DataRate::from_gigabits_per_second(g))
+            .collect();
+        rate_bathtub(
+            &tech,
+            &design,
+            &rates,
+            TimeInterval::from_picoseconds(3.0),
+            500,
+            6,
+        )
+    }
+
+    #[test]
+    fn rated_point_is_clean_under_jitter() {
+        let c = curve();
+        assert_eq!(c[0].errors, 0, "3.5 Gb/s must be clean");
+        assert_eq!(c[1].errors, 0, "4.1 Gb/s must be clean");
+    }
+
+    #[test]
+    fn the_wall_appears_before_the_jitter_free_cliff() {
+        // Jitter-free cliff is ~6 Gb/s; with 3 ps of jitter errors must
+        // appear at or below 6.2 Gb/s.
+        let c = curve();
+        let first_bad = c.iter().find(|p| p.errors > 0);
+        let first_bad = first_bad.expect("the sweep must reach the wall");
+        assert!(
+            first_bad.rate.gigabits_per_second() <= 6.3,
+            "wall at {first_bad:?}"
+        );
+    }
+
+    #[test]
+    fn error_rate_grows_up_the_wall() {
+        let c = curve();
+        let bers: Vec<f64> = c.iter().map(BathtubPoint::ber).collect();
+        // Beyond the first error the curve must not fall back to zero.
+        if let Some(first) = bers.iter().position(|&b| b > 0.0) {
+            for (i, &b) in bers.iter().enumerate().skip(first + 1) {
+                assert!(b > 0.0, "BER fell back to zero at index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn render_marks_clean_and_dirty_rows() {
+        let text = render(&curve());
+        assert!(text.contains("clean"));
+        assert!(text.contains("BER"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rate")]
+    fn empty_rates_rejected() {
+        let tech = Technology::soi45();
+        let design = SrlrDesign::paper_proposed(&tech);
+        let _ = rate_bathtub(&tech, &design, &[], TimeInterval::zero(), 10, 1);
+    }
+}

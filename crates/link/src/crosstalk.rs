@@ -1,0 +1,134 @@
+//! Crosstalk: how neighbouring-wire activity moves the link's energy and
+//! maximum data rate.
+//!
+//! The paper notes that repeaterless equalized interconnects are
+//! "vulnerable to wire capacitance/resistance variation and crosstalk
+//! coupling noise" because they ride one long wire; the SRLR's 1 mm
+//! regeneration confines each aggressor's influence to a single segment.
+//! This module quantifies the SRLR link under the standard aggressor
+//! scenarios (shielded / random / worst-case opposite-switching /
+//! best-case correlated neighbours).
+
+use crate::ber::max_data_rate;
+use crate::link::{LinkConfig, SrlrLink};
+use crate::metrics::LinkMetrics;
+use srlr_core::SrlrDesign;
+use srlr_tech::wire::NeighborActivity;
+use srlr_tech::{GlobalVariation, Technology};
+use srlr_units::{DataRate, EnergyPerBitLength};
+
+/// The link under one aggressor scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrosstalkPoint {
+    /// Neighbour scenario.
+    pub activity: NeighborActivity,
+    /// Stress-pattern cliff rate (`None` when the link cannot signal).
+    pub max_rate: Option<DataRate>,
+    /// PRBS energy metric at 4.1 Gb/s (meaningful when the link works
+    /// there).
+    pub energy: EnergyPerBitLength,
+}
+
+/// Evaluates the four aggressor scenarios on a nominal die.
+pub fn crosstalk_sweep(tech: &Technology, design: &SrlrDesign) -> Vec<CrosstalkPoint> {
+    let nominal = GlobalVariation::nominal();
+    [
+        NeighborActivity::BestCase,
+        NeighborActivity::Shielded,
+        NeighborActivity::Random,
+        NeighborActivity::WorstCase,
+    ]
+    .into_iter()
+    .map(|activity| {
+        let d = SrlrDesign {
+            wire: design.wire.with_neighbors(activity),
+            ..design.clone()
+        };
+        let max_rate = max_data_rate(
+            tech,
+            &d,
+            LinkConfig::paper_default(),
+            &nominal,
+            0.5,
+            12.0,
+            0.1,
+        );
+        let energy = {
+            let link = SrlrLink::on_die(tech, &d, LinkConfig::paper_default(), &nominal);
+            // Energy is defined whenever the nominal pulse propagates;
+            // fall back to zero when the scenario kills the link.
+            let chain = link.chain();
+            if chain.propagate(chain.nominal_input_pulse()).is_valid() {
+                LinkMetrics::measure(&link).energy
+            } else {
+                EnergyPerBitLength::zero()
+            }
+        };
+        CrosstalkPoint {
+            activity,
+            max_rate,
+            energy,
+        }
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep() -> Vec<CrosstalkPoint> {
+        let tech = Technology::soi45();
+        let design = SrlrDesign::paper_proposed(&tech);
+        crosstalk_sweep(&tech, &design)
+    }
+
+    fn find(points: &[CrosstalkPoint], a: NeighborActivity) -> CrosstalkPoint {
+        *points.iter().find(|p| p.activity == a).expect("present")
+    }
+
+    #[test]
+    fn every_scenario_still_signals() {
+        // The 1 mm regeneration keeps even worst-case aggressors
+        // survivable (unlike a 10 mm repeaterless run).
+        for p in sweep() {
+            assert!(p.max_rate.is_some(), "{:?} cannot signal", p.activity);
+        }
+    }
+
+    #[test]
+    fn worst_case_aggressors_cost_energy() {
+        let points = sweep();
+        let worst = find(&points, NeighborActivity::WorstCase);
+        let shielded = find(&points, NeighborActivity::Shielded);
+        assert!(
+            worst.energy > shielded.energy,
+            "worst {} vs shielded {}",
+            worst.energy,
+            shielded.energy
+        );
+    }
+
+    #[test]
+    fn shielding_buys_rate_headroom() {
+        let points = sweep();
+        let worst = find(&points, NeighborActivity::WorstCase)
+            .max_rate
+            .expect("signals");
+        let shielded = find(&points, NeighborActivity::Shielded)
+            .max_rate
+            .expect("signals");
+        assert!(
+            shielded >= worst,
+            "shielded {shielded:?} should beat worst-case {worst:?}"
+        );
+    }
+
+    #[test]
+    fn calibration_scenario_matches_headline_energy() {
+        let points = sweep();
+        let random = find(&points, NeighborActivity::Random);
+        let e = random.energy.femtojoules_per_bit_per_millimeter();
+        assert!((e - 39.8).abs() < 3.0, "random-neighbour energy {e}");
+    }
+}

@@ -1,0 +1,236 @@
+//! Pulse-domain "eye" statistics: the distribution of pulse width and
+//! swing seen at the demodulator over live traffic.
+//!
+//! A clocked receiver's eye diagram has voltage and time margins; the
+//! asynchronous SRLR's equivalents are the received pulse's *swing margin*
+//! (above the final stage's sense threshold) and *width margin* (above the
+//! demodulator's capture width), plus the *ISI margin* (sense threshold
+//! minus the worst residual baseline). This module measures all three
+//! over a PRBS stream — the quantities a silicon bring-up would read off
+//! the on-chip scope.
+
+use crate::link::SrlrLink;
+use crate::prbs::Prbs;
+use srlr_core::PulseState;
+use srlr_units::{TimeInterval, Voltage};
+
+/// Eye statistics of a link under PRBS traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EyeReport {
+    /// Number of `1` bits observed.
+    pub ones: usize,
+    /// Smallest received pulse width.
+    pub min_width: TimeInterval,
+    /// Mean received pulse width.
+    pub mean_width: TimeInterval,
+    /// Largest received pulse width.
+    pub max_width: TimeInterval,
+    /// Smallest swing at the *final stage's input* (the critical
+    /// detection point).
+    pub min_swing: Voltage,
+    /// Mean swing at the final stage's input.
+    pub mean_swing: Voltage,
+    /// Worst residual baseline on any segment (ISI).
+    pub worst_baseline: Voltage,
+    /// The final stage's sense threshold.
+    pub sense_threshold: Voltage,
+    /// The demodulator's minimum capture width.
+    pub demod_min_width: TimeInterval,
+}
+
+impl EyeReport {
+    /// Swing margin: worst received swing over the sense threshold.
+    pub fn swing_margin(&self) -> Voltage {
+        self.min_swing - self.sense_threshold
+    }
+
+    /// Width margin: worst received width over the capture limit.
+    pub fn width_margin(&self) -> TimeInterval {
+        self.min_width - self.demod_min_width
+    }
+
+    /// ISI margin: sense threshold over the worst idle-wire residue.
+    pub fn isi_margin(&self) -> Voltage {
+        self.sense_threshold - self.worst_baseline
+    }
+
+    /// `true` when every margin is positive — the eye is open.
+    pub fn is_open(&self) -> bool {
+        self.swing_margin().volts() > 0.0
+            && self.width_margin().seconds() > 0.0
+            && self.isi_margin().volts() > 0.0
+    }
+}
+
+impl core::fmt::Display for EyeReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "eye over {} ones: width {}..{} (margin {}), swing >= {} (margin {}), ISI margin {}",
+            self.ones,
+            self.min_width,
+            self.max_width,
+            self.width_margin(),
+            self.min_swing,
+            self.swing_margin(),
+            self.isi_margin(),
+        )
+    }
+}
+
+/// Measures the eye of `link` over `bits` PRBS bits.
+///
+/// The measurement replays the link's per-segment ISI tracking while
+/// recording the pulse state entering the final stage and leaving it —
+/// the same propagation [`SrlrLink::transmit`] performs, instrumented.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+pub fn measure_eye(link: &SrlrLink, bits: usize) -> EyeReport {
+    assert!(bits > 0, "need at least one bit");
+    let stages = link.chain().stages();
+    let n = stages.len();
+    let last = &stages[n - 1];
+    let t_bit = link.config().data_rate.bit_period();
+
+    let mut gen = Prbs::prbs15();
+    let tx = gen.take_bits(bits);
+
+    // Reuse the link's own transmit for the baseline diagnostics…
+    let outcome = link.transmit(&tx);
+
+    // …and re-propagate per bit to collect the final-stage pulse stats
+    // (ISI-free per-pulse statistics: the width/swing the chain's settled
+    // operation delivers; the baseline worst case comes from transmit).
+    let mut ones = 0usize;
+    let mut min_w = f64::MAX;
+    let mut max_w = f64::MIN;
+    let mut sum_w = 0.0;
+    let mut min_s = f64::MAX;
+    let mut sum_s = 0.0;
+    for &bit in &tx {
+        if !bit {
+            continue;
+        }
+        let mut p: PulseState = link.chain().nominal_input_pulse();
+        for stage in &stages[..n - 1] {
+            p = stage.process(p).output;
+            if !p.is_valid() {
+                break;
+            }
+        }
+        if !p.is_valid() {
+            continue;
+        }
+        ones += 1;
+        // `p` is the pulse entering the final stage.
+        min_s = min_s.min(p.swing.volts());
+        sum_s += p.swing.volts();
+        let out = last.process(p).output;
+        if out.is_valid() {
+            let w = out.width.seconds();
+            min_w = min_w.min(w);
+            max_w = max_w.max(w);
+            sum_w += w;
+        }
+    }
+    assert!(ones > 0, "PRBS stream contained no surviving ones");
+
+    EyeReport {
+        ones,
+        min_width: TimeInterval::from_seconds(min_w),
+        mean_width: TimeInterval::from_seconds(sum_w / ones as f64),
+        max_width: TimeInterval::from_seconds(max_w.max(min_w)),
+        min_swing: Voltage::from_volts(min_s),
+        mean_swing: Voltage::from_volts(sum_s / ones as f64),
+        worst_baseline: outcome.max_baseline,
+        sense_threshold: last.sense_threshold,
+        demod_min_width: link.config().demod_min_width,
+    }
+    .clamp_to_bit_period(t_bit)
+}
+
+impl EyeReport {
+    /// Widths cannot exceed the bit period in steady state; clamp the
+    /// report for presentation (the map itself can transiently exceed it
+    /// on the first pulse).
+    fn clamp_to_bit_period(mut self, t_bit: TimeInterval) -> Self {
+        self.max_width = self.max_width.min(t_bit);
+        self.mean_width = self.mean_width.min(t_bit);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srlr_core::SrlrDesign;
+    use srlr_tech::{GlobalVariation, ProcessCorner, Technology};
+    use srlr_units::DataRate;
+
+    fn nominal_eye() -> EyeReport {
+        let link = SrlrLink::paper_test_chip(&Technology::soi45());
+        measure_eye(&link, 2_000)
+    }
+
+    #[test]
+    fn nominal_eye_is_open() {
+        let eye = nominal_eye();
+        assert!(eye.is_open(), "{eye}");
+        assert!(eye.swing_margin().millivolts() > 10.0);
+        assert!(eye.width_margin().picoseconds() > 20.0);
+        assert!(eye.isi_margin().millivolts() > 50.0);
+    }
+
+    #[test]
+    fn eye_statistics_are_ordered() {
+        // The nominal chain delivers identical pulses, so the statistics
+        // may coincide to within float rounding.
+        let eps = TimeInterval::from_femtoseconds(1.0);
+        let eye = nominal_eye();
+        assert!(eye.min_width <= eye.mean_width + eps);
+        assert!(eye.mean_width <= eye.max_width + eps);
+        assert!(eye.min_swing <= eye.mean_swing + Voltage::from_microvolts(1.0));
+        assert!(eye.ones > 500);
+    }
+
+    #[test]
+    fn eye_closes_at_a_hostile_corner() {
+        let tech = Technology::soi45();
+        let design = SrlrDesign::paper_proposed(&tech).with_adaptive_swing(false);
+        let var = ProcessCorner::SlowSlow.variation(&tech);
+        let link = srlr_link_build(&tech, &design, &var);
+        // All pulses die — measure_eye cannot even find survivors.
+        let result = std::panic::catch_unwind(|| measure_eye(&link, 500));
+        assert!(result.is_err(), "SS fixed-bias eye should be dead");
+    }
+
+    fn srlr_link_build(
+        tech: &Technology,
+        design: &SrlrDesign,
+        var: &srlr_tech::GlobalVariation,
+    ) -> SrlrLink {
+        SrlrLink::on_die(tech, design, crate::link::LinkConfig::paper_default(), var)
+    }
+
+    #[test]
+    fn higher_rate_narrows_isi_margin() {
+        let tech = Technology::soi45();
+        let design = SrlrDesign::paper_proposed(&tech);
+        let at = |gbps: f64| {
+            let config = crate::link::LinkConfig::paper_default()
+                .with_data_rate(DataRate::from_gigabits_per_second(gbps));
+            let link = SrlrLink::on_die(&tech, &design, config, &GlobalVariation::nominal());
+            measure_eye(&link, 1_000).isi_margin()
+        };
+        assert!(at(5.0) < at(2.0), "ISI margin must shrink with rate");
+    }
+
+    #[test]
+    fn display_mentions_margins() {
+        let text = nominal_eye().to_string();
+        assert!(text.contains("margin"));
+        assert!(text.contains("eye over"));
+    }
+}

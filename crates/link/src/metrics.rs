@@ -1,0 +1,120 @@
+//! The paper's headline metrics for a link: data rate, bandwidth density,
+//! per-bit-per-length energy and total power.
+
+use crate::link::SrlrLink;
+use srlr_core::StageEnergyModel;
+use srlr_units::{
+    BandwidthDensity, DataRate, EnergyPerBitLength, Length, Power,
+};
+
+/// Measured metrics of one link design point (one row of Table I, one
+/// point of Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkMetrics {
+    /// Signaling data rate.
+    pub data_rate: DataRate,
+    /// Wire pitch (width + space).
+    pub pitch: Length,
+    /// Link length.
+    pub length: Length,
+    /// Bandwidth density: data rate per unit pitch.
+    pub bandwidth_density: BandwidthDensity,
+    /// Link-traversal energy, normalised per bit and unit length (PRBS
+    /// ones density ½).
+    pub energy: EnergyPerBitLength,
+    /// Average link power at the data rate.
+    pub power: Power,
+}
+
+impl LinkMetrics {
+    /// Measures a link at its configured rate with PRBS traffic, assuming
+    /// the workspace default wire pitch. Use [`Self::measure_with_pitch`]
+    /// when the design swept the wire geometry.
+    pub fn measure(link: &SrlrLink) -> Self {
+        Self::measure_with_pitch(link, srlr_tech::WireGeometry::paper_default().pitch())
+    }
+
+    /// Measures a link, supplying the wire pitch explicitly (needed when
+    /// the design used a non-default geometry, e.g. the Fig. 8 spacing
+    /// sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pitch is not strictly positive or the link fails at
+    /// its nominal operating point.
+    pub fn measure_with_pitch(link: &SrlrLink, pitch: Length) -> Self {
+        assert!(pitch.meters() > 0.0, "pitch must be positive");
+        let model = StageEnergyModel::from_chain(link.chain());
+        let rate = link.config().data_rate;
+        let energy = model.energy_per_bit_per_length(0.5);
+        Self {
+            data_rate: rate,
+            pitch,
+            length: link.chain().total_length(),
+            bandwidth_density: rate / pitch,
+            energy,
+            power: model.link_power(rate, 0.5),
+        }
+    }
+}
+
+impl core::fmt::Display for LinkMetrics {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{:.2} Gb/s, {:.2} Gb/s/um, {:.1} fJ/bit/mm, {:.2} mW over {:.0} mm",
+            self.data_rate.gigabits_per_second(),
+            self.bandwidth_density.gigabits_per_second_per_micrometer(),
+            self.energy.femtojoules_per_bit_per_millimeter(),
+            self.power.milliwatts(),
+            self.length.millimeters(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::SrlrLink;
+    use srlr_tech::Technology;
+
+    fn metrics() -> LinkMetrics {
+        SrlrLink::paper_test_chip(&Technology::soi45()).metrics()
+    }
+
+    #[test]
+    fn headline_numbers_land_in_the_paper_band() {
+        let m = metrics();
+        // Paper: 4.1 Gb/s, 6.83 Gb/s/um, 40.4 fJ/bit/mm, 1.66 mW.
+        assert!((m.data_rate.gigabits_per_second() - 4.1).abs() < 1e-9);
+        let bw = m.bandwidth_density.gigabits_per_second_per_micrometer();
+        assert!((bw - 6.83).abs() < 0.01, "bandwidth density {bw}");
+        let e = m.energy.femtojoules_per_bit_per_millimeter();
+        assert!(e > 25.0 && e < 60.0, "energy {e} fJ/bit/mm");
+        let p = m.power.milliwatts();
+        assert!(p > 1.0 && p < 2.6, "power {p} mW");
+    }
+
+    #[test]
+    fn power_is_consistent_with_energy_and_rate() {
+        // fJ/bit/mm * mm * Gb/s = 1e-15 J * 1e9 /s = 1e-6 W, i.e. 1e-3 mW.
+        let m = metrics();
+        let expect_mw = m.energy.femtojoules_per_bit_per_millimeter()
+            * m.length.millimeters()
+            * m.data_rate.gigabits_per_second()
+            * 1e-3;
+        assert!(
+            (m.power.milliwatts() - expect_mw).abs() < 0.01,
+            "power {} mW vs derived {expect_mw} mW",
+            m.power.milliwatts(),
+        );
+    }
+
+    #[test]
+    fn display_mentions_all_metrics() {
+        let s = metrics().to_string();
+        assert!(s.contains("Gb/s"));
+        assert!(s.contains("fJ/bit/mm"));
+        assert!(s.contains("mW"));
+    }
+}

@@ -1,0 +1,191 @@
+//! The Fig. 6 experiment: Monte Carlo error probability of a 10 mm link
+//! versus the design's swing voltage.
+//!
+//! Each trial samples one die (global variation) plus per-stage local
+//! mismatch, builds the link, and transmits the stress patterns (worst
+//! cases for drift and ISI, plus PRBS). A die that corrupts any bit
+//! counts as a failure; the error probability is the failing fraction of
+//! dice, exactly as the paper's 1000-run Monte Carlo reports it.
+
+use crate::link::{LinkConfig, SrlrLink};
+use crate::prbs::Prbs;
+use srlr_core::SrlrDesign;
+use srlr_tech::montecarlo::ErrorProbability;
+use srlr_tech::{MonteCarlo, Technology};
+use srlr_units::Voltage;
+
+/// The Monte Carlo link-failure experiment.
+#[derive(Debug, Clone)]
+pub struct McExperiment<'a> {
+    tech: &'a Technology,
+    config: LinkConfig,
+    /// Number of dice per evaluation (the paper uses 1000).
+    pub runs: usize,
+    /// RNG seed (same seed = same dice across designs, a paired
+    /// comparison).
+    pub seed: u64,
+    /// PRBS bits per die in addition to the deterministic worst cases.
+    pub prbs_bits: usize,
+}
+
+impl<'a> McExperiment<'a> {
+    /// A paper-sized experiment: 1000 dice.
+    pub fn paper_default(tech: &'a Technology) -> Self {
+        Self {
+            tech,
+            config: LinkConfig::paper_default(),
+            runs: 1000,
+            seed: 2013,
+            prbs_bits: 256,
+        }
+    }
+
+    /// Overrides the number of dice (smaller for quick tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is zero.
+    #[must_use]
+    pub fn with_runs(mut self, runs: usize) -> Self {
+        assert!(runs > 0, "need at least one run");
+        self.runs = runs;
+        self
+    }
+
+    /// Whether one specific die (with mismatch already drawn into `link`)
+    /// transmits all stress patterns without error.
+    fn die_passes(&self, link: &SrlrLink, prbs: &mut Prbs) -> bool {
+        let worst: [&[bool]; 3] = [
+            &[true, false, true, false, true, false, true, false],
+            // The Sec. III-B worst case.
+            &[true, true, true, true, false, true, true, true, true, false],
+            &[true; 16],
+        ];
+        for p in worst {
+            if link.transmit(p).received != p {
+                return false;
+            }
+        }
+        let bits = prbs.take_bits(self.prbs_bits);
+        link.transmit(&bits).received == bits
+    }
+
+    /// Runs the experiment for one design, returning the error
+    /// probability over the sampled dice.
+    pub fn error_probability(&self, design: &SrlrDesign) -> ErrorProbability {
+        let mut mc = MonteCarlo::new(self.tech, self.seed);
+        let mut prbs = Prbs::prbs15();
+        let mut failures = 0usize;
+        for _ in 0..self.runs {
+            let var = mc.sample_die();
+            let link =
+                SrlrLink::on_die_with_mismatch(self.tech, design, self.config, &var, &mut mc);
+            if !self.die_passes(&link, &mut prbs) {
+                failures += 1;
+            }
+        }
+        ErrorProbability {
+            failures,
+            trials: self.runs,
+        }
+    }
+
+    /// The Fig. 6 sweep: error probability of a design across swing
+    /// voltages.
+    pub fn swing_sweep(
+        &self,
+        design: &SrlrDesign,
+        swings: &[Voltage],
+    ) -> Vec<(Voltage, ErrorProbability)> {
+        swings
+            .iter()
+            .map(|&s| {
+                let d = design.with_nominal_swing(s);
+                (s, self.error_probability(&d))
+            })
+            .collect()
+    }
+
+    /// The paper's headline robustness claim: the immunity ratio between
+    /// the straightforward and the proposed design at the fabrication
+    /// swing (the paper reports ≈3.7x).
+    ///
+    /// Returns `(proposed, straightforward, ratio)`; the ratio is
+    /// `straightforward / proposed` failure probabilities, `inf` when the
+    /// proposed design never failed.
+    pub fn immunity_ratio(&self) -> (ErrorProbability, ErrorProbability, f64) {
+        let proposed = self.error_probability(&SrlrDesign::paper_proposed(self.tech));
+        let straightforward = self.error_probability(&SrlrDesign::straightforward(self.tech));
+        let ratio = if proposed.failures == 0 {
+            f64::INFINITY
+        } else {
+            straightforward.estimate() / proposed.estimate()
+        };
+        (proposed, straightforward, ratio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proposed_design_fails_rarely() {
+        let tech = Technology::soi45();
+        let exp = McExperiment::paper_default(&tech).with_runs(200);
+        let p = exp.error_probability(&SrlrDesign::paper_proposed(&tech));
+        assert!(
+            p.estimate() < 0.15,
+            "proposed design failure probability too high: {p}"
+        );
+    }
+
+    #[test]
+    fn straightforward_fails_more_often_than_proposed() {
+        let tech = Technology::soi45();
+        let exp = McExperiment::paper_default(&tech).with_runs(200);
+        let (proposed, straightforward, ratio) = exp.immunity_ratio();
+        assert!(
+            straightforward.failures > proposed.failures,
+            "proposed {proposed} vs straightforward {straightforward}"
+        );
+        assert!(ratio > 1.5, "immunity ratio {ratio} too small");
+    }
+
+    #[test]
+    fn lower_swing_is_less_robust() {
+        let tech = Technology::soi45();
+        let exp = McExperiment::paper_default(&tech).with_runs(150);
+        let design = SrlrDesign::paper_proposed(&tech);
+        let sweep = exp.swing_sweep(
+            &design,
+            &[
+                Voltage::from_millivolts(300.0),
+                Voltage::from_millivolts(450.0),
+            ],
+        );
+        assert!(
+            sweep[0].1.failures >= sweep[1].1.failures,
+            "300 mV should fail at least as often as 450 mV: {:?}",
+            sweep
+        );
+    }
+
+    #[test]
+    fn experiment_is_deterministic() {
+        let tech = Technology::soi45();
+        let exp = McExperiment::paper_default(&tech).with_runs(60);
+        let design = SrlrDesign::paper_proposed(&tech);
+        assert_eq!(
+            exp.error_probability(&design),
+            exp.error_probability(&design)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_rejected() {
+        let tech = Technology::soi45();
+        let _ = McExperiment::paper_default(&tech).with_runs(0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Free 1-to-N multicast over an SRLR link (Sec. II).
+//!
+//! Every intermediate SRLR regenerates a full-swing pulse at its output,
+//! so any stage along the path can sample the passing data at no extra
+//! transmission energy — unlike equalized point-to-point links, where
+//! reaching N destinations costs N separate traversals.
+
+use crate::link::{SrlrLink, TransmitOutcome};
+use srlr_core::PulseState;
+use srlr_units::Energy;
+
+/// An SRLR link with multicast taps at chosen stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MulticastLink {
+    link: SrlrLink,
+    taps: Vec<usize>,
+}
+
+impl MulticastLink {
+    /// Wraps a link with taps at the given (0-based, strictly increasing)
+    /// stage indices. A tap at stage `i` samples that stage's full-swing
+    /// output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty, not strictly increasing, or indexes past
+    /// the last stage.
+    pub fn new(link: SrlrLink, taps: Vec<usize>) -> Self {
+        assert!(!taps.is_empty(), "multicast needs at least one tap");
+        for w in taps.windows(2) {
+            assert!(w[1] > w[0], "taps must be strictly increasing");
+        }
+        let n = link.chain().len();
+        assert!(
+            *taps.last().expect("non-empty") < n,
+            "tap index out of range"
+        );
+        Self { link, taps }
+    }
+
+    /// The underlying link.
+    pub fn link(&self) -> &SrlrLink {
+        &self.link
+    }
+
+    /// Tap positions.
+    pub fn taps(&self) -> &[usize] {
+        &self.taps
+    }
+
+    /// Whether a single nominal pulse reaches every tap (each tap sees the
+    /// pulse that its stage regenerated).
+    pub fn all_taps_reached(&self) -> bool {
+        let trace = self
+            .link
+            .chain()
+            .propagate_trace(self.link.chain().nominal_input_pulse());
+        self.taps.iter().all(|&t| trace[t + 1].is_valid())
+    }
+
+    /// Transmits `bits` once down the shared path; every tap receives the
+    /// same stream (validity checked via [`Self::all_taps_reached`]).
+    pub fn transmit(&self, bits: &[bool]) -> TransmitOutcome {
+        self.link.transmit(bits)
+    }
+
+    /// Energy of delivering one pulse to *all* taps using the inherent
+    /// multicast: one traversal to the furthest tap.
+    pub fn multicast_pulse_energy(&self) -> Energy {
+        let furthest = *self.taps.last().expect("non-empty");
+        self.prefix_pulse_energy(furthest)
+    }
+
+    /// Energy of delivering one pulse to all taps with separate unicasts
+    /// (what a point-to-point link technology would pay).
+    pub fn unicast_clone_pulse_energy(&self) -> Energy {
+        self.taps
+            .iter()
+            .map(|&t| self.prefix_pulse_energy(t))
+            .sum()
+    }
+
+    /// The multicast saving factor: unicast-clone energy over multicast
+    /// energy (≥ 1, grows with tap count).
+    pub fn multicast_saving(&self) -> f64 {
+        self.unicast_clone_pulse_energy() / self.multicast_pulse_energy()
+    }
+
+    /// Energy of one nominal pulse traversing stages `0..=last`.
+    fn prefix_pulse_energy(&self, last: usize) -> Energy {
+        let chain = self.link.chain();
+        let mut p: PulseState = chain.nominal_input_pulse();
+        let mut energy = Energy::zero();
+        for stage in &chain.stages()[..=last] {
+            if !p.is_valid() {
+                break;
+            }
+            let out = stage.process(p);
+            energy += out.energy;
+            p = out.output;
+        }
+        energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srlr_tech::Technology;
+
+    fn mlink(taps: Vec<usize>) -> MulticastLink {
+        MulticastLink::new(SrlrLink::paper_test_chip(&Technology::soi45()), taps)
+    }
+
+    #[test]
+    fn all_intermediate_taps_see_the_pulse() {
+        // Fig. 2's example: data to the 10th SRLR is sampled at the 5th,
+        // 6th, 7th, ... along the way.
+        let m = mlink(vec![4, 5, 6, 9]);
+        assert!(m.all_taps_reached());
+    }
+
+    #[test]
+    fn multicast_energy_equals_single_traversal() {
+        let unicast_to_end = mlink(vec![9]).multicast_pulse_energy();
+        let multicast = mlink(vec![2, 5, 9]).multicast_pulse_energy();
+        assert_eq!(multicast, unicast_to_end, "multicast must be free");
+    }
+
+    #[test]
+    fn saving_grows_with_tap_count() {
+        let two = mlink(vec![4, 9]).multicast_saving();
+        let four = mlink(vec![2, 4, 6, 9]).multicast_saving();
+        assert!(two > 1.0);
+        assert!(four > two);
+    }
+
+    #[test]
+    fn transmit_delivers_shared_stream() {
+        let m = mlink(vec![3, 7]);
+        let bits = [true, false, true, true, false];
+        assert_eq!(m.transmit(&bits).received, bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_taps_rejected() {
+        let _ = mlink(vec![5, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_tap_rejected() {
+        let _ = mlink(vec![10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn empty_taps_rejected() {
+        let _ = mlink(vec![]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Supply-voltage scaling of the SRLR link.
+//!
+//! The paper reports one operating point (0.8 V); a natural question for
+//! an adopter is how the link behaves under VDD scaling — dynamic energy
+//! falls with the rail, but the repeater loses headroom (the adaptive
+//! swing generator clamps below `VDD − 200 mV`) and the delay cells slow
+//! down, dragging the maximum data rate with them. This module sweeps the
+//! rail and reports the resulting energy/performance frontier.
+
+use crate::ber::max_data_rate;
+use crate::link::{LinkConfig, SrlrLink};
+use crate::metrics::LinkMetrics;
+use srlr_core::SrlrDesign;
+use srlr_tech::{GlobalVariation, Technology};
+use srlr_units::{DataRate, EnergyPerBitLength, Power, Voltage};
+
+/// One point of the supply sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupplyPoint {
+    /// The rail.
+    pub vdd: Voltage,
+    /// Maximum error-free data rate at this rail (stress-pattern cliff).
+    pub max_rate: DataRate,
+    /// PRBS energy metric at the rated (0.7 x cliff) operating point.
+    pub energy: EnergyPerBitLength,
+    /// Link power at the rated point.
+    pub power: Power,
+}
+
+/// Rating margin applied to the cliff rate (matches the Fig. 8 harness).
+pub const RATE_MARGIN: f64 = 0.7;
+
+/// Sweeps the supply rail, returning a point per working voltage (rails
+/// where even 0.5 Gb/s fails are dropped).
+///
+/// # Panics
+///
+/// Panics if `vdds` is empty.
+pub fn supply_sweep(base_tech: &Technology, design: &SrlrDesign, vdds: &[Voltage]) -> Vec<SupplyPoint> {
+    assert!(!vdds.is_empty(), "sweep needs at least one rail");
+    let nominal = GlobalVariation::nominal();
+    vdds.iter()
+        .filter_map(|&vdd| {
+            let tech = Technology {
+                vdd,
+                ..base_tech.clone()
+            };
+            let cliff = max_data_rate(
+                &tech,
+                design,
+                LinkConfig::paper_default(),
+                &nominal,
+                0.5,
+                12.0,
+                0.1,
+            )?;
+            let rate = cliff * RATE_MARGIN;
+            let config = LinkConfig::paper_default().with_data_rate(rate);
+            let link = SrlrLink::on_die(&tech, design, config, &nominal);
+            let metrics = LinkMetrics::measure(&link);
+            Some(SupplyPoint {
+                vdd,
+                max_rate: cliff,
+                energy: metrics.energy,
+                power: metrics.power,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep() -> Vec<SupplyPoint> {
+        let tech = Technology::soi45();
+        let design = SrlrDesign::paper_proposed(&tech);
+        let vdds: Vec<Voltage> = [0.7, 0.8, 0.9, 1.0]
+            .iter()
+            .map(|&v| Voltage::from_volts(v))
+            .collect();
+        supply_sweep(&tech, &design, &vdds)
+    }
+
+    #[test]
+    fn paper_rail_is_a_working_point() {
+        let points = sweep();
+        assert!(
+            points.iter().any(|p| (p.vdd.volts() - 0.8).abs() < 1e-9),
+            "0.8 V must work"
+        );
+    }
+
+    #[test]
+    fn higher_rail_buys_rate_but_costs_energy() {
+        let points = sweep();
+        let at = |v: f64| {
+            points
+                .iter()
+                .find(|p| (p.vdd.volts() - v).abs() < 1e-9)
+                .copied()
+        };
+        let (Some(lo), Some(hi)) = (at(0.8), at(1.0)) else {
+            panic!("sweep missing rails: {points:?}");
+        };
+        assert!(hi.max_rate >= lo.max_rate, "more headroom, same or more rate");
+        assert!(hi.energy > lo.energy, "higher rail must cost energy");
+    }
+
+    #[test]
+    fn deep_scaling_eventually_fails() {
+        // Far below the swing target the regulator clamps and the link
+        // cannot signal at all: those rails drop out of the sweep.
+        let tech = Technology::soi45();
+        let design = SrlrDesign::paper_proposed(&tech);
+        let points = supply_sweep(
+            &tech,
+            &design,
+            &[Voltage::from_volts(0.35), Voltage::from_volts(0.8)],
+        );
+        assert_eq!(points.len(), 1, "0.35 V must fail: {points:?}");
+        assert!((points[0].vdd.volts() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rail")]
+    fn empty_sweep_rejected() {
+        let tech = Technology::soi45();
+        let design = SrlrDesign::paper_proposed(&tech);
+        let _ = supply_sweep(&tech, &design, &[]);
+    }
+}

@@ -1,0 +1,245 @@
+//! Express channels: the alternative the paper's introduction argues
+//! against.
+//!
+//! Long equalized links can be used as *express channels* between
+//! far-away routers (\[28\] CNoC, \[29\] express cubes). That shortens
+//! hop counts but (a) raises router radix — more ports, more crossbar
+//! area — and (b) moves traffic onto long point-to-point wires whose
+//! drivers are huge (the \[26\] 10 mm driver is 1760 um² per bit). This
+//! module quantifies that trade against the SRLR mesh analytically: hop
+//! counts under uniform traffic, datapath energy per average transfer,
+//! and router area overhead.
+
+use crate::topology::{Coord, Mesh};
+use srlr_link::baselines::EqualizedLink;
+use srlr_link::SrlrLink;
+use srlr_tech::Technology;
+use srlr_units::{EnergyPerBit, Length};
+
+/// A mesh augmented with express channels along rows and columns every
+/// `interval` nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpressTopology {
+    mesh: Mesh,
+    interval: u16,
+}
+
+impl ExpressTopology {
+    /// Creates an express mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval < 2` (interval 1 is the plain mesh) or the
+    /// interval exceeds the mesh dimensions.
+    pub fn new(mesh: Mesh, interval: u16) -> Self {
+        assert!(interval >= 2, "express interval must be at least 2");
+        assert!(
+            interval < mesh.cols().max(mesh.rows()),
+            "express interval exceeds the mesh"
+        );
+        Self { mesh, interval }
+    }
+
+    /// The underlying mesh.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// Express interval in hops.
+    pub fn interval(&self) -> u16 {
+        self.interval
+    }
+
+    /// Hops from `src` to `dst` using express channels greedily along
+    /// each dimension: express hops cover `interval` nodes each, local
+    /// hops the remainder. Returns `(express_hops, local_hops)`.
+    pub fn route_hops(&self, src: Coord, dst: Coord) -> (u32, u32) {
+        let k = u32::from(self.interval);
+        let dx = (i32::from(src.x) - i32::from(dst.x)).unsigned_abs();
+        let dy = (i32::from(src.y) - i32::from(dst.y)).unsigned_abs();
+        // Express stations sit on multiples of `interval`; a greedy ride
+        // still pays local hops to reach/leave stations. First-order:
+        // each dimension uses floor(d/k) express hops + (d mod k) locals.
+        let (ex, lx) = (dx / k, dx % k);
+        let (ey, ly) = (dy / k, dy % k);
+        (ex + ey, lx + ly)
+    }
+
+    /// Average `(express, local)` hops over uniform all-pairs traffic.
+    pub fn average_hops(&self) -> (f64, f64) {
+        let mut express = 0u64;
+        let mut local = 0u64;
+        let mut pairs = 0u64;
+        for src in self.mesh.iter() {
+            for dst in self.mesh.iter() {
+                if src == dst {
+                    continue;
+                }
+                let (e, l) = self.route_hops(src, dst);
+                express += u64::from(e);
+                local += u64::from(l);
+                pairs += 1;
+            }
+        }
+        (express as f64 / pairs as f64, local as f64 / pairs as f64)
+    }
+
+    /// Average plain-mesh hop count over uniform all-pairs traffic.
+    pub fn baseline_average_hops(&self) -> f64 {
+        let mut total = 0u64;
+        let mut pairs = 0u64;
+        for src in self.mesh.iter() {
+            for dst in self.mesh.iter() {
+                if src != dst {
+                    total += u64::from(src.hop_distance(dst));
+                    pairs += 1;
+                }
+            }
+        }
+        total as f64 / pairs as f64
+    }
+
+    /// Extra ports each express-station router needs (one per direction
+    /// per dimension), relative to the 5-port baseline.
+    pub fn extra_ports_at_stations(&self) -> usize {
+        4
+    }
+}
+
+/// Energy/area comparison: SRLR mesh vs express mesh with equalized
+/// express channels, under uniform traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpressComparison {
+    /// Average per-bit energy of a transfer on the plain SRLR mesh.
+    pub srlr_energy_per_bit: EnergyPerBit,
+    /// Average per-bit energy on the express mesh (equalized express
+    /// hops + SRLR local hops).
+    pub express_energy_per_bit: EnergyPerBit,
+    /// Average hops on the plain mesh.
+    pub srlr_avg_hops: f64,
+    /// Average `(express, local)` hops on the express mesh.
+    pub express_avg_hops: (f64, f64),
+    /// Per-bit driver area of one equalized express channel (um²).
+    pub express_driver_area_um2: f64,
+    /// Area of the SRLRs replaced per bit-lane hop (um²).
+    pub srlr_cell_area_um2: f64,
+}
+
+impl ExpressComparison {
+    /// Evaluates the trade on the given express topology, with SRLR local
+    /// hops of 1 mm and equalized express channels of `interval` mm.
+    pub fn evaluate(tech: &Technology, topology: ExpressTopology) -> Self {
+        let srlr = SrlrLink::paper_test_chip(tech).metrics().energy;
+        let hop = Length::from_millimeters(1.0);
+        let srlr_per_hop = srlr * hop;
+
+        let equalized = EqualizedLink::jssc10_reference();
+        let express_len = Length::from_millimeters(f64::from(topology.interval()));
+        let express_per_hop = equalized.energy_per_bit_length() * express_len;
+
+        let baseline_hops = topology.baseline_average_hops();
+        let (e_hops, l_hops) = topology.average_hops();
+
+        Self {
+            srlr_energy_per_bit: EnergyPerBit::from_joules_per_bit(
+                srlr_per_hop.value() * baseline_hops,
+            ),
+            express_energy_per_bit: EnergyPerBit::from_joules_per_bit(
+                express_per_hop.value() * e_hops + srlr_per_hop.value() * l_hops,
+            ),
+            srlr_avg_hops: baseline_hops,
+            express_avg_hops: (e_hops, l_hops),
+            express_driver_area_um2: equalized.driver_area_um2,
+            srlr_cell_area_um2: 47.9,
+        }
+    }
+
+    /// Router-visit reduction of the express mesh (latency proxy).
+    pub fn hop_reduction(&self) -> f64 {
+        let (e, l) = self.express_avg_hops;
+        1.0 - (e + l) / self.srlr_avg_hops
+    }
+
+    /// Energy ratio express / SRLR mesh (>1 means express costs more).
+    pub fn energy_ratio(&self) -> f64 {
+        self.express_energy_per_bit.value() / self.srlr_energy_per_bit.value()
+    }
+
+    /// Driver-area ratio of one express bit-lane vs one SRLR cell.
+    pub fn driver_area_ratio(&self) -> f64 {
+        self.express_driver_area_um2 / self.srlr_cell_area_um2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> ExpressTopology {
+        ExpressTopology::new(Mesh::new(8, 8), 4)
+    }
+
+    #[test]
+    fn express_routes_split_correctly() {
+        let t = topo();
+        // 7 east: one 4-hop express + 3 locals.
+        let (e, l) = t.route_hops(Coord::new(0, 0), Coord::new(7, 0));
+        assert_eq!((e, l), (1, 3));
+        // Short trips never use express.
+        let (e, l) = t.route_hops(Coord::new(0, 0), Coord::new(2, 1));
+        assert_eq!((e, l), (0, 3));
+    }
+
+    #[test]
+    fn express_reduces_router_visits() {
+        let c = ExpressComparison::evaluate(&Technology::soi45(), topo());
+        assert!(c.hop_reduction() > 0.1, "reduction {}", c.hop_reduction());
+        let (e, l) = c.express_avg_hops;
+        assert!(e + l < c.srlr_avg_hops);
+    }
+
+    #[test]
+    fn express_costs_more_datapath_energy() {
+        // The paper's argument: equalized express wires are less
+        // efficient per mm than repeated SRLR hops on local traffic.
+        let c = ExpressComparison::evaluate(&Technology::soi45(), topo());
+        assert!(
+            c.energy_ratio() > 1.0,
+            "express should cost more energy: ratio {}",
+            c.energy_ratio()
+        );
+    }
+
+    #[test]
+    fn express_driver_area_is_prohibitive() {
+        let c = ExpressComparison::evaluate(&Technology::soi45(), topo());
+        // 1760 um² vs 47.9 um²: >35x, the paper's Sec. I number.
+        assert!(c.driver_area_ratio() > 35.0);
+    }
+
+    #[test]
+    fn stations_need_higher_radix() {
+        assert_eq!(topo().extra_ports_at_stations(), 4);
+    }
+
+    #[test]
+    fn average_hops_match_known_mesh_value() {
+        // 8x8 mesh: per-axis mean |dx| = (n^2-1)/(3n) = 2.625, doubled is
+        // 5.25 over all ordered pairs including self; excluding the n^2
+        // self pairs rescales by 4096/4032 => 5.333.
+        let t = topo();
+        assert!((t.baseline_average_hops() - 5.333).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn interval_one_rejected() {
+        let _ = ExpressTopology::new(Mesh::new(8, 8), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the mesh")]
+    fn oversized_interval_rejected() {
+        let _ = ExpressTopology::new(Mesh::new(4, 4), 5);
+    }
+}

@@ -1,0 +1,138 @@
+//! Multicast tree accounting: the SRLR's free 1-to-N multicast in mesh
+//! terms.
+//!
+//! A multicast built from unicast clones pays for every branch's full
+//! path. With the SRLR datapath, every intermediate repeater regenerates
+//! the full-swing pulse, so routers along a shared path prefix can sample
+//! the stream for free: the energy cost is the *tree* edge set, not the
+//! sum of paths. This module computes both.
+
+use crate::packet::Packet;
+use crate::topology::{Coord, Mesh};
+use std::collections::HashSet;
+
+/// Hop accounting for one multicast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MulticastAccounting {
+    /// Unique tree edges (XY paths union), as ordered node pairs.
+    tree_edges: HashSet<(Coord, Coord)>,
+    /// Sum of branch path lengths (what unicast clones pay).
+    unicast_hops: usize,
+}
+
+impl MulticastAccounting {
+    /// Computes the XY multicast tree from `src` to `dsts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dsts` is empty or any coordinate is outside the mesh.
+    pub fn new(mesh: Mesh, src: Coord, dsts: &[Coord]) -> Self {
+        assert!(!dsts.is_empty(), "multicast needs at least one destination");
+        let mut tree_edges = HashSet::new();
+        let mut unicast_hops = 0;
+        for &dst in dsts {
+            let path = mesh.xy_path(src, dst);
+            unicast_hops += path.len() - 1;
+            for w in path.windows(2) {
+                tree_edges.insert((w[0], w[1]));
+            }
+        }
+        Self {
+            tree_edges,
+            unicast_hops,
+        }
+    }
+
+    /// Accounting for a packet (multicast or unicast).
+    pub fn for_packet(mesh: Mesh, packet: &Packet) -> Self {
+        Self::new(mesh, packet.src, &packet.dsts)
+    }
+
+    /// Edges of the multicast tree (hops the SRLR datapath pays for).
+    pub fn tree_hops(&self) -> usize {
+        self.tree_edges.len()
+    }
+
+    /// Hops unicast clones would pay for.
+    pub fn unicast_hops(&self) -> usize {
+        self.unicast_hops
+    }
+
+    /// Hops saved by the free multicast.
+    pub fn saved_hops(&self) -> usize {
+        self.unicast_hops - self.tree_edges.len()
+    }
+
+    /// Energy-saving factor of tree multicast over unicast clones.
+    pub fn saving_factor(&self) -> f64 {
+        self.unicast_hops as f64 / self.tree_edges.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(8, 8)
+    }
+
+    #[test]
+    fn unicast_has_no_savings() {
+        let acc = MulticastAccounting::new(mesh(), Coord::new(0, 0), &[Coord::new(5, 0)]);
+        assert_eq!(acc.tree_hops(), 5);
+        assert_eq!(acc.unicast_hops(), 5);
+        assert_eq!(acc.saved_hops(), 0);
+        assert!((acc.saving_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_prefix_is_paid_once() {
+        // Fig. 2's scenario in mesh terms: destinations strung along one
+        // row share the whole prefix.
+        let src = Coord::new(0, 0);
+        let dsts = [Coord::new(4, 0), Coord::new(6, 0), Coord::new(7, 0)];
+        let acc = MulticastAccounting::new(mesh(), src, &dsts);
+        assert_eq!(acc.tree_hops(), 7, "tree = the longest prefix");
+        assert_eq!(acc.unicast_hops(), 4 + 6 + 7);
+        assert_eq!(acc.saved_hops(), 10);
+    }
+
+    #[test]
+    fn forked_tree_counts_both_branches() {
+        let src = Coord::new(0, 0);
+        // Shared X run to (3,0), then forks north to two rows.
+        let dsts = [Coord::new(3, 2), Coord::new(3, 4)];
+        let acc = MulticastAccounting::new(mesh(), src, &dsts);
+        // Tree: 3 east + 4 north = 7; unicast: 5 + 7 = 12.
+        assert_eq!(acc.tree_hops(), 7);
+        assert_eq!(acc.unicast_hops(), 12);
+    }
+
+    #[test]
+    fn saving_grows_with_fanout_along_a_line() {
+        let src = Coord::new(0, 3);
+        let two = MulticastAccounting::new(
+            mesh(),
+            src,
+            &[Coord::new(6, 3), Coord::new(7, 3)],
+        );
+        let four = MulticastAccounting::new(
+            mesh(),
+            src,
+            &[
+                Coord::new(4, 3),
+                Coord::new(5, 3),
+                Coord::new(6, 3),
+                Coord::new(7, 3),
+            ],
+        );
+        assert!(four.saving_factor() > two.saving_factor());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one destination")]
+    fn empty_destinations_rejected() {
+        let _ = MulticastAccounting::new(mesh(), Coord::new(0, 0), &[]);
+    }
+}

@@ -1,0 +1,564 @@
+//! The cycle-accurate network simulator: routers, links, injection and
+//! ejection, with deterministic two-phase updates.
+
+use crate::packet::{Flit, Packet};
+use crate::power::EnergyCounters;
+use crate::router::{NocConfig, Router};
+use crate::stats::NetworkStats;
+use crate::topology::{Coord, Direction, Mesh};
+use crate::traffic::{Pattern, TrafficGenerator};
+use std::collections::VecDeque;
+
+/// Per-node injection state: the packet currently streaming into the
+/// local port.
+#[derive(Debug, Clone, Default)]
+struct InjectState {
+    /// Remaining flits of the in-progress packet (front is next to go).
+    flits: VecDeque<Flit>,
+    /// The VC chosen for the in-progress packet.
+    vc: usize,
+}
+
+/// The mesh network under simulation.
+///
+/// Per-hop latency is two cycles: one through the router pipeline (route
+/// computation, allocation and switch traversal are modelled as a single
+/// aggressively-pipelined stage) and one on the link.
+#[derive(Debug, Clone)]
+pub struct Network {
+    config: NocConfig,
+    mesh: Mesh,
+    routers: Vec<Router>,
+    /// Flits in flight to each router: `(deliver_at, in_port, vc, flit)`.
+    pending_flits: Vec<Vec<(u64, Direction, usize, Flit)>>,
+    /// Credits arriving at each router next cycle: `(out_port, vc)`.
+    pending_credits: Vec<Vec<(Direction, usize)>>,
+    /// Per-node source queues (open-loop, unbounded).
+    source_queues: Vec<VecDeque<Packet>>,
+    inject: Vec<InjectState>,
+    cycle: u64,
+    counters: EnergyCounters,
+    /// Total packets ever enqueued.
+    injected: u64,
+    /// Link hops a multicast tree saved versus unicast clones (the SRLR's
+    /// free multicast; see [`crate::multicast`]).
+    multicast_saved_hops: u64,
+    /// When enabled, the router sequence each packet's head flit visits.
+    traces: Option<std::collections::HashMap<crate::packet::PacketId, Vec<Coord>>>,
+}
+
+impl Network {
+    /// Builds an idle network.
+    pub fn new(config: NocConfig) -> Self {
+        config.validate();
+        let mesh = config.mesh();
+        let n = mesh.len();
+        Self {
+            config,
+            mesh,
+            routers: (0..n)
+                .map(|i| Router::new(mesh.coord_of(i), &config))
+                .collect(),
+            pending_flits: vec![Vec::new(); n],
+            pending_credits: vec![Vec::new(); n],
+            source_queues: vec![VecDeque::new(); n],
+            inject: vec![InjectState::default(); n],
+            cycle: 0,
+            counters: EnergyCounters::default(),
+            injected: 0,
+            multicast_saved_hops: 0,
+            traces: None,
+        }
+    }
+
+    /// Enables per-packet route tracing: every router a head flit leaves
+    /// is recorded. Costs memory proportional to traffic; intended for
+    /// validation and debugging.
+    pub fn enable_tracing(&mut self) {
+        self.traces = Some(std::collections::HashMap::new());
+    }
+
+    /// The recorded route of a packet (router coordinates in visit
+    /// order), if tracing was enabled and the packet moved.
+    pub fn trace_of(&self, id: crate::packet::PacketId) -> Option<&[Coord]> {
+        self.traces.as_ref()?.get(&id).map(Vec::as_slice)
+    }
+
+    /// All recorded traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tracing was never enabled.
+    pub fn traces(&self) -> &std::collections::HashMap<crate::packet::PacketId, Vec<Coord>> {
+        self.traces.as_ref().expect("tracing not enabled")
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NocConfig {
+        &self.config
+    }
+
+    /// Current cycle number.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Accumulated energy counters.
+    pub fn counters(&self) -> &EnergyCounters {
+        &self.counters
+    }
+
+    /// Packets enqueued so far.
+    pub fn packets_injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Link hops saved by tree multicast relative to unicast clones.
+    pub fn multicast_saved_hops(&self) -> u64 {
+        self.multicast_saved_hops
+    }
+
+    /// Total flits currently buffered in routers plus in flight.
+    pub fn occupancy(&self) -> usize {
+        self.routers.iter().map(Router::occupancy).sum::<usize>()
+            + self.pending_flits.iter().map(Vec::len).sum::<usize>()
+            + self
+                .inject
+                .iter()
+                .map(|s| s.flits.len())
+                .sum::<usize>()
+            + self
+                .source_queues
+                .iter()
+                .map(|q| q.iter().map(|p| p.len_flits * p.dsts.len()).sum::<usize>())
+                .sum::<usize>()
+    }
+
+    /// Enqueues a packet at its source. Multicast packets are decomposed
+    /// into per-destination branches; the link hops their shared tree
+    /// prefix saves (the SRLR free multicast) are tallied in
+    /// [`Self::multicast_saved_hops`].
+    pub fn enqueue(&mut self, packet: Packet) {
+        let node = self.mesh.index_of(packet.src);
+        self.injected += 1;
+        if packet.is_multicast() {
+            let acc = crate::multicast::MulticastAccounting::for_packet(self.mesh, &packet);
+            self.multicast_saved_hops += acc.saved_hops() as u64 * packet.len_flits as u64;
+            for (i, &dst) in packet.dsts.iter().enumerate() {
+                let branch = Packet::unicast(
+                    crate::packet::PacketId(packet.id.0 | ((i as u64 + 1) << 48)),
+                    packet.src,
+                    dst,
+                    packet.len_flits,
+                    packet.inject_cycle,
+                );
+                self.source_queues[node].push_back(branch);
+            }
+        } else {
+            self.source_queues[node].push_back(packet);
+        }
+    }
+
+    /// Advances the simulation by one cycle, returning the packets that
+    /// completed (`(destination, latency_cycles)` per ejected tail).
+    pub fn step(&mut self) -> Vec<(Coord, u64)> {
+        let n = self.routers.len();
+
+        // Phase 1: deliver due link flits and credits.
+        for i in 0..n {
+            let now = self.cycle;
+            let (due, later): (Vec<_>, Vec<_>) = std::mem::take(&mut self.pending_flits[i])
+                .into_iter()
+                .partition(|&(at, ..)| at <= now);
+            self.pending_flits[i] = later;
+            for (_, port, vc, flit) in due {
+                self.routers[i].accept(port, vc, flit);
+                self.counters.buffer_writes += 1;
+            }
+            let credits = std::mem::take(&mut self.pending_credits[i]);
+            for (port, vc) in credits {
+                self.routers[i].return_credit(port, vc);
+            }
+        }
+
+        // Phase 2: injection into local input ports.
+        for i in 0..n {
+            if self.inject[i].flits.is_empty() {
+                if let Some(pkt) = self.source_queues[i].pop_front() {
+                    let dst = pkt.dst();
+                    // Pick the emptiest local VC for the new packet.
+                    let vc = (0..self.config.vcs)
+                        .max_by_key(|&v| self.routers[i].free_slots(Direction::Local, v))
+                        .expect("at least one VC");
+                    self.inject[i] = InjectState {
+                        flits: pkt.flits(dst).into(),
+                        vc,
+                    };
+                }
+            }
+            let state = &mut self.inject[i];
+            if let Some(&flit) = state.flits.front() {
+                if self.routers[i].free_slots(Direction::Local, state.vc) > 0 {
+                    self.routers[i].accept(Direction::Local, state.vc, flit);
+                    self.counters.buffer_writes += 1;
+                    state.flits.pop_front();
+                }
+            }
+        }
+
+        // Phase 3: router pipelines.
+        let mut completed = Vec::new();
+        for i in 0..n {
+            let (sent, activity) = self.routers[i].step(self.mesh);
+            self.counters.allocations += (activity.route_computations
+                + activity.vc_allocations
+                + activity.switch_allocations) as u64;
+            for s in sent {
+                self.counters.buffer_reads += 1;
+                if s.flit.kind.is_head() {
+                    if let Some(traces) = self.traces.as_mut() {
+                        traces
+                            .entry(s.flit.packet)
+                            .or_default()
+                            .push(self.routers[i].coord());
+                    }
+                }
+                // Credit back to the upstream router (not for local
+                // injection, whose occupancy is polled directly).
+                if s.in_port != Direction::Local {
+                    let up = self
+                        .mesh
+                        .neighbor(self.routers[i].coord(), s.in_port)
+                        .expect("flit came from a real neighbour");
+                    self.pending_credits[self.mesh.index_of(up)]
+                        .push((s.in_port.opposite(), s.in_vc));
+                }
+                if s.out_port == Direction::Local {
+                    self.counters.local_hops += 1;
+                    if s.flit.kind.is_tail() {
+                        let latency = self.cycle - s.flit.inject_cycle + 1;
+                        completed.push((self.routers[i].coord(), latency));
+                    }
+                } else {
+                    self.counters.link_hops += 1;
+                    let next = self
+                        .mesh
+                        .neighbor(self.routers[i].coord(), s.out_port)
+                        .expect("XY routing stays inside the mesh");
+                    self.pending_flits[self.mesh.index_of(next)].push((
+                        self.cycle + 1 + self.config.extra_pipeline,
+                        s.out_port.opposite(),
+                        s.out_vc,
+                        s.flit,
+                    ));
+                }
+            }
+        }
+
+        self.cycle += 1;
+        self.counters.router_cycles += n as u64;
+        completed
+    }
+
+    /// Runs `warmup` cycles of traffic, then measures for `measure`
+    /// cycles, returning the window statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measure` is zero.
+    pub fn run_warmup_and_measure(
+        &mut self,
+        pattern: Pattern,
+        injection_rate: f64,
+        warmup: u64,
+        measure: u64,
+    ) -> NetworkStats {
+        assert!(measure > 0, "measurement window must be non-empty");
+        let mut gen = TrafficGenerator::new(
+            self.mesh,
+            pattern,
+            injection_rate,
+            self.config.packet_len,
+            self.config.seed,
+        );
+        for _ in 0..warmup {
+            self.inject_from(&mut gen);
+            let _ = self.step();
+        }
+        let counters_before = self.counters;
+        let injected_before = self.injected;
+        let mut stats = NetworkStats::new(measure, self.mesh.len());
+        for _ in 0..measure {
+            self.inject_from(&mut gen);
+            for (_, latency) in self.step() {
+                stats.record_packet(latency);
+            }
+        }
+        // Flit receipt count over the window comes from the counter delta.
+        stats.flits_received = self.counters.local_hops - counters_before.local_hops;
+        stats.packets_injected = self.injected - injected_before;
+        stats.energy = EnergyCounters {
+            buffer_writes: self.counters.buffer_writes - counters_before.buffer_writes,
+            buffer_reads: self.counters.buffer_reads - counters_before.buffer_reads,
+            link_hops: self.counters.link_hops - counters_before.link_hops,
+            local_hops: self.counters.local_hops - counters_before.local_hops,
+            allocations: self.counters.allocations - counters_before.allocations,
+            router_cycles: self.counters.router_cycles - counters_before.router_cycles,
+        };
+        stats
+    }
+
+    fn inject_from(&mut self, gen: &mut TrafficGenerator) {
+        for i in 0..self.mesh.len() {
+            if let Some(pkt) = gen.maybe_inject(self.mesh.coord_of(i), self.cycle) {
+                self.enqueue(pkt);
+            }
+        }
+    }
+
+    /// Runs until every queued flit has drained or `max_cycles` elapse;
+    /// returns `true` when fully drained.
+    pub fn drain(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.occupancy() == 0 {
+                return true;
+            }
+            let _ = self.step();
+        }
+        self.occupancy() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketId;
+
+    fn small_config() -> NocConfig {
+        NocConfig::paper_default().with_size(4, 4)
+    }
+
+    #[test]
+    fn single_packet_crosses_the_mesh() {
+        let mut net = Network::new(small_config());
+        let src = Coord::new(0, 0);
+        let dst = Coord::new(3, 3);
+        net.enqueue(Packet::unicast(PacketId(1), src, dst, 5, 0));
+        let mut done = Vec::new();
+        for _ in 0..100 {
+            done.extend(net.step());
+        }
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, dst);
+        // 6 hops (router + link each) serialising 5 flits: small but
+        // at least the hop count plus the body flits.
+        assert!(done[0].1 >= 10 && done[0].1 < 40, "latency {}", done[0].1);
+        assert!(net.drain(10), "network should be empty");
+    }
+
+    #[test]
+    fn local_delivery_works() {
+        let mut net = Network::new(small_config());
+        let at = Coord::new(1, 1);
+        net.enqueue(Packet::unicast(PacketId(1), at, at, 1, 0));
+        let mut done = Vec::new();
+        for _ in 0..20 {
+            done.extend(net.step());
+        }
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, at);
+    }
+
+    #[test]
+    fn all_flits_are_conserved() {
+        let mut net = Network::new(small_config());
+        for k in 0..10 {
+            net.enqueue(Packet::unicast(
+                PacketId(k),
+                Coord::new((k % 4) as u16, 0),
+                Coord::new(3 - (k % 4) as u16, 3),
+                5,
+                0,
+            ));
+        }
+        assert!(net.drain(500), "all packets must eventually drain");
+        assert_eq!(net.counters().local_hops, 50, "5 flits x 10 packets eject");
+    }
+
+    #[test]
+    fn uniform_traffic_flows_at_low_load() {
+        let mut net = Network::new(small_config());
+        let stats = net.run_warmup_and_measure(Pattern::UniformRandom, 0.05, 300, 1000);
+        assert!(stats.packets_received > 50, "{stats}");
+        let avg = stats.avg_latency_cycles();
+        assert!(avg > 5.0 && avg < 60.0, "avg latency {avg}");
+    }
+
+    #[test]
+    fn latency_rises_with_load() {
+        let lat = |rate: f64| {
+            let mut net = Network::new(small_config());
+            net.run_warmup_and_measure(Pattern::UniformRandom, rate, 300, 1500)
+                .avg_latency_cycles()
+        };
+        let low = lat(0.02);
+        let high = lat(0.12);
+        assert!(
+            high > low,
+            "latency must rise with load: {low} -> {high}"
+        );
+    }
+
+    #[test]
+    fn throughput_tracks_offered_load_below_saturation() {
+        let mut net = Network::new(small_config());
+        let rate = 0.04;
+        let stats = net.run_warmup_and_measure(Pattern::UniformRandom, rate, 500, 2000);
+        let offered_flits = rate * 5.0;
+        let accepted = stats.throughput_flits_per_node_cycle();
+        assert!(
+            (accepted - offered_flits).abs() < offered_flits * 0.25,
+            "accepted {accepted} vs offered {offered_flits}"
+        );
+    }
+
+    #[test]
+    fn neighbor_traffic_has_lower_latency_than_uniform() {
+        let run = |pattern| {
+            let mut net = Network::new(small_config());
+            net.run_warmup_and_measure(pattern, 0.05, 300, 1500)
+                .avg_latency_cycles()
+        };
+        assert!(run(Pattern::Neighbor) < run(Pattern::UniformRandom));
+    }
+
+    #[test]
+    fn multicast_decomposes_and_saves_hops() {
+        let mut net = Network::new(small_config());
+        net.enqueue(Packet::multicast(
+            PacketId(7),
+            Coord::new(0, 0),
+            vec![Coord::new(3, 0), Coord::new(3, 1), Coord::new(3, 2)],
+            2,
+            0,
+        ));
+        // One multicast = 3 branches.
+        let mut done = 0;
+        for _ in 0..200 {
+            done += net.step().len();
+        }
+        assert_eq!(done, 3);
+        // Shared prefix (0,0)->(3,0) appears once in the tree but three
+        // times in unicast clones: savings must be positive.
+        assert!(net.multicast_saved_hops() > 0);
+    }
+
+    #[test]
+    fn extra_pipeline_stretches_latency_by_hops() {
+        let run = |extra: u64| {
+            let mut net = Network::new(small_config().with_extra_pipeline(extra));
+            net.enqueue(Packet::unicast(
+                PacketId(1),
+                Coord::new(0, 0),
+                Coord::new(3, 3),
+                1,
+                0,
+            ));
+            for _ in 0..200 {
+                if let Some(&(_, latency)) = net.step().first() {
+                    return latency;
+                }
+            }
+            panic!("packet never arrived");
+        };
+        let base = run(0);
+        let deep = run(1);
+        // 6 inter-router links... the last hop to the local port has no
+        // link, so 5-6 extra cycles for one extra pipeline stage.
+        assert!(
+            deep >= base + 5 && deep <= base + 7,
+            "base {base}, deep {deep}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut net = Network::new(small_config().with_seed(9));
+            let stats = net.run_warmup_and_measure(Pattern::UniformRandom, 0.08, 200, 800);
+            (stats.packets_received, stats.latency_sum)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut net = Network::new(small_config());
+        let _ = net.run_warmup_and_measure(Pattern::UniformRandom, 0.05, 100, 400);
+        let c = net.counters();
+        assert!(c.buffer_writes > 0);
+        assert!(c.buffer_reads > 0);
+        assert!(c.link_hops > 0);
+        assert!(c.allocations > 0);
+        assert_eq!(c.router_cycles, 500 * 16);
+        // Every read was once written.
+        assert!(c.buffer_reads <= c.buffer_writes);
+    }
+}
+
+#[cfg(test)]
+mod adaptive_tests {
+    use super::*;
+    use crate::routing::RoutingAlgorithm;
+
+    fn config(routing: RoutingAlgorithm) -> NocConfig {
+        NocConfig::paper_default()
+            .with_size(4, 4)
+            .with_routing(routing)
+    }
+
+    #[test]
+    fn west_first_network_delivers_everything() {
+        let mut net = Network::new(config(RoutingAlgorithm::WestFirst));
+        let stats = net.run_warmup_and_measure(
+            crate::traffic::Pattern::UniformRandom,
+            0.08,
+            300,
+            1500,
+        );
+        assert!(stats.packets_received > 100, "{stats}");
+        assert!(net.drain(20_000), "adaptive mesh must drain (deadlock?)");
+    }
+
+    #[test]
+    fn west_first_survives_heavy_load_without_deadlock() {
+        // The turn-model guarantee: even past saturation the network must
+        // keep making progress and drain completely afterwards.
+        let mut net = Network::new(config(RoutingAlgorithm::WestFirst));
+        let stats = net.run_warmup_and_measure(
+            crate::traffic::Pattern::Transpose,
+            0.30,
+            500,
+            1500,
+        );
+        assert!(stats.packets_received > 100, "{stats}");
+        assert!(net.drain(100_000), "deadlock under heavy transpose load");
+    }
+
+    #[test]
+    fn adaptive_helps_transpose_traffic() {
+        // Transpose concentrates XY traffic on the diagonal; spreading
+        // over the adaptive quadrant should not do worse.
+        let run = |routing| {
+            let mut net = Network::new(config(routing));
+            net.run_warmup_and_measure(crate::traffic::Pattern::Transpose, 0.10, 400, 1500)
+                .throughput_flits_per_node_cycle()
+        };
+        let xy = run(RoutingAlgorithm::Xy);
+        let adaptive = run(RoutingAlgorithm::WestFirst);
+        assert!(
+            adaptive > xy * 0.9,
+            "adaptive throughput {adaptive} collapsed vs XY {xy}"
+        );
+    }
+}

@@ -1,0 +1,209 @@
+//! Packets and flits.
+
+use crate::topology::Coord;
+
+/// Unique packet identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PacketId(pub u64);
+
+impl core::fmt::Display for PacketId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "pkt#{}", self.0)
+    }
+}
+
+/// A network packet: one or more flits from a source to one or more
+/// destinations (multicast packets carry several).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Identifier.
+    pub id: PacketId,
+    /// Source node.
+    pub src: Coord,
+    /// Destination node(s); unicast packets carry exactly one.
+    pub dsts: Vec<Coord>,
+    /// Length in flits (head + bodies + tail; single-flit packets send a
+    /// combined head-tail).
+    pub len_flits: usize,
+    /// Cycle the packet was created at the source queue.
+    pub inject_cycle: u64,
+}
+
+impl Packet {
+    /// A unicast packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len_flits` is zero.
+    pub fn unicast(id: PacketId, src: Coord, dst: Coord, len_flits: usize, inject_cycle: u64) -> Self {
+        assert!(len_flits > 0, "packet needs at least one flit");
+        Self {
+            id,
+            src,
+            dsts: vec![dst],
+            len_flits,
+            inject_cycle,
+        }
+    }
+
+    /// A multicast packet to several destinations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len_flits` is zero or `dsts` is empty.
+    pub fn multicast(
+        id: PacketId,
+        src: Coord,
+        dsts: Vec<Coord>,
+        len_flits: usize,
+        inject_cycle: u64,
+    ) -> Self {
+        assert!(len_flits > 0, "packet needs at least one flit");
+        assert!(!dsts.is_empty(), "multicast needs at least one destination");
+        Self {
+            id,
+            src,
+            dsts,
+            len_flits,
+            inject_cycle,
+        }
+    }
+
+    /// `true` when the packet has more than one destination.
+    pub fn is_multicast(&self) -> bool {
+        self.dsts.len() > 1
+    }
+
+    /// The single destination of a unicast packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a multicast packet.
+    pub fn dst(&self) -> Coord {
+        assert!(!self.is_multicast(), "multicast packet has many destinations");
+        self.dsts[0]
+    }
+
+    /// Produces the packet's flits in wire order.
+    pub fn flits(&self, dst: Coord) -> Vec<Flit> {
+        (0..self.len_flits)
+            .map(|i| {
+                let kind = if self.len_flits == 1 {
+                    FlitKind::HeadTail
+                } else if i == 0 {
+                    FlitKind::Head
+                } else if i + 1 == self.len_flits {
+                    FlitKind::Tail
+                } else {
+                    FlitKind::Body
+                };
+                Flit {
+                    packet: self.id,
+                    kind,
+                    dst,
+                    inject_cycle: self.inject_cycle,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Flit position within its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlitKind {
+    /// First flit: carries the route.
+    Head,
+    /// Middle flit.
+    Body,
+    /// Last flit: releases the path.
+    Tail,
+    /// A single-flit packet.
+    HeadTail,
+}
+
+impl FlitKind {
+    /// `true` for flits that open a route (head or head-tail).
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// `true` for flits that close a route (tail or head-tail).
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+}
+
+/// One flow-control unit travelling through the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    /// Owning packet.
+    pub packet: PacketId,
+    /// Position within the packet.
+    pub kind: FlitKind,
+    /// Destination node (per-branch for decomposed multicasts).
+    pub dst: Coord,
+    /// Inject cycle of the owning packet (for latency accounting).
+    pub inject_cycle: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(len: usize) -> Packet {
+        Packet::unicast(PacketId(1), Coord::new(0, 0), Coord::new(3, 3), len, 10)
+    }
+
+    #[test]
+    fn single_flit_packet_is_head_tail() {
+        let flits = pkt(1).flits(Coord::new(3, 3));
+        assert_eq!(flits.len(), 1);
+        assert_eq!(flits[0].kind, FlitKind::HeadTail);
+        assert!(flits[0].kind.is_head());
+        assert!(flits[0].kind.is_tail());
+    }
+
+    #[test]
+    fn multi_flit_packet_structure() {
+        let flits = pkt(4).flits(Coord::new(3, 3));
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        assert_eq!(flits[1].kind, FlitKind::Body);
+        assert_eq!(flits[2].kind, FlitKind::Body);
+        assert_eq!(flits[3].kind, FlitKind::Tail);
+        assert!(flits.iter().all(|f| f.packet == PacketId(1)));
+    }
+
+    #[test]
+    fn multicast_flags() {
+        let m = Packet::multicast(
+            PacketId(2),
+            Coord::new(0, 0),
+            vec![Coord::new(1, 1), Coord::new(2, 2)],
+            2,
+            0,
+        );
+        assert!(m.is_multicast());
+        let u = pkt(1);
+        assert!(!u.is_multicast());
+        assert_eq!(u.dst(), Coord::new(3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "many destinations")]
+    fn dst_of_multicast_panics() {
+        let m = Packet::multicast(
+            PacketId(2),
+            Coord::new(0, 0),
+            vec![Coord::new(1, 1), Coord::new(2, 2)],
+            2,
+            0,
+        );
+        let _ = m.dst();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_length_packet_rejected() {
+        let _ = pkt(0);
+    }
+}

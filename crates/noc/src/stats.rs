@@ -1,0 +1,169 @@
+//! Latency and throughput statistics.
+
+use crate::power::EnergyCounters;
+
+/// Aggregate network statistics over a measurement window.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetworkStats {
+    /// Packets injected during the window.
+    pub packets_injected: u64,
+    /// Packets fully received (tail ejected) during the window.
+    pub packets_received: u64,
+    /// Flits ejected during the window.
+    pub flits_received: u64,
+    /// Sum of packet latencies (inject → tail eject), cycles.
+    pub latency_sum: u64,
+    /// Worst packet latency seen.
+    pub latency_max: u64,
+    /// Latency histogram (1-cycle bins, saturating at the last bin).
+    pub latency_histogram: Vec<u64>,
+    /// Measurement window length in cycles.
+    pub cycles: u64,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Energy event counters over the window.
+    pub energy: EnergyCounters,
+}
+
+impl NetworkStats {
+    /// Creates an empty record for a window.
+    pub fn new(cycles: u64, nodes: usize) -> Self {
+        Self {
+            cycles,
+            nodes,
+            latency_histogram: vec![0; 512],
+            ..Self::default()
+        }
+    }
+
+    /// Records one completed packet.
+    pub fn record_packet(&mut self, latency_cycles: u64) {
+        self.packets_received += 1;
+        self.latency_sum += latency_cycles;
+        self.latency_max = self.latency_max.max(latency_cycles);
+        let bin = (latency_cycles as usize).min(self.latency_histogram.len() - 1);
+        self.latency_histogram[bin] += 1;
+    }
+
+    /// Average packet latency in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no packets were received.
+    pub fn avg_latency_cycles(&self) -> f64 {
+        assert!(self.packets_received > 0, "no packets received");
+        self.latency_sum as f64 / self.packets_received as f64
+    }
+
+    /// The p-th latency percentile (0 < p <= 100) from the histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no packets were received or `p` is out of range.
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        assert!(self.packets_received > 0, "no packets received");
+        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        let target = (self.packets_received as f64 * p / 100.0).ceil() as u64;
+        let mut seen = 0;
+        for (bin, &count) in self.latency_histogram.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return bin as u64;
+            }
+        }
+        self.latency_max
+    }
+
+    /// Accepted throughput in flits per node per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn throughput_flits_per_node_cycle(&self) -> f64 {
+        assert!(self.cycles > 0 && self.nodes > 0, "empty window");
+        self.flits_received as f64 / (self.cycles as f64 * self.nodes as f64)
+    }
+
+    /// Offered load that was actually accepted, as packets per node per
+    /// cycle.
+    pub fn accepted_packet_rate(&self) -> f64 {
+        self.packets_received as f64 / (self.cycles as f64 * self.nodes as f64)
+    }
+}
+
+impl core::fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.packets_received == 0 {
+            return write!(f, "no packets received over {} cycles", self.cycles);
+        }
+        write!(
+            f,
+            "{} pkts, avg latency {:.1} cyc (p99 {}, max {}), {:.4} flits/node/cyc",
+            self.packets_received,
+            self.avg_latency_cycles(),
+            self.latency_percentile(99.0),
+            self.latency_max,
+            self.throughput_flits_per_node_cycle(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with(latencies: &[u64]) -> NetworkStats {
+        let mut s = NetworkStats::new(1000, 16);
+        for &l in latencies {
+            s.record_packet(l);
+        }
+        s.flits_received = latencies.len() as u64 * 5;
+        s
+    }
+
+    #[test]
+    fn average_and_max() {
+        let s = stats_with(&[10, 20, 30]);
+        assert!((s.avg_latency_cycles() - 20.0).abs() < 1e-12);
+        assert_eq!(s.latency_max, 30);
+    }
+
+    #[test]
+    fn percentiles_from_histogram() {
+        let lat: Vec<u64> = (1..=100).collect();
+        let s = stats_with(&lat);
+        assert_eq!(s.latency_percentile(50.0), 50);
+        assert_eq!(s.latency_percentile(99.0), 99);
+        assert_eq!(s.latency_percentile(100.0), 100);
+    }
+
+    #[test]
+    fn histogram_saturates_at_last_bin() {
+        let s = stats_with(&[10_000]);
+        assert_eq!(*s.latency_histogram.last().unwrap(), 1);
+        assert_eq!(s.latency_percentile(100.0), 511);
+    }
+
+    #[test]
+    fn throughput_accounting() {
+        let s = stats_with(&[10; 32]);
+        // 32 packets x 5 flits over 1000 cycles x 16 nodes.
+        let expect = 160.0 / 16_000.0;
+        assert!((s.throughput_flits_per_node_cycle() - expect).abs() < 1e-12);
+        assert!((s.accepted_packet_rate() - 32.0 / 16_000.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "no packets received")]
+    fn empty_average_panics() {
+        let _ = NetworkStats::new(10, 4).avg_latency_cycles();
+    }
+
+    #[test]
+    fn display_summarises() {
+        let s = stats_with(&[10, 20]);
+        let text = s.to_string();
+        assert!(text.contains("avg latency"));
+        assert!(NetworkStats::new(10, 4).to_string().contains("no packets"));
+    }
+}

@@ -1,0 +1,251 @@
+//! On-chip bias generation for the adaptive swing-voltage scheme.
+//!
+//! Sec. III-C of the paper: an Oguey-style CMOS current reference (whose
+//! output current is first-order free of threshold-voltage terms, hence
+//! process/temperature tolerant) feeds a generator whose output `Vref`
+//! tracks the threshold voltage of the SRLR input device M1. When a die
+//! comes out with low-Vth (strong) input devices, the delivered swing is
+//! reduced to save energy; a high-Vth die gets extra swing to preserve the
+//! input sensitivity margin.
+
+use crate::technology::Technology;
+use crate::variation::GlobalVariation;
+use srlr_units::{Current, Power, Voltage};
+
+/// An Oguey-style resistorless CMOS current reference.
+///
+/// Its defining property for this work is *what it does not depend on*:
+/// the output current contains no threshold-voltage term to first order,
+/// so the downstream `Vref` is set by M1's threshold alone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OgueyReference {
+    /// Nominal output current.
+    pub nominal: Current,
+    /// Residual (second-order) sensitivity of the output current to
+    /// drive-strength variation, as a fraction per unit multiplier change.
+    pub residual_sensitivity: f64,
+    /// Static power drawn by the reference core and its mirrors.
+    pub power: Power,
+}
+
+impl OgueyReference {
+    /// The test chip's bias generator: 587 uW total, shareable by all
+    /// parallel links of a router.
+    pub fn paper_default() -> Self {
+        Self {
+            nominal: Current::from_microamperes(20.0),
+            residual_sensitivity: 0.05,
+            power: Power::from_microwatts(587.0),
+        }
+    }
+
+    /// Output current on a die with the given global variation.
+    ///
+    /// Only the (small) residual drive sensitivity appears — no Vth term,
+    /// which is the whole point of the Oguey topology.
+    pub fn output_current(&self, var: &GlobalVariation) -> Current {
+        let drift = 1.0 + self.residual_sensitivity * (var.drive_mult_n - 1.0);
+        self.nominal * drift
+    }
+}
+
+/// The adaptive swing-voltage generator: produces the target swing for the
+/// NMOS-based drivers, tracking M1's threshold voltage.
+///
+/// # Examples
+///
+/// ```
+/// use srlr_tech::{AdaptiveSwingBias, Technology, GlobalVariation};
+/// use srlr_units::Voltage;
+///
+/// let tech = Technology::soi45();
+/// let bias = AdaptiveSwingBias::paper_default(&tech);
+/// let nominal = bias.target_swing(&GlobalVariation::nominal());
+/// assert!((nominal.millivolts() - 350.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveSwingBias {
+    reference: OgueyReference,
+    /// Swing delivered on a typical die.
+    nominal_swing: Voltage,
+    /// Fraction of M1's threshold shift that is added to the swing
+    /// (1.0 = perfect tracking; silicon implementations are slightly under).
+    tracking_gain: f64,
+    /// Hard floor below which the generator will not regulate.
+    min_swing: Voltage,
+    /// Hard ceiling (cannot exceed what the NMOS pull-up can deliver).
+    max_swing: Voltage,
+}
+
+impl AdaptiveSwingBias {
+    /// The paper's design point: 350 mV nominal swing with near-unity
+    /// tracking of M1's threshold.
+    pub fn paper_default(tech: &Technology) -> Self {
+        let min_swing = Voltage::from_millivolts(150.0);
+        Self {
+            reference: OgueyReference::paper_default(),
+            nominal_swing: tech.nominal_swing,
+            tracking_gain: 0.9,
+            min_swing,
+            // Deeply scaled rails leave no headroom; the regulator floor
+            // then coincides with its ceiling (and the link simply fails
+            // to signal, which the sweep reports honestly).
+            max_swing: (tech.vdd - Voltage::from_millivolts(200.0)).max(min_swing),
+        }
+    }
+
+    /// Creates a generator with an explicit nominal swing (used for the
+    /// Fig. 6 swing sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nominal_swing` is not strictly positive.
+    pub fn with_nominal_swing(tech: &Technology, nominal_swing: Voltage) -> Self {
+        assert!(
+            nominal_swing.volts() > 0.0,
+            "nominal swing must be positive"
+        );
+        Self {
+            nominal_swing,
+            ..Self::paper_default(tech)
+        }
+    }
+
+    /// The underlying current reference.
+    pub fn reference(&self) -> &OgueyReference {
+        &self.reference
+    }
+
+    /// Nominal (typical-die) swing.
+    pub fn nominal_swing(&self) -> Voltage {
+        self.nominal_swing
+    }
+
+    /// Target swing on a die with the given global variation: the nominal
+    /// swing plus (tracked) M1 threshold shift, clamped to the regulator's
+    /// range.
+    ///
+    /// High-Vth die → larger swing (sensitivity preserved); low-Vth die →
+    /// smaller swing (energy saved). This is the Sec. III-C behaviour.
+    pub fn target_swing(&self, var: &GlobalVariation) -> Voltage {
+        let tracked = self.nominal_swing + var.dvth_n * self.tracking_gain;
+        tracked.clamp(self.min_swing, self.max_swing)
+    }
+
+    /// Static power of the bias generator (shared across a router's links).
+    pub fn power(&self) -> Power {
+        self.reference.power
+    }
+
+    /// The bias power as a fraction of a total link-power budget —
+    /// the paper quotes 0.6 % for a 64-bit 10 mm link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is not strictly positive.
+    pub fn power_fraction_of(&self, total: Power) -> f64 {
+        assert!(total.watts() > 0.0, "total power must be positive");
+        self.reference.power.watts() / total.watts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bias() -> AdaptiveSwingBias {
+        AdaptiveSwingBias::paper_default(&Technology::soi45())
+    }
+
+    #[test]
+    fn nominal_die_gets_nominal_swing() {
+        let b = bias();
+        assert_eq!(b.target_swing(&GlobalVariation::nominal()), b.nominal_swing());
+    }
+
+    #[test]
+    fn high_vth_die_gets_more_swing() {
+        let b = bias();
+        let slow = GlobalVariation {
+            dvth_n: Voltage::from_millivolts(60.0),
+            ..GlobalVariation::nominal()
+        };
+        let swing = b.target_swing(&slow);
+        assert!(swing > b.nominal_swing());
+        // 90 % tracking of a 60 mV shift = +54 mV.
+        assert!((swing.millivolts() - 404.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn low_vth_die_gets_less_swing() {
+        let b = bias();
+        let fast = GlobalVariation {
+            dvth_n: Voltage::from_millivolts(-60.0),
+            ..GlobalVariation::nominal()
+        };
+        assert!(b.target_swing(&fast) < b.nominal_swing());
+    }
+
+    #[test]
+    fn swing_is_clamped_to_regulator_range() {
+        let b = bias();
+        let extreme = GlobalVariation {
+            dvth_n: Voltage::from_volts(-3.0),
+            ..GlobalVariation::nominal()
+        };
+        assert_eq!(b.target_swing(&extreme), Voltage::from_millivolts(150.0));
+        let extreme_hi = GlobalVariation {
+            dvth_n: Voltage::from_volts(3.0),
+            ..GlobalVariation::nominal()
+        };
+        assert_eq!(
+            b.target_swing(&extreme_hi),
+            Voltage::from_volts(0.8) - Voltage::from_millivolts(200.0)
+        );
+    }
+
+    #[test]
+    fn reference_current_ignores_vth_shifts() {
+        let r = OgueyReference::paper_default();
+        let vth_only = GlobalVariation {
+            dvth_n: Voltage::from_millivolts(90.0),
+            dvth_p: Voltage::from_millivolts(-90.0),
+            ..GlobalVariation::nominal()
+        };
+        assert_eq!(r.output_current(&vth_only), r.nominal);
+    }
+
+    #[test]
+    fn reference_current_has_small_drive_sensitivity() {
+        let r = OgueyReference::paper_default();
+        let strong = GlobalVariation {
+            drive_mult_n: 1.2,
+            ..GlobalVariation::nominal()
+        };
+        let i = r.output_current(&strong);
+        let rel = (i / r.nominal - 1.0).abs();
+        assert!(rel < 0.02, "residual sensitivity too large: {rel}");
+        assert!(rel > 0.0);
+    }
+
+    #[test]
+    fn paper_bias_power_fraction() {
+        // 64-bit 10 mm link at 1.66 mW per bit-lane ~ 106 mW; 587 uW is ~0.6 %.
+        let b = bias();
+        let total = Power::from_milliwatts(1.66) * 64.0;
+        let frac = b.power_fraction_of(total);
+        assert!((frac - 0.0055).abs() < 0.001, "fraction = {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "total power must be positive")]
+    fn power_fraction_rejects_zero_total() {
+        let _ = bias().power_fraction_of(Power::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "swing must be positive")]
+    fn zero_nominal_swing_rejected() {
+        let _ = AdaptiveSwingBias::with_nominal_swing(&Technology::soi45(), Voltage::zero());
+    }
+}

@@ -1,0 +1,132 @@
+//! Named process corners.
+//!
+//! Corners are deterministic, extreme instances of [`GlobalVariation`]:
+//! the five classic die-to-die points the paper's Sec. III sweeps when it
+//! describes the single-delay-cell failure (slow dice shrink pulses, fast
+//! dice widen them) and the two inverter-driver failure modes (weak PMOS /
+//! strong PMOS with weak NMOS).
+
+use crate::technology::Technology;
+use crate::variation::GlobalVariation;
+
+/// The five classic global process corners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcessCorner {
+    /// Typical NMOS, typical PMOS.
+    Typical,
+    /// Fast NMOS, fast PMOS.
+    FastFast,
+    /// Slow NMOS, slow PMOS.
+    SlowSlow,
+    /// Fast NMOS, slow PMOS.
+    FastSlow,
+    /// Slow NMOS, fast PMOS.
+    SlowFast,
+}
+
+impl ProcessCorner {
+    /// All five corners, in conventional order.
+    pub const ALL: [Self; 5] = [
+        Self::Typical,
+        Self::FastFast,
+        Self::SlowSlow,
+        Self::FastSlow,
+        Self::SlowFast,
+    ];
+
+    /// The short PDK-style name (`TT`, `FF`, `SS`, `FS`, `SF`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Self::Typical => "TT",
+            Self::FastFast => "FF",
+            Self::SlowSlow => "SS",
+            Self::FastSlow => "FS",
+            Self::SlowFast => "SF",
+        }
+    }
+
+    /// Signs of the (NMOS, PMOS) speed deviation: `+1` fast, `-1` slow.
+    fn signs(self) -> (f64, f64) {
+        match self {
+            Self::Typical => (0.0, 0.0),
+            Self::FastFast => (1.0, 1.0),
+            Self::SlowSlow => (-1.0, -1.0),
+            Self::FastSlow => (1.0, -1.0),
+            Self::SlowFast => (-1.0, 1.0),
+        }
+    }
+
+    /// Materialises the corner as a [`GlobalVariation`] using the
+    /// technology's corner magnitudes (a corner sits at ±3σ of the
+    /// die-to-die distribution).
+    pub fn variation(self, tech: &Technology) -> GlobalVariation {
+        let (sn, sp) = self.signs();
+        let dvth = tech.global_sigma_vth.volts() * 3.0;
+        let dmult = tech.global_sigma_drive * 3.0;
+        GlobalVariation {
+            // Fast = lower threshold, stronger drive.
+            dvth_n: srlr_units::Voltage::from_volts(-sn * dvth),
+            dvth_p: srlr_units::Voltage::from_volts(-sp * dvth),
+            drive_mult_n: 1.0 + sn * dmult,
+            drive_mult_p: 1.0 + sp * dmult,
+            wire_r_mult: 1.0,
+            wire_c_mult: 1.0,
+        }
+    }
+}
+
+impl core::fmt::Display for ProcessCorner {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_is_nominal() {
+        let tech = Technology::soi45();
+        assert_eq!(
+            ProcessCorner::Typical.variation(&tech),
+            GlobalVariation::nominal()
+        );
+    }
+
+    #[test]
+    fn ff_is_fast_ss_is_slow() {
+        let tech = Technology::soi45();
+        let ff = ProcessCorner::FastFast.variation(&tech);
+        let ss = ProcessCorner::SlowSlow.variation(&tech);
+        assert!(ff.speed_index() > 0.0);
+        assert!(ss.speed_index() < 0.0);
+        assert!(ff.dvth_n.volts() < 0.0);
+        assert!(ss.dvth_n.volts() > 0.0);
+    }
+
+    #[test]
+    fn skew_corners_oppose() {
+        let tech = Technology::soi45();
+        let fs = ProcessCorner::FastSlow.variation(&tech);
+        assert!(fs.dvth_n.volts() < 0.0, "fast NMOS lowers Vth_n");
+        assert!(fs.dvth_p.volts() > 0.0, "slow PMOS raises Vth_p");
+        let sf = ProcessCorner::SlowFast.variation(&tech);
+        assert!(sf.dvth_n.volts() > 0.0);
+        assert!(sf.dvth_p.volts() < 0.0);
+    }
+
+    #[test]
+    fn corners_are_physical() {
+        let tech = Technology::soi45();
+        for c in ProcessCorner::ALL {
+            assert!(c.variation(&tech).is_physical(), "{c} not physical");
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        assert_eq!(ProcessCorner::FastSlow.to_string(), "FS");
+        assert_eq!(ProcessCorner::ALL.len(), 5);
+    }
+}

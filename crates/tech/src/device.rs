@@ -1,0 +1,245 @@
+//! Sized device instances: a [`MosfetModel`] plus drawn geometry and any
+//! per-instance (local) threshold shift.
+
+use crate::mosfet::MosfetModel;
+use srlr_units::{Capacitance, Current, Resistance, Voltage};
+
+/// Which flavour a [`Device`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosKind {
+    /// N-channel device: conducts when the gate is high relative to source.
+    Nmos,
+    /// P-channel device: conducts when the gate is low relative to source.
+    Pmos,
+}
+
+impl core::fmt::Display for MosKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Nmos => f.write_str("NMOS"),
+            Self::Pmos => f.write_str("PMOS"),
+        }
+    }
+}
+
+/// A sized transistor instance.
+///
+/// Widths and lengths are stored in metres. The instance carries its own
+/// copy of the model so global-corner and local-mismatch shifts can be
+/// applied per device.
+///
+/// # Examples
+///
+/// ```
+/// use srlr_tech::{Device, MosKind, MosfetModel};
+/// use srlr_units::Voltage;
+///
+/// let m1 = Device::new(MosKind::Nmos, MosfetModel::nmos_soi45(), 0.6e-6, 45e-9);
+/// let i = m1.drain_current(Voltage::from_volts(0.8), Voltage::from_volts(0.4));
+/// assert!(i.microamperes() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    kind: MosKind,
+    model: MosfetModel,
+    width_m: f64,
+    length_m: f64,
+}
+
+impl Device {
+    /// Creates a device with the given drawn width and length in metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if width or length is not strictly positive and finite.
+    pub fn new(kind: MosKind, model: MosfetModel, width_m: f64, length_m: f64) -> Self {
+        assert!(
+            width_m > 0.0 && width_m.is_finite(),
+            "device width must be positive"
+        );
+        assert!(
+            length_m > 0.0 && length_m.is_finite(),
+            "device length must be positive"
+        );
+        Self {
+            kind,
+            model,
+            width_m,
+            length_m,
+        }
+    }
+
+    /// The device flavour.
+    pub fn kind(&self) -> MosKind {
+        self.kind
+    }
+
+    /// The underlying model (with any variation already folded in).
+    pub fn model(&self) -> &MosfetModel {
+        &self.model
+    }
+
+    /// Drawn width in metres.
+    pub fn width_m(&self) -> f64 {
+        self.width_m
+    }
+
+    /// Drawn length in metres.
+    pub fn length_m(&self) -> f64 {
+        self.length_m
+    }
+
+    /// `W/L` ratio.
+    pub fn ratio(&self) -> f64 {
+        self.width_m / self.length_m
+    }
+
+    /// Effective threshold voltage (magnitude) including variation.
+    pub fn vth(&self) -> Voltage {
+        self.model.vth0
+    }
+
+    /// Drain current magnitude in the source frame: `vgs`/`vds` are
+    /// magnitudes relative to the source terminal (for PMOS the caller maps
+    /// `vsg`/`vsd` here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vds` is negative; canonicalise terminal order first.
+    pub fn drain_current(&self, vgs: Voltage, vds: Voltage) -> Current {
+        self.model.drain_current_per_ratio(vgs, vds) * self.ratio()
+    }
+
+    /// Total gate capacitance.
+    pub fn gate_capacitance(&self) -> Capacitance {
+        self.model.gate_capacitance(self.width_m, self.length_m)
+    }
+
+    /// Drain diffusion capacitance.
+    pub fn drain_capacitance(&self) -> Capacitance {
+        self.model.junction_capacitance(self.width_m)
+    }
+
+    /// Off-state leakage (`Vgs = 0`, `Vds = VDD`) of this device.
+    pub fn off_current(&self) -> Current {
+        Current::from_amperes(self.model.off_current_per_width * self.width_m)
+    }
+
+    /// Effective switching resistance at full gate drive `vdd`:
+    /// a secant approximation `R ≈ (vdd/2) / Id(vdd, vdd/2)` commonly used
+    /// for RC delay estimation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device conducts no current at full drive (e.g. `vdd`
+    /// far below threshold), which would make the resistance unbounded.
+    pub fn effective_resistance(&self, vdd: Voltage) -> Resistance {
+        let half = vdd / 2.0;
+        let i = self.drain_current(vdd, half);
+        // Below a picoamp the device is effectively cut off and a "switch
+        // resistance" is meaningless.
+        assert!(
+            i.amperes() > 1e-12,
+            "effective_resistance: device does not conduct at vdd={vdd}"
+        );
+        Resistance::from_ohms(half.volts() / i.amperes())
+    }
+
+    /// Returns a copy with an extra threshold shift and drive multiplier
+    /// (used to fold in global corners and local mismatch).
+    #[must_use]
+    pub fn with_variation(&self, dvth: Voltage, drive_mult: f64) -> Self {
+        Self {
+            model: self.model.with_variation(dvth, drive_mult),
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy scaled to a different drawn width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_m` is not strictly positive and finite.
+    #[must_use]
+    pub fn with_width(&self, width_m: f64) -> Self {
+        assert!(
+            width_m > 0.0 && width_m.is_finite(),
+            "device width must be positive"
+        );
+        Self {
+            width_m,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srlr_units::Voltage;
+
+    fn unit_nmos() -> Device {
+        Device::new(MosKind::Nmos, MosfetModel::nmos_soi45(), 1.0e-6, 45e-9)
+    }
+
+    #[test]
+    fn current_scales_with_width() {
+        let d1 = unit_nmos();
+        let d2 = d1.with_width(2.0e-6);
+        let vg = Voltage::from_volts(0.8);
+        let vd = Voltage::from_volts(0.4);
+        let i1 = d1.drain_current(vg, vd);
+        let i2 = d2.drain_current(vg, vd);
+        assert!((i2.amperes() / i1.amperes() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effective_resistance_is_positive_and_reasonable() {
+        let r = unit_nmos().effective_resistance(Voltage::from_volts(0.8));
+        // A 1 um NMOS at 45 nm should switch with hundreds of ohms to a few kOhm.
+        assert!(r.ohms() > 100.0 && r.ohms() < 5000.0, "R = {r}");
+    }
+
+    #[test]
+    fn wider_device_has_lower_resistance() {
+        let narrow = unit_nmos();
+        let wide = narrow.with_width(4.0e-6);
+        let vdd = Voltage::from_volts(0.8);
+        assert!(wide.effective_resistance(vdd) < narrow.effective_resistance(vdd));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not conduct")]
+    fn effective_resistance_rejects_cut_off_device() {
+        // A device whose threshold is far above vdd conducts ~nothing.
+        let dead = unit_nmos().with_variation(Voltage::from_volts(5.0), 1.0);
+        let _ = dead.effective_resistance(Voltage::from_volts(0.8));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_is_rejected() {
+        let _ = Device::new(MosKind::Nmos, MosfetModel::nmos_soi45(), 0.0, 45e-9);
+    }
+
+    #[test]
+    fn variation_raises_vth() {
+        let d = unit_nmos().with_variation(Voltage::from_millivolts(30.0), 1.0);
+        assert!((d.vth().millivolts() - 350.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacitances_track_geometry() {
+        let d = unit_nmos();
+        assert!(d.gate_capacitance().femtofarads() > 0.3);
+        assert!(d.drain_capacitance().femtofarads() > 0.3);
+        let wide = d.with_width(2e-6);
+        assert!(wide.gate_capacitance() > d.gate_capacitance());
+    }
+
+    #[test]
+    fn display_kind() {
+        assert_eq!(MosKind::Nmos.to_string(), "NMOS");
+        assert_eq!(MosKind::Pmos.to_string(), "PMOS");
+    }
+}

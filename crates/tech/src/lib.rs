@@ -1,0 +1,59 @@
+//! A 45nm-SOI-like technology model for the SRLR reproduction.
+//!
+//! The paper's circuits were designed against a foundry 45 nm SOI CMOS PDK.
+//! That PDK is proprietary, so this crate provides the closest open
+//! substitute: first-order, continuous device and wire models that preserve
+//! every dependency the paper's arguments rely on —
+//!
+//! * drain current that grows with overdrive and weakens with threshold
+//!   voltage ([`mosfet`], Sakurai–Newton alpha-power law with a smooth
+//!   subthreshold tail),
+//! * wire resistance/capacitance derived from drawn geometry ([`wire`]),
+//!   giving the RC channel attenuation that produces the low swing,
+//! * die-to-die ("global") process corners and within-die ("local")
+//!   Pelgrom mismatch ([`corner`], [`variation`]), and a deterministic,
+//!   seedable Monte Carlo sampler ([`montecarlo`]),
+//! * an Oguey-style process-tolerant bias current reference and the adaptive
+//!   swing-voltage generator built on it ([`bias`]).
+//!
+//! Everything is bundled by [`Technology`], whose [`Technology::soi45`]
+//! constructor is calibrated so the nominal SRLR design point reproduces the
+//! paper's measured numbers (4.1 Gb/s, 40.4 fJ/bit/mm at 0.8 V).
+//!
+//! # Examples
+//!
+//! ```
+//! use srlr_tech::{Technology, ProcessCorner};
+//! use srlr_units::Voltage;
+//!
+//! let tech = Technology::soi45();
+//! assert_eq!(tech.vdd, Voltage::from_volts(0.8));
+//!
+//! // A slow corner raises thresholds and weakens drive.
+//! let ss = ProcessCorner::SlowSlow.variation(&tech);
+//! assert!(ss.dvth_n.volts() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bias;
+pub mod corner;
+pub mod device;
+pub mod montecarlo;
+pub mod mosfet;
+pub mod repeater;
+pub mod technology;
+pub mod temperature;
+pub mod variation;
+pub mod wire;
+
+pub use bias::{AdaptiveSwingBias, OgueyReference};
+pub use corner::ProcessCorner;
+pub use device::{Device, MosKind};
+pub use montecarlo::MonteCarlo;
+pub use mosfet::MosfetModel;
+pub use technology::Technology;
+pub use temperature::Temperature;
+pub use variation::{GlobalVariation, LocalMismatch};
+pub use wire::{WireGeometry, WireRc};

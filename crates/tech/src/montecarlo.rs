@@ -1,0 +1,281 @@
+//! Deterministic, seedable Monte Carlo sampling of process variation.
+//!
+//! The paper's Fig. 6 is built from 1000-run Monte Carlo simulations; this
+//! module reproduces that experiment protocol. Gaussian variates come from
+//! a built-in Box–Muller transform so no statistics crate is needed and
+//! the stream is fully determined by the seed.
+
+use crate::technology::Technology;
+use crate::variation::{GlobalVariation, LocalMismatch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use srlr_units::Voltage;
+
+/// A bare deterministic Gaussian stream (Box–Muller over a seeded
+/// `StdRng`) for callers that need noise without the full
+/// process-variation machinery (e.g. timing jitter).
+#[derive(Debug, Clone)]
+pub struct GaussianRng {
+    rng: StdRng,
+    spare: Option<f64>,
+}
+
+impl GaussianRng {
+    /// Creates a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// Draws one standard Gaussian variate.
+    pub fn sample(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        let u1: f64 = 1.0 - self.rng.random::<f64>();
+        let u2: f64 = self.rng.random::<f64>();
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let angle = 2.0 * core::f64::consts::PI * u2;
+        self.spare = Some(radius * angle.sin());
+        radius * angle.cos()
+    }
+}
+
+/// A deterministic Monte Carlo sampler over [`GlobalVariation`] dice, with
+/// helpers for drawing per-device local mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use srlr_tech::{MonteCarlo, Technology};
+///
+/// let tech = Technology::soi45();
+/// let mut mc = MonteCarlo::new(&tech, 42);
+/// let dice: Vec<_> = mc.dice(1000).collect();
+/// assert_eq!(dice.len(), 1000);
+/// assert!(dice.iter().all(|d| d.is_physical()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MonteCarlo {
+    rng: StdRng,
+    sigma_vth: Voltage,
+    sigma_drive: f64,
+    sigma_wire: f64,
+    mismatch: LocalMismatch,
+    spare_gaussian: Option<f64>,
+}
+
+impl MonteCarlo {
+    /// Creates a sampler for the given technology, seeded deterministically.
+    pub fn new(tech: &Technology, seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            sigma_vth: tech.global_sigma_vth,
+            sigma_drive: tech.global_sigma_drive,
+            sigma_wire: tech.global_sigma_wire,
+            mismatch: tech.local_mismatch,
+            spare_gaussian: None,
+        }
+    }
+
+    /// Draws one standard Gaussian variate (Box–Muller, cached pair).
+    pub fn standard_gaussian(&mut self) -> f64 {
+        if let Some(z) = self.spare_gaussian.take() {
+            return z;
+        }
+        // Box-Muller needs u1 in (0, 1]; random() yields [0, 1).
+        let u1: f64 = 1.0 - self.rng.random::<f64>();
+        let u2: f64 = self.rng.random::<f64>();
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let angle = 2.0 * core::f64::consts::PI * u2;
+        self.spare_gaussian = Some(radius * angle.sin());
+        radius * angle.cos()
+    }
+
+    /// Samples one die's global variation.
+    pub fn sample_die(&mut self) -> GlobalVariation {
+        // Multipliers are clamped away from zero so extreme tails stay
+        // physical; +/-4 sigma is far beyond the corners we model.
+        let clamp_mult = |m: f64| m.clamp(0.5, 1.5);
+        GlobalVariation {
+            dvth_n: Voltage::from_volts(self.standard_gaussian() * self.sigma_vth.volts()),
+            dvth_p: Voltage::from_volts(self.standard_gaussian() * self.sigma_vth.volts()),
+            drive_mult_n: clamp_mult(1.0 + self.standard_gaussian() * self.sigma_drive),
+            drive_mult_p: clamp_mult(1.0 + self.standard_gaussian() * self.sigma_drive),
+            wire_r_mult: clamp_mult(1.0 + self.standard_gaussian() * self.sigma_wire),
+            wire_c_mult: clamp_mult(1.0 + self.standard_gaussian() * self.sigma_wire),
+        }
+    }
+
+    /// An iterator over `n` sampled dice.
+    pub fn dice(&mut self, n: usize) -> impl Iterator<Item = GlobalVariation> + '_ {
+        (0..n).map(move |_| self.sample_die())
+    }
+
+    /// Samples a local threshold shift for a device of the given drawn
+    /// dimensions (metres).
+    pub fn sample_local_vth(&mut self, width_m: f64, length_m: f64) -> Voltage {
+        let sigma = self.mismatch.sigma_vth(width_m, length_m);
+        Voltage::from_volts(self.standard_gaussian() * sigma.volts())
+    }
+
+    /// Samples a local drive multiplier for a device of the given drawn
+    /// dimensions (metres); clamped to stay positive.
+    pub fn sample_local_drive(&mut self, width_m: f64, length_m: f64) -> f64 {
+        let sigma = self.mismatch.sigma_drive(width_m, length_m);
+        (1.0 + self.standard_gaussian() * sigma).max(0.1)
+    }
+}
+
+/// Summary statistics of an error-counting Monte Carlo experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorProbability {
+    /// Number of failing trials.
+    pub failures: usize,
+    /// Total number of trials.
+    pub trials: usize,
+}
+
+impl ErrorProbability {
+    /// Point estimate of the failure probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero.
+    pub fn estimate(self) -> f64 {
+        assert!(self.trials > 0, "error probability needs at least one trial");
+        self.failures as f64 / self.trials as f64
+    }
+
+    /// Wilson-score 95 % upper bound on the failure probability — the
+    /// honest number to report when zero failures were observed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero.
+    pub fn upper_bound_95(self) -> f64 {
+        assert!(self.trials > 0, "error probability needs at least one trial");
+        let n = self.trials as f64;
+        let p = self.failures as f64 / n;
+        let z = 1.96_f64;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let centre = p + z2 / (2.0 * n);
+        let spread = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        ((centre + spread) / denom).min(1.0)
+    }
+}
+
+impl core::fmt::Display for ErrorProbability {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}/{} ({:.3e})", self.failures, self.trials, self.estimate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sampler(seed: u64) -> MonteCarlo {
+        MonteCarlo::new(&Technology::soi45(), seed)
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a: Vec<_> = sampler(7).dice(16).collect();
+        let b: Vec<_> = sampler(7).dice(16).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<_> = sampler(1).dice(8).collect();
+        let b: Vec<_> = sampler(2).dice(8).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut mc = sampler(99);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| mc.standard_gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn dice_are_always_physical() {
+        let mut mc = sampler(1234);
+        for die in mc.dice(5000) {
+            assert!(die.is_physical());
+        }
+    }
+
+    #[test]
+    fn vth_shifts_have_requested_spread() {
+        let tech = Technology::soi45();
+        let mut mc = MonteCarlo::new(&tech, 5);
+        let n = 10_000;
+        let shifts: Vec<f64> = (0..n).map(|_| mc.sample_die().dvth_n.volts()).collect();
+        let var = shifts.iter().map(|x| x * x).sum::<f64>() / n as f64;
+        let sigma = var.sqrt();
+        let expect = tech.global_sigma_vth.volts();
+        assert!((sigma - expect).abs() < expect * 0.1, "sigma = {sigma}");
+    }
+
+    #[test]
+    fn local_mismatch_scales_with_area() {
+        let mut mc = sampler(11);
+        let n = 5000;
+        let spread = |mc: &mut MonteCarlo, w: f64| {
+            let v: Vec<f64> = (0..n).map(|_| mc.sample_local_vth(w, 45e-9).volts()).collect();
+            (v.iter().map(|x| x * x).sum::<f64>() / n as f64).sqrt()
+        };
+        let small = spread(&mut mc, 0.2e-6);
+        let large = spread(&mut mc, 3.2e-6);
+        assert!(small > large * 2.0, "small {small} vs large {large}");
+    }
+
+    #[test]
+    fn error_probability_estimate_and_bound() {
+        let p = ErrorProbability {
+            failures: 3,
+            trials: 1000,
+        };
+        assert!((p.estimate() - 0.003).abs() < 1e-12);
+        assert!(p.upper_bound_95() > p.estimate());
+        assert!(p.upper_bound_95() < 0.02);
+
+        let zero = ErrorProbability {
+            failures: 0,
+            trials: 1000,
+        };
+        assert_eq!(zero.estimate(), 0.0);
+        // Rule-of-three-ish: upper bound near 3.8/n for Wilson at 95 %.
+        assert!(zero.upper_bound_95() < 0.006);
+        assert!(zero.upper_bound_95() > 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let _ = ErrorProbability {
+            failures: 0,
+            trials: 0,
+        }
+        .estimate();
+    }
+
+    #[test]
+    fn display_format() {
+        let p = ErrorProbability {
+            failures: 1,
+            trials: 100,
+        };
+        assert_eq!(p.to_string(), "1/100 (1.000e-2)");
+    }
+}

@@ -1,0 +1,307 @@
+//! The Sakurai–Newton alpha-power-law MOSFET model.
+//!
+//! Short-channel devices do not follow the square law; the alpha-power law
+//! (`Id ∝ (Vgs − Vth)^α` with `α ≈ 1.3`) captures velocity saturation with
+//! two fitted parameters and is the standard first-order model for delay and
+//! drive-strength reasoning. Below threshold the current decays
+//! exponentially with the usual subthreshold slope; the two regions are
+//! stitched continuously so transient integration never sees a current jump.
+
+use srlr_units::{Capacitance, Current, Voltage};
+
+/// Thermal voltage kT/q at 300 K.
+pub const THERMAL_VOLTAGE: Voltage = Voltage::new(0.02585);
+
+/// Process parameters of one MOSFET flavour (NMOS or PMOS), in the source
+/// frame: all voltages are magnitudes relative to the source terminal, so
+/// the same equations serve both polarities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosfetModel {
+    /// Zero-bias threshold voltage (magnitude).
+    pub vth0: Voltage,
+    /// Drive factor: saturation current per unit W/L ratio at 1 V overdrive.
+    pub drive_factor: Current,
+    /// Velocity-saturation index alpha (2.0 = long channel, ~1.2–1.4 at 45 nm).
+    pub alpha: f64,
+    /// Saturation-voltage factor: `Vdsat = kv * (Vgs − Vth)^(alpha/2)`.
+    pub vdsat_factor: f64,
+    /// Channel-length modulation, 1/V (`Id` grows by `lambda·Vds` in saturation).
+    pub lambda: f64,
+    /// Subthreshold slope factor n (slope = n · ln(10) · kT/q per decade).
+    pub subthreshold_n: f64,
+    /// Gate capacitance per unit gate area (F/m²), including poly depletion.
+    pub cox: f64,
+    /// Overlap + fringe gate capacitance per unit gate width (F/m).
+    pub c_overlap_per_width: f64,
+    /// Drain/source junction capacitance per unit width (F/m).
+    pub c_junction_per_width: f64,
+    /// Off-state (Vgs = 0, Vds = VDD) leakage per unit width (A/m) — the
+    /// datasheet `I_off` spec; the smooth subthreshold tail above is for
+    /// transient continuity, not leakage-power accounting.
+    pub off_current_per_width: f64,
+}
+
+impl MosfetModel {
+    /// NMOS parameters for the 45nm-SOI-like process.
+    ///
+    /// Calibrated to ≈0.7 mA/um drive at Vgs = Vds = 0.8 V.
+    pub fn nmos_soi45() -> Self {
+        Self {
+            vth0: Voltage::from_millivolts(320.0),
+            drive_factor: Current::from_microamperes(82.0),
+            alpha: 1.3,
+            vdsat_factor: 0.9,
+            lambda: 0.15,
+            subthreshold_n: 1.4,
+            cox: 1.5e-2,
+            c_overlap_per_width: 0.35e-9,
+            c_junction_per_width: 0.5e-9,
+            // 30 nA/um, a typical standard-Vt 45 nm spec.
+            off_current_per_width: 0.030,
+        }
+    }
+
+    /// PMOS parameters for the 45nm-SOI-like process (≈0.45x NMOS drive).
+    pub fn pmos_soi45() -> Self {
+        Self {
+            vth0: Voltage::from_millivolts(340.0),
+            drive_factor: Current::from_microamperes(38.0),
+            alpha: 1.35,
+            vdsat_factor: 1.0,
+            lambda: 0.18,
+            subthreshold_n: 1.45,
+            cox: 1.5e-2,
+            c_overlap_per_width: 0.35e-9,
+            c_junction_per_width: 0.55e-9,
+            off_current_per_width: 0.020,
+        }
+    }
+
+    /// Saturation drain-source voltage at the given overdrive.
+    ///
+    /// Returns zero for non-positive overdrive (the device is then in its
+    /// subthreshold region and `Vdsat` is not meaningful).
+    pub fn vdsat(&self, overdrive: Voltage) -> Voltage {
+        if overdrive.volts() <= 0.0 {
+            return Voltage::zero();
+        }
+        Voltage::from_volts(self.vdsat_factor * overdrive.volts().powf(self.alpha / 2.0))
+    }
+
+    /// Drain current per unit `W/L` ratio, in the source frame.
+    ///
+    /// `vgs` and `vds` are magnitudes (PMOS callers negate externally);
+    /// `vds` must be non-negative — the caller canonicalises terminal order.
+    /// The result is continuous in both arguments across the
+    /// subthreshold/strong-inversion boundary and the linear/saturation
+    /// boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vds` is negative (callers must swap drain and source
+    /// first; MOSFETs are symmetric devices).
+    pub fn drain_current_per_ratio(&self, vgs: Voltage, vds: Voltage) -> Current {
+        assert!(
+            vds.volts() >= 0.0,
+            "drain_current_per_ratio requires canonical vds >= 0"
+        );
+        if vds.volts() == 0.0 {
+            return Current::zero();
+        }
+        let overdrive = vgs - self.vth0;
+        // Smoothing width around threshold: a couple of thermal voltages.
+        let smooth = THERMAL_VOLTAGE.volts() * self.subthreshold_n;
+        // Effective overdrive via softplus, continuous through Vth.
+        let x = overdrive.volts() / smooth;
+        let eff_overdrive = if x > 30.0 {
+            overdrive.volts()
+        } else {
+            smooth * x.exp().ln_1p()
+        };
+
+        let vdsat = self.vdsat_factor * eff_overdrive.powf(self.alpha / 2.0);
+        let i_sat = self.drive_factor.amperes() * eff_overdrive.powf(self.alpha);
+
+        let vds_v = vds.volts();
+        let i = if vds_v >= vdsat {
+            // Saturation with channel-length modulation.
+            i_sat * (1.0 + self.lambda * (vds_v - vdsat))
+        } else {
+            // Sakurai-Newton linear region; equals i_sat at vds = vdsat.
+            let r = vds_v / vdsat;
+            i_sat * r * (2.0 - r)
+        };
+
+        // Deep-subthreshold floor: scale down smoothly so currents vanish
+        // as vgs drops far below threshold instead of following the
+        // softplus tail alone.
+        let i = if x < 0.0 {
+            // At vgs == vth the softplus already halves the overdrive, so
+            // only damp the exponential region below threshold.
+            i * (x / self.subthreshold_n).exp().min(1.0)
+        } else {
+            i
+        };
+        Current::from_amperes(i)
+    }
+
+    /// Gate capacitance of a device with the given drawn width and length
+    /// (in metres).
+    pub fn gate_capacitance(&self, width_m: f64, length_m: f64) -> Capacitance {
+        Capacitance::from_farads(self.cox * width_m * length_m + self.c_overlap_per_width * width_m)
+    }
+
+    /// Drain (or source) diffusion capacitance for the given drawn width.
+    pub fn junction_capacitance(&self, width_m: f64) -> Capacitance {
+        Capacitance::from_farads(self.c_junction_per_width * width_m)
+    }
+
+    /// Returns a copy with the threshold voltage shifted by `dvth`
+    /// (process variation) and the drive factor scaled by `drive_mult`.
+    /// Off-current follows the threshold shift exponentially (one
+    /// subthreshold slope per `n·kT/q` of shift).
+    #[must_use]
+    pub fn with_variation(&self, dvth: Voltage, drive_mult: f64) -> Self {
+        let slope = self.subthreshold_n * THERMAL_VOLTAGE.volts();
+        Self {
+            vth0: self.vth0 + dvth,
+            drive_factor: self.drive_factor * drive_mult,
+            off_current_per_width: self.off_current_per_width
+                * (-dvth.volts() / slope).exp(),
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nmos() -> MosfetModel {
+        MosfetModel::nmos_soi45()
+    }
+
+    #[test]
+    fn nominal_drive_current_magnitude() {
+        // W = 1 um, L = 45 nm -> ratio 22.2; expect roughly 0.7 mA at full gate.
+        let m = nmos();
+        let per_ratio = m.drain_current_per_ratio(Voltage::from_volts(0.8), Voltage::from_volts(0.8));
+        let id = per_ratio * (1.0e-6 / 45e-9);
+        assert!(
+            id.milliamperes() > 0.4 && id.milliamperes() < 1.2,
+            "unrealistic drive current {id}"
+        );
+    }
+
+    #[test]
+    fn current_increases_with_vgs() {
+        let m = nmos();
+        let vds = Voltage::from_volts(0.4);
+        let mut last = Current::zero();
+        for mv in (100..=800).step_by(50) {
+            let i = m.drain_current_per_ratio(Voltage::from_millivolts(f64::from(mv)), vds);
+            assert!(i >= last, "current must be monotone in vgs");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn current_increases_with_vds_up_to_saturation() {
+        let m = nmos();
+        let vgs = Voltage::from_volts(0.8);
+        let mut last = Current::zero();
+        for mv in (0..=800).step_by(25) {
+            let i = m.drain_current_per_ratio(vgs, Voltage::from_millivolts(f64::from(mv)));
+            assert!(i >= last * 0.9999, "current must be ~monotone in vds");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn zero_vds_gives_zero_current() {
+        let m = nmos();
+        let i = m.drain_current_per_ratio(Voltage::from_volts(0.8), Voltage::zero());
+        assert_eq!(i, Current::zero());
+    }
+
+    #[test]
+    fn subthreshold_current_is_small_but_nonzero() {
+        let m = nmos();
+        let on = m.drain_current_per_ratio(Voltage::from_volts(0.8), Voltage::from_volts(0.4));
+        let off = m.drain_current_per_ratio(Voltage::from_volts(0.1), Voltage::from_volts(0.4));
+        assert!(off.amperes() > 0.0);
+        assert!(off.amperes() < on.amperes() * 1e-3, "off {off} vs on {on}");
+    }
+
+    #[test]
+    fn continuity_across_threshold() {
+        // No jumps bigger than a few percent per millivolt near Vth.
+        let m = nmos();
+        let vds = Voltage::from_volts(0.3);
+        let mut last: Option<f64> = None;
+        for step in 0..200 {
+            let vgs = Voltage::from_millivolts(220.0 + f64::from(step));
+            let i = m.drain_current_per_ratio(vgs, vds).amperes();
+            if let Some(prev) = last {
+                assert!(
+                    (i - prev).abs() <= prev.max(1e-12) * 0.12,
+                    "current jump at vgs={vgs}: {prev} -> {i}"
+                );
+            }
+            last = Some(i);
+        }
+    }
+
+    #[test]
+    fn continuity_across_vdsat() {
+        let m = nmos();
+        let vgs = Voltage::from_volts(0.6);
+        let vdsat = m.vdsat(vgs - m.vth0);
+        let eps = Voltage::from_microvolts(10.0);
+        let below = m.drain_current_per_ratio(vgs, vdsat - eps).amperes();
+        let above = m.drain_current_per_ratio(vgs, vdsat + eps).amperes();
+        assert!((below - above).abs() < below * 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "canonical vds")]
+    fn negative_vds_is_rejected() {
+        let m = nmos();
+        let _ = m.drain_current_per_ratio(Voltage::from_volts(0.8), Voltage::from_volts(-0.1));
+    }
+
+    #[test]
+    fn variation_shifts_threshold_and_drive() {
+        let m = nmos();
+        let varied = m.with_variation(Voltage::from_millivolts(50.0), 0.9);
+        assert_eq!(varied.vth0, Voltage::from_millivolts(370.0));
+        let base = m.drain_current_per_ratio(Voltage::from_volts(0.8), Voltage::from_volts(0.8));
+        let slow = varied.drain_current_per_ratio(Voltage::from_volts(0.8), Voltage::from_volts(0.8));
+        assert!(slow < base);
+    }
+
+    #[test]
+    fn pmos_is_weaker_than_nmos() {
+        let n = MosfetModel::nmos_soi45();
+        let p = MosfetModel::pmos_soi45();
+        let vg = Voltage::from_volts(0.8);
+        let vd = Voltage::from_volts(0.8);
+        assert!(p.drain_current_per_ratio(vg, vd) < n.drain_current_per_ratio(vg, vd));
+    }
+
+    #[test]
+    fn gate_capacitance_scales_with_area() {
+        let m = nmos();
+        let small = m.gate_capacitance(0.5e-6, 45e-9);
+        let big = m.gate_capacitance(1.0e-6, 45e-9);
+        assert!(big.femtofarads() > small.femtofarads() * 1.9);
+        // Around 1 fF/um of width including overlap.
+        assert!(big.femtofarads() > 0.5 && big.femtofarads() < 2.0);
+    }
+
+    #[test]
+    fn vdsat_zero_below_threshold() {
+        let m = nmos();
+        assert_eq!(m.vdsat(Voltage::from_volts(-0.1)), Voltage::zero());
+    }
+}

@@ -1,0 +1,120 @@
+//! The [`Technology`] bundle: every process-level parameter in one place.
+
+use crate::mosfet::MosfetModel;
+use crate::variation::LocalMismatch;
+use crate::wire::WireGeometry;
+use srlr_units::Voltage;
+
+/// A complete technology description.
+///
+/// The `soi45` instance is *calibrated*, not extracted from a PDK: its
+/// parameters were chosen so the nominal SRLR design point lands on the
+/// paper's measured numbers (see `DESIGN.md` §4). All higher-level crates
+/// take a `&Technology`, so alternative processes can be explored by
+/// constructing a modified copy.
+///
+/// # Examples
+///
+/// ```
+/// use srlr_tech::Technology;
+///
+/// let tech = Technology::soi45();
+/// let faster = Technology {
+///     vdd: srlr_units::Voltage::from_volts(1.0),
+///     ..tech
+/// };
+/// assert!(faster.vdd > tech.vdd);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Human-readable process name.
+    pub name: &'static str,
+    /// Nominal supply voltage.
+    pub vdd: Voltage,
+    /// Nominal low-swing target at the SRLR design point.
+    pub nominal_swing: Voltage,
+    /// NMOS model parameters.
+    pub nmos: MosfetModel,
+    /// PMOS model parameters.
+    pub pmos: MosfetModel,
+    /// Minimum drawn channel length (metres).
+    pub min_length_m: f64,
+    /// Default link-wire geometry.
+    pub wire: WireGeometry,
+    /// Die-to-die threshold-voltage sigma (corners sit at 3 sigma).
+    pub global_sigma_vth: Voltage,
+    /// Die-to-die relative drive-strength sigma.
+    pub global_sigma_drive: f64,
+    /// Die-to-die relative wire R/C sigma.
+    pub global_sigma_wire: f64,
+    /// Pelgrom local-mismatch coefficients.
+    pub local_mismatch: LocalMismatch,
+}
+
+impl Technology {
+    /// The 45nm-SOI-like process used throughout the reproduction.
+    pub fn soi45() -> Self {
+        Self {
+            name: "soi45 (45nm SOI CMOS, calibrated first-order models)",
+            vdd: Voltage::from_volts(0.8),
+            nominal_swing: Voltage::from_millivolts(350.0),
+            nmos: MosfetModel::nmos_soi45(),
+            pmos: MosfetModel::pmos_soi45(),
+            min_length_m: 45e-9,
+            wire: WireGeometry::paper_default(),
+            global_sigma_vth: Voltage::from_millivolts(20.0),
+            global_sigma_drive: 0.04,
+            global_sigma_wire: 0.05,
+            local_mismatch: LocalMismatch::soi45(),
+        }
+    }
+}
+
+impl core::fmt::Display for Technology {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} @ VDD={}", self.name, self.vdd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soi45_core_parameters() {
+        let t = Technology::soi45();
+        assert_eq!(t.vdd, Voltage::from_volts(0.8));
+        assert_eq!(t.min_length_m, 45e-9);
+        assert!(t.nominal_swing < t.vdd);
+        assert!(t.nmos.vth0 < t.vdd);
+    }
+
+    #[test]
+    fn corner_magnitude_is_3_sigma_of_global() {
+        let t = Technology::soi45();
+        // 3 sigma of 20 mV = 60 mV corner shift: large enough to matter,
+        // small compared to the 350 mV swing.
+        let corner_shift = t.global_sigma_vth * 3.0;
+        assert!(corner_shift.millivolts() > 30.0);
+        assert!(corner_shift < t.nominal_swing);
+    }
+
+    #[test]
+    fn display_names_process() {
+        let t = Technology::soi45();
+        let s = t.to_string();
+        assert!(s.contains("45nm SOI"));
+        assert!(s.contains("800 mV"));
+    }
+
+    #[test]
+    fn struct_update_syntax_supported() {
+        let t = Technology::soi45();
+        let hv = Technology {
+            vdd: Voltage::from_volts(1.0),
+            ..t.clone()
+        };
+        assert_eq!(hv.nmos, t.nmos);
+        assert_ne!(hv.vdd, t.vdd);
+    }
+}

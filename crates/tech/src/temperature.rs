@@ -1,0 +1,207 @@
+//! Temperature effects, expressed as equivalent process shifts.
+//!
+//! The paper's bias reference is chosen because it is "tolerant of
+//! process and temperature variations" (footnote 3). To exercise that
+//! claim, temperature is folded into the same [`GlobalVariation`]
+//! machinery the corners use: thresholds drop ≈1 mV/K as the die heats
+//! while carrier mobility falls as `(T/300)^-1.5`. A hot die is therefore
+//! *leaky but slow*, a cold die *strong but high-threshold* — and the
+//! adaptive swing scheme must track M1's threshold across both.
+
+use crate::variation::GlobalVariation;
+use srlr_units::Voltage;
+
+/// Reference (calibration) temperature in kelvin.
+pub const NOMINAL_TEMPERATURE_K: f64 = 300.0;
+
+/// Threshold-voltage temperature coefficient (V/K, negative: hotter =
+/// lower threshold).
+pub const VTH_TEMPCO: f64 = -1.0e-3;
+
+/// Mobility exponent: drive ∝ `(T/T0)^-MOBILITY_EXPONENT`.
+pub const MOBILITY_EXPONENT: f64 = 1.5;
+
+/// An operating temperature.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Temperature {
+    kelvin: f64,
+}
+
+impl Temperature {
+    /// Creates a temperature from kelvin.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside the military-plus range 200–450 K where the
+    /// first-order coefficients hold.
+    pub fn from_kelvin(kelvin: f64) -> Self {
+        assert!(
+            (200.0..=450.0).contains(&kelvin),
+            "temperature {kelvin} K outside the modelled 200-450 K range"
+        );
+        Self { kelvin }
+    }
+
+    /// Creates a temperature from degrees Celsius.
+    pub fn from_celsius(celsius: f64) -> Self {
+        Self::from_kelvin(celsius + 273.15)
+    }
+
+    /// The nominal 300 K (≈27 °C) calibration point.
+    pub fn nominal() -> Self {
+        Self {
+            kelvin: NOMINAL_TEMPERATURE_K,
+        }
+    }
+
+    /// Kelvin value.
+    pub fn kelvin(self) -> f64 {
+        self.kelvin
+    }
+
+    /// Degrees Celsius.
+    pub fn celsius(self) -> f64 {
+        self.kelvin - 273.15
+    }
+
+    /// The threshold shift this temperature applies to both flavours.
+    pub fn vth_shift(self) -> Voltage {
+        Voltage::from_volts(VTH_TEMPCO * (self.kelvin - NOMINAL_TEMPERATURE_K))
+    }
+
+    /// The drive (mobility) multiplier at this temperature.
+    pub fn drive_multiplier(self) -> f64 {
+        (self.kelvin / NOMINAL_TEMPERATURE_K).powf(-MOBILITY_EXPONENT)
+    }
+
+    /// This temperature as an equivalent global variation, composable
+    /// with a process die: `combine` adds the thermal shifts on top.
+    pub fn as_variation(self) -> GlobalVariation {
+        GlobalVariation {
+            dvth_n: self.vth_shift(),
+            dvth_p: self.vth_shift(),
+            drive_mult_n: self.drive_multiplier(),
+            drive_mult_p: self.drive_multiplier(),
+            // Metal resistivity rises ~0.4 %/K.
+            wire_r_mult: 1.0 + 0.004 * (self.kelvin - NOMINAL_TEMPERATURE_K),
+            wire_c_mult: 1.0,
+        }
+    }
+
+    /// Composes a process die with this temperature: threshold shifts
+    /// add, multipliers multiply.
+    pub fn combine(self, process: &GlobalVariation) -> GlobalVariation {
+        let t = self.as_variation();
+        GlobalVariation {
+            dvth_n: process.dvth_n + t.dvth_n,
+            dvth_p: process.dvth_p + t.dvth_p,
+            drive_mult_n: process.drive_mult_n * t.drive_mult_n,
+            drive_mult_p: process.drive_mult_p * t.drive_mult_p,
+            wire_r_mult: process.wire_r_mult * t.wire_r_mult,
+            wire_c_mult: process.wire_c_mult * t.wire_c_mult,
+        }
+    }
+}
+
+impl Default for Temperature {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+impl core::fmt::Display for Temperature {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.0} K ({:.0} C)", self.kelvin, self.celsius())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_is_identity() {
+        let t = Temperature::nominal();
+        assert_eq!(t.vth_shift(), Voltage::zero());
+        assert!((t.drive_multiplier() - 1.0).abs() < 1e-12);
+        assert_eq!(t.as_variation(), GlobalVariation::nominal());
+        assert_eq!(Temperature::default(), t);
+    }
+
+    #[test]
+    fn hot_die_is_leaky_but_slow() {
+        let hot = Temperature::from_celsius(105.0);
+        assert!(hot.vth_shift().volts() < 0.0, "Vth drops when hot");
+        assert!(hot.drive_multiplier() < 1.0, "mobility drops when hot");
+        assert!(hot.as_variation().wire_r_mult > 1.0, "copper heats up");
+    }
+
+    #[test]
+    fn cold_die_is_strong_but_high_threshold() {
+        let cold = Temperature::from_celsius(-40.0);
+        assert!(cold.vth_shift().volts() > 0.0);
+        assert!(cold.drive_multiplier() > 1.0);
+    }
+
+    #[test]
+    fn celsius_kelvin_round_trip() {
+        let t = Temperature::from_celsius(85.0);
+        assert!((t.kelvin() - 358.15).abs() < 1e-9);
+        assert!((t.celsius() - 85.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn combine_stacks_shifts() {
+        let process = GlobalVariation {
+            dvth_n: Voltage::from_millivolts(30.0),
+            drive_mult_n: 0.9,
+            ..GlobalVariation::nominal()
+        };
+        let hot = Temperature::from_celsius(105.0);
+        let both = hot.combine(&process);
+        assert!((both.dvth_n - (process.dvth_n + hot.vth_shift())).abs().volts() < 1e-12);
+        assert!(
+            (both.drive_mult_n - 0.9 * hot.drive_multiplier()).abs() < 1e-12
+        );
+        assert!(both.is_physical());
+    }
+
+    #[test]
+    fn thermal_variations_stay_physical_across_the_range() {
+        for k in [220.0, 260.0, 300.0, 360.0, 420.0] {
+            assert!(Temperature::from_kelvin(k).as_variation().is_physical());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the modelled")]
+    fn cryogenic_rejected() {
+        let _ = Temperature::from_kelvin(77.0);
+    }
+
+    #[test]
+    fn display_has_both_units() {
+        let t = Temperature::from_celsius(85.0);
+        let s = t.to_string();
+        assert!(s.contains('K') && s.contains('C'));
+    }
+
+    #[test]
+    fn oguey_reference_is_temperature_tolerant() {
+        // Footnote 3: the bias current has no Vth term, so the reference
+        // barely moves across the temperature range while a raw device's
+        // drive moves a lot.
+        use crate::bias::OgueyReference;
+        let r = OgueyReference::paper_default();
+        let hot = Temperature::from_celsius(105.0).as_variation();
+        let cold = Temperature::from_celsius(-40.0).as_variation();
+        let spread = (r.output_current(&hot) - r.output_current(&cold))
+            .abs()
+            .amperes()
+            / r.nominal.amperes();
+        assert!(spread < 0.05, "reference spread {spread}");
+        let raw_spread = (hot.drive_mult_n - cold.drive_mult_n).abs();
+        assert!(raw_spread > 0.3, "raw drive spread {raw_spread}");
+        assert!(spread < raw_spread / 5.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Process variation: die-to-die (global) shifts and within-die (local)
+//! mismatch.
+//!
+//! The paper's Sec. III is entirely about *global* variation: a whole die
+//! comes out slow or fast, shifting every SRLR stage in the same direction,
+//! which is what makes the single-delay-cell pulse-width drift accumulate
+//! monotonically down the link. Local mismatch adds small per-device
+//! scatter on top (Pelgrom's law: `σ(Vth) = A_vt / sqrt(W·L)`).
+
+use srlr_units::Voltage;
+
+/// One die's worth of global (die-to-die) process variation.
+///
+/// All SRLR stages on a die share one `GlobalVariation`; Monte Carlo
+/// sampling draws a fresh one per simulated die.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalVariation {
+    /// NMOS threshold shift (positive = slower NMOS).
+    pub dvth_n: Voltage,
+    /// PMOS threshold shift (positive magnitude = slower PMOS).
+    pub dvth_p: Voltage,
+    /// NMOS drive-factor multiplier (mobility/geometry lumped).
+    pub drive_mult_n: f64,
+    /// PMOS drive-factor multiplier.
+    pub drive_mult_p: f64,
+    /// Wire resistance multiplier (line thinning/thickening).
+    pub wire_r_mult: f64,
+    /// Wire capacitance multiplier (dielectric/spacing variation).
+    pub wire_c_mult: f64,
+}
+
+impl GlobalVariation {
+    /// The typical (no-variation) die.
+    pub fn nominal() -> Self {
+        Self {
+            dvth_n: Voltage::zero(),
+            dvth_p: Voltage::zero(),
+            drive_mult_n: 1.0,
+            drive_mult_p: 1.0,
+            wire_r_mult: 1.0,
+            wire_c_mult: 1.0,
+        }
+    }
+
+    /// A scalar "speed" summary: positive means the die is faster than
+    /// typical (lower thresholds / stronger drive), negative slower.
+    /// Useful for sorting Monte Carlo populations in diagnostics.
+    pub fn speed_index(&self) -> f64 {
+        let vth_term = -(self.dvth_n.volts() + self.dvth_p.volts()) / 0.060;
+        let drive_term = (self.drive_mult_n - 1.0 + self.drive_mult_p - 1.0) / 0.10;
+        vth_term + drive_term
+    }
+
+    /// Checks every field is finite and the multipliers are positive.
+    pub fn is_physical(&self) -> bool {
+        self.dvth_n.is_finite()
+            && self.dvth_p.is_finite()
+            && self.drive_mult_n > 0.0
+            && self.drive_mult_p > 0.0
+            && self.wire_r_mult > 0.0
+            && self.wire_c_mult > 0.0
+            && self.drive_mult_n.is_finite()
+            && self.drive_mult_p.is_finite()
+            && self.wire_r_mult.is_finite()
+            && self.wire_c_mult.is_finite()
+    }
+}
+
+impl Default for GlobalVariation {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+/// Pelgrom-law local mismatch parameters for one device flavour.
+///
+/// `σ(ΔVth)` of a device of drawn dimensions `W × L` is
+/// `a_vt / sqrt(W·L)`; a matched pair differs by `sqrt(2)` of that.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalMismatch {
+    /// Pelgrom threshold-matching coefficient, in V·m (typ. ~2 mV·um at 45 nm).
+    pub a_vt: f64,
+    /// Relative drive-factor mismatch coefficient, in √(m²) units
+    /// (`σ(Δβ/β) = a_beta / sqrt(W·L)`).
+    pub a_beta: f64,
+}
+
+impl LocalMismatch {
+    /// Typical 45 nm values: `A_vt ≈ 2 mV·um`, `A_beta ≈ 1 %·um`.
+    pub fn soi45() -> Self {
+        Self {
+            a_vt: 2.0e-3 * 1.0e-6,
+            a_beta: 0.01 * 1.0e-6,
+        }
+    }
+
+    /// Standard deviation of the threshold shift for a `W × L` device
+    /// (dimensions in metres).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the area is not strictly positive.
+    pub fn sigma_vth(&self, width_m: f64, length_m: f64) -> Voltage {
+        let area = width_m * length_m;
+        assert!(area > 0.0, "device area must be positive");
+        Voltage::from_volts(self.a_vt / area.sqrt())
+    }
+
+    /// Standard deviation of the relative drive mismatch for a `W × L`
+    /// device (dimensions in metres).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the area is not strictly positive.
+    pub fn sigma_drive(&self, width_m: f64, length_m: f64) -> f64 {
+        let area = width_m * length_m;
+        assert!(area > 0.0, "device area must be positive");
+        self.a_beta / area.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_is_identity() {
+        let v = GlobalVariation::nominal();
+        assert_eq!(v.dvth_n, Voltage::zero());
+        assert_eq!(v.drive_mult_n, 1.0);
+        assert!(v.is_physical());
+        assert_eq!(v.speed_index(), 0.0);
+        assert_eq!(GlobalVariation::default(), v);
+    }
+
+    #[test]
+    fn speed_index_sign_convention() {
+        let fast = GlobalVariation {
+            dvth_n: Voltage::from_millivolts(-40.0),
+            dvth_p: Voltage::from_millivolts(-40.0),
+            drive_mult_n: 1.05,
+            drive_mult_p: 1.05,
+            ..GlobalVariation::nominal()
+        };
+        assert!(fast.speed_index() > 0.0);
+        let slow = GlobalVariation {
+            dvth_n: Voltage::from_millivolts(40.0),
+            dvth_p: Voltage::from_millivolts(40.0),
+            ..GlobalVariation::nominal()
+        };
+        assert!(slow.speed_index() < 0.0);
+    }
+
+    #[test]
+    fn unphysical_multiplier_detected() {
+        let broken = GlobalVariation {
+            wire_r_mult: -1.0,
+            ..GlobalVariation::nominal()
+        };
+        assert!(!broken.is_physical());
+        let nan = GlobalVariation {
+            dvth_n: Voltage::from_volts(f64::NAN),
+            ..GlobalVariation::nominal()
+        };
+        assert!(!nan.is_physical());
+    }
+
+    #[test]
+    fn pelgrom_sigma_shrinks_with_area() {
+        let lm = LocalMismatch::soi45();
+        let small = lm.sigma_vth(0.2e-6, 45e-9);
+        let big = lm.sigma_vth(2.0e-6, 45e-9);
+        assert!(small > big);
+        // sqrt(10) ratio for 10x area.
+        assert!((small.volts() / big.volts() - 10f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pelgrom_sigma_magnitude_is_plausible() {
+        // A minimum-ish 0.2 um x 45 nm device: sigma ~ 21 mV.
+        let lm = LocalMismatch::soi45();
+        let sigma = lm.sigma_vth(0.2e-6, 45e-9);
+        assert!(sigma.millivolts() > 5.0 && sigma.millivolts() < 50.0, "{sigma}");
+    }
+
+    #[test]
+    #[should_panic(expected = "area must be positive")]
+    fn zero_area_rejected() {
+        let _ = LocalMismatch::soi45().sigma_vth(0.0, 45e-9);
+    }
+
+    #[test]
+    fn sigma_drive_is_small_fraction() {
+        let lm = LocalMismatch::soi45();
+        let s = lm.sigma_drive(1.0e-6, 45e-9);
+        assert!(s > 0.0 && s < 0.2);
+    }
+}

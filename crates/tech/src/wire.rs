@@ -1,0 +1,367 @@
+//! Wire geometry and per-length parasitic extraction.
+//!
+//! The SRLR obtains its low swing "mainly through the inherent wire channel
+//! attenuation" of RC-dominant minimum-pitch wires, so the wire model is a
+//! first-class citizen: drawn width/space/thickness are converted to
+//! per-length resistance and capacitance (ground plate + fringe + sidewall
+//! coupling with a Miller factor for worst-case switching neighbours).
+
+use srlr_units::{Capacitance, Length, Resistance, TimeInterval, Voltage};
+
+/// Vacuum permittivity times the SiO2-ish low-k dielectric constant (F/m).
+const EPS_DIELECTRIC: f64 = 8.854e-12 * 3.3;
+
+/// Copper resistivity including barrier/scattering penalty at narrow
+/// widths (Ohm·m).
+const RHO_COPPER_EFFECTIVE: f64 = 3.0e-8;
+
+/// What the neighbouring wires are doing, which sets the Miller factor
+/// applied to sidewall coupling capacitance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NeighborActivity {
+    /// Neighbours are grounded shields: coupling behaves as plain ground
+    /// capacitance (factor 1.0) and no data-dependent noise exists.
+    Shielded,
+    /// Random, uncorrelated neighbour data — the time-averaged factor the
+    /// energy calibration uses (1.5).
+    Random,
+    /// Both neighbours switching opposite to the victim every bit: the
+    /// worst-case factor 2.0 on both energy and delay.
+    WorstCase,
+    /// Both neighbours switching *with* the victim (e.g. a bus carrying
+    /// correlated data): the coupling charge vanishes (factor ≈ 0.3,
+    /// keeping a floor for fringe-to-substrate return paths).
+    BestCase,
+}
+
+impl NeighborActivity {
+    /// The Miller factor this activity applies to sidewall coupling.
+    pub fn miller_factor(self) -> f64 {
+        match self {
+            Self::Shielded => 1.0,
+            Self::Random => 1.5,
+            Self::WorstCase => 2.0,
+            Self::BestCase => 0.3,
+        }
+    }
+}
+
+/// A named interconnect stack layer with typical 45 nm-class geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetalLayer {
+    /// Thin, dense local metal (M1/M2 class).
+    Local,
+    /// The intermediate layer the SRLR link wires use (M4/M5 class).
+    Intermediate,
+    /// Semi-global routing (M6/M7 class).
+    SemiGlobal,
+    /// Thick top-level metal for clocks and power (M8+ class).
+    Global,
+}
+
+impl MetalLayer {
+    /// Representative drawn geometry for this layer at minimum pitch.
+    pub fn geometry(self) -> WireGeometry {
+        let um = Length::from_micrometers;
+        match self {
+            Self::Local => WireGeometry {
+                width: um(0.07),
+                space: um(0.07),
+                thickness: um(0.13),
+                ild_height: um(0.12),
+                miller_factor: 1.5,
+            },
+            Self::Intermediate => WireGeometry::paper_default(),
+            Self::SemiGlobal => WireGeometry {
+                width: um(0.4),
+                space: um(0.4),
+                thickness: um(0.4),
+                ild_height: um(0.4),
+                miller_factor: 1.5,
+            },
+            Self::Global => WireGeometry {
+                width: um(1.0),
+                space: um(1.0),
+                thickness: um(1.2),
+                ild_height: um(0.8),
+                miller_factor: 1.5,
+            },
+        }
+    }
+}
+
+/// Drawn wire geometry on one metal layer.
+///
+/// # Examples
+///
+/// ```
+/// use srlr_tech::WireGeometry;
+/// use srlr_units::Length;
+///
+/// let w = WireGeometry::paper_default();
+/// assert_eq!(w.pitch(), Length::from_micrometers(0.6));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireGeometry {
+    /// Drawn wire width.
+    pub width: Length,
+    /// Spacing to each neighbouring wire.
+    pub space: Length,
+    /// Metal thickness.
+    pub thickness: Length,
+    /// Dielectric height to the plates above/below.
+    pub ild_height: Length,
+    /// Switching-activity Miller factor applied to sidewall coupling
+    /// (1.0 = neighbours quiet, 2.0 = worst-case opposite switching).
+    pub miller_factor: f64,
+}
+
+impl WireGeometry {
+    /// The paper's link wires: 0.3 um width / 0.3 um space (0.6 um pitch)
+    /// on an intermediate metal layer, with an averaged Miller factor for
+    /// random neighbour data.
+    pub fn paper_default() -> Self {
+        Self {
+            width: Length::from_micrometers(0.3),
+            space: Length::from_micrometers(0.3),
+            thickness: Length::from_micrometers(0.22),
+            ild_height: Length::from_micrometers(0.25),
+            miller_factor: 1.5,
+        }
+    }
+
+    /// Returns a copy with a different spacing (the Fig. 8 sweep axis:
+    /// tighter spacing = higher bandwidth density but more coupling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space` is not strictly positive.
+    #[must_use]
+    pub fn with_space(&self, space: Length) -> Self {
+        assert!(space.meters() > 0.0, "wire space must be positive");
+        Self { space, ..*self }
+    }
+
+    /// Returns a copy with the Miller factor of the given neighbour
+    /// activity (crosstalk scenario).
+    #[must_use]
+    pub fn with_neighbors(&self, activity: NeighborActivity) -> Self {
+        Self {
+            miller_factor: activity.miller_factor(),
+            ..*self
+        }
+    }
+
+    /// Wire pitch: width + space.
+    pub fn pitch(self) -> Length {
+        self.width + self.space
+    }
+
+    /// Per-length resistance (Ohm per metre of wire).
+    pub fn resistance_per_length(self) -> f64 {
+        RHO_COPPER_EFFECTIVE / (self.width.meters() * self.thickness.meters())
+    }
+
+    /// Per-length capacitance (F per metre of wire): two plate terms to the
+    /// layers above and below, a fringe term, and two sidewall coupling
+    /// terms scaled by the Miller factor.
+    pub fn capacitance_per_length(self) -> f64 {
+        let plate = 2.0 * EPS_DIELECTRIC * self.width.meters() / self.ild_height.meters();
+        // Empirical fringe term, weakly dependent on geometry.
+        let fringe = 2.0 * EPS_DIELECTRIC * 1.1;
+        let coupling =
+            2.0 * EPS_DIELECTRIC * self.thickness.meters() / self.space.meters() * self.miller_factor;
+        plate + fringe + coupling
+    }
+
+    /// Extracts the parasitics of a wire segment of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is not strictly positive.
+    pub fn extract(self, len: Length) -> WireRc {
+        assert!(len.meters() > 0.0, "wire length must be positive");
+        WireRc {
+            length: len,
+            resistance: Resistance::from_ohms(self.resistance_per_length() * len.meters()),
+            capacitance: Capacitance::from_farads(self.capacitance_per_length() * len.meters()),
+        }
+    }
+}
+
+/// Extracted parasitics of one wire segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireRc {
+    /// Physical length of the segment.
+    pub length: Length,
+    /// Total series resistance.
+    pub resistance: Resistance,
+    /// Total capacitance to ground (coupling folded in via Miller factor).
+    pub capacitance: Capacitance,
+}
+
+impl WireRc {
+    /// The distributed-RC time constant `R·C` of the whole segment.
+    pub fn time_constant(self) -> TimeInterval {
+        self.resistance * self.capacitance
+    }
+
+    /// Elmore delay of the distributed line: `0.5·R·C` (the 50 % point of
+    /// a step is near `0.38·R·C`; Elmore's first moment is the standard
+    /// pessimistic estimate).
+    pub fn elmore_delay(self) -> TimeInterval {
+        self.time_constant() * 0.5
+    }
+
+    /// Far-end voltage reached by a rectangular drive pulse of amplitude
+    /// `drive` and duration `width`, using a single-pole approximation of
+    /// the distributed line (pole at the Elmore time constant).
+    ///
+    /// This is the "channel attenuation" the SRLR exploits: pulses narrower
+    /// than the line's time constant arrive with reduced swing.
+    pub fn attenuated_peak(self, drive: Voltage, width: TimeInterval) -> Voltage {
+        if width.seconds() <= 0.0 {
+            return Voltage::zero();
+        }
+        let tau = self.elmore_delay().seconds().max(1e-18);
+        drive * (1.0 - (-width.seconds() / tau).exp())
+    }
+
+    /// Scales R and C by global-variation multipliers.
+    #[must_use]
+    pub fn with_variation(self, r_mult: f64, c_mult: f64) -> Self {
+        Self {
+            length: self.length,
+            resistance: self.resistance * r_mult,
+            capacitance: self.capacitance * c_mult,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_segment_parasitic_magnitudes() {
+        // 1 mm of the paper's wire: mid-hundreds of ohms, ~200 fF.
+        let rc = WireGeometry::paper_default().extract(Length::from_millimeters(1.0));
+        assert!(
+            rc.resistance.ohms() > 300.0 && rc.resistance.ohms() < 1500.0,
+            "R = {}",
+            rc.resistance
+        );
+        assert!(
+            rc.capacitance.femtofarads() > 120.0 && rc.capacitance.femtofarads() < 300.0,
+            "C = {}",
+            rc.capacitance
+        );
+    }
+
+    #[test]
+    fn tighter_spacing_increases_capacitance() {
+        let base = WireGeometry::paper_default();
+        let tight = base.with_space(Length::from_micrometers(0.15));
+        assert!(tight.capacitance_per_length() > base.capacitance_per_length());
+        assert!(tight.pitch() < base.pitch());
+    }
+
+    #[test]
+    fn wider_wire_lowers_resistance_raises_capacitance() {
+        let base = WireGeometry::paper_default();
+        let wide = WireGeometry {
+            width: Length::from_micrometers(0.6),
+            ..base
+        };
+        assert!(wide.resistance_per_length() < base.resistance_per_length());
+        assert!(wide.capacitance_per_length() > base.capacitance_per_length());
+    }
+
+    #[test]
+    fn parasitics_scale_linearly_with_length() {
+        let g = WireGeometry::paper_default();
+        let one = g.extract(Length::from_millimeters(1.0));
+        let ten = g.extract(Length::from_millimeters(10.0));
+        assert!((ten.resistance.ohms() / one.resistance.ohms() - 10.0).abs() < 1e-9);
+        assert!((ten.capacitance.farads() / one.capacitance.farads() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attenuation_monotone_in_pulse_width() {
+        let rc = WireGeometry::paper_default().extract(Length::from_millimeters(1.0));
+        let drive = Voltage::from_millivolts(400.0);
+        let narrow = rc.attenuated_peak(drive, TimeInterval::from_picoseconds(20.0));
+        let wide = rc.attenuated_peak(drive, TimeInterval::from_picoseconds(200.0));
+        assert!(narrow < wide);
+        assert!(wide <= drive);
+        assert!(narrow.volts() > 0.0);
+    }
+
+    #[test]
+    fn zero_width_pulse_does_not_arrive() {
+        let rc = WireGeometry::paper_default().extract(Length::from_millimeters(1.0));
+        assert_eq!(
+            rc.attenuated_peak(Voltage::from_volts(0.4), TimeInterval::zero()),
+            Voltage::zero()
+        );
+    }
+
+    #[test]
+    fn variation_multipliers_apply() {
+        let rc = WireGeometry::paper_default().extract(Length::from_millimeters(1.0));
+        let v = rc.with_variation(1.1, 0.9);
+        assert!((v.resistance.ohms() / rc.resistance.ohms() - 1.1).abs() < 1e-9);
+        assert!((v.capacitance.farads() / rc.capacitance.farads() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn zero_length_rejected() {
+        let _ = WireGeometry::paper_default().extract(Length::zero());
+    }
+
+    #[test]
+    fn neighbor_activity_orders_capacitance() {
+        let g = WireGeometry::paper_default();
+        let best = g.with_neighbors(NeighborActivity::BestCase).capacitance_per_length();
+        let shielded = g.with_neighbors(NeighborActivity::Shielded).capacitance_per_length();
+        let random = g.with_neighbors(NeighborActivity::Random).capacitance_per_length();
+        let worst = g.with_neighbors(NeighborActivity::WorstCase).capacitance_per_length();
+        assert!(best < shielded);
+        assert!(shielded < random);
+        assert!(random < worst);
+        // The calibration default is the random-data factor.
+        assert_eq!(random, g.capacitance_per_length());
+    }
+
+    #[test]
+    fn metal_stack_orders_resistance() {
+        let r = |l: MetalLayer| l.geometry().resistance_per_length();
+        assert!(r(MetalLayer::Local) > r(MetalLayer::Intermediate));
+        assert!(r(MetalLayer::Intermediate) > r(MetalLayer::SemiGlobal));
+        assert!(r(MetalLayer::SemiGlobal) > r(MetalLayer::Global));
+        // Local metal is kilohms/mm; global is tens of ohms/mm.
+        assert!(r(MetalLayer::Local) * 1e-3 > 2000.0);
+        assert!(r(MetalLayer::Global) * 1e-3 < 60.0);
+    }
+
+    #[test]
+    fn intermediate_layer_is_the_paper_wire() {
+        assert_eq!(
+            MetalLayer::Intermediate.geometry(),
+            WireGeometry::paper_default()
+        );
+    }
+
+    #[test]
+    fn time_constant_of_paper_segment() {
+        // tau = R*C of 1 mm should be tens to a couple hundred ps —
+        // RC-dominant at the paper's bit periods (244 ps at 4.1 Gb/s).
+        let rc = WireGeometry::paper_default().extract(Length::from_millimeters(1.0));
+        let tau = rc.time_constant();
+        assert!(
+            tau.picoseconds() > 40.0 && tau.picoseconds() < 400.0,
+            "tau = {tau}"
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Electrical quantities: voltage, current, resistance, capacitance, charge.
+
+use crate::energy::{Energy, Power};
+use crate::time::TimeInterval;
+
+quantity! {
+    /// Electric potential in volts.
+    ///
+    /// Used for supply rails, swing voltages, threshold voltages and node
+    /// waveform samples.
+    ///
+    /// ```
+    /// use srlr_units::Voltage;
+    /// let swing = Voltage::from_millivolts(350.0);
+    /// assert_eq!(format!("{swing}"), "350 mV");
+    /// ```
+    Voltage, base = "V"
+}
+
+quantity_scales!(Voltage {
+    /// Volts.
+    from_volts / volts = 1.0,
+    /// Millivolts.
+    from_millivolts / millivolts = 1e-3,
+    /// Microvolts.
+    from_microvolts / microvolts = 1e-6,
+});
+
+quantity! {
+    /// Electric current in amperes.
+    ///
+    /// ```
+    /// use srlr_units::Current;
+    /// let bias = Current::from_microamperes(12.5);
+    /// assert!((bias.amperes() - 12.5e-6).abs() < 1e-15);
+    /// ```
+    Current, base = "A"
+}
+
+quantity_scales!(Current {
+    /// Amperes.
+    from_amperes / amperes = 1.0,
+    /// Milliamperes.
+    from_milliamperes / milliamperes = 1e-3,
+    /// Microamperes.
+    from_microamperes / microamperes = 1e-6,
+    /// Nanoamperes.
+    from_nanoamperes / nanoamperes = 1e-9,
+});
+
+quantity! {
+    /// Resistance in ohms.
+    ///
+    /// ```
+    /// use srlr_units::Resistance;
+    /// let wire = Resistance::from_kilohms(1.4);
+    /// assert!((wire.ohms() - 1400.0).abs() < 1e-9);
+    /// ```
+    Resistance, base = "Ohm"
+}
+
+quantity_scales!(Resistance {
+    /// Ohms.
+    from_ohms / ohms = 1.0,
+    /// Kilohms.
+    from_kilohms / kilohms = 1e3,
+    /// Megohms.
+    from_megohms / megohms = 1e6,
+});
+
+quantity! {
+    /// Capacitance in farads.
+    ///
+    /// On-chip wires in this reproduction carry around 200 fF/mm; device
+    /// gates are single femtofarads.
+    ///
+    /// ```
+    /// use srlr_units::Capacitance;
+    /// let seg = Capacitance::from_femtofarads(200.0);
+    /// assert_eq!(format!("{seg}"), "200 fF");
+    /// ```
+    Capacitance, base = "F"
+}
+
+quantity_scales!(Capacitance {
+    /// Farads.
+    from_farads / farads = 1.0,
+    /// Picofarads.
+    from_picofarads / picofarads = 1e-12,
+    /// Femtofarads.
+    from_femtofarads / femtofarads = 1e-15,
+    /// Attofarads.
+    from_attofarads / attofarads = 1e-18,
+});
+
+quantity! {
+    /// Electric charge in coulombs.
+    ///
+    /// ```
+    /// use srlr_units::{Capacitance, Voltage};
+    /// let q = Capacitance::from_femtofarads(100.0) * Voltage::from_volts(0.8);
+    /// assert!((q.coulombs() - 80e-15).abs() < 1e-20);
+    /// ```
+    Charge, base = "C"
+}
+
+quantity_scales!(Charge {
+    /// Coulombs.
+    from_coulombs / coulombs = 1.0,
+    /// Picocoulombs.
+    from_picocoulombs / picocoulombs = 1e-12,
+    /// Femtocoulombs.
+    from_femtocoulombs / femtocoulombs = 1e-15,
+});
+
+// Dimensional relations.
+quantity_product!(Current, Resistance => Voltage); // V = I R
+quantity_product!(Resistance, Capacitance => TimeInterval); // tau = R C
+quantity_product!(Capacitance, Voltage => Charge); // Q = C V
+quantity_product!(Current, TimeInterval => Charge); // Q = I t
+quantity_product!(Charge, Voltage => Energy); // E = Q V
+quantity_product!(Voltage, Current => Power); // P = V I
+
+impl Voltage {
+    /// Linearly interpolates between `self` and `other`.
+    ///
+    /// `t = 0` gives `self`, `t = 1` gives `other`; `t` outside `[0, 1]`
+    /// extrapolates.
+    ///
+    /// ```
+    /// use srlr_units::Voltage;
+    /// let a = Voltage::from_volts(0.0);
+    /// let b = Voltage::from_volts(0.8);
+    /// assert!((a.lerp(b, 0.25).volts() - 0.2).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn lerp(self, other: Self, t: f64) -> Self {
+        Self::new(self.value() + (other.value() - self.value()) * t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_si_prefixes() {
+        assert_eq!(format!("{}", Voltage::from_volts(0.8)), "800 mV");
+        assert_eq!(format!("{}", Resistance::from_kilohms(1.4)), "1.4 kOhm");
+        assert_eq!(format!("{}", Current::from_nanoamperes(3.0)), "3 nA");
+    }
+
+    #[test]
+    fn display_respects_precision() {
+        assert_eq!(format!("{:.1}", Voltage::from_millivolts(347.26)), "347.3 mV");
+    }
+
+    #[test]
+    fn arithmetic_base_ops() {
+        let a = Voltage::from_volts(0.5);
+        let b = Voltage::from_volts(0.3);
+        assert!(((a + b).volts() - 0.8).abs() < 1e-12);
+        assert!(((a - b).volts() - 0.2).abs() < 1e-12);
+        assert!(((-a).volts() + 0.5).abs() < 1e-12);
+        assert!(((a * 2.0).volts() - 1.0).abs() < 1e-12);
+        assert!(((2.0 * a).volts() - 1.0).abs() < 1e-12);
+        assert!(((a / 2.0).volts() - 0.25).abs() < 1e-12);
+        assert!((a / b - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut v = Voltage::from_volts(0.1);
+        v += Voltage::from_volts(0.2);
+        v -= Voltage::from_volts(0.05);
+        assert!((v.volts() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_helpers() {
+        let lo = Voltage::from_volts(0.2);
+        let hi = Voltage::from_volts(0.5);
+        assert_eq!(lo.min(hi), lo);
+        assert_eq!(lo.max(hi), hi);
+        assert_eq!(Voltage::from_volts(0.9).clamp(lo, hi), hi);
+        assert_eq!(Voltage::from_volts(-0.1).clamp(lo, hi), lo);
+        assert_eq!(Voltage::from_volts(0.3).clamp(lo, hi), Voltage::from_volts(0.3));
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp")]
+    fn clamp_panics_on_inverted_bounds() {
+        let lo = Voltage::from_volts(0.5);
+        let hi = Voltage::from_volts(0.2);
+        let _ = Voltage::from_volts(0.3).clamp(lo, hi);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Voltage = (1..=4).map(|i| Voltage::from_millivolts(f64::from(i))).sum();
+        assert!((total.millivolts() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Voltage::from_volts(0.2);
+        let b = Voltage::from_volts(0.6);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert!((a.lerp(b, 0.5).volts() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_divisions_recover_factors() {
+        let c = Capacitance::from_femtofarads(50.0);
+        let v = Voltage::from_volts(0.4);
+        let q = c * v;
+        assert!(((q / v).femtofarads() - 50.0).abs() < 1e-9);
+        assert!(((q / c).volts() - 0.4).abs() < 1e-12);
+    }
+}

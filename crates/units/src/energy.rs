@@ -1,0 +1,84 @@
+//! Energy and power.
+
+use crate::time::TimeInterval;
+
+quantity! {
+    /// Energy in joules.
+    ///
+    /// The paper's headline number is 40.4 fJ per bit per millimetre; single
+    /// link traversals are hundreds of femtojoules.
+    ///
+    /// ```
+    /// use srlr_units::Energy;
+    /// let e = Energy::from_femtojoules(404.0);
+    /// assert_eq!(format!("{e}"), "404 fJ");
+    /// ```
+    Energy, base = "J"
+}
+
+quantity_scales!(Energy {
+    /// Joules.
+    from_joules / joules = 1.0,
+    /// Millijoules.
+    from_millijoules / millijoules = 1e-3,
+    /// Microjoules.
+    from_microjoules / microjoules = 1e-6,
+    /// Nanojoules.
+    from_nanojoules / nanojoules = 1e-9,
+    /// Picojoules.
+    from_picojoules / picojoules = 1e-12,
+    /// Femtojoules.
+    from_femtojoules / femtojoules = 1e-15,
+});
+
+quantity! {
+    /// Power in watts.
+    ///
+    /// ```
+    /// use srlr_units::Power;
+    /// let link = Power::from_milliwatts(1.66);
+    /// assert_eq!(format!("{link}"), "1.66 mW");
+    /// ```
+    Power, base = "W"
+}
+
+quantity_scales!(Power {
+    /// Watts.
+    from_watts / watts = 1.0,
+    /// Milliwatts.
+    from_milliwatts / milliwatts = 1e-3,
+    /// Microwatts.
+    from_microwatts / microwatts = 1e-6,
+    /// Nanowatts.
+    from_nanowatts / nanowatts = 1e-9,
+});
+
+quantity_product!(Power, TimeInterval => Energy); // E = P t
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_time_energy() {
+        let p = Power::from_microwatts(587.0);
+        let t = TimeInterval::from_nanoseconds(10.0);
+        let e = p * t;
+        assert!((e.femtojoules() - 5870.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn divisions_recover_factors() {
+        let e = Energy::from_picojoules(2.0);
+        let t = TimeInterval::from_nanoseconds(1.0);
+        assert!(((e / t).milliwatts() - 2.0).abs() < 1e-9);
+        let p = Power::from_milliwatts(4.0);
+        assert!(((e / p).picoseconds() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(format!("{}", Energy::from_femtojoules(40.4)), "40.4 fJ");
+        assert_eq!(format!("{}", Power::from_microwatts(587.0)), "587 uW");
+    }
+}

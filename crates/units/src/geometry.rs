@@ -1,0 +1,85 @@
+//! Lengths and areas for wire geometry and floorplan accounting.
+
+quantity! {
+    /// Length in metres.
+    ///
+    /// Wire spans in the paper are 1 mm per repeater segment; widths and
+    /// spacings are fractions of a micrometre.
+    ///
+    /// ```
+    /// use srlr_units::Length;
+    /// let seg = Length::from_millimeters(1.0);
+    /// assert_eq!(format!("{seg}"), "1 mm");
+    /// ```
+    Length, base = "m"
+}
+
+quantity_scales!(Length {
+    /// Metres.
+    from_meters / meters = 1.0,
+    /// Millimetres.
+    from_millimeters / millimeters = 1e-3,
+    /// Micrometres.
+    from_micrometers / micrometers = 1e-6,
+    /// Nanometres.
+    from_nanometers / nanometers = 1e-9,
+});
+
+quantity! {
+    /// Area in square metres.
+    ///
+    /// A single SRLR occupies 47.9 um^2 of active silicon; routers are
+    /// fractions of a square millimetre.
+    ///
+    /// ```
+    /// use srlr_units::Area;
+    /// let srlr = Area::from_square_micrometers(47.9);
+    /// assert!((srlr.square_micrometers() - 47.9).abs() < 1e-9);
+    /// ```
+    Area, base = "m^2"
+}
+
+quantity_scales!(Area {
+    /// Square metres.
+    from_square_meters / square_meters = 1.0,
+    /// Square millimetres.
+    from_square_millimeters / square_millimeters = 1e-6,
+    /// Square micrometres.
+    from_square_micrometers / square_micrometers = 1e-12,
+});
+
+quantity_square!(Length => Area); // A = l * w
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srlr_footprint_from_dimensions() {
+        // 10.2 um x 4.7 um = 47.94 um^2 (the paper rounds to 47.9).
+        let a = Length::from_micrometers(10.2) * Length::from_micrometers(4.7);
+        assert!((a.square_micrometers() - 47.94).abs() < 1e-9);
+    }
+
+    #[test]
+    fn datapath_area_matches_paper_arithmetic() {
+        // 47.9 um^2 x 64 bits x 5 ports x 4 SRLRs = 0.0613 mm^2.
+        let one = Area::from_square_micrometers(47.9);
+        let total = one * 64.0 * 5.0 * 4.0;
+        assert!((total.square_millimeters() - 0.061312).abs() < 1e-6);
+    }
+
+    #[test]
+    fn area_divided_by_length() {
+        let a = Area::from_square_micrometers(50.0);
+        let l = Length::from_micrometers(10.0);
+        assert!(((a / l).micrometers() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_round_trips() {
+        let l = Length::from_micrometers(600.0);
+        assert!((l.millimeters() - 0.6).abs() < 1e-12);
+        assert!((l.nanometers() - 6e5).abs() < 1e-6);
+    }
+}

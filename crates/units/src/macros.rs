@@ -1,0 +1,260 @@
+//! The `quantity!` macro that defines every newtype in this crate.
+
+/// Defines a physical-quantity newtype over `f64`.
+///
+/// The generated type carries:
+///
+/// * `new(f64)`, `value()` (raw base-unit access), `zero()`,
+/// * `Add`, `Sub`, `Neg`, `Mul<f64>`, `Div<f64>`, `f64 * Self`,
+///   `Self / Self -> f64` (dimensionless ratio),
+/// * `AddAssign`, `SubAssign`,
+/// * `abs`, `min`, `max`, `clamp`, `is_finite`, `signum`,
+/// * `Display` using an SI-prefixed rendering of the base unit,
+/// * `Default` (zero), full `PartialOrd` ordering helpers.
+///
+/// Quantities are plain-old-data: `Copy`, `Clone`, `PartialEq`, `PartialOrd`,
+/// `Debug`. `Eq`/`Ord`/`Hash` are deliberately absent because the payload is
+/// a float.
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, base = $base_unit:literal
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Creates a quantity from a raw value in the base unit
+            /// (`
+            #[doc = $base_unit]
+            /// `).
+            #[inline]
+            pub const fn new(base_value: f64) -> Self {
+                Self(base_value)
+            }
+
+            /// The zero quantity.
+            #[inline]
+            pub const fn zero() -> Self {
+                Self(0.0)
+            }
+
+            /// Raw value in the base unit (`
+            #[doc = $base_unit]
+            /// `).
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Smaller of the two quantities.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Larger of the two quantities.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                assert!(lo.0 <= hi.0, "clamp: lo must not exceed hi");
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// `true` when the payload is neither NaN nor infinite.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Sign of the quantity (−1.0, 0.0 or 1.0 following `f64::signum`).
+            #[inline]
+            pub fn signum(self) -> f64 {
+                self.0.signum()
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                $crate::si::write_si(f, self.0, $base_unit)
+            }
+        }
+    };
+}
+
+/// Implements a product relation `Lhs * Rhs = Out` (and the commuted form).
+macro_rules! quantity_product {
+    ($lhs:ty, $rhs:ty => $out:ty) => {
+        impl core::ops::Mul<$rhs> for $lhs {
+            type Output = $out;
+            #[inline]
+            fn mul(self, rhs: $rhs) -> $out {
+                <$out>::new(self.value() * rhs.value())
+            }
+        }
+
+        impl core::ops::Mul<$lhs> for $rhs {
+            type Output = $out;
+            #[inline]
+            fn mul(self, rhs: $lhs) -> $out {
+                <$out>::new(self.value() * rhs.value())
+            }
+        }
+
+        impl core::ops::Div<$rhs> for $out {
+            type Output = $lhs;
+            #[inline]
+            fn div(self, rhs: $rhs) -> $lhs {
+                <$lhs>::new(self.value() / rhs.value())
+            }
+        }
+
+        impl core::ops::Div<$lhs> for $out {
+            type Output = $rhs;
+            #[inline]
+            fn div(self, rhs: $lhs) -> $rhs {
+                <$rhs>::new(self.value() / rhs.value())
+            }
+        }
+    };
+}
+
+/// Implements a squared relation `T * T = Out` plus `Out / T = T`.
+macro_rules! quantity_square {
+    ($t:ty => $out:ty) => {
+        impl core::ops::Mul for $t {
+            type Output = $out;
+            #[inline]
+            fn mul(self, rhs: Self) -> $out {
+                <$out>::new(self.value() * rhs.value())
+            }
+        }
+
+        impl core::ops::Div<$t> for $out {
+            type Output = $t;
+            #[inline]
+            fn div(self, rhs: $t) -> $t {
+                <$t>::new(self.value() / rhs.value())
+            }
+        }
+    };
+}
+
+/// Generates `from_<unit>` constructors and `<unit>` accessors at a scale.
+macro_rules! quantity_scales {
+    ($t:ty { $( $(#[$meta:meta])* $ctor:ident / $get:ident = $scale:expr ),+ $(,)? }) => {
+        impl $t {
+            $(
+                $(#[$meta])*
+                #[inline]
+                pub fn $ctor(v: f64) -> Self {
+                    Self::new(v * $scale)
+                }
+
+                $(#[$meta])*
+                #[inline]
+                pub fn $get(self) -> f64 {
+                    self.value() / $scale
+                }
+            )+
+        }
+    };
+}

@@ -1,0 +1,184 @@
+//! Data rates, bandwidth densities and per-bit energy metrics.
+//!
+//! These are the axes of the paper's Fig. 8 and the columns of Table I:
+//! data rate (Gb/s), bandwidth density (Gb/s per um of wire pitch), and
+//! link-traversal energy normalised per bit and per unit length (fJ/bit/mm,
+//! or fJ/bit/cm as the table prints it).
+
+use crate::energy::{Energy, Power};
+use crate::geometry::Length;
+use crate::time::TimeInterval;
+
+quantity! {
+    /// Data rate in bits per second.
+    ///
+    /// ```
+    /// use srlr_units::DataRate;
+    /// let rate = DataRate::from_gigabits_per_second(4.1);
+    /// assert_eq!(format!("{rate}"), "4.1 Gb/s");
+    /// ```
+    DataRate, base = "b/s"
+}
+
+quantity_scales!(DataRate {
+    /// Bits per second.
+    from_bits_per_second / bits_per_second = 1.0,
+    /// Megabits per second.
+    from_megabits_per_second / megabits_per_second = 1e6,
+    /// Gigabits per second.
+    from_gigabits_per_second / gigabits_per_second = 1e9,
+});
+
+quantity! {
+    /// Bandwidth density in bits per second per metre of wire pitch.
+    ///
+    /// The paper normalises link bandwidth by the wire pitch (width +
+    /// space); its headline is 6.83 Gb/s/um.
+    ///
+    /// ```
+    /// use srlr_units::BandwidthDensity;
+    /// let d = BandwidthDensity::from_gigabits_per_second_per_micrometer(6.83);
+    /// assert!((d.gigabits_per_second_per_micrometer() - 6.83).abs() < 1e-9);
+    /// ```
+    BandwidthDensity, base = "b/s/m"
+}
+
+quantity_scales!(BandwidthDensity {
+    /// Bits per second per metre.
+    from_bits_per_second_per_meter / bits_per_second_per_meter = 1.0,
+    /// Gigabits per second per micrometre (the paper's unit).
+    from_gigabits_per_second_per_micrometer / gigabits_per_second_per_micrometer = 1e15,
+});
+
+quantity! {
+    /// Energy per transmitted bit in joules per bit.
+    ///
+    /// ```
+    /// use srlr_units::EnergyPerBit;
+    /// let e = EnergyPerBit::from_femtojoules_per_bit(404.0);
+    /// assert!((e.femtojoules_per_bit() - 404.0).abs() < 1e-9);
+    /// ```
+    EnergyPerBit, base = "J/b"
+}
+
+quantity_scales!(EnergyPerBit {
+    /// Joules per bit.
+    from_joules_per_bit / joules_per_bit = 1.0,
+    /// Picojoules per bit.
+    from_picojoules_per_bit / picojoules_per_bit = 1e-12,
+    /// Femtojoules per bit.
+    from_femtojoules_per_bit / femtojoules_per_bit = 1e-15,
+});
+
+quantity! {
+    /// Energy per bit per unit wire length, in joules per bit per metre.
+    ///
+    /// The paper's headline metric: 40.4 fJ/bit/mm (equivalently
+    /// 404 fJ/bit/cm as Table I prints it).
+    ///
+    /// ```
+    /// use srlr_units::EnergyPerBitLength;
+    /// let e = EnergyPerBitLength::from_femtojoules_per_bit_per_millimeter(40.4);
+    /// assert!((e.femtojoules_per_bit_per_centimeter() - 404.0).abs() < 1e-9);
+    /// ```
+    EnergyPerBitLength, base = "J/b/m"
+}
+
+quantity_scales!(EnergyPerBitLength {
+    /// Joules per bit per metre.
+    from_joules_per_bit_per_meter / joules_per_bit_per_meter = 1.0,
+    /// Femtojoules per bit per millimetre.
+    from_femtojoules_per_bit_per_millimeter / femtojoules_per_bit_per_millimeter = 1e-12,
+    /// Femtojoules per bit per centimetre (Table I's unit).
+    from_femtojoules_per_bit_per_centimeter / femtojoules_per_bit_per_centimeter = 1e-13,
+});
+
+// P = E/bit * rate; rate = density * pitch; E/bit = E/bit/len * len.
+quantity_product!(EnergyPerBit, DataRate => Power);
+quantity_product!(BandwidthDensity, Length => DataRate);
+quantity_product!(EnergyPerBitLength, Length => EnergyPerBit);
+
+impl DataRate {
+    /// The unit interval (bit period) of this data rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is zero or negative.
+    #[inline]
+    pub fn bit_period(self) -> TimeInterval {
+        assert!(self.value() > 0.0, "bit period of a non-positive data rate");
+        TimeInterval::new(1.0 / self.value())
+    }
+
+    /// Number of bits transferred in `window`.
+    #[inline]
+    pub fn bits_in(self, window: TimeInterval) -> f64 {
+        self.value() * window.value()
+    }
+}
+
+impl EnergyPerBit {
+    /// Total energy for `bits` transmitted bits.
+    #[inline]
+    pub fn total(self, bits: f64) -> Energy {
+        Energy::new(self.value() * bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_round_trip() {
+        // 404 fJ/bit/cm over 10 mm at 4.1 Gb/s -> 1.66 mW.
+        let e = EnergyPerBitLength::from_femtojoules_per_bit_per_centimeter(404.0);
+        let per_bit = e * Length::from_millimeters(10.0);
+        let p = per_bit * DataRate::from_gigabits_per_second(4.1);
+        assert!((p.milliwatts() - 1.6564).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bandwidth_density_from_rate_and_pitch() {
+        let rate = DataRate::from_gigabits_per_second(4.1);
+        let pitch = Length::from_micrometers(0.6);
+        let d = rate / pitch;
+        assert!((d.gigabits_per_second_per_micrometer() - 6.8333).abs() < 1e-3);
+        // And back again.
+        let back = d * pitch;
+        assert!((back.gigabits_per_second() - 4.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bit_period_of_max_rate() {
+        let t = DataRate::from_gigabits_per_second(4.1).bit_period();
+        assert!((t.picoseconds() - 243.902).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive data rate")]
+    fn bit_period_rejects_zero() {
+        let _ = DataRate::zero().bit_period();
+    }
+
+    #[test]
+    fn bits_in_window() {
+        let rate = DataRate::from_gigabits_per_second(2.0);
+        let n = rate.bits_in(TimeInterval::from_microseconds(1.0));
+        assert!((n - 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_bit_total_energy() {
+        let e = EnergyPerBit::from_femtojoules_per_bit(404.0);
+        let total = e.total(1e9);
+        assert!((total.microjoules() - 404.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fj_per_mm_and_per_cm_scales_agree() {
+        let a = EnergyPerBitLength::from_femtojoules_per_bit_per_millimeter(40.4);
+        let b = EnergyPerBitLength::from_femtojoules_per_bit_per_centimeter(404.0);
+        assert!((a.value() - b.value()).abs() < 1e-18);
+    }
+}

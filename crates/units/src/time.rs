@@ -1,0 +1,116 @@
+//! Time intervals and frequencies.
+
+quantity! {
+    /// A span of time in seconds.
+    ///
+    /// Pulse widths, delays and bit periods in this reproduction are tens to
+    /// hundreds of picoseconds.
+    ///
+    /// ```
+    /// use srlr_units::TimeInterval;
+    /// let ui = TimeInterval::from_picoseconds(243.9);
+    /// assert_eq!(format!("{ui:.1}"), "243.9 ps");
+    /// ```
+    TimeInterval, base = "s"
+}
+
+quantity_scales!(TimeInterval {
+    /// Seconds.
+    from_seconds / seconds = 1.0,
+    /// Milliseconds.
+    from_milliseconds / milliseconds = 1e-3,
+    /// Microseconds.
+    from_microseconds / microseconds = 1e-6,
+    /// Nanoseconds.
+    from_nanoseconds / nanoseconds = 1e-9,
+    /// Picoseconds.
+    from_picoseconds / picoseconds = 1e-12,
+    /// Femtoseconds.
+    from_femtoseconds / femtoseconds = 1e-15,
+});
+
+quantity! {
+    /// Frequency in hertz.
+    ///
+    /// ```
+    /// use srlr_units::Frequency;
+    /// let clk = Frequency::from_gigahertz(1.0);
+    /// assert!((clk.period().nanoseconds() - 1.0).abs() < 1e-12);
+    /// ```
+    Frequency, base = "Hz"
+}
+
+quantity_scales!(Frequency {
+    /// Hertz.
+    from_hertz / hertz = 1.0,
+    /// Kilohertz.
+    from_kilohertz / kilohertz = 1e3,
+    /// Megahertz.
+    from_megahertz / megahertz = 1e6,
+    /// Gigahertz.
+    from_gigahertz / gigahertz = 1e9,
+});
+
+impl Frequency {
+    /// The period `1/f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero or negative.
+    #[inline]
+    pub fn period(self) -> TimeInterval {
+        assert!(self.value() > 0.0, "period of a non-positive frequency");
+        TimeInterval::new(1.0 / self.value())
+    }
+}
+
+impl TimeInterval {
+    /// The frequency `1/t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is zero or negative.
+    #[inline]
+    pub fn frequency(self) -> Frequency {
+        assert!(self.value() > 0.0, "frequency of a non-positive interval");
+        Frequency::new(1.0 / self.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_round_trips() {
+        let t = TimeInterval::from_picoseconds(280.0);
+        assert!((t.nanoseconds() - 0.28).abs() < 1e-12);
+        assert!((t.seconds() - 280e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn period_frequency_inverse_pair() {
+        let f = Frequency::from_megahertz(500.0);
+        assert!((f.period().nanoseconds() - 2.0).abs() < 1e-12);
+        let t = TimeInterval::from_nanoseconds(2.0);
+        assert!((t.frequency().megahertz() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive frequency")]
+    fn zero_frequency_has_no_period() {
+        let _ = Frequency::zero().period();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive interval")]
+    fn zero_interval_has_no_frequency() {
+        let _ = TimeInterval::zero().frequency();
+    }
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(format!("{}", TimeInterval::from_picoseconds(75.0)), "75 ps");
+        assert_eq!(format!("{}", Frequency::from_gigahertz(4.1)), "4.1 GHz");
+    }
+}

@@ -1,0 +1,20 @@
+//! Umbrella crate for the SRLR reproduction examples and integration tests.
+//!
+//! Re-exports the workspace crates so examples and tests can use one import
+//! root. See the individual crates for the actual functionality:
+//!
+//! * [`units`] — physical-quantity newtypes,
+//! * [`tech`] — 45nm-SOI-like device/wire/variation models,
+//! * [`circuit`] — transient circuit simulator,
+//! * [`core`] — the self-resetting logic repeater,
+//! * [`link`] — SRLR links, BER harness, baselines,
+//! * [`noc`] — the cycle-accurate mesh NoC substrate.
+
+#![forbid(unsafe_code)]
+
+pub use srlr_circuit as circuit;
+pub use srlr_core as core;
+pub use srlr_link as link;
+pub use srlr_noc as noc;
+pub use srlr_tech as tech;
+pub use srlr_units as units;

@@ -1,0 +1,102 @@
+//! End-to-end checks of the paper's headline numbers against the
+//! simulated test chip (the EXPERIMENTS.md acceptance gates).
+
+use srlr_link::ber::{max_data_rate, BerTester};
+use srlr_link::{ComparisonTable, LinkConfig, SrlrLink};
+use srlr_repro::core::SrlrDesign;
+use srlr_repro::tech::{AdaptiveSwingBias, GlobalVariation, Technology};
+
+#[test]
+fn headline_bandwidth_density_matches_exactly() {
+    // 4.1 Gb/s over a 0.6 um pitch is 6.83 Gb/s/um by construction.
+    let tech = Technology::soi45();
+    let m = SrlrLink::paper_test_chip(&tech).metrics();
+    let bw = m.bandwidth_density.gigabits_per_second_per_micrometer();
+    assert!((bw - 6.8333).abs() < 0.01, "bandwidth density {bw}");
+}
+
+#[test]
+fn headline_energy_within_25_percent_of_paper() {
+    let tech = Technology::soi45();
+    let m = SrlrLink::paper_test_chip(&tech).metrics();
+    let e = m.energy.femtojoules_per_bit_per_millimeter();
+    assert!(
+        (e - 40.4).abs() < 40.4 * 0.25,
+        "energy {e} fJ/bit/mm vs paper 40.4"
+    );
+}
+
+#[test]
+fn headline_link_power_within_25_percent_of_paper() {
+    let tech = Technology::soi45();
+    let m = SrlrLink::paper_test_chip(&tech).metrics();
+    let p = m.power.milliwatts();
+    assert!((p - 1.66).abs() < 1.66 * 0.25, "power {p} mW vs paper 1.66");
+}
+
+#[test]
+fn max_data_rate_in_the_paper_regime() {
+    let tech = Technology::soi45();
+    let rate = max_data_rate(
+        &tech,
+        &SrlrDesign::paper_proposed(&tech),
+        LinkConfig::paper_default(),
+        &GlobalVariation::nominal(),
+        1.0,
+        10.0,
+        0.1,
+    )
+    .expect("nominal link works");
+    let gbps = rate.gigabits_per_second();
+    assert!(
+        (4.1 * 0.7..=4.1 * 1.7).contains(&gbps),
+        "max rate {gbps} Gb/s vs paper 4.1"
+    );
+}
+
+#[test]
+fn long_prbs_run_is_error_free() {
+    let tech = Technology::soi45();
+    let link = SrlrLink::paper_test_chip(&tech);
+    let report = BerTester::prbs15().run(&link, 300_000);
+    assert!(report.error_free(), "{report}");
+    assert!(report.ber_upper_bound() < 2e-5);
+}
+
+#[test]
+fn bias_power_share_is_sub_percent() {
+    let tech = Technology::soi45();
+    let m = SrlrLink::paper_test_chip(&tech).metrics();
+    let bias = AdaptiveSwingBias::paper_default(&tech);
+    let share = bias.power_fraction_of(m.power * 64.0);
+    // Paper: 0.6 % for a 64-bit 10 mm link.
+    assert!(share > 0.001 && share < 0.012, "bias share {share}");
+}
+
+#[test]
+fn table1_preserves_the_papers_ordering() {
+    let tech = Technology::soi45();
+    let table = ComparisonTable::paper_table1(&tech);
+    let measured = table.measured();
+    for prior in &table.rows()[..5] {
+        // We win on bandwidth density against every prior design...
+        assert!(measured.bandwidth_density > prior.bandwidth_density);
+        // ...and on energy against the repeated (mesh-compatible) ones.
+        if prior.repeaters.contains("repeaters") {
+            assert!(measured.energy < prior.energy, "vs {}", prior.label);
+        }
+    }
+}
+
+#[test]
+fn published_and_measured_rows_agree_on_shape() {
+    let tech = Technology::soi45();
+    let table = ComparisonTable::paper_table1(&tech);
+    let published = &table.rows()[5];
+    let measured = table.measured();
+    let ratio = measured.energy.value() / published.energy.value();
+    assert!(
+        (0.6..=1.4).contains(&ratio),
+        "measured/published energy ratio {ratio}"
+    );
+}

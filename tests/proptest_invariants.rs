@@ -1,0 +1,164 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use srlr_repro::circuit::Waveform;
+use srlr_repro::core::{PulseState, SrlrDesign};
+use srlr_repro::noc::{Coord, Mesh};
+use srlr_repro::tech::{MonteCarlo, Technology, WireGeometry};
+use srlr_repro::units::{Length, TimeInterval, Voltage};
+use srlr_link::Prbs;
+
+proptest! {
+    /// Voltage arithmetic is associative-enough and ordering-compatible.
+    #[test]
+    fn voltage_add_sub_round_trip(a in -2.0f64..2.0, b in -2.0f64..2.0) {
+        let va = Voltage::from_volts(a);
+        let vb = Voltage::from_volts(b);
+        let back = (va + vb) - vb;
+        prop_assert!((back.volts() - a).abs() < 1e-12);
+        prop_assert_eq!(va.min(vb) <= va.max(vb), true);
+    }
+
+    /// SI display never panics and always carries the base unit.
+    #[test]
+    fn si_display_total(value in prop::num::f64::ANY) {
+        let v = Voltage::from_volts(value);
+        let s = format!("{v}");
+        prop_assert!(s.ends_with('V'));
+    }
+
+    /// Wire extraction scales linearly in length for any geometry.
+    #[test]
+    fn wire_extraction_linear(
+        width_um in 0.1f64..1.0,
+        space_um in 0.1f64..1.0,
+        len_mm in 0.1f64..10.0,
+    ) {
+        let g = WireGeometry {
+            width: Length::from_micrometers(width_um),
+            space: Length::from_micrometers(space_um),
+            ..WireGeometry::paper_default()
+        };
+        let one = g.extract(Length::from_millimeters(len_mm));
+        let two = g.extract(Length::from_millimeters(2.0 * len_mm));
+        prop_assert!((two.resistance.ohms() / one.resistance.ohms() - 2.0).abs() < 1e-9);
+        prop_assert!((two.capacitance.farads() / one.capacitance.farads() - 2.0).abs() < 1e-9);
+    }
+
+    /// The MOSFET model's current is monotone in gate voltage for any
+    /// physical drain bias.
+    #[test]
+    fn mosfet_monotone_in_vgs(vds_mv in 10.0f64..800.0, step in 1u32..16) {
+        let m = srlr_repro::tech::MosfetModel::nmos_soi45();
+        let vds = Voltage::from_millivolts(vds_mv);
+        let lo = Voltage::from_millivolts(f64::from(step) * 50.0);
+        let hi = lo + Voltage::from_millivolts(50.0);
+        prop_assert!(
+            m.drain_current_per_ratio(hi, vds) >= m.drain_current_per_ratio(lo, vds)
+        );
+    }
+
+    /// XY routing always produces a path of exactly the Manhattan length,
+    /// entirely inside the mesh.
+    #[test]
+    fn xy_path_is_minimal(
+        cols in 2u16..10, rows in 2u16..10,
+        sx in 0u16..10, sy in 0u16..10, dx in 0u16..10, dy in 0u16..10,
+    ) {
+        let mesh = Mesh::new(cols, rows);
+        let src = Coord::new(sx % cols, sy % rows);
+        let dst = Coord::new(dx % cols, dy % rows);
+        let path = mesh.xy_path(src, dst);
+        prop_assert_eq!(path.len() as u32, src.hop_distance(dst) + 1);
+        prop_assert!(path.iter().all(|&c| mesh.contains(c)));
+    }
+
+    /// PRBS sequences are balanced to within the maximal-sequence bound.
+    #[test]
+    fn prbs_is_balanced(seed in 1u32..127) {
+        let mut gen = Prbs::prbs7_with_seed(seed);
+        let ones = gen.take_bits(127).iter().filter(|&&b| b).count();
+        prop_assert_eq!(ones, 64);
+    }
+
+    /// Waveform threshold crossings alternate rising/falling.
+    #[test]
+    fn crossings_alternate(samples in prop::collection::vec(0.0f64..1.0, 3..40)) {
+        let w: Waveform = samples
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                (TimeInterval::from_picoseconds(i as f64), Voltage::from_volts(v))
+            })
+            .collect();
+        let crossings = w.crossings(Voltage::from_volts(0.5));
+        for pair in crossings.windows(2) {
+            prop_assert_ne!(pair[0].1, pair[1].1, "edges must alternate");
+        }
+    }
+
+    /// A stage's delivered swing is monotone in pulse width and bounded
+    /// by its drive level.
+    #[test]
+    fn delivered_swing_monotone_bounded(w1 in 5.0f64..300.0, w2 in 5.0f64..300.0) {
+        let tech = Technology::soi45();
+        let design = SrlrDesign::paper_proposed(&tech);
+        let chain = design.instantiate(
+            &tech,
+            &srlr_repro::tech::GlobalVariation::nominal(),
+            1,
+        );
+        let stage = &chain.stages()[0];
+        let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+        let s_lo = stage.delivered_swing(TimeInterval::from_picoseconds(lo));
+        let s_hi = stage.delivered_swing(TimeInterval::from_picoseconds(hi));
+        prop_assert!(s_lo <= s_hi);
+        prop_assert!(s_hi <= stage.drive_level);
+    }
+
+    /// Propagating any pulse never produces a wider-than-physical output
+    /// and never panics.
+    #[test]
+    fn stage_process_is_total(width_ps in 0.0f64..500.0, swing_mv in 0.0f64..800.0) {
+        let tech = Technology::soi45();
+        let design = SrlrDesign::paper_proposed(&tech);
+        let chain = design.instantiate(
+            &tech,
+            &srlr_repro::tech::GlobalVariation::nominal(),
+            1,
+        );
+        let input = PulseState::new(
+            TimeInterval::from_picoseconds(width_ps),
+            Voltage::from_millivolts(swing_mv),
+        );
+        let out = chain.stages()[0].process(input);
+        if out.output.is_valid() {
+            // W_out = delay − (t_rise − t_fall): bounded by the delay
+            // cell's contribution plus the fall-time surplus.
+            let stage = &chain.stages()[0];
+            prop_assert!(out.output.width <= stage.delay + stage.t_fall);
+            prop_assert!(out.output.swing <= stage.drive_level);
+        }
+    }
+
+    /// Monte Carlo dice are always physical regardless of seed.
+    #[test]
+    fn monte_carlo_dice_physical(seed in 0u64..10_000) {
+        let tech = Technology::soi45();
+        let mut mc = MonteCarlo::new(&tech, seed);
+        for die in mc.dice(8) {
+            prop_assert!(die.is_physical());
+        }
+    }
+
+    /// Transmitting any bit pattern through the nominal link returns it
+    /// unchanged (the nominal die is inside the eye for all patterns at
+    /// the paper's rate).
+    #[test]
+    fn nominal_link_is_transparent(bits in prop::collection::vec(any::<bool>(), 1..64)) {
+        let tech = Technology::soi45();
+        let link = srlr_link::SrlrLink::paper_test_chip(&tech);
+        let out = link.transmit(&bits);
+        prop_assert_eq!(out.received, bits);
+    }
+}
