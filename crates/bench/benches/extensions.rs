@@ -25,8 +25,10 @@ fn print_all() {
         println!(
             "{:<12} {:>11} {:>14.1} fJ/b/mm",
             format!("{:?}", p.activity),
-            p.max_rate
-                .map_or("fails".to_owned(), |r| format!("{:.1} Gb/s", r.gigabits_per_second())),
+            p.max_rate.map_or("fails".to_owned(), |r| format!(
+                "{:.1} Gb/s",
+                r.gigabits_per_second()
+            )),
             p.energy.femtojoules_per_bit_per_millimeter(),
         );
     }
@@ -38,7 +40,11 @@ fn print_all() {
         let mut gen = Prbs::prbs15();
         let bits = gen.take_bits(4096);
         let out = link.transmit(&bits);
-        let errors = bits.iter().zip(&out.received).filter(|(a, b)| a != b).count();
+        let errors = bits
+            .iter()
+            .zip(&out.received)
+            .filter(|(a, b)| a != b)
+            .count();
         println!(
             "{:>6.0} C: {} errors / {} bits",
             celsius,
@@ -49,7 +55,9 @@ fn print_all() {
     println!("(105 C needs extra commanded swing — the mobility collapse outruns Vth tracking)");
 
     report::section("Supply scaling (rated at 0.7 x cliff)");
-    let vdds: Vec<Voltage> = (6..=10).map(|i| Voltage::from_volts(f64::from(i) / 10.0)).collect();
+    let vdds: Vec<Voltage> = (6..=10)
+        .map(|i| Voltage::from_volts(f64::from(i) / 10.0))
+        .collect();
     for p in supply::supply_sweep(&tech, &design, &vdds) {
         println!(
             "VDD {:>7}: cliff {:>4.1} Gb/s, {:>5.1} fJ/bit/mm, {:>5.2} mW",
@@ -77,21 +85,36 @@ fn print_all() {
     report::section("Bufferless (deflection) vs VC routers — Sec. I's buffer-power argument");
     let load = 0.10;
     let (cycles_w, cycles_m) = (400u64, 1600u64);
-    let config = NocConfig::paper_default().with_size(8, 8).with_packet_len(1);
+    let config = NocConfig::paper_default()
+        .with_size(8, 8)
+        .with_packet_len(1);
     let model = PowerModel::for_datapath(&tech, config.flit_bits, DatapathKind::SrlrLowSwing);
 
     let mut vc = Network::new(config);
     let vc_stats = vc.run_warmup_and_measure(Pattern::UniformRandom, load, cycles_w, cycles_m);
-    let vc_power = model.report(&vc_stats.energy, cycles_m, config.clock, config.mesh().len());
+    let vc_power = model.report(
+        &vc_stats.energy,
+        cycles_m,
+        config.clock,
+        config.mesh().len(),
+    );
 
     let mut dfl = DeflectionNetwork::new(config);
     let dfl_stats = dfl.run_warmup_and_measure(Pattern::UniformRandom, load, cycles_w, cycles_m);
-    let dfl_power = model.report(&dfl_stats.energy, cycles_m, config.clock, config.mesh().len());
+    let dfl_power = model.report(
+        &dfl_stats.energy,
+        cycles_m,
+        config.clock,
+        config.mesh().len(),
+    );
 
     println!("VC router:   {vc_stats}");
     println!("             {vc_power}");
     println!("deflection:  {dfl_stats}");
-    println!("             {dfl_power}  ({} deflections)", dfl.deflections());
+    println!(
+        "             {dfl_power}  ({} deflections)",
+        dfl.deflections()
+    );
     println!(
         "\nBufferless removes the buffer component entirely, but its extra\n\
          link traversals land on the datapath — the component the paper\n\
@@ -107,7 +130,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| crosstalk::crosstalk_sweep(&tech, &design))
     });
     c.bench_function("deflection_mesh_step", |b| {
-        let config = NocConfig::paper_default().with_size(4, 4).with_packet_len(1);
+        let config = NocConfig::paper_default()
+            .with_size(4, 4)
+            .with_packet_len(1);
         let mut net = DeflectionNetwork::new(config);
         let _ = net.run_warmup_and_measure(Pattern::UniformRandom, 0.1, 100, 100);
         b.iter(|| net.step())

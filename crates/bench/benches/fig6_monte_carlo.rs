@@ -38,14 +38,24 @@ fn print_figure() {
     let sweep_p = exp.swing_sweep(&proposed, &swings);
     let sweep_s = exp.swing_sweep(&straightforward, &swings);
     for ((swing, p), (_, s)) in sweep_p.iter().zip(&sweep_s) {
-        println!("{:>10} {:>26} {:>26}", swing.to_string(), p.to_string(), s.to_string());
+        println!(
+            "{:>10} {:>26} {:>26}",
+            swing.to_string(),
+            p.to_string(),
+            s.to_string()
+        );
     }
 
     report::section("Fig. 6 — immunity at the fabrication swing");
     let (p, s, ratio) = exp.immunity_ratio();
     println!("proposed:        {p}");
     println!("straightforward: {s}");
-    report::paper_vs_measured("immunity ratio (straightforward / proposed)", "x", 3.7, ratio);
+    report::paper_vs_measured(
+        "immunity ratio (straightforward / proposed)",
+        "x",
+        3.7,
+        ratio,
+    );
 }
 
 fn bench(c: &mut Criterion) {

@@ -1,0 +1,87 @@
+//! Monte Carlo throughput: dice evaluated per second through the full
+//! Fig. 6 stress-test pipeline, serial versus the parallel sweep engine.
+//!
+//! This is the harness behind the perf numbers quoted in
+//! `EXPERIMENTS.md`: it measures the per-die cost of the counter-based
+//! sampler plus the early-exit link check, then the wall-clock speedup
+//! (or scheduling overhead, on small machines) of `SRLR_THREADS` workers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use srlr_bench::report;
+use srlr_core::SrlrDesign;
+use srlr_link::engine;
+use srlr_link::montecarlo::McExperiment;
+use srlr_tech::Technology;
+use std::time::Instant;
+
+/// Dice per throughput measurement. Override with SRLR_MC_RUNS.
+fn runs() -> usize {
+    std::env::var("SRLR_MC_RUNS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000)
+}
+
+/// One timed error-probability evaluation; returns dice per second.
+fn dice_per_second(exp: &McExperiment<'_>, design: &SrlrDesign) -> f64 {
+    let start = Instant::now();
+    let p = exp.error_probability(design);
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(p.trials, exp.runs);
+    exp.runs as f64 / elapsed
+}
+
+fn print_throughput() {
+    let tech = Technology::soi45();
+    let design = SrlrDesign::paper_proposed(&tech);
+    let n = runs();
+
+    report::section(&format!(
+        "Monte Carlo throughput — {n} dice through the Fig. 6 stress test"
+    ));
+    println!(
+        "machine: {} available thread(s); SRLR_THREADS={}",
+        engine::available_threads(),
+        std::env::var(engine::THREADS_ENV).unwrap_or_else(|_| "unset".into()),
+    );
+
+    let mut serial_rate = 0.0;
+    for threads in [1usize, 2, 4, engine::available_threads()] {
+        let exp = McExperiment::paper_default(&tech)
+            .with_runs(n)
+            .with_threads(Some(threads));
+        let rate = dice_per_second(&exp, &design);
+        if threads == 1 {
+            serial_rate = rate;
+        }
+        println!(
+            "{threads:>3} thread(s): {rate:>10.0} dice/s  (x{:.2} vs serial)",
+            rate / serial_rate.max(f64::MIN_POSITIVE)
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_throughput();
+    let tech = Technology::soi45();
+    let design = SrlrDesign::paper_proposed(&tech);
+    let serial = McExperiment::paper_default(&tech)
+        .with_runs(100)
+        .with_threads(Some(1));
+    let parallel = McExperiment::paper_default(&tech)
+        .with_runs(100)
+        .with_threads(None);
+    c.bench_function("mc_100_dice_serial", |b| {
+        b.iter(|| serial.error_probability(&design))
+    });
+    c.bench_function("mc_100_dice_auto_threads", |b| {
+        b.iter(|| parallel.error_probability(&design))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -17,7 +17,11 @@ fn print_curves() {
     );
     for &load in &loads {
         let mut row = Vec::new();
-        for pattern in [Pattern::UniformRandom, Pattern::Transpose, Pattern::Neighbor] {
+        for pattern in [
+            Pattern::UniformRandom,
+            Pattern::Transpose,
+            Pattern::Neighbor,
+        ] {
             let mut net = Network::new(NocConfig::paper_default());
             let stats = net.run_warmup_and_measure(pattern, load, 500, 1500);
             row.push(if stats.packets_received > 0 {

@@ -43,7 +43,10 @@ fn print_tables() {
             ("alternating", DelayCellDesign::alternating_paper()),
         ] {
             let design = base.with_delay_cell(cell);
-            println!("{mv:>+8.0}mV {label:<12} {}", trace_line(&design, &tech, &var));
+            println!(
+                "{mv:>+8.0}mV {label:<12} {}",
+                trace_line(&design, &tech, &var)
+            );
         }
     }
     println!(
@@ -75,9 +78,8 @@ fn print_tables() {
             let design = SrlrDesign::paper_proposed(&tech).with_driver(driver);
             let pattern: Vec<bool> = [true, true, true, true, false].repeat(10);
             let clean = |gbps: f64| {
-                let config = LinkConfig::paper_default().with_data_rate(
-                    srlr_units::DataRate::from_gigabits_per_second(gbps),
-                );
+                let config = LinkConfig::paper_default()
+                    .with_data_rate(srlr_units::DataRate::from_gigabits_per_second(gbps));
                 let link = SrlrLink::on_die(&tech, &design, config, &var);
                 link.transmit(&pattern).received == pattern
             };

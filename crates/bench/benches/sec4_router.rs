@@ -55,7 +55,11 @@ fn print_report() {
     for b in PublishedBreakdown::all() {
         println!(
             "{:<12} {:>7.0}% {:>9.0}% {:>9.0}% {:>19.0}%",
-            b.name, b.links_pct, b.crossbar_pct, b.buffers_pct, b.datapath_pct()
+            b.name,
+            b.links_pct,
+            b.crossbar_pct,
+            b.buffers_pct,
+            b.datapath_pct()
         );
     }
 
@@ -67,12 +71,7 @@ fn print_report() {
         let mut net = Network::new(config);
         let stats = net.run_warmup_and_measure(Pattern::UniformRandom, 0.06, cycles_w, cycles_m);
         let model = PowerModel::for_datapath(&tech, config.flit_bits, datapath);
-        let power = model.report(
-            &stats.energy,
-            cycles_m,
-            config.clock,
-            config.mesh().len(),
-        );
+        let power = model.report(&stats.energy, cycles_m, config.clock, config.mesh().len());
         println!("\n{datapath}:");
         println!("  traffic: {stats}");
         println!("  power:   {power}");

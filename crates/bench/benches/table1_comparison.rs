@@ -22,7 +22,9 @@ fn print_table() {
         "bandwidth density",
         "Gb/s/um",
         6.83,
-        metrics.bandwidth_density.gigabits_per_second_per_micrometer(),
+        metrics
+            .bandwidth_density
+            .gigabits_per_second_per_micrometer(),
     );
     report::paper_vs_measured(
         "link-traversal energy",
@@ -30,7 +32,12 @@ fn print_table() {
         40.4,
         metrics.energy.femtojoules_per_bit_per_millimeter(),
     );
-    report::paper_vs_measured("link power at 4.1 Gb/s", "mW", 1.66, metrics.power.milliwatts());
+    report::paper_vs_measured(
+        "link power at 4.1 Gb/s",
+        "mW",
+        1.66,
+        metrics.power.milliwatts(),
+    );
 
     let design = SrlrDesign::paper_proposed(&tech);
     let max = max_data_rate(
@@ -60,9 +67,7 @@ fn print_table() {
         .unwrap_or(2_000_000);
     let ber = BerTester::prbs15().run(&link, bits);
     println!("BER run: {ber}");
-    println!(
-        "(paper: zero errors over >1e9 bits => BER < 1e-9; scale with SRLR_BER_BITS)"
-    );
+    println!("(paper: zero errors over >1e9 bits => BER < 1e-9; scale with SRLR_BER_BITS)");
 
     let bias = AdaptiveSwingBias::paper_default(&tech);
     let link_power_64 = metrics.power * 64.0;

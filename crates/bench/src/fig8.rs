@@ -30,18 +30,14 @@ pub fn fig8_published_points() -> Vec<Fig8Point> {
         .into_iter()
         .map(|p| Fig8Point {
             label: p.label.to_owned(),
-            bandwidth_density_gbps_um: p
-                .bandwidth_density
-                .gigabits_per_second_per_micrometer(),
+            bandwidth_density_gbps_um: p.bandwidth_density.gigabits_per_second_per_micrometer(),
             energy_fj_per_bit_cm: p.energy.femtojoules_per_bit_per_centimeter(),
         })
         .collect();
     let us = PublishedInterconnect::this_work_published();
     pts.push(Fig8Point {
         label: us.label.to_owned(),
-        bandwidth_density_gbps_um: us
-            .bandwidth_density
-            .gigabits_per_second_per_micrometer(),
+        bandwidth_density_gbps_um: us.bandwidth_density.gigabits_per_second_per_micrometer(),
         energy_fj_per_bit_cm: us.energy.femtojoules_per_bit_per_centimeter(),
     });
     pts

@@ -13,7 +13,9 @@ pub fn paper_vs_measured(label: &str, unit: &str, paper: f64, measured: f64) {
     } else {
         "n/a".to_owned()
     };
-    println!("{label:<44} paper {paper:>10.3} {unit:<12} measured {measured:>10.3} {unit:<12} ({dev})");
+    println!(
+        "{label:<44} paper {paper:>10.3} {unit:<12} measured {measured:>10.3} {unit:<12} ({dev})"
+    );
 }
 
 /// One scatter series: label, plot symbol and `(x, y)` points.

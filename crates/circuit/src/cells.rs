@@ -173,8 +173,7 @@ mod tests {
             crossings
                 .into_iter()
                 .filter(|&(t, e)| {
-                    e == crate::waveform::Edge::Rising
-                        && t > TimeInterval::from_picoseconds(100.0)
+                    e == crate::waveform::Edge::Rising && t > TimeInterval::from_picoseconds(100.0)
                 })
                 .map(|(t, _)| t)
                 .next()
@@ -216,15 +215,7 @@ mod tests {
     #[should_panic(expected = "at least one inverter")]
     fn empty_chain_rejected() {
         let (mut net, lib, input) = fixture();
-        let _ = lib.inverter_chain(
-            &mut net,
-            input,
-            0,
-            Capacitance::zero(),
-            "c",
-            0.3e-6,
-            0.6e-6,
-        );
+        let _ = lib.inverter_chain(&mut net, input, 0, Capacitance::zero(), "c", 0.3e-6, 0.6e-6);
     }
 
     #[test]

@@ -84,8 +84,8 @@ impl Default for LadderSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stimulus::Stimulus;
     use crate::sim::Transient;
+    use crate::stimulus::Stimulus;
     use srlr_tech::WireGeometry;
     use srlr_units::{Length, TimeInterval, Voltage};
 
@@ -127,7 +127,11 @@ mod tests {
         let far = LadderSpec::new(10).build(&mut net, near, rc, "w");
         net.force(
             near,
-            Stimulus::step(Voltage::zero(), Voltage::from_volts(0.8), TimeInterval::from_picoseconds(1.0)),
+            Stimulus::step(
+                Voltage::zero(),
+                Voltage::from_volts(0.8),
+                TimeInterval::from_picoseconds(1.0),
+            ),
         );
         let result = Transient::new(&net).run(TimeInterval::from_nanoseconds(2.0));
         let w = result.waveform(far);
@@ -161,7 +165,10 @@ mod tests {
             peak.volts() < 0.4 * 0.95,
             "narrow pulse should attenuate, peak = {peak}"
         );
-        assert!(peak.volts() > 0.05, "pulse should still arrive, peak = {peak}");
+        assert!(
+            peak.volts() > 0.05,
+            "pulse should still arrive, peak = {peak}"
+        );
     }
 
     #[test]

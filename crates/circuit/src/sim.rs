@@ -109,8 +109,7 @@ impl Transient {
 
         // Recording state.
         let n_records = (t_end / self.record_dt).ceil() as usize + 1;
-        let mut records: Vec<Vec<(f64, f64)>> =
-            vec![Vec::with_capacity(n_records.min(1 << 20)); n];
+        let mut records: Vec<Vec<(f64, f64)>> = vec![Vec::with_capacity(n_records.min(1 << 20)); n];
         let mut source_energy = vec![0.0_f64; self.net.forced.len()];
 
         let mut t = 0.0_f64;
@@ -231,10 +230,7 @@ impl Transient {
                         MosKind::Pmos => (hi - vg, hi - lo),
                     };
                     let i = device
-                        .drain_current(
-                            Voltage::from_volts(vgs),
-                            Voltage::from_volts(vds),
-                        )
+                        .drain_current(Voltage::from_volts(vgs), Voltage::from_volts(vds))
                         .amperes();
                     // Current flows from the higher terminal to the lower.
                     if hi_is_drain {
@@ -271,10 +267,7 @@ impl TransientResult {
         let mut last = f64::NEG_INFINITY;
         for &(t, v) in rec {
             if t > last {
-                w.push(
-                    TimeInterval::from_seconds(t),
-                    Voltage::from_volts(v),
-                );
+                w.push(TimeInterval::from_seconds(t), Voltage::from_volts(v));
                 last = t;
             }
         }

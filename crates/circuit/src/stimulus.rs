@@ -192,7 +192,10 @@ mod tests {
     fn pwl_interpolates_linearly() {
         let s = Stimulus::pwl([
             (TimeInterval::zero(), Voltage::zero()),
-            (TimeInterval::from_nanoseconds(1.0), Voltage::from_volts(1.0)),
+            (
+                TimeInterval::from_nanoseconds(1.0),
+                Voltage::from_volts(1.0),
+            ),
         ]);
         let mid = s.at(TimeInterval::from_picoseconds(500.0));
         assert!((mid.volts() - 0.5).abs() < 1e-12);

@@ -133,12 +133,11 @@ mod tests {
     use srlr_units::{TimeInterval, Voltage};
 
     fn wave(points: &[(f64, f64)]) -> Waveform {
-        Waveform::from_samples(points.iter().map(|&(ps, v)| {
-            (
-                TimeInterval::from_picoseconds(ps),
-                Voltage::from_volts(v),
-            )
-        }))
+        Waveform::from_samples(
+            points
+                .iter()
+                .map(|&(ps, v)| (TimeInterval::from_picoseconds(ps), Voltage::from_volts(v))),
+        )
     }
 
     #[test]
@@ -206,7 +205,11 @@ mod tests {
         let b = net.node("b");
         net.force(
             a,
-            Stimulus::step(Voltage::zero(), Technology::soi45().vdd, TimeInterval::from_picoseconds(5.0)),
+            Stimulus::step(
+                Voltage::zero(),
+                Technology::soi45().vdd,
+                TimeInterval::from_picoseconds(5.0),
+            ),
         );
         net.add_resistor(a, b, Resistance::from_kilohms(1.0));
         net.add_capacitance(b, Capacitance::from_femtofarads(20.0));

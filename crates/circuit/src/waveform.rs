@@ -60,7 +60,10 @@ impl Waveform {
     pub fn push(&mut self, t: TimeInterval, v: Voltage) {
         let ts = t.seconds();
         if let Some(&(last, _)) = self.samples.last() {
-            assert!(ts > last, "waveform samples must be strictly increasing in time");
+            assert!(
+                ts > last,
+                "waveform samples must be strictly increasing in time"
+            );
         }
         self.samples.push((ts, v.volts()));
     }
@@ -236,9 +239,7 @@ impl Waveform {
         #[allow(clippy::needless_range_loop)]
         for col in 0..cols {
             let t = t0 + (t1 - t0) * col as f64 / (cols - 1) as f64;
-            let v = self
-                .value_at(TimeInterval::from_seconds(t))
-                .volts();
+            let v = self.value_at(TimeInterval::from_seconds(t)).volts();
             let frac = (v - vmin) / (vmax - vmin);
             let row = ((1.0 - frac) * (rows - 1) as f64).round() as usize;
             grid[row.min(rows - 1)][col] = b'*';
@@ -274,7 +275,10 @@ mod tests {
         // 0 V at t=0 to 1 V at t=1 ns, then back down to 0 at 2 ns.
         Waveform::from_samples([
             (TimeInterval::zero(), Voltage::zero()),
-            (TimeInterval::from_nanoseconds(1.0), Voltage::from_volts(1.0)),
+            (
+                TimeInterval::from_nanoseconds(1.0),
+                Voltage::from_volts(1.0),
+            ),
             (TimeInterval::from_nanoseconds(2.0), Voltage::zero()),
         ])
     }
@@ -328,10 +332,14 @@ mod tests {
     #[test]
     fn rise_and_fall_times_of_triangle() {
         let w = ramp();
-        let rt = w.rise_time(Voltage::zero(), Voltage::from_volts(1.0)).unwrap();
+        let rt = w
+            .rise_time(Voltage::zero(), Voltage::from_volts(1.0))
+            .unwrap();
         // 10% to 90% of a linear 1 ns ramp = 0.8 ns.
         assert!((rt.nanoseconds() - 0.8).abs() < 1e-9);
-        let ft = w.fall_time(Voltage::zero(), Voltage::from_volts(1.0)).unwrap();
+        let ft = w
+            .fall_time(Voltage::zero(), Voltage::from_volts(1.0))
+            .unwrap();
         assert!((ft.nanoseconds() - 0.8).abs() < 1e-9);
     }
 

@@ -74,7 +74,11 @@ mod tests {
 
     #[test]
     fn parses_pairs() {
-        let f = Flags::parse(&argv(&["--bits", "100", "--gbps", "4.1"]), &["bits", "gbps"]).unwrap();
+        let f = Flags::parse(
+            &argv(&["--bits", "100", "--gbps", "4.1"]),
+            &["bits", "gbps"],
+        )
+        .unwrap();
         assert_eq!(f.get_or("bits", 0usize).unwrap(), 100);
         assert!((f.get_or("gbps", 0.0f64).unwrap() - 4.1).abs() < 1e-12);
     }

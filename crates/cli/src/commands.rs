@@ -21,7 +21,7 @@ pub fn help() -> String {
      \n\
      commands:\n\
        table1                           Table I + Sec. IV headline numbers\n\
-       fig6   [--runs N]                Monte Carlo error probability vs swing\n\
+       fig6   [--runs N] [--threads T]  Monte Carlo error probability vs swing\n\
        fig8                             energy vs bandwidth density sweep\n\
        waveforms                        Fig. 4 transient waveforms (ASCII)\n\
        ber    [--bits N] [--gbps R]     PRBS bit-error-rate run\n\
@@ -29,35 +29,42 @@ pub fn help() -> String {
        noc    [--cols C] [--rows R] [--load F] [--datapath srlr|full]\n\
        express [--interval K]           express-channel trade-off analysis\n\
        sizing                           M1/M2 design-space sweep\n\
-       shmoo  [--bits N]                rate x swing pass/fail map\n\
+       shmoo  [--bits N] [--threads T]  rate x swing pass/fail map\n\
        supply                           VDD-scaling frontier\n\
        temp                             temperature sweep (-40..105 C)\n\
-       bathtub [--jitter PS]            BER vs rate under width jitter\n\
+       bathtub [--jitter PS] [--threads T]  BER vs rate under width jitter\n\
        crosstalk                        neighbour-activity scenarios\n\
-       help                             this text\n"
+       help                             this text\n\
+     \n\
+     --threads T: worker threads (0 or unset = SRLR_THREADS env var, then\n\
+     the machine). Results are identical at every thread count.\n"
         .to_owned()
 }
 
-/// `srlr bathtub [--jitter PS]`.
+/// `srlr bathtub [--jitter PS] [--threads T]`.
 pub fn bathtub(rest: &[String]) -> Result<String, CliError> {
-    let flags = Flags::parse(rest, &["jitter", "bits"])?;
+    let flags = Flags::parse(rest, &["jitter", "bits", "threads"])?;
     let jitter_ps: f64 = flags.get_or("jitter", 3.0)?;
     let bits: usize = flags.get_or("bits", 2000)?;
+    let threads = parse_threads(&flags)?;
     if jitter_ps < 0.0 || bits == 0 {
-        return Err(CliError::Usage("need non-negative jitter, positive bits".into()));
+        return Err(CliError::Usage(
+            "need non-negative jitter, positive bits".into(),
+        ));
     }
     let tech = Technology::soi45();
     let design = SrlrDesign::paper_proposed(&tech);
     let rates: Vec<DataRate> = (7..=14)
         .map(|i| DataRate::from_gigabits_per_second(f64::from(i) * 0.5))
         .collect();
-    let curve = srlr_link::bathtub::rate_bathtub(
+    let curve = srlr_link::bathtub::rate_bathtub_with_threads(
         &tech,
         &design,
         &rates,
         srlr_units::TimeInterval::from_picoseconds(jitter_ps),
         bits,
         8,
+        threads,
     );
     Ok(format!(
         "BER bathtub with {jitter_ps} ps/stage width jitter\n\n{}",
@@ -65,34 +72,49 @@ pub fn bathtub(rest: &[String]) -> Result<String, CliError> {
     ))
 }
 
+/// Parses the shared `--threads` flag: `0` (the default) means "decide
+/// automatically" (`SRLR_THREADS`, then the machine); any other value
+/// forces that worker count.
+fn parse_threads(flags: &Flags) -> Result<Option<usize>, CliError> {
+    let threads: usize = flags.get_or("threads", 0)?;
+    Ok(if threads == 0 { None } else { Some(threads) })
+}
+
 /// `srlr crosstalk`.
 pub fn crosstalk() -> Result<String, CliError> {
     let tech = Technology::soi45();
     let design = SrlrDesign::paper_proposed(&tech);
     let mut out = String::from("neighbour-activity (crosstalk) scenarios\n\n");
-    let _ = writeln!(out, "{:<12} {:>12} {:>20}", "neighbours", "cliff", "energy @4.1 Gb/s");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>12} {:>20}",
+        "neighbours", "cliff", "energy @4.1 Gb/s"
+    );
     for p in srlr_link::crosstalk::crosstalk_sweep(&tech, &design) {
         let _ = writeln!(
             out,
             "{:<12} {:>12} {:>14.1} fJ/b/mm",
             format!("{:?}", p.activity),
-            p.max_rate
-                .map_or("fails".to_owned(), |r| format!("{:.1} Gb/s", r.gigabits_per_second())),
+            p.max_rate.map_or("fails".to_owned(), |r| format!(
+                "{:.1} Gb/s",
+                r.gigabits_per_second()
+            )),
             p.energy.femtojoules_per_bit_per_millimeter(),
         );
     }
     Ok(out)
 }
 
-/// `srlr shmoo [--bits N]`.
+/// `srlr shmoo [--bits N] [--threads T]`.
 pub fn shmoo(rest: &[String]) -> Result<String, CliError> {
-    let flags = Flags::parse(rest, &["bits"])?;
+    let flags = Flags::parse(rest, &["bits", "threads"])?;
     let bits: usize = flags.get_or("bits", 512)?;
+    let threads = parse_threads(&flags)?;
     if bits == 0 {
         return Err(CliError::Usage("--bits must be positive".into()));
     }
     let tech = Technology::soi45();
-    let plot = srlr_link::shmoo::paper_shmoo(&tech, bits);
+    let plot = srlr_link::shmoo::paper_shmoo_with_threads(&tech, bits, threads);
     Ok(format!(
         "rate x swing shmoo, nominal die ('+' pass, '.' fail)\n\n{}\npassing fraction: {:.0} %\n",
         plot.render(),
@@ -134,10 +156,13 @@ pub fn supply() -> Result<String, CliError> {
 pub fn temp() -> Result<String, CliError> {
     let tech = Technology::soi45();
     let design = SrlrDesign::paper_proposed(&tech);
-    let mut out = String::from(
-        "temperature sweep at 4.1 Gb/s (adaptive bias tracking; PRBS 4k bits)\n\n",
+    let mut out =
+        String::from("temperature sweep at 4.1 Gb/s (adaptive bias tracking; PRBS 4k bits)\n\n");
+    let _ = writeln!(
+        out,
+        "{:>14} {:>10} {:>14}",
+        "temperature", "errors", "worst ISI"
     );
-    let _ = writeln!(out, "{:>14} {:>10} {:>14}", "temperature", "errors", "worst ISI");
     for celsius in [-40.0, 0.0, 27.0, 60.0, 85.0, 105.0] {
         let t = srlr_tech::Temperature::from_celsius(celsius);
         let var = t.as_variation();
@@ -170,24 +195,37 @@ pub fn table1() -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `srlr fig6 [--runs N]`.
+/// `srlr fig6 [--runs N] [--threads T]`.
 pub fn fig6(rest: &[String]) -> Result<String, CliError> {
-    let flags = Flags::parse(rest, &["runs"])?;
+    let flags = Flags::parse(rest, &["runs", "threads"])?;
     let runs: usize = flags.get_or("runs", 300)?;
+    let threads = parse_threads(&flags)?;
     if runs == 0 {
         return Err(CliError::Usage("--runs must be positive".into()));
     }
     let tech = Technology::soi45();
-    let exp = McExperiment::paper_default(&tech).with_runs(runs);
+    let exp = McExperiment::paper_default(&tech)
+        .with_runs(runs)
+        .with_threads(threads);
     let mut out = format!("Monte Carlo over {runs} dice per point\n\n");
     let swings: Vec<Voltage> = (7..=11)
         .map(|i| Voltage::from_millivolts(f64::from(i) * 50.0))
         .collect();
-    let _ = writeln!(out, "{:>9} {:>22} {:>22}", "swing", "proposed", "straightforward");
+    let _ = writeln!(
+        out,
+        "{:>9} {:>22} {:>22}",
+        "swing", "proposed", "straightforward"
+    );
     let sweep_p = exp.swing_sweep(&SrlrDesign::paper_proposed(&tech), &swings);
     let sweep_s = exp.swing_sweep(&SrlrDesign::straightforward(&tech), &swings);
     for ((swing, p), (_, s)) in sweep_p.iter().zip(&sweep_s) {
-        let _ = writeln!(out, "{:>9} {:>22} {:>22}", swing.to_string(), p.to_string(), s.to_string());
+        let _ = writeln!(
+            out,
+            "{:>9} {:>22} {:>22}",
+            swing.to_string(),
+            p.to_string(),
+            s.to_string()
+        );
     }
     let (p, s, ratio) = exp.immunity_ratio();
     let _ = writeln!(
@@ -244,8 +282,8 @@ pub fn ber(rest: &[String]) -> Result<String, CliError> {
         return Err(CliError::Usage("--bits and --gbps must be positive".into()));
     }
     let tech = Technology::soi45();
-    let config = LinkConfig::paper_default()
-        .with_data_rate(DataRate::from_gigabits_per_second(gbps));
+    let config =
+        LinkConfig::paper_default().with_data_rate(DataRate::from_gigabits_per_second(gbps));
     let link = SrlrLink::on_die(
         &tech,
         &SrlrDesign::paper_proposed(&tech),
@@ -348,9 +386,7 @@ pub fn sizing() -> Result<String, CliError> {
     let explorer = SizingExplorer::new(&tech, design, 10);
     let m1 = [0.15e-6, 0.3e-6, 0.6e-6, 1.2e-6];
     let m2 = [0.06e-6, 0.12e-6, 0.3e-6];
-    let mut out = String::from(
-        "M1/M2 sizing sweep (10-stage chain, nominal + 5 corners)\n\n",
-    );
+    let mut out = String::from("M1/M2 sizing sweep (10-stage chain, nominal + 5 corners)\n\n");
     let _ = writeln!(
         out,
         "{:>8} {:>8} {:>8} {:>9} {:>14} {:>16}",

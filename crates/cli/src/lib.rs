@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! srlr table1                  Table I + headline measurements
-//! srlr fig6 [--runs N]         Monte Carlo swing sweep
+//! srlr fig6 [--runs N] [--threads T]   Monte Carlo swing sweep
 //! srlr fig8                    energy vs bandwidth density
 //! srlr waveforms               Fig. 4 transient waveforms
 //! srlr ber [--bits N] [--gbps R]
@@ -96,7 +96,17 @@ mod tests {
     #[test]
     fn help_lists_all_commands() {
         let out = call(&["help"]).unwrap();
-        for cmd in ["table1", "fig6", "fig8", "waveforms", "ber", "eye", "noc", "express", "sizing"] {
+        for cmd in [
+            "table1",
+            "fig6",
+            "fig8",
+            "waveforms",
+            "ber",
+            "eye",
+            "noc",
+            "express",
+            "sizing",
+        ] {
             assert!(out.contains(cmd), "help must mention {cmd}");
         }
     }
@@ -132,6 +142,27 @@ mod tests {
         let out = call(&["fig6", "--runs", "20"]).unwrap();
         assert!(out.contains("proposed"));
         assert!(out.contains("immunity"));
+    }
+
+    #[test]
+    fn fig6_thread_count_does_not_change_the_answer() {
+        let serial = call(&["fig6", "--runs", "20", "--threads", "1"]).unwrap();
+        let parallel = call(&["fig6", "--runs", "20", "--threads", "4"]).unwrap();
+        assert_eq!(serial, parallel, "--threads must not change the output");
+    }
+
+    #[test]
+    fn shmoo_accepts_threads_flag() {
+        let serial = call(&["shmoo", "--bits", "64", "--threads", "1"]).unwrap();
+        let parallel = call(&["shmoo", "--bits", "64", "--threads", "4"]).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn help_documents_threads() {
+        let out = call(&["help"]).unwrap();
+        assert!(out.contains("--threads"));
+        assert!(out.contains("SRLR_THREADS"));
     }
 
     #[test]

@@ -96,12 +96,7 @@ impl SrlrCrossbar {
     /// # Panics
     ///
     /// Panics if `input == output` or either index is out of range.
-    pub fn traverse(
-        &self,
-        input: usize,
-        output: usize,
-        pulse: PulseState,
-    ) -> (PulseState, Energy) {
+    pub fn traverse(&self, input: usize, output: usize, pulse: PulseState) -> (PulseState, Energy) {
         assert!(input < PORTS && output < PORTS, "port out of range");
         assert_ne!(input, output, "a port cannot loop back to itself");
         if !self.is_enabled(input, output) {

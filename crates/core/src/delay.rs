@@ -152,8 +152,12 @@ impl DelayCellDesign {
         let vdd = tech.vdd.volts();
         let od_n = (vdd - tech.nmos.vth0.volts()).max(0.05);
         let od_p = (vdd - tech.pmos.vth0.volts()).max(0.05);
-        let n_term = ((od_n - var.dvth_n.volts()) / od_n).max(0.1).powf(tech.nmos.alpha);
-        let p_term = ((od_p - var.dvth_p.volts()) / od_p).max(0.1).powf(tech.pmos.alpha);
+        let n_term = ((od_n - var.dvth_n.volts()) / od_n)
+            .max(0.1)
+            .powf(tech.nmos.alpha);
+        let p_term = ((od_p - var.dvth_p.volts()) / od_p)
+            .max(0.1)
+            .powf(tech.pmos.alpha);
         let n_mult = 1.0 / (n_term * var.drive_mult_n);
         let p_mult = 1.0 / (p_term * var.drive_mult_p);
         0.5 * (n_mult + p_mult)
@@ -251,7 +255,8 @@ mod tests {
             ..GlobalVariation::nominal()
         };
         assert!(
-            cell.delay_for_stage(0, &t, &slow_vth) > cell.delay_for_stage(0, &t, &GlobalVariation::nominal())
+            cell.delay_for_stage(0, &t, &slow_vth)
+                > cell.delay_for_stage(0, &t, &GlobalVariation::nominal())
         );
     }
 

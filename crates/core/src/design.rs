@@ -13,7 +13,7 @@ use crate::driver::{DriverKind, OutputDriver};
 use crate::pulse::{PulseState, StageOutcome};
 use crate::stage::SrlrStage;
 use srlr_tech::{
-    AdaptiveSwingBias, Device, GlobalVariation, MonteCarlo, MosKind, Technology, WireGeometry,
+    AdaptiveSwingBias, Device, GlobalVariation, MismatchSampler, MosKind, Technology, WireGeometry,
 };
 use srlr_units::{Capacitance, Energy, Length, TimeInterval, Voltage};
 
@@ -213,12 +213,12 @@ impl SrlrDesign {
     /// # Panics
     ///
     /// Panics if `stages` is zero.
-    pub fn instantiate_with_mismatch(
+    pub fn instantiate_with_mismatch<M: MismatchSampler>(
         &self,
         tech: &Technology,
         var: &GlobalVariation,
         stages: usize,
-        mc: &mut MonteCarlo,
+        mc: &mut M,
     ) -> SrlrChain {
         self.build_chain(tech, var, stages, Some(mc))
     }
@@ -228,7 +228,7 @@ impl SrlrDesign {
         tech: &Technology,
         var: &GlobalVariation,
         stages: usize,
-        mut mc: Option<&mut MonteCarlo>,
+        mut mc: Option<&mut dyn MismatchSampler>,
     ) -> SrlrChain {
         assert!(stages > 0, "a chain needs at least one stage");
         let driver = self.driver(tech);
@@ -289,9 +289,8 @@ impl SrlrDesign {
 
                 // Fixed internal energy: X cycle, amplifier load, driver
                 // input, delay-cell buffers.
-                let c_buffers = Capacitance::from_femtofarads(
-                    2.0 * self.delay_cell.buffers() as f64,
-                );
+                let c_buffers =
+                    Capacitance::from_femtofarads(2.0 * self.delay_cell.buffers() as f64);
                 let c_amp_load = Capacitance::from_femtofarads(2.0);
                 let c_internal = c_x + driver.input_capacitance() + c_buffers + c_amp_load;
                 let internal_energy_per_pulse = (c_internal * tech.vdd) * tech.vdd;
@@ -300,8 +299,7 @@ impl SrlrDesign {
                 // half the discharge depth of gate overdrive (its source
                 // follows X down while its gate stays at VDD).
                 let half_depth = x_discharge_depth / 2.0;
-                let keeper_current =
-                    m2.drain_current(m2.vth() + half_depth, tech.vdd / 2.0);
+                let keeper_current = m2.drain_current(m2.vth() + half_depth, tech.vdd / 2.0);
 
                 // Standby leakage: M1 (gate low) plus one off device in
                 // each inverter of the delay cell/amplifier/pre-driver
@@ -455,7 +453,9 @@ impl SrlrChain {
             if !p.is_valid() {
                 return (PulseState::dead(), energy);
             }
-            let StageOutcome { output, energy: e, .. } = stage.process(p);
+            let StageOutcome {
+                output, energy: e, ..
+            } = stage.process(p);
             energy += e;
             p = output;
         }
@@ -466,7 +466,7 @@ impl SrlrChain {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use srlr_tech::ProcessCorner;
+    use srlr_tech::{MonteCarlo, ProcessCorner};
 
     fn tech() -> Technology {
         Technology::soi45()

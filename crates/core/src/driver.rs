@@ -105,9 +105,7 @@ impl OutputDriver {
     /// Pull-down (discharging) resistance on the given die. Both driver
     /// topologies discharge through their NMOS.
     pub fn discharge_resistance(&self, tech: &Technology, var: &GlobalVariation) -> Resistance {
-        let dev = self
-            .pull_down
-            .with_variation(var.dvth_n, var.drive_mult_n);
+        let dev = self.pull_down.with_variation(var.dvth_n, var.drive_mult_n);
         dev.effective_resistance(tech.vdd)
     }
 

@@ -48,10 +48,7 @@ impl PulseModulator {
     }
 
     /// Encodes a bit slice into launch pulses.
-    pub fn encode_bits<'a>(
-        &'a self,
-        bits: &'a [bool],
-    ) -> impl Iterator<Item = PulseState> + 'a {
+    pub fn encode_bits<'a>(&'a self, bits: &'a [bool]) -> impl Iterator<Item = PulseState> + 'a {
         bits.iter().map(|&b| self.encode(b))
     }
 }

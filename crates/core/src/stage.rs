@@ -121,11 +121,8 @@ impl SrlrStage {
     /// net current near zero and an effectively unbounded discharge time —
     /// detection fails gracefully rather than at a hard threshold.
     pub fn x_discharge_time(&self, input_swing: Voltage) -> TimeInterval {
-        let i = (self.m1_current_amperes(input_swing) - self.keeper_current.amperes())
-            .max(1e-12);
-        TimeInterval::from_seconds(
-            self.c_x.farads() * self.x_discharge_depth.volts() / i,
-        )
+        let i = (self.m1_current_amperes(input_swing) - self.keeper_current.amperes()).max(1e-12);
+        TimeInterval::from_seconds(self.c_x.farads() * self.x_discharge_depth.volts() / i)
     }
 
     /// The amplifier rising time for a given input swing: intrinsic rise
@@ -150,8 +147,8 @@ impl SrlrStage {
     pub fn pulse_energy(&self, w: TimeInterval) -> Energy {
         // Near-end charge: the wire charges toward the drive level with
         // the driver-dominated time constant.
-        let tau_near = (self.charge_resistance + self.wire_resistance * 0.15)
-            * self.wire_capacitance;
+        let tau_near =
+            (self.charge_resistance + self.wire_resistance * 0.15) * self.wire_capacitance;
         let v_near = if w.seconds() <= 0.0 {
             Voltage::zero()
         } else {
@@ -192,8 +189,9 @@ impl SrlrStage {
             return dead;
         }
         let swing_next = self.delivered_swing(w_out);
-        let wire_delay =
-            TimeInterval::from_seconds(0.38 * self.wire_resistance.ohms() * self.wire_capacitance.farads());
+        let wire_delay = TimeInterval::from_seconds(
+            0.38 * self.wire_resistance.ohms() * self.wire_capacitance.farads(),
+        );
         let latency = t_rise + wire_delay;
         StageOutcome {
             output: PulseState {

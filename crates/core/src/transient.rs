@@ -142,8 +142,7 @@ impl SrlrTransientFixture {
         let mut stage_nodes = Vec::with_capacity(stages);
         let mut stage_in = input;
         for k in 0..stages {
-            let nodes =
-                Self::elaborate_stage(&mut net, &ctx, stage_in, k, &mut initial);
+            let nodes = Self::elaborate_stage(&mut net, &ctx, stage_in, k, &mut initial);
             stage_in = nodes.2;
             stage_nodes.push(nodes);
         }
@@ -236,8 +235,7 @@ impl SrlrTransientFixture {
             .wire
             .extract(design.segment_length)
             .with_variation(var.wire_r_mult, var.wire_c_mult);
-        let delivered =
-            LadderSpec::new(10).build(net, wire_near, rc, &format!("{pre}.seg"));
+        let delivered = LadderSpec::new(10).build(net, wire_near, rc, &format!("{pre}.seg"));
         let next_m1 = Device::new(MosKind::Nmos, lvt_n, design.m1_width_m, l);
         net.add_capacitance(delivered, next_m1.gate_capacitance());
 
@@ -318,7 +316,10 @@ mod tests {
             peak.volts() < 0.5,
             "input should be low-swing, peak = {peak}"
         );
-        assert!(peak.volts() > 0.15, "input must carry signal, peak = {peak}");
+        assert!(
+            peak.volts() > 0.15,
+            "input must carry signal, peak = {peak}"
+        );
     }
 
     #[test]
@@ -327,10 +328,7 @@ mod tests {
         // Standby near VDD − Vth(lvt) = 0.55 V; a detection dip well below
         // the amplifier threshold; recovery before the next bit.
         let standby = w.node_x.value_at(TimeInterval::from_picoseconds(2.0));
-        assert!(
-            (standby.volts() - 0.55).abs() < 0.08,
-            "standby = {standby}"
-        );
+        assert!((standby.volts() - 0.55).abs() < 0.08, "standby = {standby}");
         let dip = w.node_x.valley();
         assert!(dip.volts() < 0.3, "X never discharged, min = {dip}");
         let late = w.node_x.value_at(TimeInterval::from_picoseconds(230.0));
@@ -408,11 +406,10 @@ mod chain_tests {
             TimeInterval::from_picoseconds(244.0),
             3,
         );
-        let result =
-            srlr_circuit::Transient::new(fixture.netlist()).run_from(
-                TimeInterval::from_picoseconds(244.0 * 2.5),
-                &fixture.initial,
-            );
+        let result = srlr_circuit::Transient::new(fixture.netlist()).run_from(
+            TimeInterval::from_picoseconds(244.0 * 2.5),
+            &fixture.initial,
+        );
         for (i, &(x, out, delivered)) in fixture.stage_nodes.iter().enumerate() {
             let out_peak = result.waveform(out).peak();
             assert!(

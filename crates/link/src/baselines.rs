@@ -325,7 +325,9 @@ mod tests {
     #[test]
     fn full_swing_link_costs_much_more_than_the_paper() {
         let fs = FullSwingRepeatedLink::paper_reference(Voltage::from_volts(0.8));
-        let e = fs.energy_per_bit_length().femtojoules_per_bit_per_millimeter();
+        let e = fs
+            .energy_per_bit_length()
+            .femtojoules_per_bit_per_millimeter();
         // Full swing at 0.8 V on ~200 fF/mm: upwards of 60 fJ/bit/mm,
         // well above the 40.4 fJ/bit/mm of the SRLR.
         assert!(e > 60.0, "full-swing energy {e} fJ/bit/mm");
@@ -334,7 +336,9 @@ mod tests {
     #[test]
     fn differential_clocked_link_matches_dac12_scale() {
         let d = DifferentialClockedLink::dac12_reference();
-        let e = d.energy_per_bit_length().femtojoules_per_bit_per_centimeter();
+        let e = d
+            .energy_per_bit_length()
+            .femtojoules_per_bit_per_centimeter();
         // [18] reports 561 fJ/bit/cm.
         assert!(
             (e - 561.0).abs() < 120.0,
@@ -345,7 +349,9 @@ mod tests {
     #[test]
     fn equalized_link_matches_jssc10_scale() {
         let q = EqualizedLink::jssc10_reference();
-        let e = q.energy_per_bit_length().femtojoules_per_bit_per_centimeter();
+        let e = q
+            .energy_per_bit_length()
+            .femtojoules_per_bit_per_centimeter();
         // [26] high point reports 630 fJ/bit/cm.
         assert!((e - 630.0).abs() < 150.0, "equalized energy {e} fJ/bit/cm");
     }

@@ -7,6 +7,7 @@
 //! bathtub curve and shows how much slope sits between "rated" and
 //! "broken".
 
+use crate::engine;
 use crate::link::{LinkConfig, SrlrLink};
 use crate::prbs::Prbs;
 use srlr_core::SrlrDesign;
@@ -50,28 +51,64 @@ pub fn rate_bathtub(
     bits_per_seed: usize,
     seeds: u64,
 ) -> Vec<BathtubPoint> {
+    rate_bathtub_with_threads(
+        tech,
+        design,
+        rates,
+        jitter_sigma,
+        bits_per_seed,
+        seeds,
+        None,
+    )
+}
+
+/// [`rate_bathtub`] with an explicit worker-thread count (`None` defers
+/// to `SRLR_THREADS` / the machine). Every `(rate, seed)` pair is an
+/// independent jittered transmission, so the sweep is flattened into one
+/// parallel workload; the curve is identical at every thread count.
+///
+/// # Panics
+///
+/// Panics if any count is zero or the jitter is negative.
+pub fn rate_bathtub_with_threads(
+    tech: &Technology,
+    design: &SrlrDesign,
+    rates: &[DataRate],
+    jitter_sigma: TimeInterval,
+    bits_per_seed: usize,
+    seeds: u64,
+    threads: Option<usize>,
+) -> Vec<BathtubPoint> {
     assert!(!rates.is_empty(), "need at least one rate");
     assert!(bits_per_seed > 0 && seeds > 0, "need a bit budget");
     assert!(jitter_sigma.seconds() >= 0.0, "jitter must be non-negative");
     let nominal = GlobalVariation::nominal();
-    rates
+    // Link elaboration is invariant across seeds: build each rate's link
+    // once up front instead of inside the flattened hot loop.
+    let links: Vec<SrlrLink> = rates
         .iter()
         .map(|&rate| {
             let config = LinkConfig::paper_default().with_data_rate(rate);
-            let link = SrlrLink::on_die(tech, design, config, &nominal);
-            let mut errors = 0usize;
-            let mut bits = 0usize;
-            for seed in 0..seeds {
-                let tx = Prbs::prbs7_with_seed((seed % 126 + 1) as u32).take_bits(bits_per_seed);
-                let out = link.transmit_with_jitter(&tx, jitter_sigma, seed);
-                errors += tx
-                    .iter()
-                    .zip(&out.received)
-                    .filter(|(a, b)| a != b)
-                    .count();
-                bits += tx.len();
-            }
-            BathtubPoint { rate, errors, bits }
+            SrlrLink::on_die(tech, design, config, &nominal)
+        })
+        .collect();
+
+    let n_seeds = seeds as usize;
+    let n_threads = engine::resolve_threads(threads);
+    let cells = engine::par_map_indexed(rates.len() * n_seeds, n_threads, |i| {
+        let (point, seed) = (i / n_seeds, (i % n_seeds) as u64);
+        let tx = Prbs::prbs7_with_seed((seed % 126 + 1) as u32).take_bits(bits_per_seed);
+        let out = links[point].transmit_with_jitter(&tx, jitter_sigma, seed);
+        let errors = tx.iter().zip(&out.received).filter(|(a, b)| a != b).count();
+        (errors, tx.len())
+    });
+    rates
+        .iter()
+        .zip(cells.chunks(n_seeds))
+        .map(|(&rate, chunk)| BathtubPoint {
+            rate,
+            errors: chunk.iter().map(|&(e, _)| e).sum(),
+            bits: chunk.iter().map(|&(_, b)| b).sum(),
         })
         .collect()
 }
@@ -83,7 +120,11 @@ pub fn render(points: &[BathtubPoint]) -> String {
         let bar = if p.errors == 0 {
             "clean".to_owned()
         } else {
-            format!("BER {:.1e} {}", p.ber(), "#".repeat((p.ber().log10() + 7.0).max(1.0) as usize))
+            format!(
+                "BER {:.1e} {}",
+                p.ber(),
+                "#".repeat((p.ber().log10() + 7.0).max(1.0) as usize)
+            )
         };
         out.push_str(&format!(
             "{:>6.1} Gb/s  {}\n",
@@ -144,6 +185,25 @@ mod tests {
             for (i, &b) in bers.iter().enumerate().skip(first + 1) {
                 assert!(b > 0.0, "BER fell back to zero at index {i}");
             }
+        }
+    }
+
+    #[test]
+    fn parallel_bathtub_matches_serial() {
+        let tech = Technology::soi45();
+        let design = SrlrDesign::paper_proposed(&tech);
+        let rates: Vec<DataRate> = [4.1, 5.6, 6.2]
+            .iter()
+            .map(|&g| DataRate::from_gigabits_per_second(g))
+            .collect();
+        let sigma = TimeInterval::from_picoseconds(3.0);
+        let serial = rate_bathtub_with_threads(&tech, &design, &rates, sigma, 300, 4, Some(1));
+        for threads in [2usize, 8] {
+            assert_eq!(
+                serial,
+                rate_bathtub_with_threads(&tech, &design, &rates, sigma, 300, 4, Some(threads)),
+                "threads={threads} diverged from the serial bathtub"
+            );
         }
     }
 

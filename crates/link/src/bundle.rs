@@ -6,6 +6,7 @@
 //! global corner, independent per-stage local mismatch per lane) plus a
 //! single [`AdaptiveSwingBias`] generator serving every lane's drivers.
 
+use crate::engine;
 use crate::link::{LinkConfig, SrlrLink};
 use crate::metrics::LinkMetrics;
 use srlr_core::SrlrDesign;
@@ -35,11 +36,34 @@ impl LinkBundle {
         width: usize,
         seed: u64,
     ) -> Self {
+        Self::on_die_with_threads(tech, design, config, var, width, seed, None)
+    }
+
+    /// [`LinkBundle::on_die`] with an explicit worker-thread count
+    /// (`None` defers to `SRLR_THREADS` / the machine). Lane `k` draws
+    /// its mismatch from the counter-based stream `k` of the bundle seed,
+    /// so the elaborated bundle is identical at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_die_with_threads(
+        tech: &Technology,
+        design: &SrlrDesign,
+        config: LinkConfig,
+        var: &GlobalVariation,
+        width: usize,
+        seed: u64,
+        threads: Option<usize>,
+    ) -> Self {
         assert!(width > 0, "bundle needs at least one lane");
-        let mut mc = MonteCarlo::new(tech, seed);
-        let lanes = (0..width)
-            .map(|_| SrlrLink::on_die_with_mismatch(tech, design, config, var, &mut mc))
-            .collect();
+        let mc = MonteCarlo::new(tech, seed);
+        let n_threads = engine::resolve_threads(threads);
+        let lanes = engine::par_map_indexed(width, n_threads, |lane| {
+            let mut die = mc.die(lane as u64);
+            SrlrLink::on_die_with_mismatch(tech, design, config, var, &mut die)
+        });
         Self {
             lanes,
             bias: AdaptiveSwingBias::with_nominal_swing(tech, design.nominal_swing),
@@ -101,7 +125,7 @@ impl LinkBundle {
         ];
         self.lanes
             .iter()
-            .filter(|lane| patterns.iter().all(|p| lane.transmit(p).received == *p))
+            .filter(|lane| patterns.iter().all(|p| lane.transmits_cleanly(p)))
             .count()
     }
 
@@ -210,7 +234,10 @@ mod tests {
             boosted.clean_lane_count() >= stock_clean,
             "extra swing must not lose lanes"
         );
-        assert!(boosted.all_lanes_clean(), "+40 mV should yield all 64 lanes");
+        assert!(
+            boosted.all_lanes_clean(),
+            "+40 mV should yield all 64 lanes"
+        );
     }
 
     #[test]
@@ -232,6 +259,32 @@ mod tests {
         // Doubling lanes ~doubles lane power; the shared bias does not double.
         let ratio = p16 / p8;
         assert!(ratio > 1.8 && ratio < 2.0, "power ratio {ratio}");
+    }
+
+    #[test]
+    fn parallel_bundle_matches_serial() {
+        let tech = Technology::soi45();
+        let design = SrlrDesign::paper_proposed(&tech);
+        let build = |threads| {
+            LinkBundle::on_die_with_threads(
+                &tech,
+                &design,
+                LinkConfig::paper_default(),
+                &GlobalVariation::nominal(),
+                16,
+                7,
+                Some(threads),
+            )
+        };
+        let serial = build(1);
+        for threads in [2usize, 8] {
+            let parallel = build(threads);
+            assert_eq!(
+                serial.lanes(),
+                parallel.lanes(),
+                "threads={threads} elaborated different lanes"
+            );
+        }
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!   interference (residual-charge) tracking and energy accounting,
 //! * [`ber`] — bit-error-rate measurement with confidence bounds and the
 //!   max-data-rate search,
+//! * [`engine`] — the deterministic parallel sweep engine (`SRLR_THREADS`)
+//!   behind the Monte Carlo, shmoo, bathtub, and bundle experiments,
 //! * [`metrics`] — the paper's headline metrics (bandwidth density,
 //!   fJ/bit/mm, link power),
 //! * [`baselines`] — behavioural models of the prior silicon-proven
@@ -38,10 +40,11 @@
 
 pub mod baselines;
 pub mod bathtub;
-pub mod bundle;
 pub mod ber;
+pub mod bundle;
 pub mod comparison;
 pub mod crosstalk;
+pub mod engine;
 pub mod eye;
 pub mod link;
 pub mod metrics;
@@ -51,7 +54,9 @@ pub mod prbs;
 pub mod shmoo;
 pub mod supply;
 
-pub use baselines::{DifferentialClockedLink, EqualizedLink, FullSwingRepeatedLink, PublishedInterconnect};
+pub use baselines::{
+    DifferentialClockedLink, EqualizedLink, FullSwingRepeatedLink, PublishedInterconnect,
+};
 pub use ber::{BerReport, BerTester};
 pub use comparison::{ComparisonRow, ComparisonTable};
 pub use eye::{measure_eye, EyeReport};

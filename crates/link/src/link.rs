@@ -19,7 +19,7 @@ use crate::ber::BerReport;
 use crate::metrics::LinkMetrics;
 use crate::prbs::Prbs;
 use srlr_core::{Demodulator, PulseState, SrlrChain, SrlrDesign};
-use srlr_tech::{GlobalVariation, MonteCarlo, Technology};
+use srlr_tech::{GlobalVariation, MismatchSampler, Technology};
 use srlr_units::{DataRate, Energy, TimeInterval, Voltage};
 
 /// Link-level configuration.
@@ -67,6 +67,26 @@ pub struct TransmitOutcome {
     pub max_baseline: Voltage,
 }
 
+/// Mutable per-transmission state carried across bit slots: the residual
+/// ISI baseline on each segment plus the running energy/ISI diagnostics.
+struct SlotState {
+    /// `baseline[i]`: residue on segment i (input of stage i) at the
+    /// start of the current bit slot.
+    baseline: Vec<Voltage>,
+    energy: Energy,
+    max_baseline: Voltage,
+}
+
+impl SlotState {
+    fn new(stages: usize) -> Self {
+        Self {
+            baseline: vec![Voltage::zero(); stages],
+            energy: Energy::zero(),
+            max_baseline: Voltage::zero(),
+        }
+    }
+}
+
 /// A resolved SRLR link on one die.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SrlrLink {
@@ -91,13 +111,15 @@ impl SrlrLink {
         Self::from_chain(chain, config)
     }
 
-    /// Builds a link with per-stage local mismatch drawn from `mc`.
-    pub fn on_die_with_mismatch(
+    /// Builds a link with per-stage local mismatch drawn from `mc` —
+    /// either a sequential [`srlr_tech::MonteCarlo`] stream or a
+    /// per-trial [`srlr_tech::DieSampler`].
+    pub fn on_die_with_mismatch<M: MismatchSampler>(
         tech: &Technology,
         design: &SrlrDesign,
         config: LinkConfig,
         var: &GlobalVariation,
-        mc: &mut MonteCarlo,
+        mc: &mut M,
     ) -> Self {
         let chain = design.instantiate_with_mismatch(tech, var, config.stages, mc);
         Self::from_chain(chain, config)
@@ -166,94 +188,111 @@ impl SrlrLink {
         self.transmit_inner(bits, |w| w)
     }
 
+    /// Whether the link reproduces `bits` exactly at the configured rate,
+    /// short-circuiting on the first corrupted bit.
+    ///
+    /// This is the Monte Carlo hot path: a failing die usually corrupts a
+    /// bit early in the stress pattern, so bailing out immediately is much
+    /// cheaper than materialising and comparing the whole received vector.
+    pub fn transmits_cleanly(&self, bits: &[bool]) -> bool {
+        let mut state = SlotState::new(self.chain.stages().len());
+        let mut jitter = |w| w;
+        bits.iter()
+            .all(|&bit| self.step_slot(&mut state, bit, &mut jitter) == bit)
+    }
+
     fn transmit_inner(
         &self,
         bits: &[bool],
         mut jitter: impl FnMut(TimeInterval) -> TimeInterval,
     ) -> TransmitOutcome {
+        let mut state = SlotState::new(self.chain.stages().len());
+        let received = bits
+            .iter()
+            .map(|&bit| self.step_slot(&mut state, bit, &mut jitter))
+            .collect();
+        TransmitOutcome {
+            received,
+            energy: state.energy,
+            max_baseline: state.max_baseline,
+        }
+    }
+
+    /// Advances the link by one bit slot: launches (or not) at the PM,
+    /// propagates through every stage updating the per-segment ISI
+    /// baselines, and returns the demodulator's decision for this slot.
+    fn step_slot(
+        &self,
+        state: &mut SlotState,
+        bit: bool,
+        jitter: &mut dyn FnMut(TimeInterval) -> TimeInterval,
+    ) -> bool {
         let stages = self.chain.stages();
         let n = stages.len();
         let t_bit = self.config.data_rate.bit_period();
-        // baseline[i]: residue on segment i (input of stage i) at the
-        // start of the current bit slot.
-        let mut baseline = vec![Voltage::zero(); n];
-        let mut received = Vec::with_capacity(bits.len());
-        let mut energy = Energy::zero();
-        let mut max_baseline = Voltage::zero();
 
-        for &bit in bits {
-            // The PM's launch into segment 0; PM hardware mirrors stage 0.
-            let mut launched: Option<TimeInterval> = if bit {
-                energy += stages[0].pulse_energy(self.chain.launch_width());
-                Some(jitter(self.chain.launch_width()))
+        // The PM's launch into segment 0; PM hardware mirrors stage 0.
+        let mut launched: Option<TimeInterval> = if bit {
+            state.energy += stages[0].pulse_energy(self.chain.launch_width());
+            Some(jitter(self.chain.launch_width()))
+        } else {
+            None
+        };
+        // `launcher` owns the segment the pulse is currently on.
+        let mut launcher = &stages[0];
+
+        for (i, stage) in stages.iter().enumerate() {
+            let b = state.baseline[i];
+            // Peak this slot on segment i, and its end-of-slot residue.
+            let (peak, residue) = match launched {
+                Some(w) => {
+                    let headroom =
+                        (1.0 - b.volts() / launcher.drive_level.volts().max(1e-9)).clamp(0.0, 1.0);
+                    let peak = b + launcher.delivered_swing(w) * headroom;
+                    let gap = (t_bit - w).max(TimeInterval::zero());
+                    let decay = (-gap.seconds() / launcher.discharge_tau().seconds()).exp();
+                    (peak, peak * decay)
+                }
+                None => {
+                    let decay = (-t_bit.seconds() / launcher.discharge_tau().seconds()).exp();
+                    (b, b * decay)
+                }
+            };
+            state.baseline[i] = residue;
+            state.max_baseline = state.max_baseline.max(residue);
+
+            // Stage i detection: a real pulse rides on the baseline; a
+            // baseline alone above threshold self-fires the repeater.
+            let outcome = match launched {
+                Some(w) => stage.process(PulseState::new(w, peak)),
+                None if peak >= stage.sense_threshold => {
+                    stage.process(PulseState::new(t_bit, peak))
+                }
+                None => srlr_core::pulse::StageOutcome {
+                    output: PulseState::dead(),
+                    launched_drive: Voltage::zero(),
+                    energy: Energy::zero(),
+                },
+            };
+            if i + 1 < n {
+                state.energy += outcome.energy;
+            } else if outcome.output.is_valid() {
+                // The last stage drives the DM directly: charge only
+                // its internal nodes, not another wire segment.
+                state.energy += stage.internal_energy_per_pulse;
+            }
+            launched = if outcome.output.is_valid() {
+                Some(jitter(outcome.output.width))
             } else {
                 None
             };
-            // `launcher` owns the segment the pulse is currently on.
-            let mut launcher = &stages[0];
-
-            for (i, stage) in stages.iter().enumerate() {
-                let b = baseline[i];
-                // Peak this slot on segment i, and its end-of-slot residue.
-                let (peak, residue) = match launched {
-                    Some(w) => {
-                        let headroom = (1.0
-                            - b.volts() / launcher.drive_level.volts().max(1e-9))
-                        .clamp(0.0, 1.0);
-                        let peak = b + launcher.delivered_swing(w) * headroom;
-                        let gap = (t_bit - w).max(TimeInterval::zero());
-                        let decay =
-                            (-gap.seconds() / launcher.discharge_tau().seconds()).exp();
-                        (peak, peak * decay)
-                    }
-                    None => {
-                        let decay =
-                            (-t_bit.seconds() / launcher.discharge_tau().seconds()).exp();
-                        (b, b * decay)
-                    }
-                };
-                baseline[i] = residue;
-                max_baseline = max_baseline.max(residue);
-
-                // Stage i detection: a real pulse rides on the baseline; a
-                // baseline alone above threshold self-fires the repeater.
-                let outcome = match launched {
-                    Some(w) => stage.process(PulseState::new(w, peak)),
-                    None if peak >= stage.sense_threshold => {
-                        stage.process(PulseState::new(t_bit, peak))
-                    }
-                    None => srlr_core::pulse::StageOutcome {
-                        output: PulseState::dead(),
-                        launched_drive: Voltage::zero(),
-                        energy: Energy::zero(),
-                    },
-                };
-                if i + 1 < n {
-                    energy += outcome.energy;
-                } else if outcome.output.is_valid() {
-                    // The last stage drives the DM directly: charge only
-                    // its internal nodes, not another wire segment.
-                    energy += stage.internal_energy_per_pulse;
-                }
-                launched = if outcome.output.is_valid() {
-                    Some(jitter(outcome.output.width))
-                } else {
-                    None
-                };
-                launcher = stage;
-            }
-
-            // DM decision on the last stage's (full-swing) output pulse.
-            received.push(match launched {
-                Some(w) => w >= self.demod.min_width,
-                None => false,
-            });
+            launcher = stage;
         }
 
-        TransmitOutcome {
-            received,
-            energy,
-            max_baseline,
+        // DM decision on the last stage's (full-swing) output pulse.
+        match launched {
+            Some(w) => w >= self.demod.min_width,
+            None => false,
         }
     }
 
@@ -291,6 +330,7 @@ impl SrlrLink {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use srlr_tech::MonteCarlo;
 
     fn link() -> SrlrLink {
         SrlrLink::paper_test_chip(&Technology::soi45())
@@ -356,15 +396,13 @@ mod tests {
         let slow = SrlrLink::on_die(
             &tech,
             &design,
-            LinkConfig::paper_default()
-                .with_data_rate(DataRate::from_gigabits_per_second(2.0)),
+            LinkConfig::paper_default().with_data_rate(DataRate::from_gigabits_per_second(2.0)),
             &GlobalVariation::nominal(),
         );
         let fast = SrlrLink::on_die(
             &tech,
             &design,
-            LinkConfig::paper_default()
-                .with_data_rate(DataRate::from_gigabits_per_second(4.1)),
+            LinkConfig::paper_default().with_data_rate(DataRate::from_gigabits_per_second(4.1)),
             &GlobalVariation::nominal(),
         );
         let pattern = [true; 32];
@@ -378,12 +416,14 @@ mod tests {
         let l = SrlrLink::on_die(
             &tech,
             &design,
-            LinkConfig::paper_default()
-                .with_data_rate(DataRate::from_gigabits_per_second(12.0)),
+            LinkConfig::paper_default().with_data_rate(DataRate::from_gigabits_per_second(12.0)),
             &GlobalVariation::nominal(),
         );
         let report = l.ber_quick_check(2_000, 3);
-        assert!(report.errors > 0, "12 Gb/s should be beyond the link's limit");
+        assert!(
+            report.errors > 0,
+            "12 Gb/s should be beyond the link's limit"
+        );
     }
 
     #[test]
@@ -413,8 +453,8 @@ mod tests {
         // rating the link below the cliff.
         let tech = Technology::soi45();
         let design = srlr_core::SrlrDesign::paper_proposed(&tech);
-        let config = LinkConfig::paper_default()
-            .with_data_rate(DataRate::from_gigabits_per_second(5.8));
+        let config =
+            LinkConfig::paper_default().with_data_rate(DataRate::from_gigabits_per_second(5.8));
         let l = SrlrLink::on_die(&tech, &design, config, &GlobalVariation::nominal());
         let bits: Vec<bool> = [true, true, true, true, false].repeat(100);
         assert_eq!(l.transmit(&bits).received, bits, "clean model passes");

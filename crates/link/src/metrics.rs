@@ -3,9 +3,7 @@
 
 use crate::link::SrlrLink;
 use srlr_core::StageEnergyModel;
-use srlr_units::{
-    BandwidthDensity, DataRate, EnergyPerBitLength, Length, Power,
-};
+use srlr_units::{BandwidthDensity, DataRate, EnergyPerBitLength, Length, Power};
 
 /// Measured metrics of one link design point (one row of Table I, one
 /// point of Fig. 8).

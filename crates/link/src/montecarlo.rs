@@ -6,13 +6,30 @@
 //! cases for drift and ISI, plus PRBS). A die that corrupts any bit
 //! counts as a failure; the error probability is the failing fraction of
 //! dice, exactly as the paper's 1000-run Monte Carlo reports it.
+//!
+//! Trials are evaluated by the deterministic parallel engine
+//! ([`crate::engine`]): die `i` draws its mismatch from the counter-based
+//! stream [`MonteCarlo::die`]`(i)` and its PRBS stimulus from
+//! [`Prbs::prbs15_for_stream`]`(seed, i)`, so every trial is a pure
+//! function of `(seed, i)` and the result is bit-identical at any thread
+//! count.
 
+use crate::engine;
 use crate::link::{LinkConfig, SrlrLink};
 use crate::prbs::Prbs;
 use srlr_core::SrlrDesign;
 use srlr_tech::montecarlo::ErrorProbability;
 use srlr_tech::{MonteCarlo, Technology};
 use srlr_units::Voltage;
+
+/// The Sec. III-B deterministic worst-case stress patterns, shared by
+/// every trial (hoisted out of the per-die hot loop).
+const WORST_PATTERNS: [&[bool]; 3] = [
+    &[true, false, true, false, true, false, true, false],
+    // The Sec. III-B worst case.
+    &[true, true, true, true, false, true, true, true, true, false],
+    &[true; 16],
+];
 
 /// The Monte Carlo link-failure experiment.
 #[derive(Debug, Clone)]
@@ -26,6 +43,9 @@ pub struct McExperiment<'a> {
     pub seed: u64,
     /// PRBS bits per die in addition to the deterministic worst cases.
     pub prbs_bits: usize,
+    /// Worker threads: `Some(n)` forces `n`, `None` defers to the
+    /// `SRLR_THREADS` environment variable (and ultimately the machine).
+    pub threads: Option<usize>,
 }
 
 impl<'a> McExperiment<'a> {
@@ -37,6 +57,7 @@ impl<'a> McExperiment<'a> {
             runs: 1000,
             seed: 2013,
             prbs_bits: 256,
+            threads: None,
         }
     }
 
@@ -52,38 +73,41 @@ impl<'a> McExperiment<'a> {
         self
     }
 
-    /// Whether one specific die (with mismatch already drawn into `link`)
+    /// Forces the worker-thread count (`1` = serial). `None` (the
+    /// default) defers to `SRLR_THREADS` / the machine; results are
+    /// identical either way.
+    #[must_use]
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Whether die `trial` of this experiment, built for `design`,
     /// transmits all stress patterns without error.
-    fn die_passes(&self, link: &SrlrLink, prbs: &mut Prbs) -> bool {
-        let worst: [&[bool]; 3] = [
-            &[true, false, true, false, true, false, true, false],
-            // The Sec. III-B worst case.
-            &[true, true, true, true, false, true, true, true, true, false],
-            &[true; 16],
-        ];
-        for p in worst {
-            if link.transmit(p).received != p {
+    ///
+    /// This is the per-trial unit of work: a pure function of
+    /// `(self.seed, trial)`, independent of every other trial.
+    fn trial_passes(&self, design: &SrlrDesign, mc: &MonteCarlo, trial: u64) -> bool {
+        let mut die = mc.die(trial);
+        let var = die.global_variation();
+        let link = SrlrLink::on_die_with_mismatch(self.tech, design, self.config, &var, &mut die);
+        for p in WORST_PATTERNS {
+            if !link.transmits_cleanly(p) {
                 return false;
             }
         }
-        let bits = prbs.take_bits(self.prbs_bits);
-        link.transmit(&bits).received == bits
+        let bits = Prbs::prbs15_for_stream(self.seed, trial).take_bits(self.prbs_bits);
+        link.transmits_cleanly(&bits)
     }
 
     /// Runs the experiment for one design, returning the error
     /// probability over the sampled dice.
     pub fn error_probability(&self, design: &SrlrDesign) -> ErrorProbability {
-        let mut mc = MonteCarlo::new(self.tech, self.seed);
-        let mut prbs = Prbs::prbs15();
-        let mut failures = 0usize;
-        for _ in 0..self.runs {
-            let var = mc.sample_die();
-            let link =
-                SrlrLink::on_die_with_mismatch(self.tech, design, self.config, &var, &mut mc);
-            if !self.die_passes(&link, &mut prbs) {
-                failures += 1;
-            }
-        }
+        let mc = MonteCarlo::new(self.tech, self.seed);
+        let threads = engine::resolve_threads(self.threads);
+        let failures = engine::par_count(self.runs, threads, |trial| {
+            !self.trial_passes(design, &mc, trial as u64)
+        });
         ErrorProbability {
             failures,
             trials: self.runs,
@@ -92,16 +116,35 @@ impl<'a> McExperiment<'a> {
 
     /// The Fig. 6 sweep: error probability of a design across swing
     /// voltages.
+    ///
+    /// All `swings.len() * runs` dice are flattened into one parallel
+    /// workload so small sweeps still saturate the worker pool.
     pub fn swing_sweep(
         &self,
         design: &SrlrDesign,
         swings: &[Voltage],
     ) -> Vec<(Voltage, ErrorProbability)> {
+        let designs: Vec<SrlrDesign> = swings
+            .iter()
+            .map(|&s| design.with_nominal_swing(s))
+            .collect();
+        let mc = MonteCarlo::new(self.tech, self.seed);
+        let threads = engine::resolve_threads(self.threads);
+        let passes = engine::par_map_indexed(swings.len() * self.runs, threads, |i| {
+            let (point, trial) = (i / self.runs, i % self.runs);
+            self.trial_passes(&designs[point], &mc, trial as u64)
+        });
         swings
             .iter()
-            .map(|&s| {
-                let d = design.with_nominal_swing(s);
-                (s, self.error_probability(&d))
+            .zip(passes.chunks(self.runs))
+            .map(|(&s, chunk)| {
+                (
+                    s,
+                    ErrorProbability {
+                        failures: chunk.iter().filter(|&&ok| !ok).count(),
+                        trials: self.runs,
+                    },
+                )
             })
             .collect()
     }
@@ -180,6 +223,47 @@ mod tests {
             exp.error_probability(&design),
             exp.error_probability(&design)
         );
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        // The tentpole contract: the error probability over 200 dice is
+        // identical at 1, 2, and 8 threads because each die is a pure
+        // function of (seed, trial index).
+        let tech = Technology::soi45();
+        let design = SrlrDesign::paper_proposed(&tech);
+        let base = McExperiment::paper_default(&tech).with_runs(200);
+        let serial = base
+            .clone()
+            .with_threads(Some(1))
+            .error_probability(&design);
+        for threads in [2usize, 8] {
+            let parallel = base
+                .clone()
+                .with_threads(Some(threads))
+                .error_probability(&design);
+            assert_eq!(
+                serial, parallel,
+                "threads={threads} diverged from the serial run"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_sweep() {
+        let tech = Technology::soi45();
+        let design = SrlrDesign::paper_proposed(&tech);
+        let swings = [
+            Voltage::from_millivolts(300.0),
+            Voltage::from_millivolts(450.0),
+        ];
+        let base = McExperiment::paper_default(&tech).with_runs(50);
+        let serial = base
+            .clone()
+            .with_threads(Some(1))
+            .swing_sweep(&design, &swings);
+        let parallel = base.with_threads(Some(8)).swing_sweep(&design, &swings);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

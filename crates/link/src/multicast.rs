@@ -74,10 +74,7 @@ impl MulticastLink {
     /// Energy of delivering one pulse to all taps with separate unicasts
     /// (what a point-to-point link technology would pay).
     pub fn unicast_clone_pulse_energy(&self) -> Energy {
-        self.taps
-            .iter()
-            .map(|&t| self.prefix_pulse_energy(t))
-            .sum()
+        self.taps.iter().map(|&t| self.prefix_pulse_energy(t)).sum()
     }
 
     /// The multicast saving factor: unicast-clone energy over multicast

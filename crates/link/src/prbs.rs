@@ -54,6 +54,34 @@ impl Prbs {
         Self::with_seed_internal(7, (7, 6), seed)
     }
 
+    /// A PRBS-15 generator with an explicit non-zero seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the seed is zero after masking to 15 bits (the all-zero
+    /// LFSR state is absorbing).
+    pub fn prbs15_with_seed(seed: u32) -> Self {
+        Self::with_seed_internal(15, (15, 14), seed)
+    }
+
+    /// A PRBS-15 generator for stream `index` of an experiment keyed by
+    /// `seed`: each index gets an independent, reproducible register state
+    /// regardless of which other indices were (or weren't) generated.
+    ///
+    /// The experiment seed is salted so the PRBS streams are decorrelated
+    /// from any Gaussian mismatch streams derived from the same seed.
+    pub fn prbs15_for_stream(seed: u64, index: u64) -> Self {
+        const PRBS_SALT: u64 = 0xC2B2_AE3D_27D4_EB4F;
+        let raw = srlr_rng::stream_seed(seed ^ PRBS_SALT, index);
+        // Fold to 15 bits; the all-zero state is remapped to the default
+        // full register so every index yields a valid maximal sequence.
+        let mut state = (raw ^ (raw >> 15) ^ (raw >> 30) ^ (raw >> 45)) as u32 & 0x7FFF;
+        if state == 0 {
+            state = 0x7FFF;
+        }
+        Self::prbs15_with_seed(state)
+    }
+
     fn with_seed_internal(order: u32, taps: (u32, u32), seed: u32) -> Self {
         let mask = (1u32 << order) - 1;
         let state = seed & mask;
@@ -146,6 +174,25 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_seed_rejected() {
         let _ = Prbs::prbs7_with_seed(0);
+    }
+
+    #[test]
+    fn stream_prbs_is_deterministic_per_index() {
+        let mut a = Prbs::prbs15_for_stream(2013, 17);
+        let mut b = Prbs::prbs15_for_stream(2013, 17);
+        assert_eq!(a.take_bits(512), b.take_bits(512));
+    }
+
+    #[test]
+    fn stream_prbs_indices_are_independent() {
+        let mut states = HashSet::new();
+        for index in 0..64 {
+            let gen = Prbs::prbs15_for_stream(2013, index);
+            states.insert(gen.state);
+        }
+        // 64 indices should land on (nearly) 64 distinct register states;
+        // collisions of the 15-bit fold are possible but must be rare.
+        assert!(states.len() >= 60, "only {} distinct states", states.len());
     }
 
     #[test]

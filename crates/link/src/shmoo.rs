@@ -5,6 +5,7 @@
 //! stress patterns; the rendered plot makes the operating region and its
 //! boundaries (ISI ceiling, sensitivity floor) visible at a glance.
 
+use crate::engine;
 use crate::link::{LinkConfig, SrlrLink};
 use crate::prbs::Prbs;
 use srlr_core::SrlrDesign;
@@ -36,6 +37,27 @@ impl ShmooPlot {
         rates: Vec<DataRate>,
         prbs_bits: usize,
     ) -> Self {
+        Self::measure_with_threads(tech, design, var, swings, rates, prbs_bits, None)
+    }
+
+    /// [`ShmooPlot::measure`] with an explicit worker-thread count
+    /// (`None` defers to `SRLR_THREADS` / the machine). Cells are
+    /// independent design points, so the map is evaluated as one flat
+    /// parallel workload; the result is identical at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either axis is empty.
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_with_threads(
+        tech: &Technology,
+        design: &SrlrDesign,
+        var: &GlobalVariation,
+        swings: Vec<Voltage>,
+        rates: Vec<DataRate>,
+        prbs_bits: usize,
+        threads: Option<usize>,
+    ) -> Self {
         assert!(
             !swings.is_empty() && !rates.is_empty(),
             "shmoo axes must be non-empty"
@@ -47,20 +69,22 @@ impl ShmooPlot {
         ];
         stress.push(Prbs::prbs15().take_bits(prbs_bits));
 
-        let pass = swings
+        // Per-row design elaboration is invariant across the rate axis:
+        // hoist it so each design is swing-adjusted once, not per cell.
+        let row_designs: Vec<SrlrDesign> = swings
             .iter()
-            .map(|&swing| {
-                let d = design.with_nominal_swing(swing);
-                rates
-                    .iter()
-                    .map(|&rate| {
-                        let config = LinkConfig::paper_default().with_data_rate(rate);
-                        let link = SrlrLink::on_die(tech, &d, config, var);
-                        stress.iter().all(|p| link.transmit(p).received == *p)
-                    })
-                    .collect()
-            })
+            .map(|&swing| design.with_nominal_swing(swing))
             .collect();
+
+        let cols = rates.len();
+        let n_threads = engine::resolve_threads(threads);
+        let cells = engine::par_map_indexed(swings.len() * cols, n_threads, |i| {
+            let (row, col) = (i / cols, i % cols);
+            let config = LinkConfig::paper_default().with_data_rate(rates[col]);
+            let link = SrlrLink::on_die(tech, &row_designs[row], config, var);
+            stress.iter().all(|p| link.transmits_cleanly(p))
+        });
+        let pass = cells.chunks(cols).map(<[bool]>::to_vec).collect();
         Self {
             swings,
             rates,
@@ -71,7 +95,11 @@ impl ShmooPlot {
     /// Fraction of passing cells.
     pub fn pass_fraction(&self) -> f64 {
         let total = self.swings.len() * self.rates.len();
-        let passing: usize = self.pass.iter().map(|r| r.iter().filter(|&&b| b).count()).sum();
+        let passing: usize = self
+            .pass
+            .iter()
+            .map(|r| r.iter().filter(|&&b| b).count())
+            .sum();
         passing as f64 / total as f64
     }
 
@@ -111,6 +139,16 @@ impl ShmooPlot {
 /// The paper design's default shmoo axes: swings 250–600 mV, rates
 /// 1–8 Gb/s.
 pub fn paper_shmoo(tech: &Technology, prbs_bits: usize) -> ShmooPlot {
+    paper_shmoo_with_threads(tech, prbs_bits, None)
+}
+
+/// [`paper_shmoo`] with an explicit worker-thread count (`None` defers
+/// to `SRLR_THREADS` / the machine).
+pub fn paper_shmoo_with_threads(
+    tech: &Technology,
+    prbs_bits: usize,
+    threads: Option<usize>,
+) -> ShmooPlot {
     let design = SrlrDesign::paper_proposed(tech);
     let swings: Vec<Voltage> = (5..=12)
         .map(|i| Voltage::from_millivolts(f64::from(i) * 50.0))
@@ -118,13 +156,14 @@ pub fn paper_shmoo(tech: &Technology, prbs_bits: usize) -> ShmooPlot {
     let rates: Vec<DataRate> = (2..=16)
         .map(|i| DataRate::from_gigabits_per_second(f64::from(i) * 0.5))
         .collect();
-    ShmooPlot::measure(
+    ShmooPlot::measure_with_threads(
         tech,
         &design,
         &GlobalVariation::nominal(),
         swings,
         rates,
         prbs_bits,
+        threads,
     )
 }
 
@@ -181,11 +220,7 @@ mod tests {
                 if !p.passes(row, col) {
                     failed = true;
                 } else {
-                    assert!(
-                        !failed,
-                        "pass after fail at row {row}:\n{}",
-                        p.render()
-                    );
+                    assert!(!failed, "pass after fail at row {row}:\n{}", p.render());
                 }
             }
         }
@@ -195,6 +230,19 @@ mod tests {
     fn pass_fraction_is_sane() {
         let f = plot().pass_fraction();
         assert!(f > 0.1 && f < 0.9, "pass fraction {f}");
+    }
+
+    #[test]
+    fn parallel_shmoo_matches_serial() {
+        let tech = Technology::soi45();
+        let serial = paper_shmoo_with_threads(&tech, 128, Some(1));
+        for threads in [2usize, 8] {
+            assert_eq!(
+                serial,
+                paper_shmoo_with_threads(&tech, 128, Some(threads)),
+                "threads={threads} diverged from the serial shmoo"
+            );
+        }
     }
 
     #[test]

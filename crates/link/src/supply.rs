@@ -36,7 +36,11 @@ pub const RATE_MARGIN: f64 = 0.7;
 /// # Panics
 ///
 /// Panics if `vdds` is empty.
-pub fn supply_sweep(base_tech: &Technology, design: &SrlrDesign, vdds: &[Voltage]) -> Vec<SupplyPoint> {
+pub fn supply_sweep(
+    base_tech: &Technology,
+    design: &SrlrDesign,
+    vdds: &[Voltage],
+) -> Vec<SupplyPoint> {
     assert!(!vdds.is_empty(), "sweep needs at least one rail");
     let nominal = GlobalVariation::nominal();
     vdds.iter()
@@ -103,7 +107,10 @@ mod tests {
         let (Some(lo), Some(hi)) = (at(0.8), at(1.0)) else {
             panic!("sweep missing rails: {points:?}");
         };
-        assert!(hi.max_rate >= lo.max_rate, "more headroom, same or more rate");
+        assert!(
+            hi.max_rate >= lo.max_rate,
+            "more headroom, same or more rate"
+        );
         assert!(hi.energy > lo.energy, "higher rail must cost energy");
     }
 

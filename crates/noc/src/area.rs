@@ -146,21 +146,15 @@ mod tests {
     #[test]
     fn buffers_scale_with_vc_count() {
         let (m, c) = paper();
-        let more_vcs = NocConfig {
-            vcs: 8,
-            ..c
-        };
+        let more_vcs = NocConfig { vcs: 8, ..c };
         assert!(
-            (m.buffer_area(&more_vcs).square_meters()
-                / m.buffer_area(&c).square_meters()
-                - 2.0)
+            (m.buffer_area(&more_vcs).square_meters() / m.buffer_area(&c).square_meters() - 2.0)
                 .abs()
                 < 1e-9
         );
         // Allocators grow quadratically in VCs.
         assert!(
-            m.allocator_area(&more_vcs).square_meters()
-                / m.allocator_area(&c).square_meters()
+            m.allocator_area(&more_vcs).square_meters() / m.allocator_area(&c).square_meters()
                 > 3.9
         );
     }

@@ -75,8 +75,7 @@ impl DeflectionNetwork {
 
     /// Flits currently in flight.
     pub fn occupancy(&self) -> usize {
-        self.in_flight.len()
-            + self.source_queues.iter().map(VecDeque::len).sum::<usize>()
+        self.in_flight.len() + self.source_queues.iter().map(VecDeque::len).sum::<usize>()
     }
 
     /// Enqueues a packet (converted to single-flit).
@@ -97,7 +96,8 @@ impl DeflectionNetwork {
         let mut next_flight: Vec<DeflectFlit> = Vec::with_capacity(self.in_flight.len());
 
         // Oldest-first service order (deterministic livelock freedom).
-        self.in_flight.sort_by(|a, b| b.age.cmp(&a.age).then(a.flit.packet.cmp(&b.flit.packet)));
+        self.in_flight
+            .sort_by(|a, b| b.age.cmp(&a.age).then(a.flit.packet.cmp(&b.flit.packet)));
         let in_flight = std::mem::take(&mut self.in_flight);
 
         for mut f in in_flight {
@@ -244,7 +244,9 @@ mod tests {
     use crate::packet::PacketId;
 
     fn config() -> NocConfig {
-        NocConfig::paper_default().with_size(4, 4).with_packet_len(1)
+        NocConfig::paper_default()
+            .with_size(4, 4)
+            .with_packet_len(1)
     }
 
     #[test]

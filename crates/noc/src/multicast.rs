@@ -112,11 +112,7 @@ mod tests {
     #[test]
     fn saving_grows_with_fanout_along_a_line() {
         let src = Coord::new(0, 3);
-        let two = MulticastAccounting::new(
-            mesh(),
-            src,
-            &[Coord::new(6, 3), Coord::new(7, 3)],
-        );
+        let two = MulticastAccounting::new(mesh(), src, &[Coord::new(6, 3), Coord::new(7, 3)]);
         let four = MulticastAccounting::new(
             mesh(),
             src,

@@ -122,11 +122,7 @@ impl Network {
     pub fn occupancy(&self) -> usize {
         self.routers.iter().map(Router::occupancy).sum::<usize>()
             + self.pending_flits.iter().map(Vec::len).sum::<usize>()
-            + self
-                .inject
-                .iter()
-                .map(|s| s.flits.len())
-                .sum::<usize>()
+            + self.inject.iter().map(|s| s.flits.len()).sum::<usize>()
             + self
                 .source_queues
                 .iter()
@@ -403,10 +399,7 @@ mod tests {
         };
         let low = lat(0.02);
         let high = lat(0.12);
-        assert!(
-            high > low,
-            "latency must rise with load: {low} -> {high}"
-        );
+        assert!(high > low, "latency must rise with load: {low} -> {high}");
     }
 
     #[test]
@@ -520,12 +513,8 @@ mod adaptive_tests {
     #[test]
     fn west_first_network_delivers_everything() {
         let mut net = Network::new(config(RoutingAlgorithm::WestFirst));
-        let stats = net.run_warmup_and_measure(
-            crate::traffic::Pattern::UniformRandom,
-            0.08,
-            300,
-            1500,
-        );
+        let stats =
+            net.run_warmup_and_measure(crate::traffic::Pattern::UniformRandom, 0.08, 300, 1500);
         assert!(stats.packets_received > 100, "{stats}");
         assert!(net.drain(20_000), "adaptive mesh must drain (deadlock?)");
     }
@@ -535,12 +524,7 @@ mod adaptive_tests {
         // The turn-model guarantee: even past saturation the network must
         // keep making progress and drain completely afterwards.
         let mut net = Network::new(config(RoutingAlgorithm::WestFirst));
-        let stats = net.run_warmup_and_measure(
-            crate::traffic::Pattern::Transpose,
-            0.30,
-            500,
-            1500,
-        );
+        let stats = net.run_warmup_and_measure(crate::traffic::Pattern::Transpose, 0.30, 500, 1500);
         assert!(stats.packets_received > 100, "{stats}");
         assert!(net.drain(100_000), "deadlock under heavy transpose load");
     }

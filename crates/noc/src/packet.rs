@@ -35,7 +35,13 @@ impl Packet {
     /// # Panics
     ///
     /// Panics if `len_flits` is zero.
-    pub fn unicast(id: PacketId, src: Coord, dst: Coord, len_flits: usize, inject_cycle: u64) -> Self {
+    pub fn unicast(
+        id: PacketId,
+        src: Coord,
+        dst: Coord,
+        len_flits: usize,
+        inject_cycle: u64,
+    ) -> Self {
         assert!(len_flits > 0, "packet needs at least one flit");
         Self {
             id,
@@ -80,7 +86,10 @@ impl Packet {
     ///
     /// Panics on a multicast packet.
     pub fn dst(&self) -> Coord {
-        assert!(!self.is_multicast(), "multicast packet has many destinations");
+        assert!(
+            !self.is_multicast(),
+            "multicast packet has many destinations"
+        );
         self.dsts[0]
     }
 

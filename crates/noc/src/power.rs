@@ -147,8 +147,8 @@ impl PowerModel {
         let buffers = self.buffer_write_per_bit * (c.buffer_writes as f64 * bits)
             + self.buffer_read_per_bit * (c.buffer_reads as f64 * bits);
         let control = self.control_per_allocation * c.allocations as f64;
-        let datapath = self.hop_energy() * c.link_hops as f64
-            + self.local_hop_energy() * c.local_hops as f64;
+        let datapath =
+            self.hop_energy() * c.link_hops as f64 + self.local_hop_energy() * c.local_hops as f64;
         buffers + control + datapath
     }
 
@@ -157,7 +157,13 @@ impl PowerModel {
     /// # Panics
     ///
     /// Panics if `cycles` is zero.
-    pub fn report(&self, c: &EnergyCounters, cycles: u64, clock: Frequency, routers: usize) -> RouterPowerReport {
+    pub fn report(
+        &self,
+        c: &EnergyCounters,
+        cycles: u64,
+        clock: Frequency,
+        routers: usize,
+    ) -> RouterPowerReport {
         assert!(cycles > 0, "need at least one simulated cycle");
         let elapsed: TimeInterval = clock.period() * cycles as f64;
         let bits = self.flit_bits as f64;
@@ -166,10 +172,10 @@ impl PowerModel {
         let buffers = per(self.buffer_write_per_bit * (c.buffer_writes as f64 * bits)
             + self.buffer_read_per_bit * (c.buffer_reads as f64 * bits));
         let control_dyn = per(self.control_per_allocation * c.allocations as f64);
-        let control =
-            control_dyn + self.control_static_per_router * routers as f64;
-        let datapath = per(self.hop_energy() * c.link_hops as f64
-            + self.local_hop_energy() * c.local_hops as f64);
+        let control = control_dyn + self.control_static_per_router * routers as f64;
+        let datapath =
+            per(self.hop_energy() * c.link_hops as f64
+                + self.local_hop_energy() * c.local_hops as f64);
         let bias = self.bias_per_router * routers as f64;
         RouterPowerReport {
             buffers,

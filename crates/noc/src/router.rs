@@ -201,9 +201,7 @@ impl Router {
             inputs: (0..5)
                 .map(|_| (0..vcs).map(|_| VcState::default()).collect())
                 .collect(),
-            out_credits: (0..5)
-                .map(|_| vec![config.buffer_depth; vcs])
-                .collect(),
+            out_credits: (0..5).map(|_| vec![config.buffer_depth; vcs]).collect(),
             out_vc_busy: (0..5).map(|_| vec![false; vcs]).collect(),
             rr_va: 0,
             rr_sa_in: vec![0; 5],
@@ -223,11 +221,7 @@ impl Router {
 
     /// Total buffered flits across all inputs (diagnostics).
     pub fn occupancy(&self) -> usize {
-        self.inputs
-            .iter()
-            .flatten()
-            .map(|v| v.buffer.len())
-            .sum()
+        self.inputs.iter().flatten().map(|v| v.buffer.len()).sum()
     }
 
     /// Accepts a flit into an input VC buffer.
@@ -266,16 +260,13 @@ impl Router {
                 if state.route.is_none() {
                     if let Some(front) = state.buffer.front() {
                         if front.kind.is_head() {
-                            let candidates =
-                                self.routing.candidates(mesh, self.coord, front.dst);
+                            let candidates = self.routing.candidates(mesh, self.coord, front.dst);
                             // Adaptive choice: prefer the candidate whose
                             // output column has the most downstream
                             // credits (a congestion-aware local greedy).
                             let dir = *candidates
                                 .iter()
-                                .max_by_key(|d| {
-                                    self.out_credits[d.index()].iter().sum::<usize>()
-                                })
+                                .max_by_key(|d| self.out_credits[d.index()].iter().sum::<usize>())
                                 .expect("routing always offers a port");
                             self.inputs[port][vc].route = Some(dir);
                             activity.route_computations += 1;

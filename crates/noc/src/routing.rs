@@ -86,15 +86,13 @@ mod tests {
 
     #[test]
     fn west_first_exhausts_west_before_anything() {
-        let c =
-            RoutingAlgorithm::WestFirst.candidates(mesh(), Coord::new(5, 2), Coord::new(1, 6));
+        let c = RoutingAlgorithm::WestFirst.candidates(mesh(), Coord::new(5, 2), Coord::new(1, 6));
         assert_eq!(c, vec![Direction::West]);
     }
 
     #[test]
     fn west_first_is_adaptive_in_the_east_quadrant() {
-        let c =
-            RoutingAlgorithm::WestFirst.candidates(mesh(), Coord::new(1, 1), Coord::new(4, 5));
+        let c = RoutingAlgorithm::WestFirst.candidates(mesh(), Coord::new(1, 1), Coord::new(4, 5));
         assert_eq!(c, vec![Direction::East, Direction::North]);
     }
 

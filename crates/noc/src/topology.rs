@@ -198,7 +198,10 @@ impl Mesh {
     ///
     /// Panics if either coordinate is outside the mesh.
     pub fn xy_route(self, here: Coord, dst: Coord) -> Direction {
-        assert!(self.contains(here) && self.contains(dst), "route outside mesh");
+        assert!(
+            self.contains(here) && self.contains(dst),
+            "route outside mesh"
+        );
         if here.x < dst.x {
             Direction::East
         } else if here.x > dst.x {
@@ -300,7 +303,12 @@ mod tests {
     fn opposite_ports_pair_up() {
         assert_eq!(Direction::North.opposite(), Direction::South);
         assert_eq!(Direction::East.opposite(), Direction::West);
-        for d in [Direction::North, Direction::South, Direction::East, Direction::West] {
+        for d in [
+            Direction::North,
+            Direction::South,
+            Direction::East,
+            Direction::West,
+        ] {
             assert_eq!(d.opposite().opposite(), d);
         }
     }

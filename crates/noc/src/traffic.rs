@@ -2,8 +2,7 @@
 
 use crate::packet::{Packet, PacketId};
 use crate::topology::{Coord, Mesh};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use srlr_rng::Xoshiro256pp;
 
 /// A synthetic traffic pattern: the destination map of the mesh.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,7 +42,7 @@ pub struct TrafficGenerator {
     /// Optional bimodal length mix: `(short, long, long_fraction)` —
     /// the classic control/data split of coherence traffic.
     bimodal: Option<(usize, usize, f64)>,
-    rng: StdRng,
+    rng: Xoshiro256pp,
     next_id: u64,
 }
 
@@ -89,7 +88,7 @@ impl TrafficGenerator {
             injection_rate,
             packet_len,
             bimodal: None,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256pp::new(seed),
             next_id: 0,
         }
     }
@@ -117,7 +116,7 @@ impl TrafficGenerator {
         match self.bimodal {
             None => self.packet_len,
             Some((short, long, frac)) => {
-                if self.rng.random::<f64>() < frac {
+                if self.rng.next_f64() < frac {
                     long
                 } else {
                     short
@@ -134,7 +133,7 @@ impl TrafficGenerator {
     /// Generates this cycle's new packet at `src`, if the Bernoulli coin
     /// lands.
     pub fn maybe_inject(&mut self, src: Coord, cycle: u64) -> Option<Packet> {
-        if self.rng.random::<f64>() >= self.injection_rate {
+        if self.rng.next_f64() >= self.injection_rate {
             return None;
         }
         Some(self.make_packet(src, cycle))
@@ -152,17 +151,11 @@ impl TrafficGenerator {
                 Packet::unicast(id, src, dst, len, cycle)
             }
             Pattern::Transpose => {
-                let dst = Coord::new(
-                    src.y % self.mesh.cols(),
-                    src.x % self.mesh.rows(),
-                );
+                let dst = Coord::new(src.y % self.mesh.cols(), src.x % self.mesh.rows());
                 Packet::unicast(id, src, dst, len, cycle)
             }
             Pattern::BitComplement => {
-                let dst = Coord::new(
-                    self.mesh.cols() - 1 - src.x,
-                    self.mesh.rows() - 1 - src.y,
-                );
+                let dst = Coord::new(self.mesh.cols() - 1 - src.x, self.mesh.rows() - 1 - src.y);
                 Packet::unicast(id, src, dst, len, cycle)
             }
             Pattern::Neighbor => {
@@ -170,7 +163,7 @@ impl TrafficGenerator {
                 Packet::unicast(id, src, dst, len, cycle)
             }
             Pattern::Hotspot { hot, fraction } => {
-                let dst = if self.rng.random::<f64>() < fraction && hot != src {
+                let dst = if self.rng.next_f64() < fraction && hot != src {
                     hot
                 } else {
                     self.random_other(src)
@@ -193,7 +186,7 @@ impl TrafficGenerator {
 
     fn random_other(&mut self, src: Coord) -> Coord {
         loop {
-            let idx = self.rng.random_range(0..self.mesh.len());
+            let idx = self.rng.index(self.mesh.len());
             let c = self.mesh.coord_of(idx);
             if c != src {
                 return c;

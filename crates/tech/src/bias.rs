@@ -160,7 +160,10 @@ mod tests {
     #[test]
     fn nominal_die_gets_nominal_swing() {
         let b = bias();
-        assert_eq!(b.target_swing(&GlobalVariation::nominal()), b.nominal_swing());
+        assert_eq!(
+            b.target_swing(&GlobalVariation::nominal()),
+            b.nominal_swing()
+        );
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod wire;
 pub use bias::{AdaptiveSwingBias, OgueyReference};
 pub use corner::ProcessCorner;
 pub use device::{Device, MosKind};
-pub use montecarlo::MonteCarlo;
+pub use montecarlo::{DieSampler, GaussianRng, MismatchSampler, MonteCarlo};
 pub use mosfet::MosfetModel;
 pub use technology::Technology;
 pub use temperature::Temperature;

@@ -2,21 +2,34 @@
 //!
 //! The paper's Fig. 6 is built from 1000-run Monte Carlo simulations; this
 //! module reproduces that experiment protocol. Gaussian variates come from
-//! a built-in Box–Muller transform so no statistics crate is needed and
-//! the stream is fully determined by the seed.
+//! a built-in Box–Muller transform over [`srlr_rng`]'s xoshiro256++
+//! streams, so no statistics crate is needed and every stream is fully
+//! determined by its seed.
+//!
+//! # Counter-based trials
+//!
+//! Trial `N` of an experiment must not depend on trials `0..N-1`, or the
+//! trial loop can never be fanned out across cores. [`MonteCarlo`]
+//! therefore derives an independent random stream per trial index
+//! (SplitMix64-style mix of `(seed, trial)` via
+//! [`srlr_rng::stream_seed`]): [`MonteCarlo::die_rng`] exposes the raw
+//! stream and [`MonteCarlo::die`] wraps it in a [`DieSampler`] that draws
+//! the die's global variation followed by its per-device local mismatch.
+//! The sequential API ([`MonteCarlo::sample_die`]) is a thin wrapper that
+//! advances an internal trial counter, so serial and parallel callers see
+//! bit-identical dice.
 
 use crate::technology::Technology;
 use crate::variation::{GlobalVariation, LocalMismatch};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use srlr_rng::{stream_seed, Xoshiro256pp};
 use srlr_units::Voltage;
 
 /// A bare deterministic Gaussian stream (Box–Muller over a seeded
-/// `StdRng`) for callers that need noise without the full
+/// xoshiro256++ generator) for callers that need noise without the full
 /// process-variation machinery (e.g. timing jitter).
 #[derive(Debug, Clone)]
 pub struct GaussianRng {
-    rng: StdRng,
+    rng: Xoshiro256pp,
     spare: Option<f64>,
 }
 
@@ -24,22 +37,118 @@ impl GaussianRng {
     /// Creates a stream from a seed.
     pub fn new(seed: u64) -> Self {
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256pp::new(seed),
             spare: None,
         }
     }
 
-    /// Draws one standard Gaussian variate.
+    /// Creates the stream for substream `index` of `seed` — the
+    /// counter-based derivation used for per-trial randomness.
+    pub fn for_stream(seed: u64, index: u64) -> Self {
+        Self::new(stream_seed(seed, index))
+    }
+
+    /// Draws one standard Gaussian variate (Box–Muller, cached pair).
     pub fn sample(&mut self) -> f64 {
         if let Some(z) = self.spare.take() {
             return z;
         }
-        let u1: f64 = 1.0 - self.rng.random::<f64>();
-        let u2: f64 = self.rng.random::<f64>();
+        // Box-Muller needs u1 in (0, 1]; next_f64() yields [0, 1).
+        let u1: f64 = 1.0 - self.rng.next_f64();
+        let u2: f64 = self.rng.next_f64();
         let radius = (-2.0 * u1.ln()).sqrt();
         let angle = 2.0 * core::f64::consts::PI * u2;
         self.spare = Some(radius * angle.sin());
         radius * angle.cos()
+    }
+}
+
+/// A source of per-device local mismatch draws. Implemented both by the
+/// sequential [`MonteCarlo`] stream and by the per-trial [`DieSampler`],
+/// so chain elaboration can run against either.
+pub trait MismatchSampler {
+    /// Samples a local threshold shift for a device of the given drawn
+    /// dimensions (metres).
+    fn sample_local_vth(&mut self, width_m: f64, length_m: f64) -> Voltage;
+
+    /// Samples a local drive multiplier for a device of the given drawn
+    /// dimensions (metres); must stay positive.
+    fn sample_local_drive(&mut self, width_m: f64, length_m: f64) -> f64;
+}
+
+/// The per-technology variation magnitudes shared by every sampler.
+#[derive(Debug, Clone, Copy)]
+struct VariationSigmas {
+    sigma_vth: Voltage,
+    sigma_drive: f64,
+    sigma_wire: f64,
+    mismatch: LocalMismatch,
+}
+
+impl VariationSigmas {
+    fn of(tech: &Technology) -> Self {
+        Self {
+            sigma_vth: tech.global_sigma_vth,
+            sigma_drive: tech.global_sigma_drive,
+            sigma_wire: tech.global_sigma_wire,
+            mismatch: tech.local_mismatch,
+        }
+    }
+}
+
+/// All randomness of one Monte Carlo trial: the die's global variation
+/// plus every per-device local-mismatch draw, consumed in elaboration
+/// order from one stream that is a pure function of `(seed, trial)`.
+#[derive(Debug, Clone)]
+pub struct DieSampler {
+    rng: GaussianRng,
+    sigmas: VariationSigmas,
+}
+
+impl DieSampler {
+    /// Samples this trial's global (die-to-die) variation. Call this
+    /// first: the global draws lead the stream, followed by local
+    /// mismatch in elaboration order.
+    pub fn global_variation(&mut self) -> GlobalVariation {
+        sample_global(&mut self.rng, &self.sigmas)
+    }
+
+    /// Samples a local threshold shift for a device of the given drawn
+    /// dimensions (metres).
+    pub fn local_vth(&mut self, width_m: f64, length_m: f64) -> Voltage {
+        let sigma = self.sigmas.mismatch.sigma_vth(width_m, length_m);
+        Voltage::from_volts(self.rng.sample() * sigma.volts())
+    }
+
+    /// Samples a local drive multiplier for a device of the given drawn
+    /// dimensions (metres); clamped to stay positive.
+    pub fn local_drive(&mut self, width_m: f64, length_m: f64) -> f64 {
+        let sigma = self.sigmas.mismatch.sigma_drive(width_m, length_m);
+        (1.0 + self.rng.sample() * sigma).max(0.1)
+    }
+}
+
+impl MismatchSampler for DieSampler {
+    fn sample_local_vth(&mut self, width_m: f64, length_m: f64) -> Voltage {
+        self.local_vth(width_m, length_m)
+    }
+
+    fn sample_local_drive(&mut self, width_m: f64, length_m: f64) -> f64 {
+        self.local_drive(width_m, length_m)
+    }
+}
+
+fn sample_global(rng: &mut GaussianRng, sigmas: &VariationSigmas) -> GlobalVariation {
+    // Multipliers are clamped away from zero so extreme tails stay
+    // physical; +/-4 sigma is far beyond the corners we model.
+    let clamp_mult = |m: f64| m.clamp(0.5, 1.5);
+    GlobalVariation {
+        dvth_n: Voltage::from_volts(rng.sample() * sigmas.sigma_vth.volts()),
+        dvth_p: Voltage::from_volts(rng.sample() * sigmas.sigma_vth.volts()),
+        drive_mult_n: clamp_mult(1.0 + rng.sample() * sigmas.sigma_drive),
+        drive_mult_p: clamp_mult(1.0 + rng.sample() * sigmas.sigma_drive),
+        wire_r_mult: clamp_mult(1.0 + rng.sample() * sigmas.sigma_wire),
+        wire_c_mult: clamp_mult(1.0 + rng.sample() * sigmas.sigma_wire),
     }
 }
 
@@ -56,76 +165,102 @@ impl GaussianRng {
 /// let dice: Vec<_> = mc.dice(1000).collect();
 /// assert_eq!(dice.len(), 1000);
 /// assert!(dice.iter().all(|d| d.is_physical()));
+///
+/// // Trial randomness is counter-based: die N is the same whether it is
+/// // drawn sequentially or addressed directly.
+/// assert_eq!(dice[7], MonteCarlo::new(&tech, 42).sample_die_at(7));
 /// ```
 #[derive(Debug, Clone)]
 pub struct MonteCarlo {
-    rng: StdRng,
-    sigma_vth: Voltage,
-    sigma_drive: f64,
-    sigma_wire: f64,
-    mismatch: LocalMismatch,
-    spare_gaussian: Option<f64>,
+    seed: u64,
+    /// The legacy sequential stream, used by the free-running draw
+    /// helpers (`standard_gaussian`, `sample_local_vth`, ...).
+    gauss: GaussianRng,
+    sigmas: VariationSigmas,
+    next_trial: u64,
 }
 
 impl MonteCarlo {
     /// Creates a sampler for the given technology, seeded deterministically.
     pub fn new(tech: &Technology, seed: u64) -> Self {
         Self {
-            rng: StdRng::seed_from_u64(seed),
-            sigma_vth: tech.global_sigma_vth,
-            sigma_drive: tech.global_sigma_drive,
-            sigma_wire: tech.global_sigma_wire,
-            mismatch: tech.local_mismatch,
-            spare_gaussian: None,
+            seed,
+            gauss: GaussianRng::new(seed),
+            sigmas: VariationSigmas::of(tech),
+            next_trial: 0,
         }
     }
 
-    /// Draws one standard Gaussian variate (Box–Muller, cached pair).
+    /// The experiment seed this sampler was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The independent Gaussian stream of trial `trial` — a pure function
+    /// of `(seed, trial)`, shared by no other trial.
+    pub fn die_rng(&self, trial: u64) -> GaussianRng {
+        GaussianRng::for_stream(self.seed, trial)
+    }
+
+    /// The full per-trial sampler: global variation first, then local
+    /// mismatch in elaboration order, all from [`Self::die_rng`].
+    pub fn die(&self, trial: u64) -> DieSampler {
+        DieSampler {
+            rng: self.die_rng(trial),
+            sigmas: self.sigmas,
+        }
+    }
+
+    /// Samples trial `trial`'s global variation directly — independent of
+    /// every other trial, so callers may evaluate trials in any order or
+    /// in parallel.
+    pub fn sample_die_at(&self, trial: u64) -> GlobalVariation {
+        self.die(trial).global_variation()
+    }
+
+    /// Draws one standard Gaussian variate from the sequential stream
+    /// (Box–Muller, cached pair).
     pub fn standard_gaussian(&mut self) -> f64 {
-        if let Some(z) = self.spare_gaussian.take() {
-            return z;
-        }
-        // Box-Muller needs u1 in (0, 1]; random() yields [0, 1).
-        let u1: f64 = 1.0 - self.rng.random::<f64>();
-        let u2: f64 = self.rng.random::<f64>();
-        let radius = (-2.0 * u1.ln()).sqrt();
-        let angle = 2.0 * core::f64::consts::PI * u2;
-        self.spare_gaussian = Some(radius * angle.sin());
-        radius * angle.cos()
+        self.gauss.sample()
     }
 
-    /// Samples one die's global variation.
+    /// Samples the next die's global variation. This is a thin wrapper
+    /// over [`Self::sample_die_at`] with an internal trial counter, so
+    /// the N-th call returns exactly trial N's die.
     pub fn sample_die(&mut self) -> GlobalVariation {
-        // Multipliers are clamped away from zero so extreme tails stay
-        // physical; +/-4 sigma is far beyond the corners we model.
-        let clamp_mult = |m: f64| m.clamp(0.5, 1.5);
-        GlobalVariation {
-            dvth_n: Voltage::from_volts(self.standard_gaussian() * self.sigma_vth.volts()),
-            dvth_p: Voltage::from_volts(self.standard_gaussian() * self.sigma_vth.volts()),
-            drive_mult_n: clamp_mult(1.0 + self.standard_gaussian() * self.sigma_drive),
-            drive_mult_p: clamp_mult(1.0 + self.standard_gaussian() * self.sigma_drive),
-            wire_r_mult: clamp_mult(1.0 + self.standard_gaussian() * self.sigma_wire),
-            wire_c_mult: clamp_mult(1.0 + self.standard_gaussian() * self.sigma_wire),
-        }
+        let trial = self.next_trial;
+        self.next_trial += 1;
+        self.sample_die_at(trial)
     }
 
-    /// An iterator over `n` sampled dice.
+    /// An iterator over `n` sampled dice (advancing the trial counter).
     pub fn dice(&mut self, n: usize) -> impl Iterator<Item = GlobalVariation> + '_ {
         (0..n).map(move |_| self.sample_die())
     }
 
     /// Samples a local threshold shift for a device of the given drawn
-    /// dimensions (metres).
+    /// dimensions (metres) from the sequential stream.
     pub fn sample_local_vth(&mut self, width_m: f64, length_m: f64) -> Voltage {
-        let sigma = self.mismatch.sigma_vth(width_m, length_m);
-        Voltage::from_volts(self.standard_gaussian() * sigma.volts())
+        let sigma = self.sigmas.mismatch.sigma_vth(width_m, length_m);
+        Voltage::from_volts(self.gauss.sample() * sigma.volts())
     }
 
     /// Samples a local drive multiplier for a device of the given drawn
-    /// dimensions (metres); clamped to stay positive.
+    /// dimensions (metres) from the sequential stream; clamped to stay
+    /// positive.
     pub fn sample_local_drive(&mut self, width_m: f64, length_m: f64) -> f64 {
-        let sigma = self.mismatch.sigma_drive(width_m, length_m);
-        (1.0 + self.standard_gaussian() * sigma).max(0.1)
+        let sigma = self.sigmas.mismatch.sigma_drive(width_m, length_m);
+        (1.0 + self.gauss.sample() * sigma).max(0.1)
+    }
+}
+
+impl MismatchSampler for MonteCarlo {
+    fn sample_local_vth(&mut self, width_m: f64, length_m: f64) -> Voltage {
+        MonteCarlo::sample_local_vth(self, width_m, length_m)
+    }
+
+    fn sample_local_drive(&mut self, width_m: f64, length_m: f64) -> f64 {
+        MonteCarlo::sample_local_drive(self, width_m, length_m)
     }
 }
 
@@ -145,7 +280,10 @@ impl ErrorProbability {
     ///
     /// Panics if `trials` is zero.
     pub fn estimate(self) -> f64 {
-        assert!(self.trials > 0, "error probability needs at least one trial");
+        assert!(
+            self.trials > 0,
+            "error probability needs at least one trial"
+        );
         self.failures as f64 / self.trials as f64
     }
 
@@ -156,7 +294,10 @@ impl ErrorProbability {
     ///
     /// Panics if `trials` is zero.
     pub fn upper_bound_95(self) -> f64 {
-        assert!(self.trials > 0, "error probability needs at least one trial");
+        assert!(
+            self.trials > 0,
+            "error probability needs at least one trial"
+        );
         let n = self.trials as f64;
         let p = self.failures as f64 / n;
         let z = 1.96_f64;
@@ -170,7 +311,13 @@ impl ErrorProbability {
 
 impl core::fmt::Display for ErrorProbability {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "{}/{} ({:.3e})", self.failures, self.trials, self.estimate())
+        write!(
+            f,
+            "{}/{} ({:.3e})",
+            self.failures,
+            self.trials,
+            self.estimate()
+        )
     }
 }
 
@@ -194,6 +341,49 @@ mod tests {
         let a: Vec<_> = sampler(1).dice(8).collect();
         let b: Vec<_> = sampler(2).dice(8).collect();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sequential_wrapper_matches_direct_indexing() {
+        let mut seq = sampler(2013);
+        let direct = sampler(2013);
+        for trial in 0..32u64 {
+            assert_eq!(seq.sample_die(), direct.sample_die_at(trial));
+        }
+    }
+
+    #[test]
+    fn trial_streams_are_order_independent() {
+        let mc = sampler(5);
+        let forward: Vec<_> = (0..8).map(|t| mc.sample_die_at(t)).collect();
+        let backward: Vec<_> = (0..8).rev().map(|t| mc.sample_die_at(t)).collect();
+        for (i, die) in forward.iter().enumerate() {
+            assert_eq!(*die, backward[7 - i]);
+        }
+    }
+
+    #[test]
+    fn adjacent_trials_give_distinct_physical_dice() {
+        let mc = sampler(77);
+        for trial in 0..64 {
+            let a = mc.sample_die_at(trial);
+            let b = mc.sample_die_at(trial + 1);
+            assert_ne!(a, b, "trials {trial} and {} collide", trial + 1);
+            assert!(a.is_physical());
+        }
+    }
+
+    #[test]
+    fn die_sampler_mismatch_is_deterministic() {
+        let mc = sampler(9);
+        let draw = |mut die: DieSampler| {
+            let g = die.global_variation();
+            let v = die.local_vth(0.3e-6, 45e-9);
+            let d = die.local_drive(0.3e-6, 45e-9);
+            (g, v, d)
+        };
+        assert_eq!(draw(mc.die(4)), draw(mc.die(4)));
+        assert_ne!(draw(mc.die(4)), draw(mc.die(5)));
     }
 
     #[test]
@@ -232,7 +422,9 @@ mod tests {
         let mut mc = sampler(11);
         let n = 5000;
         let spread = |mc: &mut MonteCarlo, w: f64| {
-            let v: Vec<f64> = (0..n).map(|_| mc.sample_local_vth(w, 45e-9).volts()).collect();
+            let v: Vec<f64> = (0..n)
+                .map(|_| mc.sample_local_vth(w, 45e-9).volts())
+                .collect();
             (v.iter().map(|x| x * x).sum::<f64>() / n as f64).sqrt()
         };
         let small = spread(&mut mc, 0.2e-6);

@@ -166,8 +166,7 @@ impl MosfetModel {
         Self {
             vth0: self.vth0 + dvth,
             drive_factor: self.drive_factor * drive_mult,
-            off_current_per_width: self.off_current_per_width
-                * (-dvth.volts() / slope).exp(),
+            off_current_per_width: self.off_current_per_width * (-dvth.volts() / slope).exp(),
             ..*self
         }
     }
@@ -185,7 +184,8 @@ mod tests {
     fn nominal_drive_current_magnitude() {
         // W = 1 um, L = 45 nm -> ratio 22.2; expect roughly 0.7 mA at full gate.
         let m = nmos();
-        let per_ratio = m.drain_current_per_ratio(Voltage::from_volts(0.8), Voltage::from_volts(0.8));
+        let per_ratio =
+            m.drain_current_per_ratio(Voltage::from_volts(0.8), Voltage::from_volts(0.8));
         let id = per_ratio * (1.0e-6 / 45e-9);
         assert!(
             id.milliamperes() > 0.4 && id.milliamperes() < 1.2,
@@ -276,7 +276,8 @@ mod tests {
         let varied = m.with_variation(Voltage::from_millivolts(50.0), 0.9);
         assert_eq!(varied.vth0, Voltage::from_millivolts(370.0));
         let base = m.drain_current_per_ratio(Voltage::from_volts(0.8), Voltage::from_volts(0.8));
-        let slow = varied.drain_current_per_ratio(Voltage::from_volts(0.8), Voltage::from_volts(0.8));
+        let slow =
+            varied.drain_current_per_ratio(Voltage::from_volts(0.8), Voltage::from_volts(0.8));
         assert!(slow < base);
     }
 

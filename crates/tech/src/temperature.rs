@@ -159,10 +159,13 @@ mod tests {
         };
         let hot = Temperature::from_celsius(105.0);
         let both = hot.combine(&process);
-        assert!((both.dvth_n - (process.dvth_n + hot.vth_shift())).abs().volts() < 1e-12);
         assert!(
-            (both.drive_mult_n - 0.9 * hot.drive_multiplier()).abs() < 1e-12
+            (both.dvth_n - (process.dvth_n + hot.vth_shift()))
+                .abs()
+                .volts()
+                < 1e-12
         );
+        assert!((both.drive_mult_n - 0.9 * hot.drive_multiplier()).abs() < 1e-12);
         assert!(both.is_physical());
     }
 

@@ -180,7 +180,10 @@ mod tests {
         // A minimum-ish 0.2 um x 45 nm device: sigma ~ 21 mV.
         let lm = LocalMismatch::soi45();
         let sigma = lm.sigma_vth(0.2e-6, 45e-9);
-        assert!(sigma.millivolts() > 5.0 && sigma.millivolts() < 50.0, "{sigma}");
+        assert!(
+            sigma.millivolts() > 5.0 && sigma.millivolts() < 50.0,
+            "{sigma}"
+        );
     }
 
     #[test]

@@ -169,8 +169,8 @@ impl WireGeometry {
         let plate = 2.0 * EPS_DIELECTRIC * self.width.meters() / self.ild_height.meters();
         // Empirical fringe term, weakly dependent on geometry.
         let fringe = 2.0 * EPS_DIELECTRIC * 1.1;
-        let coupling =
-            2.0 * EPS_DIELECTRIC * self.thickness.meters() / self.space.meters() * self.miller_factor;
+        let coupling = 2.0 * EPS_DIELECTRIC * self.thickness.meters() / self.space.meters()
+            * self.miller_factor;
         plate + fringe + coupling
     }
 
@@ -323,10 +323,18 @@ mod tests {
     #[test]
     fn neighbor_activity_orders_capacitance() {
         let g = WireGeometry::paper_default();
-        let best = g.with_neighbors(NeighborActivity::BestCase).capacitance_per_length();
-        let shielded = g.with_neighbors(NeighborActivity::Shielded).capacitance_per_length();
-        let random = g.with_neighbors(NeighborActivity::Random).capacitance_per_length();
-        let worst = g.with_neighbors(NeighborActivity::WorstCase).capacitance_per_length();
+        let best = g
+            .with_neighbors(NeighborActivity::BestCase)
+            .capacitance_per_length();
+        let shielded = g
+            .with_neighbors(NeighborActivity::Shielded)
+            .capacitance_per_length();
+        let random = g
+            .with_neighbors(NeighborActivity::Random)
+            .capacitance_per_length();
+        let worst = g
+            .with_neighbors(NeighborActivity::WorstCase)
+            .capacitance_per_length();
         assert!(best < shielded);
         assert!(shielded < random);
         assert!(random < worst);

@@ -152,7 +152,10 @@ mod tests {
 
     #[test]
     fn display_respects_precision() {
-        assert_eq!(format!("{:.1}", Voltage::from_millivolts(347.26)), "347.3 mV");
+        assert_eq!(
+            format!("{:.1}", Voltage::from_millivolts(347.26)),
+            "347.3 mV"
+        );
     }
 
     #[test]
@@ -184,7 +187,10 @@ mod tests {
         assert_eq!(lo.max(hi), hi);
         assert_eq!(Voltage::from_volts(0.9).clamp(lo, hi), hi);
         assert_eq!(Voltage::from_volts(-0.1).clamp(lo, hi), lo);
-        assert_eq!(Voltage::from_volts(0.3).clamp(lo, hi), Voltage::from_volts(0.3));
+        assert_eq!(
+            Voltage::from_volts(0.3).clamp(lo, hi),
+            Voltage::from_volts(0.3)
+        );
     }
 
     #[test]
@@ -197,7 +203,9 @@ mod tests {
 
     #[test]
     fn sum_over_iterator() {
-        let total: Voltage = (1..=4).map(|i| Voltage::from_millivolts(f64::from(i))).sum();
+        let total: Voltage = (1..=4)
+            .map(|i| Voltage::from_millivolts(f64::from(i)))
+            .sum();
         assert!((total.millivolts() - 10.0).abs() < 1e-12);
     }
 

@@ -27,7 +27,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n== supply scaling (rated at 0.7 x cliff) ==");
     let design = SrlrDesign::paper_proposed(&tech);
-    let vdds: Vec<Voltage> = (6..=10).map(|i| Voltage::from_volts(f64::from(i) / 10.0)).collect();
+    let vdds: Vec<Voltage> = (6..=10)
+        .map(|i| Voltage::from_volts(f64::from(i) / 10.0))
+        .collect();
     for p in supply::supply_sweep(&tech, &design, &vdds) {
         println!(
             "  VDD {}: cliff {:.1} Gb/s, {:.1} fJ/bit/mm, {:.2} mW",

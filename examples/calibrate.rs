@@ -23,7 +23,10 @@ fn main() {
             "single delay only",
             proposed.with_delay_cell(DelayCellDesign::single_paper()),
         ),
-        ("inverter driver only", proposed.with_driver(DriverKind::Inverter)),
+        (
+            "inverter driver only",
+            proposed.with_driver(DriverKind::Inverter),
+        ),
         ("fixed bias only", proposed.with_adaptive_swing(false)),
         (
             "straightforward (single + inverter + fixed)",
@@ -40,7 +43,10 @@ fn main() {
         ("alt", DelayCellDesign::alternating_paper()),
         ("single", DelayCellDesign::single_paper()),
     ] {
-        for driver in [("nmos", DriverKind::NmosBased), ("inv", DriverKind::Inverter)] {
+        for driver in [
+            ("nmos", DriverKind::NmosBased),
+            ("inv", DriverKind::Inverter),
+        ] {
             for adaptive in [true, false] {
                 let d = proposed
                     .with_delay_cell(delay.1)
@@ -98,9 +104,7 @@ fn main() {
             ("single", DelayCellDesign::single_paper()),
             ("alt   ", DelayCellDesign::alternating_paper()),
         ] {
-            let design = proposed
-                .with_delay_cell(delay)
-                .with_adaptive_swing(false);
+            let design = proposed.with_delay_cell(delay).with_adaptive_swing(false);
             let chain = design.instantiate(&tech, &var, 20);
             let trace = chain.propagate_trace(chain.nominal_input_pulse());
             let widths: Vec<String> = trace
@@ -129,8 +133,10 @@ fn main() {
             ("single", DelayCellDesign::single_paper()),
             ("alt   ", DelayCellDesign::alternating_paper()),
         ] {
-            for (dlabel, driver) in [("nmos", DriverKind::NmosBased), ("inv ", DriverKind::Inverter)]
-            {
+            for (dlabel, driver) in [
+                ("nmos", DriverKind::NmosBased),
+                ("inv ", DriverKind::Inverter),
+            ] {
                 let design = proposed
                     .with_delay_cell(delay)
                     .with_driver(driver)
@@ -138,7 +144,10 @@ fn main() {
                 let link = SrlrLink::on_die(&tech, &design, LinkConfig::paper_default(), &var);
                 let pattern: Vec<bool> = [true, true, true, true, false].repeat(8);
                 let ok = link.transmit(&pattern).received == pattern;
-                println!("{mv} mV {label} {dlabel}: {}", if ok { "ok" } else { "FAIL" });
+                println!(
+                    "{mv} mV {label} {dlabel}: {}",
+                    if ok { "ok" } else { "FAIL" }
+                );
             }
         }
     }

@@ -34,12 +34,14 @@ fn main() {
 
     let model = PowerModel::paper_default(&tech);
     let power = model.report(&stats.energy, 3000, config.clock, mesh.len());
-    println!("datapath power paying every branch: {:.2} mW", power.datapath.milliwatts());
+    println!(
+        "datapath power paying every branch: {:.2} mW",
+        power.datapath.milliwatts()
+    );
 
     let saved = net.multicast_saved_hops();
     let saved_power = srlr_units::Power::from_watts(
-        model.hop_energy().joules() * saved as f64
-            / (config.clock.period() * 3500.0).seconds(),
+        model.hop_energy().joules() * saved as f64 / (config.clock.period() * 3500.0).seconds(),
     );
     println!(
         "hops the SRLR's free multicast absorbs: {saved} (≈ {:.2} mW of datapath power)",

@@ -12,12 +12,13 @@ fn main() {
     println!("simulating one SRLR stage + 1 mm segment, pattern 1,0,1 at 4.1 Gb/s...");
     let waves = SrlrTransientFixture::fig4(&tech);
 
-    println!("\nIN — low-swing input pulses (peak {}):", waves.input.peak());
+    println!(
+        "\nIN — low-swing input pulses (peak {}):",
+        waves.input.peak()
+    );
     print!("{}", waves.input.ascii_plot(10, 100));
 
-    println!(
-        "\nnode X — standby at VDD-Vth, discharge on detect, self-reset recharge:"
-    );
+    println!("\nnode X — standby at VDD-Vth, discharge on detect, self-reset recharge:");
     print!("{}", waves.node_x.ascii_plot(10, 100));
 
     println!(

@@ -16,8 +16,7 @@ fn pulse_model_and_transient_agree_on_next_stage_swing() {
     let tech = Technology::soi45();
     let design = SrlrDesign::paper_proposed(&tech);
     let chain = design.instantiate(&tech, &GlobalVariation::nominal(), 2);
-    let pulse_level = chain
-        .propagate_trace(chain.nominal_input_pulse())[1]
+    let pulse_level = chain.propagate_trace(chain.nominal_input_pulse())[1]
         .swing
         .volts();
 

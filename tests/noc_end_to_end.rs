@@ -2,9 +2,7 @@
 //! comparison, multicast savings.
 
 use srlr_noc::traffic::Pattern;
-use srlr_noc::{
-    Coord, DatapathKind, Mesh, MulticastAccounting, Network, NocConfig, PowerModel,
-};
+use srlr_noc::{Coord, DatapathKind, Mesh, MulticastAccounting, Network, NocConfig, PowerModel};
 use srlr_repro::tech::Technology;
 use srlr_units::Frequency;
 
@@ -64,7 +62,11 @@ fn mesh_saturates_gracefully() {
 
 #[test]
 fn transpose_and_uniform_both_complete() {
-    for pattern in [Pattern::UniformRandom, Pattern::Transpose, Pattern::BitComplement] {
+    for pattern in [
+        Pattern::UniformRandom,
+        Pattern::Transpose,
+        Pattern::BitComplement,
+    ] {
         let mut net = Network::new(NocConfig::paper_default().with_size(4, 4));
         let stats = net.run_warmup_and_measure(pattern, 0.04, 300, 1200);
         assert!(stats.packets_received > 20, "{pattern:?}: {stats}");

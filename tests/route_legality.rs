@@ -79,10 +79,7 @@ fn west_first_routes_are_minimal_and_turn_legal() {
                 left_west_phase = true;
             }
             if dx < 0 {
-                assert!(
-                    !left_west_phase,
-                    "illegal turn into west in {trace:?}"
-                );
+                assert!(!left_west_phase, "illegal turn into west in {trace:?}");
             }
         }
         checked += 1;
