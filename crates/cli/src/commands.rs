@@ -6,10 +6,11 @@ use srlr_core::sizing::SizingExplorer;
 use srlr_core::SrlrDesign;
 use srlr_link::ber::BerTester;
 use srlr_link::montecarlo::McExperiment;
-use srlr_link::{measure_eye, ComparisonTable, LinkConfig, SrlrLink};
+use srlr_link::{measure_eye, ComparisonTable, LinkConfig, LinkErrorModel, SrlrLink};
 use srlr_noc::traffic::Pattern;
 use srlr_noc::{
-    DatapathKind, ExpressComparison, ExpressTopology, Mesh, Network, NocConfig, PowerModel,
+    ber_sweep, DatapathKind, ExpressComparison, ExpressTopology, FaultConfig, Mesh, Network,
+    NocConfig, PowerModel,
 };
 use srlr_tech::Technology;
 use srlr_units::{DataRate, Voltage};
@@ -27,6 +28,11 @@ pub fn help() -> String {
        ber    [--bits N] [--gbps R]     PRBS bit-error-rate run\n\
        eye    [--bits N]                demodulator eye margins\n\
        noc    [--cols C] [--rows R] [--load F] [--datapath srlr|full]\n\
+       noc-faults [--bers L | --swings MV] [--load F] [--threads T]\n\
+                                        BER-driven fault injection sweep:\n\
+                                        delivered rate, p99 latency, retry\n\
+                                        energy (swings in mV measure the\n\
+                                        link's effective BER first)\n\
        express [--interval K]           express-channel trade-off analysis\n\
        sizing                           M1/M2 design-space sweep\n\
        shmoo  [--bits N] [--threads T]  rate x swing pass/fail map\n\
@@ -345,6 +351,155 @@ pub fn noc(rest: &[String]) -> Result<String, CliError> {
     Ok(format!(
         "{cols}x{rows} mesh, {datapath}, load {load}\ntraffic: {stats}\npower:   {power}\n"
     ))
+}
+
+/// Parses a comma-separated list of numbers (`"0,1e-5,1e-3"`).
+fn parse_list(name: &str, raw: &str) -> Result<Vec<f64>, CliError> {
+    raw.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<f64>()
+                .map_err(|_| CliError::Usage(format!("flag `--{name}` got unparsable entry `{s}`")))
+        })
+        .collect()
+}
+
+/// `srlr noc-faults [...]`: the fault-injection sweep. Either sweeps the
+/// injected BER directly (`--bers`, comma-separated), or sweeps link
+/// swing voltages (`--swings`, mV): each swing is measured over Monte
+/// Carlo dice with the link physics and its *effective* BER (Wilson
+/// upper bound when error-free) drives the injector.
+pub fn noc_faults(rest: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(
+        rest,
+        &[
+            "cols",
+            "rows",
+            "load",
+            "cycles",
+            "bers",
+            "swings",
+            "dice",
+            "bits",
+            "max-retries",
+            "threads",
+        ],
+    )?;
+    let cols: u16 = flags.get_or("cols", 8)?;
+    let rows: u16 = flags.get_or("rows", 8)?;
+    let load: f64 = flags.get_or("load", 0.05)?;
+    let cycles: u64 = flags.get_or("cycles", 2000)?;
+    let max_retries: u32 = flags.get_or("max-retries", 4)?;
+    let dice: usize = flags.get_or("dice", 30)?;
+    let bits: usize = flags.get_or("bits", 400)?;
+    let threads = parse_threads(&flags)?;
+    if cols == 0 || rows == 0 || !(0.0..=1.0).contains(&load) || cycles == 0 {
+        return Err(CliError::Usage(
+            "need positive size/cycles and load in [0, 1]".into(),
+        ));
+    }
+    if flags.get_str("bers").is_some() && flags.get_str("swings").is_some() {
+        return Err(CliError::Usage(
+            "--bers and --swings are mutually exclusive".into(),
+        ));
+    }
+
+    let mut header = format!("{cols}x{rows} mesh, load {load}, {max_retries} retries/flit\n");
+    let (labels, bers): (Vec<String>, Vec<f64>) = if let Some(raw) = flags.get_str("swings") {
+        if dice == 0 || bits == 0 {
+            return Err(CliError::Usage("--dice and --bits must be positive".into()));
+        }
+        let tech = Technology::soi45();
+        let design = SrlrDesign::paper_proposed(&tech);
+        let mut labels = Vec::new();
+        let mut bers = Vec::new();
+        let _ = writeln!(
+            header,
+            "link BER measured over {dice} dice x {bits} PRBS bits per swing"
+        );
+        for mv in parse_list("swings", raw)? {
+            if !(mv.is_finite() && mv > 0.0) {
+                return Err(CliError::Usage(format!("bad swing `{mv}` mV")));
+            }
+            let point = design.with_nominal_swing(Voltage::from_millivolts(mv));
+            let model = LinkErrorModel::measure(
+                &tech,
+                &point,
+                LinkConfig::paper_default(),
+                dice,
+                bits,
+                2013,
+                threads,
+            );
+            // A completely broken swing can report BER -> 1; the injector
+            // needs [0, 1), and beyond ~0.5 every word is corrupt anyway.
+            bers.push(model.effective_ber().min(0.5));
+            labels.push(format!("{mv:.0} mV"));
+            let _ = writeln!(header, "  {mv:>5.0} mV: {model}");
+        }
+        (labels, bers)
+    } else {
+        let raw = flags.get_str("bers").unwrap_or("0,1e-5,1e-4,1e-3,1e-2");
+        let bers = parse_list("bers", raw)?;
+        for &b in &bers {
+            if !(b.is_finite() && (0.0..1.0).contains(&b)) {
+                return Err(CliError::Usage(format!("BER `{b}` outside [0, 1)")));
+            }
+        }
+        (bers.iter().map(|b| format!("{b:.1e}")).collect(), bers)
+    };
+    if bers.is_empty() {
+        return Err(CliError::Usage("need at least one sweep point".into()));
+    }
+
+    let config = NocConfig::paper_default().with_size(cols, rows);
+    let template = FaultConfig::new(0.0).with_max_retries(max_retries);
+    let points = ber_sweep(
+        config,
+        template,
+        Pattern::UniformRandom,
+        load,
+        cycles / 4,
+        cycles,
+        &bers,
+        threads,
+    );
+
+    let tech = Technology::soi45();
+    let model = PowerModel::for_datapath(&tech, config.flit_bits, config.datapath);
+    let mut out = header;
+    let _ = writeln!(
+        out,
+        "\n{:>10} {:>10} {:>10} {:>8} {:>9} {:>8} {:>14}",
+        "point", "ber", "delivered", "p99", "retries", "dropped", "energy/bit"
+    );
+    for (label, point) in labels.iter().zip(&points) {
+        let stats = &point.stats;
+        let p99 = stats.latency_percentile(99.0).map_or_else(
+            || format!(">{}", stats.latency_histogram.bins()),
+            |v| v.to_string(),
+        );
+        let delivered_bits =
+            stats.packets_received as f64 * (config.packet_len * config.flit_bits) as f64;
+        let energy = model.dynamic_energy(&stats.energy);
+        let per_bit = if delivered_bits > 0.0 {
+            format!("{:.1} fJ/bit", energy.joules() / delivered_bits * 1e15)
+        } else {
+            "n/a".to_owned()
+        };
+        let _ = writeln!(
+            out,
+            "{:>10} {:>10.1e} {:>9.2}% {:>8} {:>9} {:>8} {:>14}",
+            label,
+            point.ber,
+            stats.delivered_fraction() * 100.0,
+            p99,
+            stats.faults.flits_retransmitted,
+            stats.packets_dropped,
+            per_bit,
+        );
+    }
+    Ok(out)
 }
 
 /// `srlr express [--interval K]`.

@@ -12,6 +12,7 @@
 //! srlr ber [--bits N] [--gbps R]
 //! srlr eye [--bits N]
 //! srlr noc [--cols C --rows R --load F --datapath srlr|full]
+//! srlr noc-faults [--bers L | --swings MV] [--load F] [--threads T]
 //! srlr express [--interval K]
 //! srlr sizing                  M1/M2 design-space sweep
 //! ```
@@ -64,6 +65,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "ber" => commands::ber(rest),
         "eye" => commands::eye(rest),
         "noc" => commands::noc(rest),
+        "noc-faults" => commands::noc_faults(rest),
         "express" => commands::express(rest),
         "sizing" => commands::sizing(),
         "shmoo" => commands::shmoo(rest),
@@ -176,6 +178,84 @@ mod tests {
         let out = call(&["noc", "--cols", "4", "--rows", "4", "--load", "0.05"]).unwrap();
         assert!(out.contains("pkts"));
         assert!(out.contains("buffers"));
+    }
+
+    #[test]
+    fn noc_faults_sweeps_ber() {
+        let out = call(&[
+            "noc-faults",
+            "--cols",
+            "4",
+            "--rows",
+            "4",
+            "--cycles",
+            "600",
+            "--bers",
+            "0,1e-3",
+        ])
+        .unwrap();
+        assert!(out.contains("delivered"));
+        assert!(out.contains("energy/bit"));
+        assert!(out.contains("retries"));
+    }
+
+    #[test]
+    fn noc_faults_thread_count_does_not_change_the_answer() {
+        let args = |t: &'static str| {
+            call(&[
+                "noc-faults",
+                "--cols",
+                "4",
+                "--rows",
+                "4",
+                "--cycles",
+                "400",
+                "--bers",
+                "0,5e-4,2e-3",
+                "--threads",
+                t,
+            ])
+            .unwrap()
+        };
+        assert_eq!(args("1"), args("4"), "--threads must not change the output");
+    }
+
+    #[test]
+    fn noc_faults_swing_mode_measures_the_link() {
+        let out = call(&[
+            "noc-faults",
+            "--cols",
+            "4",
+            "--rows",
+            "4",
+            "--cycles",
+            "400",
+            "--swings",
+            "120,450",
+            "--dice",
+            "10",
+            "--bits",
+            "200",
+        ])
+        .unwrap();
+        assert!(out.contains("450 mV"));
+        assert!(out.contains("bits"), "swing mode reports the measurement");
+    }
+
+    #[test]
+    fn noc_faults_rejects_bad_input() {
+        assert!(matches!(
+            call(&["noc-faults", "--bers", "soup"]).unwrap_err(),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            call(&["noc-faults", "--bers", "1.5"]).unwrap_err(),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            call(&["noc-faults", "--bers", "0", "--swings", "300"]).unwrap_err(),
+            CliError::Usage(_)
+        ));
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!   interference (residual-charge) tracking and energy accounting,
 //! * [`ber`] — bit-error-rate measurement with confidence bounds and the
 //!   max-data-rate search,
+//! * [`error_model`] — aggregated effective-BER measurement over Monte
+//!   Carlo dice, the number the `srlr-noc` fault injector consumes,
 //! * [`engine`] — the deterministic parallel sweep engine (`SRLR_THREADS`)
 //!   behind the Monte Carlo, shmoo, bathtub, and bundle experiments,
 //! * [`metrics`] — the paper's headline metrics (bandwidth density,
@@ -45,6 +47,7 @@ pub mod bundle;
 pub mod comparison;
 pub mod crosstalk;
 pub mod engine;
+pub mod error_model;
 pub mod eye;
 pub mod link;
 pub mod metrics;
@@ -59,6 +62,7 @@ pub use baselines::{
 };
 pub use ber::{BerReport, BerTester};
 pub use comparison::{ComparisonRow, ComparisonTable};
+pub use error_model::LinkErrorModel;
 pub use eye::{measure_eye, EyeReport};
 pub use link::{LinkConfig, SrlrLink, TransmitOutcome};
 pub use metrics::LinkMetrics;

@@ -218,14 +218,7 @@ impl DeflectionNetwork {
         }
         stats.flits_received = self.counters.local_hops - before.local_hops;
         stats.packets_injected = self.injected - injected_before;
-        stats.energy = EnergyCounters {
-            buffer_writes: 0,
-            buffer_reads: 0,
-            link_hops: self.counters.link_hops - before.link_hops,
-            local_hops: self.counters.local_hops - before.local_hops,
-            allocations: self.counters.allocations - before.allocations,
-            router_cycles: self.counters.router_cycles - before.router_cycles,
-        };
+        stats.energy = self.counters.delta(&before);
         stats
     }
 

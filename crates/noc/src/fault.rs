@@ -1,0 +1,522 @@
+//! BER-driven link fault injection with CRC/NACK retransmission.
+//!
+//! The paper verifies the SRLR link to BER < 1e-9 with an on-chip PRBS
+//! checker and argues that residual link errors are rare enough to
+//! retransmit. This module closes the loop at the network layer: every
+//! inter-router link flips flit bits with a configurable bit-error rate
+//! (measured from the `srlr-link` physics, see
+//! `srlr_link::error_model::LinkErrorModel`), receivers check the flit
+//! CRC-16, and detected errors trigger a link-level NACK/retransmission
+//! with a bounded retry count, an ACK timeout, and per-retry backoff.
+//!
+//! Determinism: each directed link owns its own counter-based RNG stream
+//! (`srlr_rng::stream_seed(seed, link_index)`), so a simulation is a pure
+//! function of its configuration regardless of traffic interleaving, and
+//! sweeps fan out over threads ([`ber_sweep`]) bit-identically to a
+//! serial run.
+//!
+//! Modelling choices, stated explicitly:
+//!
+//! * A clean traversal costs exactly one RNG draw; with `ber == 0` the
+//!   draw is skipped entirely, so the fault path is zero-cost when
+//!   disabled and delivery is bit-identical to a fault-free network.
+//! * On a corrupted traversal the model flips real bits in the flit's
+//!   80-bit codeword (64-bit payload + CRC-16) and runs the real CRC
+//!   check, so undetected ("silent") corruption has the true CRC-16
+//!   escape behaviour rather than an assumed probability.
+//! * Retry `k` is delayed by `ack_timeout + backoff * (k - 1)` cycles on
+//!   top of the normal link latency (NACK travels back over the reverse
+//!   wire, the sender re-serialises after a growing backoff).
+//! * A flit that exhausts its retries is *forced through* poisoned —
+//!   dropping a wormhole flit would leave routes dangling — and the
+//!   ejection port discards the whole packet, which is what the
+//!   delivered/dropped accounting reports.
+
+use crate::packet::{crc16, Flit};
+use crate::router::NocConfig;
+use crate::stats::{Histogram, NetworkStats};
+use crate::topology::{Coord, Direction, Mesh};
+use crate::traffic::Pattern;
+use srlr_rng::Xoshiro256pp;
+
+/// Bits in the protected codeword: 64-bit payload + CRC-16.
+const CODEWORD_BITS: usize = 80;
+
+/// Per-link fault-injection and retransmission parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Raw per-bit error probability of every inter-router link.
+    pub ber: f64,
+    /// Seed of the per-link RNG streams (independent of the traffic
+    /// seed, so enabling faults never perturbs the traffic pattern).
+    pub seed: u64,
+    /// Retransmissions allowed per flit per link before the link gives
+    /// up and the packet is discarded at ejection.
+    pub max_retries: u32,
+    /// Cycles the sender waits for the ACK before retransmitting (the
+    /// NACK round trip).
+    pub ack_timeout: u64,
+    /// Extra cycles added per successive retry of the same flit.
+    pub backoff: u64,
+}
+
+impl FaultConfig {
+    /// A fault model at the given BER with the default retransmission
+    /// protocol (4 retries, 2-cycle ACK timeout, 1-cycle backoff step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ber` is outside `[0, 1)`.
+    pub fn new(ber: f64) -> Self {
+        let config = Self {
+            ber,
+            seed: 0xFA17,
+            max_retries: 4,
+            ack_timeout: 2,
+            backoff: 1,
+        };
+        config.validate();
+        config
+    }
+
+    /// Returns a copy with a different per-link RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different retry bound.
+    #[must_use]
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Returns a copy with different timing (ACK timeout, backoff step).
+    #[must_use]
+    pub fn with_timing(mut self, ack_timeout: u64, backoff: u64) -> Self {
+        self.ack_timeout = ack_timeout;
+        self.backoff = backoff;
+        self
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ber` is outside `[0, 1)` or not finite.
+    pub fn validate(&self) {
+        assert!(
+            self.ber.is_finite() && (0.0..1.0).contains(&self.ber),
+            "BER must be in [0, 1), got {}",
+            self.ber
+        );
+    }
+
+    /// Probability that at least one bit of an 80-bit codeword flips in
+    /// one traversal.
+    pub fn word_error_probability(&self) -> f64 {
+        1.0 - (1.0 - self.ber).powi(CODEWORD_BITS as i32)
+    }
+}
+
+/// The outcome of pushing one flit across one faulty link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkTransmission {
+    /// Transmissions performed (1 = clean on the first try).
+    pub attempts: u32,
+    /// NACKs sent back over the reverse wire (detected corruptions).
+    pub nacks: u32,
+    /// `false` when the retry budget ran out — the flit went through
+    /// poisoned and the packet must be discarded at ejection.
+    pub delivered: bool,
+    /// An undetected corruption slipped past the CRC.
+    pub silent: bool,
+    /// Cycles of retransmission delay added to the link latency.
+    pub extra_delay: u64,
+}
+
+impl LinkTransmission {
+    /// The clean, single-attempt outcome.
+    fn clean(attempts: u32, nacks: u32, extra_delay: u64) -> Self {
+        Self {
+            attempts,
+            nacks,
+            delivered: true,
+            silent: false,
+            extra_delay,
+        }
+    }
+}
+
+/// Cumulative fault-injection event counts (plus the retry-delay
+/// histogram), also used for per-window deltas in
+/// [`crate::stats::NetworkStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultTally {
+    /// Link traversals corrupted (detected or silent).
+    pub flits_corrupted: u64,
+    /// Extra transmissions performed (retries, i.e. attempts beyond the
+    /// first).
+    pub flits_retransmitted: u64,
+    /// Flits whose retry budget ran out (each poisons its packet).
+    pub retries_exhausted: u64,
+    /// Corruptions that slipped past the CRC undetected.
+    pub silent_corruptions: u64,
+    /// Packets discarded at ejection because a flit was poisoned.
+    pub packets_dropped: u64,
+    /// Histogram of per-flit retransmission delay (cycles added on top
+    /// of the normal link latency), with explicit overflow.
+    pub retry_delay: Histogram,
+}
+
+impl Default for FaultTally {
+    fn default() -> Self {
+        Self {
+            flits_corrupted: 0,
+            flits_retransmitted: 0,
+            retries_exhausted: 0,
+            silent_corruptions: 0,
+            packets_dropped: 0,
+            retry_delay: Histogram::new(Self::RETRY_DELAY_BINS),
+        }
+    }
+}
+
+impl FaultTally {
+    /// Bin count of the retry-delay histogram (1-cycle bins).
+    pub const RETRY_DELAY_BINS: usize = 64;
+
+    /// The difference `self - earlier` (for measurement windows).
+    #[must_use]
+    pub fn diff(&self, earlier: &FaultTally) -> FaultTally {
+        FaultTally {
+            flits_corrupted: self.flits_corrupted - earlier.flits_corrupted,
+            flits_retransmitted: self.flits_retransmitted - earlier.flits_retransmitted,
+            retries_exhausted: self.retries_exhausted - earlier.retries_exhausted,
+            silent_corruptions: self.silent_corruptions - earlier.silent_corruptions,
+            packets_dropped: self.packets_dropped - earlier.packets_dropped,
+            retry_delay: self.retry_delay.diff(&earlier.retry_delay),
+        }
+    }
+}
+
+/// The per-link fault injector: one deterministic RNG stream per
+/// directed inter-router link.
+#[derive(Debug, Clone)]
+pub struct FaultModel {
+    config: FaultConfig,
+    mesh: Mesh,
+    /// One stream per `(node, mesh direction)` sender, indexed
+    /// `node * 4 + direction`.
+    streams: Vec<Xoshiro256pp>,
+    word_error: f64,
+    tally: FaultTally,
+}
+
+impl FaultModel {
+    /// Builds the injector for every directed link of `mesh`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid.
+    pub fn new(config: FaultConfig, mesh: Mesh) -> Self {
+        config.validate();
+        let streams = (0..mesh.len() * Direction::MESH.len())
+            .map(|i| Xoshiro256pp::for_stream(config.seed, i as u64))
+            .collect();
+        Self {
+            config,
+            mesh,
+            streams,
+            word_error: config.word_error_probability(),
+            tally: FaultTally::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Cumulative event counts since construction.
+    pub fn tally(&self) -> &FaultTally {
+        &self.tally
+    }
+
+    /// Records a packet discarded at the ejection port (called by the
+    /// network when a poisoned tail ejects).
+    pub fn note_packet_dropped(&mut self) {
+        self.tally.packets_dropped += 1;
+    }
+
+    /// The stream index of the link leaving `from` through `dir`, or
+    /// `None` for the local port (no link, no faults).
+    fn stream_index(&self, from: Coord, dir: Direction) -> Option<usize> {
+        dir.is_mesh()
+            .then(|| self.mesh.index_of(from) * Direction::MESH.len() + dir.index())
+    }
+
+    /// Pushes `flit` across the link leaving `from` through `dir`,
+    /// sampling corruption, CRC detection and the retransmission
+    /// protocol. Local-port "traversals" are fault-free by construction.
+    pub fn transmit(&mut self, from: Coord, dir: Direction, flit: &Flit) -> LinkTransmission {
+        let Some(stream) = self.stream_index(from, dir) else {
+            return LinkTransmission::clean(1, 0, 0);
+        };
+        let max_attempts = self.config.max_retries + 1;
+        let mut attempts = 1u32;
+        let mut nacks = 0u32;
+        let mut extra_delay = 0u64;
+        loop {
+            let corrupted =
+                self.word_error > 0.0 && self.streams[stream].next_f64() < self.word_error;
+            if !corrupted {
+                return LinkTransmission::clean(attempts, nacks, extra_delay);
+            }
+            self.tally.flits_corrupted += 1;
+            let (payload, crc) = corrupt_codeword(
+                &mut self.streams[stream],
+                flit.payload,
+                flit.crc,
+                self.config.ber,
+            );
+            if crc16(payload) == crc {
+                // The CRC check passes on corrupted bits: silent escape.
+                self.tally.silent_corruptions += 1;
+                if extra_delay > 0 {
+                    self.tally.retry_delay.record(extra_delay);
+                }
+                return LinkTransmission {
+                    attempts,
+                    nacks,
+                    delivered: true,
+                    silent: true,
+                    extra_delay,
+                };
+            }
+            // Detected: NACK back to the sender.
+            nacks += 1;
+            if attempts >= max_attempts {
+                self.tally.retries_exhausted += 1;
+                if extra_delay > 0 {
+                    self.tally.retry_delay.record(extra_delay);
+                }
+                return LinkTransmission {
+                    attempts,
+                    nacks,
+                    delivered: false,
+                    silent: false,
+                    extra_delay,
+                };
+            }
+            extra_delay += self.config.ack_timeout + self.config.backoff * u64::from(attempts - 1);
+            attempts += 1;
+            self.tally.flits_retransmitted += 1;
+        }
+    }
+}
+
+/// Flips bits of the 80-bit codeword, conditioned on at least one flip
+/// (the caller already decided the word is corrupted): the first flipped
+/// position is uniform, every other bit flips independently with
+/// probability `ber` — the exact conditional distribution up to the
+/// (negligible, O(ber)) bias of pinning one flip.
+fn corrupt_codeword(rng: &mut Xoshiro256pp, payload: u64, crc: u16, ber: f64) -> (u64, u16) {
+    let first = rng.index(CODEWORD_BITS);
+    let mut word = (u128::from(payload) << 16) | u128::from(crc);
+    word ^= 1u128 << first;
+    for bit in 0..CODEWORD_BITS {
+        if bit != first && rng.next_f64() < ber {
+            word ^= 1u128 << bit;
+        }
+    }
+    (((word >> 16) as u64), (word as u16))
+}
+
+/// One point of a BER sweep: the fault configuration it ran at and the
+/// measured window statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSweepPoint {
+    /// The injected bit-error rate.
+    pub ber: f64,
+    /// The measured window.
+    pub stats: NetworkStats,
+}
+
+/// Sweeps the injected BER over otherwise-identical networks, fanning
+/// the points out over `threads` workers (`None` defers to
+/// `SRLR_THREADS` / the machine). Every point is a pure function of
+/// `(base, pattern, load, ber)`, so results are bit-identical at every
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if `bers` is empty, a BER is outside `[0, 1)`, or the load /
+/// window parameters are invalid for [`crate::Network`].
+#[allow(clippy::too_many_arguments)]
+pub fn ber_sweep(
+    base: NocConfig,
+    template: FaultConfig,
+    pattern: Pattern,
+    load: f64,
+    warmup: u64,
+    measure: u64,
+    bers: &[f64],
+    threads: Option<usize>,
+) -> Vec<FaultSweepPoint> {
+    assert!(!bers.is_empty(), "need at least one BER point");
+    let workers = srlr_parallel::resolve_threads(threads);
+    srlr_parallel::par_map_indexed(bers.len(), workers, |i| {
+        let ber = bers[i];
+        let fault = FaultConfig { ber, ..template };
+        let mut net = crate::Network::new(base.with_faults(fault));
+        let stats = net.run_warmup_and_measure(pattern, load, warmup, measure);
+        FaultSweepPoint { ber, stats }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Packet, PacketId};
+
+    fn flit() -> Flit {
+        Packet::unicast(PacketId(3), Coord::new(0, 0), Coord::new(3, 3), 1, 0)
+            .flits(Coord::new(3, 3))[0]
+    }
+
+    fn model(ber: f64) -> FaultModel {
+        FaultModel::new(FaultConfig::new(ber), Mesh::new(4, 4))
+    }
+
+    #[test]
+    fn zero_ber_is_always_clean_and_draws_nothing() {
+        let mut fm = model(0.0);
+        let before = fm.streams.clone();
+        for _ in 0..100 {
+            let tx = fm.transmit(Coord::new(1, 1), Direction::East, &flit());
+            assert_eq!(tx, LinkTransmission::clean(1, 0, 0));
+        }
+        assert_eq!(fm.streams, before, "ber=0 must not advance any stream");
+        assert_eq!(fm.tally(), &FaultTally::default());
+    }
+
+    #[test]
+    fn local_port_is_fault_free() {
+        let mut fm = model(0.9);
+        let tx = fm.transmit(Coord::new(1, 1), Direction::Local, &flit());
+        assert_eq!(tx, LinkTransmission::clean(1, 0, 0));
+    }
+
+    #[test]
+    fn high_ber_corrupts_and_retries() {
+        let mut fm = model(0.05);
+        let mut retried = 0;
+        for _ in 0..400 {
+            let tx = fm.transmit(Coord::new(1, 1), Direction::East, &flit());
+            assert!(tx.attempts >= 1 && tx.attempts <= fm.config.max_retries + 1);
+            if tx.attempts > 1 {
+                retried += 1;
+                assert!(tx.nacks >= 1, "a retry implies a NACK");
+                assert!(tx.extra_delay >= fm.config.ack_timeout);
+            }
+        }
+        assert!(retried > 0, "5 % BER must trigger retransmissions");
+        assert!(fm.tally().flits_corrupted > 0);
+        assert!(fm.tally().flits_retransmitted > 0);
+    }
+
+    #[test]
+    fn extreme_ber_exhausts_retries() {
+        // Near-certain corruption: every attempt fails, the budget runs
+        // out, and the flit is reported undelivered (poisoned).
+        let mut fm = model(0.5);
+        let mut exhausted = 0;
+        for _ in 0..50 {
+            let tx = fm.transmit(Coord::new(0, 0), Direction::North, &flit());
+            if !tx.delivered {
+                exhausted += 1;
+                assert_eq!(tx.attempts, fm.config.max_retries + 1);
+            }
+        }
+        assert!(exhausted > 0, "0.5 BER must exhaust some retry budgets");
+        assert_eq!(fm.tally().retries_exhausted, exhausted);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let config = FaultConfig::new(1e-6)
+            .with_seed(7)
+            .with_max_retries(9)
+            .with_timing(3, 2);
+        assert_eq!(config.seed, 7);
+        assert_eq!(config.max_retries, 9);
+        assert_eq!(config.ack_timeout, 3);
+        assert_eq!(config.backoff, 2);
+    }
+
+    #[test]
+    fn streams_are_per_link_and_deterministic() {
+        let run = |ops: &[(Coord, Direction)]| {
+            let mut fm = model(0.02);
+            ops.iter()
+                .map(|&(c, d)| fm.transmit(c, d, &flit()))
+                .collect::<Vec<_>>()
+        };
+        let a = Coord::new(1, 1);
+        let b = Coord::new(2, 2);
+        // Interleaving traffic on link B must not perturb link A's draws.
+        let solo: Vec<_> = run(&[(a, Direction::East), (a, Direction::East)]);
+        let interleaved = run(&[
+            (a, Direction::East),
+            (b, Direction::North),
+            (a, Direction::East),
+        ]);
+        assert_eq!(solo[0], interleaved[0]);
+        assert_eq!(solo[1], interleaved[2]);
+    }
+
+    #[test]
+    fn corrupt_codeword_always_changes_something() {
+        let mut rng = Xoshiro256pp::new(5);
+        let f = flit();
+        for _ in 0..200 {
+            let (p, c) = corrupt_codeword(&mut rng, f.payload, f.crc, 1e-4);
+            assert!(p != f.payload || c != f.crc);
+        }
+    }
+
+    #[test]
+    fn word_error_probability_scales_with_ber() {
+        let small = FaultConfig::new(1e-6).word_error_probability();
+        let large = FaultConfig::new(1e-3).word_error_probability();
+        assert!(small < large);
+        assert!((small - 80e-6).abs() / 80e-6 < 0.01, "p ≈ 80·ber: {small}");
+        assert_eq!(FaultConfig::new(0.0).word_error_probability(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "BER must be in [0, 1)")]
+    fn invalid_ber_rejected() {
+        let _ = FaultConfig::new(1.5);
+    }
+
+    #[test]
+    fn tally_diff_subtracts() {
+        let mut fm = model(0.1);
+        for _ in 0..50 {
+            let _ = fm.transmit(Coord::new(0, 0), Direction::East, &flit());
+        }
+        let before = fm.tally().clone();
+        for _ in 0..50 {
+            let _ = fm.transmit(Coord::new(0, 0), Direction::East, &flit());
+        }
+        let d = fm.tally().diff(&before);
+        assert_eq!(
+            d.flits_corrupted + before.flits_corrupted,
+            fm.tally().flits_corrupted
+        );
+    }
+}

@@ -17,7 +17,11 @@
 //! * [`network`] — the cycle-accurate simulator,
 //! * [`traffic`] — synthetic traffic patterns (uniform, transpose,
 //!   bit-complement, neighbour, hotspot) and multicast generation,
-//! * [`stats`] — latency/throughput collection,
+//! * [`stats`] — latency/throughput collection with overflow-aware
+//!   histograms,
+//! * [`fault`] — BER-driven link fault injection with CRC-16 detection
+//!   and bounded NACK/retransmission (the system-level consequence of
+//!   the paper's measured link BER),
 //! * [`power`] — per-event energy accounting with a pluggable datapath
 //!   (full-swing repeated wires vs the SRLR low-swing datapath), the
 //!   published RAW/TRIPS/TeraFLOPS breakdowns, and the paper's router
@@ -43,6 +47,7 @@
 pub mod area;
 pub mod bufferless;
 pub mod express;
+pub mod fault;
 pub mod multicast;
 pub mod network;
 pub mod packet;
@@ -56,11 +61,12 @@ pub mod traffic;
 pub use area::RouterAreaModel;
 pub use bufferless::DeflectionNetwork;
 pub use express::{ExpressComparison, ExpressTopology};
+pub use fault::{ber_sweep, FaultConfig, FaultModel, FaultSweepPoint, FaultTally};
 pub use multicast::MulticastAccounting;
-pub use network::Network;
-pub use packet::{Flit, FlitKind, Packet, PacketId};
+pub use network::{Network, StalledError};
+pub use packet::{crc16, Flit, FlitKind, Packet, PacketId};
 pub use power::{DatapathKind, PowerModel, PublishedBreakdown, RouterPowerReport};
 pub use router::{NocConfig, Router};
 pub use routing::RoutingAlgorithm;
-pub use stats::NetworkStats;
+pub use stats::{Histogram, NetworkStats};
 pub use topology::{Coord, Direction, Mesh};

@@ -1,13 +1,54 @@
 //! The cycle-accurate network simulator: routers, links, injection and
 //! ejection, with deterministic two-phase updates.
 
-use crate::packet::{Flit, Packet};
+use crate::fault::FaultModel;
+use crate::packet::{Flit, Packet, PacketId};
 use crate::power::EnergyCounters;
 use crate::router::{NocConfig, Router};
 use crate::stats::NetworkStats;
 use crate::topology::{Coord, Direction, Mesh};
 use crate::traffic::{Pattern, TrafficGenerator};
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
+
+/// A bounded simulation ran out of cycles before the expected packets
+/// terminated: the typed replacement for the old "step N times and
+/// panic" test idiom, carrying what *was* achieved and which packets are
+/// still in the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StalledError {
+    /// The cycle budget that was exhausted.
+    pub cycles: u64,
+    /// Packets that did complete before the budget ran out, as
+    /// `(destination, latency_cycles)`.
+    pub delivered: Vec<(Coord, u64)>,
+    /// Packets discarded at ejection during the run (fault injection).
+    pub dropped: u64,
+    /// Every packet still queued, buffered or on a link (sorted,
+    /// deduplicated).
+    pub in_flight: Vec<PacketId>,
+}
+
+impl core::fmt::Display for StalledError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "simulation stalled after {} cycles: {} delivered, {} dropped, {} packet(s) in flight",
+            self.cycles,
+            self.delivered.len(),
+            self.dropped,
+            self.in_flight.len(),
+        )?;
+        for id in self.in_flight.iter().take(8) {
+            write!(f, " {id}")?;
+        }
+        if self.in_flight.len() > 8 {
+            write!(f, " ...")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for StalledError {}
 
 /// Per-node injection state: the packet currently streaming into the
 /// local port.
@@ -45,6 +86,21 @@ pub struct Network {
     multicast_saved_hops: u64,
     /// When enabled, the router sequence each packet's head flit visits.
     traces: Option<std::collections::HashMap<crate::packet::PacketId, Vec<Coord>>>,
+    /// The link fault injector, when the config enables one.
+    fault: Option<FaultModel>,
+    /// Packets poisoned by an exhausted retry budget, awaiting discard at
+    /// their ejection port.
+    failed: HashSet<PacketId>,
+    /// Packets discarded at ejection so far.
+    dropped: u64,
+    /// Flits or credits that pointed off the mesh edge and were discarded
+    /// instead of aborting the run (always zero with the shipped routing
+    /// algorithms; a non-zero value means a routing bug).
+    routing_errors: u64,
+    /// Per directed link (`node * 4 + direction`), the latest arrival
+    /// cycle granted so far: retransmission delays must not let a later
+    /// flit overtake an earlier one on the same wire.
+    link_busy_until: Vec<u64>,
 }
 
 impl Network {
@@ -68,6 +124,11 @@ impl Network {
             injected: 0,
             multicast_saved_hops: 0,
             traces: None,
+            fault: config.fault.map(|f| FaultModel::new(f, mesh)),
+            failed: HashSet::new(),
+            dropped: 0,
+            routing_errors: 0,
+            link_busy_until: vec![0; n * Direction::MESH.len()],
         }
     }
 
@@ -116,6 +177,51 @@ impl Network {
     /// Link hops saved by tree multicast relative to unicast clones.
     pub fn multicast_saved_hops(&self) -> u64 {
         self.multicast_saved_hops
+    }
+
+    /// Cumulative fault-injection event counts, when faults are enabled.
+    pub fn fault_tally(&self) -> Option<&crate::fault::FaultTally> {
+        self.fault.as_ref().map(FaultModel::tally)
+    }
+
+    /// Packets discarded at their ejection port so far (a flit exhausted
+    /// its link-level retries; zero without fault injection).
+    pub fn packets_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Flits or credits discarded because a route pointed off the mesh
+    /// edge. Always zero with the shipped routing algorithms; counted
+    /// instead of panicking so a routing bug degrades a run rather than
+    /// aborting it.
+    pub fn routing_errors(&self) -> u64 {
+        self.routing_errors
+    }
+
+    /// Every packet currently queued at a source, streaming into a local
+    /// port, buffered in a router or in flight on a link — sorted and
+    /// deduplicated. This is the set a stalled run reports.
+    pub fn in_flight_packets(&self) -> Vec<PacketId> {
+        let mut ids: Vec<PacketId> = self
+            .routers
+            .iter()
+            .flat_map(Router::buffered_packets)
+            .chain(
+                self.pending_flits
+                    .iter()
+                    .flatten()
+                    .map(|&(_, _, _, flit)| flit.packet),
+            )
+            .chain(
+                self.inject
+                    .iter()
+                    .flat_map(|s| s.flits.iter().map(|f| f.packet)),
+            )
+            .chain(self.source_queues.iter().flatten().map(|p| p.id))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
     }
 
     /// Total flits currently buffered in routers plus in flight.
@@ -219,34 +325,65 @@ impl Network {
                             .push(self.routers[i].coord());
                     }
                 }
+                let here = self.routers[i].coord();
                 // Credit back to the upstream router (not for local
-                // injection, whose occupancy is polled directly).
+                // injection, whose occupancy is polled directly). A flit
+                // claiming to come from off-mesh means a corrupted route:
+                // count it, don't abort the run.
                 if s.in_port != Direction::Local {
-                    let up = self
-                        .mesh
-                        .neighbor(self.routers[i].coord(), s.in_port)
-                        .expect("flit came from a real neighbour");
-                    self.pending_credits[self.mesh.index_of(up)]
-                        .push((s.in_port.opposite(), s.in_vc));
+                    match (s.in_port.opposite(), self.mesh.neighbor(here, s.in_port)) {
+                        (Some(back), Some(up)) => {
+                            self.pending_credits[self.mesh.index_of(up)].push((back, s.in_vc));
+                        }
+                        _ => self.routing_errors += 1,
+                    }
                 }
                 if s.out_port == Direction::Local {
                     self.counters.local_hops += 1;
                     if s.flit.kind.is_tail() {
-                        let latency = self.cycle - s.flit.inject_cycle + 1;
-                        completed.push((self.routers[i].coord(), latency));
+                        if self.failed.remove(&s.flit.packet) {
+                            // A flit of this packet exhausted its link
+                            // retries: the whole packet is discarded at
+                            // ejection (flits are never dropped mid-route,
+                            // which would dangle the wormhole).
+                            self.dropped += 1;
+                            if let Some(fault) = self.fault.as_mut() {
+                                fault.note_packet_dropped();
+                            }
+                        } else {
+                            let latency = self.cycle - s.flit.inject_cycle + 1;
+                            completed.push((here, latency));
+                        }
                     }
                 } else {
-                    self.counters.link_hops += 1;
-                    let next = self
-                        .mesh
-                        .neighbor(self.routers[i].coord(), s.out_port)
-                        .expect("XY routing stays inside the mesh");
-                    self.pending_flits[self.mesh.index_of(next)].push((
-                        self.cycle + 1 + self.config.extra_pipeline,
-                        s.out_port.opposite(),
-                        s.out_vc,
-                        s.flit,
-                    ));
+                    match (s.out_port.opposite(), self.mesh.neighbor(here, s.out_port)) {
+                        (Some(arrive_port), Some(next)) => {
+                            self.counters.link_hops += 1;
+                            let mut delay = 1 + self.config.extra_pipeline;
+                            if let Some(fault) = self.fault.as_mut() {
+                                let tx = fault.transmit(here, s.out_port, &s.flit);
+                                self.counters.retry_hops += u64::from(tx.attempts - 1);
+                                self.counters.nacks += u64::from(tx.nacks);
+                                delay += tx.extra_delay;
+                                if !tx.delivered {
+                                    self.failed.insert(s.flit.packet);
+                                }
+                            }
+                            // Retransmission delay must not let this flit
+                            // overtake an earlier one on the same wire.
+                            let link = self.mesh.index_of(here) * Direction::MESH.len()
+                                + s.out_port.index();
+                            let at = (self.cycle + delay).max(self.link_busy_until[link] + 1);
+                            self.link_busy_until[link] = at;
+                            self.pending_flits[self.mesh.index_of(next)].push((
+                                at,
+                                arrive_port,
+                                s.out_vc,
+                                s.flit,
+                            ));
+                        }
+                        _ => self.routing_errors += 1,
+                    }
                 }
             }
         }
@@ -283,6 +420,8 @@ impl Network {
         }
         let counters_before = self.counters;
         let injected_before = self.injected;
+        let dropped_before = self.dropped;
+        let faults_before = self.fault.as_ref().map(|f| f.tally().clone());
         let mut stats = NetworkStats::new(measure, self.mesh.len());
         for _ in 0..measure {
             self.inject_from(&mut gen);
@@ -293,15 +432,49 @@ impl Network {
         // Flit receipt count over the window comes from the counter delta.
         stats.flits_received = self.counters.local_hops - counters_before.local_hops;
         stats.packets_injected = self.injected - injected_before;
-        stats.energy = EnergyCounters {
-            buffer_writes: self.counters.buffer_writes - counters_before.buffer_writes,
-            buffer_reads: self.counters.buffer_reads - counters_before.buffer_reads,
-            link_hops: self.counters.link_hops - counters_before.link_hops,
-            local_hops: self.counters.local_hops - counters_before.local_hops,
-            allocations: self.counters.allocations - counters_before.allocations,
-            router_cycles: self.counters.router_cycles - counters_before.router_cycles,
-        };
+        stats.packets_dropped = self.dropped - dropped_before;
+        stats.energy = self.counters.delta(&counters_before);
+        if let (Some(fault), Some(before)) = (self.fault.as_ref(), faults_before) {
+            stats.faults = fault.tally().diff(&before);
+        }
         stats
+    }
+
+    /// Steps the network until `packets` have terminated (delivered or,
+    /// under fault injection, dropped at ejection), returning the
+    /// delivered `(destination, latency_cycles)` pairs in completion
+    /// order.
+    ///
+    /// This is the bounded replacement for the "step a magic number of
+    /// cycles and panic" idiom: when `max_cycles` elapse first, the run
+    /// surfaces a typed [`StalledError`] carrying the partial deliveries
+    /// and the set of packets still in the network instead of aborting
+    /// the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StalledError`] when the cycle budget is exhausted before
+    /// `packets` packets terminate.
+    pub fn run_until_delivered(
+        &mut self,
+        packets: usize,
+        max_cycles: u64,
+    ) -> Result<Vec<(Coord, u64)>, StalledError> {
+        let dropped_before = self.dropped;
+        let mut delivered = Vec::new();
+        for _ in 0..max_cycles {
+            delivered.extend(self.step());
+            let terminated = delivered.len() as u64 + (self.dropped - dropped_before);
+            if terminated >= packets as u64 {
+                return Ok(delivered);
+            }
+        }
+        Err(StalledError {
+            cycles: max_cycles,
+            dropped: self.dropped - dropped_before,
+            in_flight: self.in_flight_packets(),
+            delivered,
+        })
     }
 
     fn inject_from(&mut self, gen: &mut TrafficGenerator) {
@@ -340,10 +513,7 @@ mod tests {
         let src = Coord::new(0, 0);
         let dst = Coord::new(3, 3);
         net.enqueue(Packet::unicast(PacketId(1), src, dst, 5, 0));
-        let mut done = Vec::new();
-        for _ in 0..100 {
-            done.extend(net.step());
-        }
+        let done = net.run_until_delivered(1, 100).expect("must arrive");
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].0, dst);
         // 6 hops (router + link each) serialising 5 flits: small but
@@ -357,10 +527,7 @@ mod tests {
         let mut net = Network::new(small_config());
         let at = Coord::new(1, 1);
         net.enqueue(Packet::unicast(PacketId(1), at, at, 1, 0));
-        let mut done = Vec::new();
-        for _ in 0..20 {
-            done.extend(net.step());
-        }
+        let done = net.run_until_delivered(1, 20).expect("must arrive");
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].0, at);
     }
@@ -436,11 +603,8 @@ mod tests {
             0,
         ));
         // One multicast = 3 branches.
-        let mut done = 0;
-        for _ in 0..200 {
-            done += net.step().len();
-        }
-        assert_eq!(done, 3);
+        let done = net.run_until_delivered(3, 200).expect("branches arrive");
+        assert_eq!(done.len(), 3);
         // Shared prefix (0,0)->(3,0) appears once in the tree but three
         // times in unicast clones: savings must be positive.
         assert!(net.multicast_saved_hops() > 0);
@@ -457,12 +621,7 @@ mod tests {
                 1,
                 0,
             ));
-            for _ in 0..200 {
-                if let Some(&(_, latency)) = net.step().first() {
-                    return latency;
-                }
-            }
-            panic!("packet never arrived");
+            net.run_until_delivered(1, 200).expect("must arrive")[0].1
         };
         let base = run(0);
         let deep = run(1);
@@ -482,6 +641,75 @@ mod tests {
             (stats.packets_received, stats.latency_sum)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stalled_run_reports_the_in_flight_set() {
+        let mut net = Network::new(small_config());
+        net.enqueue(Packet::unicast(
+            PacketId(1),
+            Coord::new(0, 0),
+            Coord::new(3, 3),
+            5,
+            0,
+        ));
+        let err = net
+            .run_until_delivered(1, 3)
+            .expect_err("3 cycles is too few");
+        assert_eq!(err.cycles, 3);
+        assert!(err.delivered.is_empty());
+        assert_eq!(err.dropped, 0);
+        assert_eq!(err.in_flight, vec![PacketId(1)]);
+        assert!(err.to_string().contains("stalled after 3 cycles"));
+        // The same network finishes the job given a real budget.
+        let done = net.run_until_delivered(1, 200).expect("must arrive");
+        assert_eq!(done.len(), 1);
+        assert!(net.in_flight_packets().is_empty());
+    }
+
+    #[test]
+    fn zero_ber_fault_model_is_transparent() {
+        let run = |config: NocConfig| {
+            let mut net = Network::new(config);
+            let stats = net.run_warmup_and_measure(Pattern::UniformRandom, 0.08, 200, 800);
+            (
+                stats.packets_received,
+                stats.latency_sum,
+                stats.latency_max,
+                stats.energy,
+            )
+        };
+        // Delivered packets, latencies and energy must be bit-identical
+        // with the fault model installed at BER 0.
+        assert_eq!(run(small_config()), run(small_config().with_ber(0.0)));
+    }
+
+    #[test]
+    fn faulty_links_retry_and_recover() {
+        let mut net = Network::new(small_config().with_ber(2e-3));
+        let stats = net.run_warmup_and_measure(Pattern::UniformRandom, 0.05, 300, 2000);
+        assert!(stats.faults.flits_corrupted > 0, "{:?}", stats.faults);
+        assert!(stats.energy.retry_hops > 0);
+        assert!(stats.energy.nacks >= stats.energy.retry_hops);
+        assert!(stats.packets_received > 50, "{stats}");
+        assert!(net.drain(20_000), "faulty network must still drain");
+        assert_eq!(net.routing_errors(), 0);
+    }
+
+    #[test]
+    fn exhausted_retries_drop_packets_at_ejection() {
+        // 2 % BER corrupts ~80 % of 80-bit words; with the default 4
+        // retries plenty of flits exhaust their budget.
+        let mut net = Network::new(small_config().with_ber(0.02));
+        let stats = net.run_warmup_and_measure(Pattern::UniformRandom, 0.03, 300, 2000);
+        assert!(stats.packets_dropped > 0, "{stats}");
+        assert!(stats.delivered_fraction() < 1.0);
+        assert!(stats.faults.retries_exhausted >= stats.packets_dropped);
+        assert_eq!(
+            net.packets_dropped(),
+            net.fault_tally().expect("faults enabled").packets_dropped
+        );
+        assert!(net.drain(50_000), "drops must not wedge the wormhole");
     }
 
     #[test]

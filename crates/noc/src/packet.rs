@@ -1,6 +1,33 @@
-//! Packets and flits.
+//! Packets and flits, with CRC-protected payloads.
 
 use crate::topology::Coord;
+
+/// CRC-16/CCITT-FALSE (polynomial 0x1021, init 0xFFFF) over the 64-bit
+/// flit payload, most-significant byte first — the check the link-level
+/// retransmission protocol uses to detect corrupted flits. CRC-16
+/// detects every 1- and 2-bit error and any burst up to 16 bits, so only
+/// improbable multi-bit patterns can slip through silently.
+pub fn crc16(payload: u64) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for byte in payload.to_be_bytes() {
+        crc ^= u16::from(byte) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// The deterministic payload word of flit `index` of packet `id` (a
+/// SplitMix-style mix, so every flit carries a distinct, reproducible
+/// bit pattern for the CRC to protect).
+pub fn flit_payload(id: PacketId, index: usize) -> u64 {
+    srlr_rng::stream_seed(id.0, index as u64)
+}
 
 /// Unique packet identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -106,11 +133,14 @@ impl Packet {
                 } else {
                     FlitKind::Body
                 };
+                let payload = flit_payload(self.id, i);
                 Flit {
                     packet: self.id,
                     kind,
                     dst,
                     inject_cycle: self.inject_cycle,
+                    payload,
+                    crc: crc16(payload),
                 }
             })
             .collect()
@@ -153,6 +183,18 @@ pub struct Flit {
     pub dst: Coord,
     /// Inject cycle of the owning packet (for latency accounting).
     pub inject_cycle: u64,
+    /// Payload word (the bits the fault model corrupts).
+    pub payload: u64,
+    /// CRC-16 of the payload, computed at packetisation.
+    pub crc: u16,
+}
+
+impl Flit {
+    /// `true` when the stored CRC matches the payload — the receiver-side
+    /// integrity check of the retransmission protocol.
+    pub fn crc_ok(&self) -> bool {
+        crc16(self.payload) == self.crc
+    }
 }
 
 #[cfg(test)]
@@ -214,5 +256,56 @@ mod tests {
     #[should_panic(expected = "at least one flit")]
     fn zero_length_packet_rejected() {
         let _ = pkt(0);
+    }
+
+    #[test]
+    fn crc16_reference_vector() {
+        // CRC-16/CCITT-FALSE of the ASCII bytes "123456789" is 0x29B1.
+        let word = u64::from_be_bytes(*b"12345678");
+        let mut crc = crc16(word);
+        // Extend by the final '9' byte manually to match the 9-byte vector.
+        crc ^= u16::from(b'9') << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+        assert_eq!(crc, 0x29B1);
+    }
+
+    #[test]
+    fn flits_carry_valid_crcs() {
+        for f in pkt(4).flits(Coord::new(3, 3)) {
+            assert!(f.crc_ok());
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_are_always_detected() {
+        let f = pkt(1).flits(Coord::new(3, 3))[0];
+        for bit in 0..64 {
+            let mut bad = f;
+            bad.payload ^= 1 << bit;
+            assert!(!bad.crc_ok(), "missed flip of payload bit {bit}");
+        }
+        for bit in 0..16 {
+            let mut bad = f;
+            bad.crc ^= 1 << bit;
+            assert!(!bad.crc_ok(), "missed flip of crc bit {bit}");
+        }
+    }
+
+    #[test]
+    fn payloads_differ_across_flits_and_packets() {
+        let a = flit_payload(PacketId(1), 0);
+        assert_ne!(a, flit_payload(PacketId(1), 1));
+        assert_ne!(a, flit_payload(PacketId(2), 0));
+        assert_eq!(
+            a,
+            flit_payload(PacketId(1), 0),
+            "payloads are deterministic"
+        );
     }
 }

@@ -51,6 +51,12 @@ pub struct EnergyCounters {
     pub allocations: u64,
     /// Router-cycles simulated (routers x cycles).
     pub router_cycles: u64,
+    /// Extra link traversals spent retransmitting corrupted flits (zero
+    /// without fault injection). Each costs a full hop.
+    pub retry_hops: u64,
+    /// Single-bit NACK pulses sent back over the reverse wire (zero
+    /// without fault injection).
+    pub nacks: u64,
 }
 
 impl EnergyCounters {
@@ -62,6 +68,27 @@ impl EnergyCounters {
         self.local_hops += other.local_hops;
         self.allocations += other.allocations;
         self.router_cycles += other.router_cycles;
+        self.retry_hops += other.retry_hops;
+        self.nacks += other.nacks;
+    }
+
+    /// The counter delta `self - earlier` (for measurement windows).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any counter went backwards.
+    #[must_use]
+    pub fn delta(&self, earlier: &EnergyCounters) -> EnergyCounters {
+        EnergyCounters {
+            buffer_writes: self.buffer_writes - earlier.buffer_writes,
+            buffer_reads: self.buffer_reads - earlier.buffer_reads,
+            link_hops: self.link_hops - earlier.link_hops,
+            local_hops: self.local_hops - earlier.local_hops,
+            allocations: self.allocations - earlier.allocations,
+            router_cycles: self.router_cycles - earlier.router_cycles,
+            retry_hops: self.retry_hops - earlier.retry_hops,
+            nacks: self.nacks - earlier.nacks,
+        }
     }
 }
 
@@ -141,14 +168,22 @@ impl PowerModel {
         self.hop_energy() * 0.4
     }
 
-    /// Total energy of a counter set (dynamic only).
+    /// Energy of one NACK pulse: a single bit back over the link wire
+    /// (the reverse wire reuses the SRLR repeater chain).
+    pub fn nack_energy(&self) -> Energy {
+        self.hop_energy() * (1.0 / self.flit_bits as f64)
+    }
+
+    /// Total energy of a counter set (dynamic only). Retransmissions pay
+    /// a full extra hop per retry plus a one-bit NACK per detection.
     pub fn dynamic_energy(&self, c: &EnergyCounters) -> Energy {
         let bits = self.flit_bits as f64;
         let buffers = self.buffer_write_per_bit * (c.buffer_writes as f64 * bits)
             + self.buffer_read_per_bit * (c.buffer_reads as f64 * bits);
         let control = self.control_per_allocation * c.allocations as f64;
-        let datapath =
-            self.hop_energy() * c.link_hops as f64 + self.local_hop_energy() * c.local_hops as f64;
+        let datapath = self.hop_energy() * (c.link_hops + c.retry_hops) as f64
+            + self.local_hop_energy() * c.local_hops as f64
+            + self.nack_energy() * c.nacks as f64;
         buffers + control + datapath
     }
 
@@ -173,9 +208,9 @@ impl PowerModel {
             + self.buffer_read_per_bit * (c.buffer_reads as f64 * bits));
         let control_dyn = per(self.control_per_allocation * c.allocations as f64);
         let control = control_dyn + self.control_static_per_router * routers as f64;
-        let datapath =
-            per(self.hop_energy() * c.link_hops as f64
-                + self.local_hop_energy() * c.local_hops as f64);
+        let datapath = per(self.hop_energy() * (c.link_hops + c.retry_hops) as f64
+            + self.local_hop_energy() * c.local_hops as f64
+            + self.nack_energy() * c.nacks as f64);
         let bias = self.bias_per_router * routers as f64;
         RouterPowerReport {
             buffers,
@@ -204,6 +239,8 @@ impl PowerModel {
             // RC + VA per head, SA per flit.
             allocations: 2 * heads + total_flits,
             router_cycles: cycles,
+            retry_hops: 0,
+            nacks: 0,
         };
         self.report(&c, cycles, clock, 1)
     }
@@ -349,12 +386,35 @@ mod tests {
             local_hops: 100,
             allocations: 1200,
             router_cycles: 10_000,
+            retry_hops: 50,
+            nacks: 50,
         };
         let mut double = base;
         double.merge(&base);
         let e1 = m.dynamic_energy(&base);
         let e2 = m.dynamic_energy(&double);
         assert!((e2.joules() / e1.joules() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retries_cost_full_hops_and_nacks_cost_one_bit() {
+        let m = model();
+        let clean = EnergyCounters {
+            link_hops: 1000,
+            ..EnergyCounters::default()
+        };
+        let retried = EnergyCounters {
+            retry_hops: 100,
+            nacks: 100,
+            ..clean
+        };
+        let extra = retried.delta(&clean);
+        assert_eq!(extra.retry_hops, 100);
+        let de = m.dynamic_energy(&retried) - m.dynamic_energy(&clean);
+        let expect = m.hop_energy() * 100.0 + m.nack_energy() * 100.0;
+        assert!((de.joules() / expect.joules() - 1.0).abs() < 1e-9);
+        // A NACK is a single-bit reverse pulse: 1/64th of a 64-bit hop.
+        assert!((m.nack_energy().joules() * 64.0 / m.hop_energy().joules() - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub struct NocConfig {
     pub routing: crate::routing::RoutingAlgorithm,
     /// Traffic RNG seed.
     pub seed: u64,
+    /// Link fault injection and retransmission; `None` simulates ideal
+    /// error-free links (and costs nothing).
+    pub fault: Option<crate::fault::FaultConfig>,
 }
 
 impl NocConfig {
@@ -57,6 +60,7 @@ impl NocConfig {
             extra_pipeline: 0,
             routing: crate::routing::RoutingAlgorithm::Xy,
             seed: 42,
+            fault: None,
         }
     }
 
@@ -113,6 +117,25 @@ impl NocConfig {
         self
     }
 
+    /// Returns a copy with the given link fault model.
+    #[must_use]
+    pub fn with_faults(mut self, fault: crate::fault::FaultConfig) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Returns a copy whose links flip bits at `ber` under the default
+    /// retransmission protocol (shorthand for
+    /// `with_faults(FaultConfig::new(ber))`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ber` is outside `[0, 1)`.
+    #[must_use]
+    pub fn with_ber(self, ber: f64) -> Self {
+        self.with_faults(crate::fault::FaultConfig::new(ber))
+    }
+
     /// The mesh described by this configuration.
     pub fn mesh(&self) -> Mesh {
         Mesh::new(self.cols, self.rows)
@@ -128,6 +151,9 @@ impl NocConfig {
         assert!(self.buffer_depth > 0, "need at least one buffer slot");
         assert!(self.flit_bits > 0, "flit width must be non-zero");
         assert!(self.packet_len > 0, "packets need at least one flit");
+        if let Some(fault) = &self.fault {
+            fault.validate();
+        }
     }
 }
 
@@ -222,6 +248,15 @@ impl Router {
     /// Total buffered flits across all inputs (diagnostics).
     pub fn occupancy(&self) -> usize {
         self.inputs.iter().flatten().map(|v| v.buffer.len()).sum()
+    }
+
+    /// The packets with at least one flit buffered in this router (with
+    /// repetitions; used to report the in-flight set of a stalled run).
+    pub fn buffered_packets(&self) -> impl Iterator<Item = crate::packet::PacketId> + '_ {
+        self.inputs
+            .iter()
+            .flatten()
+            .flat_map(|v| v.buffer.iter().map(|f| f.packet))
     }
 
     /// Accepts a flit into an input VC buffer.

@@ -1,6 +1,111 @@
 //! Latency and throughput statistics.
 
+use crate::fault::FaultTally;
 use crate::power::EnergyCounters;
+
+/// A fixed-bin counting histogram with an explicit overflow bucket.
+///
+/// Bin `i` counts samples of value `i` (1-cycle bins). Samples beyond the
+/// last bin are **not** folded into it — they land in a separate overflow
+/// counter so percentile queries can report honestly instead of silently
+/// clamping long-tail samples to the top bin.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// An empty histogram with `bins` one-unit bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero.
+    pub fn new(bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        Self {
+            bins: vec![0; bins],
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Number of bins (excluding the overflow bucket).
+    pub fn bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// The per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Samples recorded beyond the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded (including overflowed ones).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        match self.bins.get_mut(value as usize) {
+            Some(bin) => *bin += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// The p-th percentile (0 < p <= 100), or `None` when the histogram
+    /// is empty or the requested percentile lands in the overflow bucket
+    /// (i.e. the true value is beyond the binned range and cannot be
+    /// reported exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        if self.count == 0 {
+            return None;
+        }
+        let target = (self.count as f64 * p / 100.0).ceil() as u64;
+        let mut seen = 0;
+        for (bin, &count) in self.bins.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return Some(bin as u64);
+            }
+        }
+        // The percentile falls among the overflowed samples.
+        None
+    }
+
+    /// Bin-wise difference `self - earlier` (for measurement windows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin counts differ or `earlier` is not a prefix of
+    /// `self` (a count would go negative).
+    #[must_use]
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        assert_eq!(self.bins.len(), earlier.bins.len(), "bin count mismatch");
+        Histogram {
+            bins: self
+                .bins
+                .iter()
+                .zip(&earlier.bins)
+                .map(|(&now, &then)| now.checked_sub(then).expect("histogram went backwards"))
+                .collect(),
+            overflow: self.overflow - earlier.overflow,
+            count: self.count - earlier.count,
+        }
+    }
+}
 
 /// Aggregate network statistics over a measurement window.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -9,29 +114,48 @@ pub struct NetworkStats {
     pub packets_injected: u64,
     /// Packets fully received (tail ejected) during the window.
     pub packets_received: u64,
+    /// Packets discarded at the ejection port because a flit exhausted
+    /// its link-level retries (zero without fault injection).
+    pub packets_dropped: u64,
     /// Flits ejected during the window.
     pub flits_received: u64,
     /// Sum of packet latencies (inject → tail eject), cycles.
     pub latency_sum: u64,
     /// Worst packet latency seen.
     pub latency_max: u64,
-    /// Latency histogram (1-cycle bins, saturating at the last bin).
-    pub latency_histogram: Vec<u64>,
+    /// Latency histogram (1-cycle bins, with explicit overflow).
+    pub latency_histogram: Histogram,
     /// Measurement window length in cycles.
     pub cycles: u64,
     /// Number of nodes.
     pub nodes: usize,
     /// Energy event counters over the window.
     pub energy: EnergyCounters,
+    /// Fault-injection events over the window (all zero when the fault
+    /// model is disabled).
+    pub faults: FaultTally,
 }
 
 impl NetworkStats {
+    /// Default latency histogram bin count.
+    pub const DEFAULT_LATENCY_BINS: usize = 512;
+
     /// Creates an empty record for a window.
     pub fn new(cycles: u64, nodes: usize) -> Self {
+        Self::with_latency_bins(cycles, nodes, Self::DEFAULT_LATENCY_BINS)
+    }
+
+    /// Creates an empty record with a custom latency histogram bin count
+    /// (long-latency studies want more than the default 512 bins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero.
+    pub fn with_latency_bins(cycles: u64, nodes: usize, bins: usize) -> Self {
         Self {
             cycles,
             nodes,
-            latency_histogram: vec![0; 512],
+            latency_histogram: Histogram::new(bins),
             ..Self::default()
         }
     }
@@ -41,8 +165,7 @@ impl NetworkStats {
         self.packets_received += 1;
         self.latency_sum += latency_cycles;
         self.latency_max = self.latency_max.max(latency_cycles);
-        let bin = (latency_cycles as usize).min(self.latency_histogram.len() - 1);
-        self.latency_histogram[bin] += 1;
+        self.latency_histogram.record(latency_cycles);
     }
 
     /// Average packet latency in cycles.
@@ -55,23 +178,27 @@ impl NetworkStats {
         self.latency_sum as f64 / self.packets_received as f64
     }
 
-    /// The p-th latency percentile (0 < p <= 100) from the histogram.
+    /// The p-th latency percentile (0 < p <= 100) from the histogram, or
+    /// `None` when no packets were received or the percentile falls among
+    /// samples beyond the histogram range (use
+    /// [`Self::with_latency_bins`] to widen it).
     ///
     /// # Panics
     ///
-    /// Panics if no packets were received or `p` is out of range.
-    pub fn latency_percentile(&self, p: f64) -> u64 {
-        assert!(self.packets_received > 0, "no packets received");
-        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
-        let target = (self.packets_received as f64 * p / 100.0).ceil() as u64;
-        let mut seen = 0;
-        for (bin, &count) in self.latency_histogram.iter().enumerate() {
-            seen += count;
-            if seen >= target {
-                return bin as u64;
-            }
+    /// Panics if `p` is outside `(0, 100]`.
+    pub fn latency_percentile(&self, p: f64) -> Option<u64> {
+        self.latency_histogram.percentile(p)
+    }
+
+    /// Fraction of terminated packets (received + dropped) that were
+    /// actually delivered; `1.0` for an empty window.
+    pub fn delivered_fraction(&self) -> f64 {
+        let terminated = self.packets_received + self.packets_dropped;
+        if terminated == 0 {
+            1.0
+        } else {
+            self.packets_received as f64 / terminated as f64
         }
-        self.latency_max
     }
 
     /// Accepted throughput in flits per node per cycle.
@@ -96,15 +223,28 @@ impl core::fmt::Display for NetworkStats {
         if self.packets_received == 0 {
             return write!(f, "no packets received over {} cycles", self.cycles);
         }
+        let p99 = match self.latency_percentile(99.0) {
+            Some(v) => v.to_string(),
+            None => format!(">{}", self.latency_histogram.bins()),
+        };
         write!(
             f,
             "{} pkts, avg latency {:.1} cyc (p99 {}, max {}), {:.4} flits/node/cyc",
             self.packets_received,
             self.avg_latency_cycles(),
-            self.latency_percentile(99.0),
+            p99,
             self.latency_max,
             self.throughput_flits_per_node_cycle(),
-        )
+        )?;
+        if self.packets_dropped > 0 {
+            write!(
+                f,
+                ", {} dropped ({:.2} % delivered)",
+                self.packets_dropped,
+                self.delivered_fraction() * 100.0
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -132,16 +272,63 @@ mod tests {
     fn percentiles_from_histogram() {
         let lat: Vec<u64> = (1..=100).collect();
         let s = stats_with(&lat);
-        assert_eq!(s.latency_percentile(50.0), 50);
-        assert_eq!(s.latency_percentile(99.0), 99);
-        assert_eq!(s.latency_percentile(100.0), 100);
+        assert_eq!(s.latency_percentile(50.0), Some(50));
+        assert_eq!(s.latency_percentile(99.0), Some(99));
+        assert_eq!(s.latency_percentile(100.0), Some(100));
     }
 
     #[test]
-    fn histogram_saturates_at_last_bin() {
+    fn overflow_is_counted_not_clamped() {
         let s = stats_with(&[10_000]);
-        assert_eq!(*s.latency_histogram.last().unwrap(), 1);
-        assert_eq!(s.latency_percentile(100.0), 511);
+        assert_eq!(s.latency_histogram.overflow(), 1);
+        assert_eq!(
+            s.latency_histogram.counts().iter().sum::<u64>(),
+            0,
+            "overflow samples must not corrupt the top bin"
+        );
+        // The only sample lies beyond the bins: every percentile is
+        // unreportable, not silently 511.
+        assert_eq!(s.latency_percentile(50.0), None);
+        assert_eq!(s.latency_percentile(100.0), None);
+        assert_eq!(s.latency_max, 10_000);
+    }
+
+    #[test]
+    fn percentile_below_overflow_still_reports() {
+        let mut s = stats_with(&[5; 99]);
+        s.record_packet(100_000);
+        assert_eq!(s.latency_percentile(50.0), Some(5));
+        assert_eq!(s.latency_percentile(99.0), Some(5));
+        assert_eq!(s.latency_percentile(100.0), None, "p100 is overflowed");
+    }
+
+    #[test]
+    fn configurable_bins_extend_the_range() {
+        let mut s = NetworkStats::with_latency_bins(1000, 16, 20_000);
+        s.record_packet(10_000);
+        assert_eq!(s.latency_percentile(100.0), Some(10_000));
+        assert_eq!(s.latency_histogram.overflow(), 0);
+    }
+
+    #[test]
+    fn histogram_diff_subtracts_binwise() {
+        let mut h = Histogram::new(8);
+        h.record(1);
+        h.record(100);
+        let before = h.clone();
+        h.record(1);
+        h.record(3);
+        h.record(200);
+        let d = h.diff(&before);
+        assert_eq!(d.counts()[1], 1);
+        assert_eq!(d.counts()[3], 1);
+        assert_eq!(d.overflow(), 1);
+        assert_eq!(d.count(), 3);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentile() {
+        assert_eq!(Histogram::new(4).percentile(50.0), None);
     }
 
     #[test]
@@ -154,9 +341,24 @@ mod tests {
     }
 
     #[test]
+    fn delivered_fraction_accounts_for_drops() {
+        let mut s = stats_with(&[10; 9]);
+        assert!((s.delivered_fraction() - 1.0).abs() < 1e-12);
+        s.packets_dropped = 1;
+        assert!((s.delivered_fraction() - 0.9).abs() < 1e-12);
+        assert_eq!(NetworkStats::new(10, 4).delivered_fraction(), 1.0);
+    }
+
+    #[test]
     #[should_panic(expected = "no packets received")]
     fn empty_average_panics() {
         let _ = NetworkStats::new(10, 4).avg_latency_cycles();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = Histogram::new(0);
     }
 
     #[test]
@@ -165,5 +367,8 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("avg latency"));
         assert!(NetworkStats::new(10, 4).to_string().contains("no packets"));
+        let mut dropped = stats_with(&[10, 20]);
+        dropped.packets_dropped = 2;
+        assert!(dropped.to_string().contains("dropped"));
     }
 }

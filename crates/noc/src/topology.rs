@@ -67,19 +67,30 @@ impl Direction {
     }
 
     /// The direction a flit leaving through `self` arrives *from* at the
-    /// neighbouring router.
-    ///
-    /// # Panics
-    ///
-    /// Panics for `Local` (a local port has no opposite).
-    pub fn opposite(self) -> Direction {
+    /// neighbouring router, or `None` for `Local` (the local port has no
+    /// opposite). Returning `None` instead of panicking keeps a bad route
+    /// an error value rather than an abort in a million-packet run.
+    pub fn opposite(self) -> Option<Direction> {
         match self {
-            Direction::North => Direction::South,
-            Direction::South => Direction::North,
-            Direction::East => Direction::West,
-            Direction::West => Direction::East,
-            Direction::Local => panic!("the local port has no opposite"),
+            Direction::North => Some(Direction::South),
+            Direction::South => Some(Direction::North),
+            Direction::East => Some(Direction::West),
+            Direction::West => Some(Direction::East),
+            Direction::Local => None,
         }
+    }
+
+    /// The four mesh (non-local) directions.
+    pub const MESH: [Direction; 4] = [
+        Direction::North,
+        Direction::South,
+        Direction::East,
+        Direction::West,
+    ];
+
+    /// `true` for the four inter-router ports, `false` for `Local`.
+    pub fn is_mesh(self) -> bool {
+        !matches!(self, Direction::Local)
     }
 }
 
@@ -163,13 +174,11 @@ impl Mesh {
         c.x < self.cols && c.y < self.rows
     }
 
-    /// The neighbouring coordinate in a direction, if it exists.
-    ///
-    /// # Panics
-    ///
-    /// Panics if asked for the `Local` neighbour.
+    /// The neighbouring coordinate in a direction, if it exists. `Local`
+    /// has no neighbour (the port loops back into the attached core), so
+    /// it yields `None` like an off-mesh edge does.
     pub fn neighbor(self, c: Coord, dir: Direction) -> Option<Coord> {
-        let n = match dir {
+        match dir {
             Direction::North => {
                 if c.y + 1 < self.rows {
                     Some(Coord::new(c.x, c.y + 1))
@@ -186,9 +195,8 @@ impl Mesh {
                 }
             }
             Direction::West => c.x.checked_sub(1).map(|x| Coord::new(x, c.y)),
-            Direction::Local => panic!("local is not a mesh direction"),
-        };
-        n
+            Direction::Local => None,
+        }
     }
 
     /// Dimension-ordered (X-then-Y) routing: the output port at `here`
@@ -301,22 +309,20 @@ mod tests {
 
     #[test]
     fn opposite_ports_pair_up() {
-        assert_eq!(Direction::North.opposite(), Direction::South);
-        assert_eq!(Direction::East.opposite(), Direction::West);
-        for d in [
-            Direction::North,
-            Direction::South,
-            Direction::East,
-            Direction::West,
-        ] {
-            assert_eq!(d.opposite().opposite(), d);
+        assert_eq!(Direction::North.opposite(), Some(Direction::South));
+        assert_eq!(Direction::East.opposite(), Some(Direction::West));
+        for d in Direction::MESH {
+            assert!(d.is_mesh());
+            assert_eq!(d.opposite().and_then(Direction::opposite), Some(d));
         }
     }
 
     #[test]
-    #[should_panic(expected = "no opposite")]
-    fn local_has_no_opposite() {
-        let _ = Direction::Local.opposite();
+    fn local_has_no_opposite_or_neighbor() {
+        assert_eq!(Direction::Local.opposite(), None);
+        assert!(!Direction::Local.is_mesh());
+        let m = Mesh::new(4, 4);
+        assert_eq!(m.neighbor(Coord::new(1, 1), Direction::Local), None);
     }
 
     #[test]

@@ -5,10 +5,11 @@
 //! case is a pure function of the fixed seed, so failures reproduce
 //! exactly without a shrinker or a regression file.
 
-use srlr_link::Prbs;
+use srlr_link::{LinkErrorModel, Prbs};
 use srlr_repro::circuit::Waveform;
 use srlr_repro::core::{PulseState, SrlrDesign};
 use srlr_repro::noc::{Coord, Mesh};
+use srlr_repro::tech::montecarlo::ErrorProbability;
 use srlr_repro::tech::{GlobalVariation, MonteCarlo, Technology, WireGeometry};
 use srlr_repro::units::{Length, TimeInterval, Voltage};
 use srlr_rng::Xoshiro256pp;
@@ -236,5 +237,83 @@ fn nominal_link_is_transparent() {
         let out = link.transmit(&bits);
         assert_eq!(out.received, bits);
         assert!(link.transmits_cleanly(&bits));
+    }
+}
+
+/// The Wilson-score 95 % upper bound is a genuine bound: it dominates
+/// the point estimate, stays in `[0, 1]`, and is strictly positive even
+/// after an error-free run, for any failure count and trial count.
+#[test]
+fn wilson_upper_bound_dominates_the_estimate() {
+    let mut rng = Xoshiro256pp::new(0xA00B);
+    for _ in 0..CASES {
+        let trials = 1 + rng.index(1_000_000);
+        let failures = rng.index(trials + 1);
+        let p = ErrorProbability { failures, trials };
+        let bound = p.upper_bound_95();
+        assert!(
+            bound >= p.estimate(),
+            "bound {bound} < estimate {} at {failures}/{trials}",
+            p.estimate()
+        );
+        assert!((0.0..=1.0).contains(&bound), "{failures}/{trials}: {bound}");
+        if failures == 0 {
+            assert!(bound > 0.0, "zero failures in {trials} proves nothing");
+        }
+    }
+}
+
+/// With zero failures the bound shrinks monotonically as evidence
+/// accumulates, covering the extreme edges: a single trial is nearly
+/// uninformative, a huge run pins the bound near zero.
+#[test]
+fn wilson_zero_failure_bound_tightens_with_trials() {
+    let one = ErrorProbability {
+        failures: 0,
+        trials: 1,
+    }
+    .upper_bound_95();
+    assert!(one > 0.5, "one clean trial bounds almost nothing: {one}");
+    let mut prev = one;
+    for exp in 1..=9 {
+        let trials = 10usize.pow(exp);
+        let bound = ErrorProbability {
+            failures: 0,
+            trials,
+        }
+        .upper_bound_95();
+        assert!(
+            bound < prev,
+            "bound must tighten: {bound} at n={trials} vs {prev}"
+        );
+        prev = bound;
+    }
+    assert!(prev < 1e-8, "1e9 clean trials must pin the bound: {prev}");
+    // All-failures saturates exactly at the clamp.
+    let all = ErrorProbability {
+        failures: 50,
+        trials: 50,
+    }
+    .upper_bound_95();
+    assert!((all - 1.0).abs() < 1e-12, "{all}");
+}
+
+/// [`LinkErrorModel`] inherits the Wilson guarantees: the effective BER
+/// fed to the fault injector never under-reports the point estimate.
+#[test]
+fn link_error_model_effective_ber_is_conservative() {
+    let mut rng = Xoshiro256pp::new(0xA00C);
+    for _ in 0..CASES {
+        let bits = 1 + rng.index(100_000);
+        let errors = rng.index(bits + 1);
+        let m = LinkErrorModel { bits, errors };
+        assert!(m.ber_upper_bound() >= m.ber(), "{errors}/{bits}");
+        assert!(m.effective_ber() >= m.ber(), "{errors}/{bits}");
+        assert_eq!(m.is_bounded(), errors == 0);
+        if errors > 0 {
+            assert_eq!(m.effective_ber(), m.ber());
+        } else {
+            assert_eq!(m.effective_ber(), m.ber_upper_bound());
+        }
     }
 }
