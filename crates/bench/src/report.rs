@@ -8,6 +8,7 @@ pub fn section(title: &str) {
 
 /// Prints a `paper vs measured` line with the relative deviation.
 pub fn paper_vs_measured(label: &str, unit: &str, paper: f64, measured: f64) {
+    // srlr-lint: allow(float-eq, reason = "exact-zero sentinel guard against division by zero, not a tolerance comparison")
     let dev = if paper != 0.0 {
         format!("{:+.1} %", (measured / paper - 1.0) * 100.0)
     } else {

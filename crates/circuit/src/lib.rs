@@ -47,12 +47,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Prebuilt cells: inverters, SRLR stages and keeper structures.
 pub mod cells;
+/// RC ladder models of distributed on-chip wires.
 pub mod ladder;
+/// Netlist construction: nodes, passives, MOSFETs and forced sources.
 pub mod netlist;
+/// The adaptive explicit transient integrator.
 pub mod sim;
+/// Time-domain source waveform descriptions.
 pub mod stimulus;
+/// VCD dumping of simulated waveforms.
 pub mod vcd;
+/// Sampled waveforms and edge/level measurements.
 pub mod waveform;
 
 pub use ladder::LadderSpec;

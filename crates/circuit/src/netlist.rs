@@ -3,7 +3,7 @@
 use crate::stimulus::Stimulus;
 use srlr_tech::{Device, MosKind};
 use srlr_units::{Capacitance, Resistance, Voltage};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifier of a circuit node.
 ///
@@ -61,7 +61,7 @@ pub(crate) struct ForcedNode {
 #[derive(Debug, Clone, Default)]
 pub struct Netlist {
     names: Vec<String>,
-    by_name: HashMap<String, NodeId>,
+    by_name: BTreeMap<String, NodeId>,
     /// Lumped capacitance to ground per node (farads).
     pub(crate) node_capacitance: Vec<f64>,
     pub(crate) elements: Vec<Element>,
@@ -73,7 +73,7 @@ impl Netlist {
     pub fn new() -> Self {
         let mut n = Self {
             names: Vec::new(),
-            by_name: HashMap::new(),
+            by_name: BTreeMap::new(),
             node_capacitance: Vec::new(),
             elements: Vec::new(),
             forced: Vec::new(),
@@ -233,7 +233,7 @@ impl Netlist {
                 }
                 Element::Mosfet { .. } => None,
             })
-            .min_by(|x, y| x.partial_cmp(y).expect("tau is finite"))
+            .min_by(|x, y| x.total_cmp(y))
     }
 }
 
@@ -325,6 +325,30 @@ mod tests {
         let tau = net.min_resistive_tau().expect("has a resistor");
         // ~1 fF * 1 kOhm = 1 ps (plus the tiny parasitic floor).
         assert!((tau - 1.01e-12).abs() < 0.05e-12, "tau = {tau}");
+    }
+
+    #[test]
+    fn elaboration_node_order_is_reproducible() {
+        // Regression guard for the HashMap -> BTreeMap switch: building
+        // the same circuit twice must yield identical NodeId assignments
+        // and identical name tables, independent of any per-process map
+        // randomization.
+        fn build() -> Netlist {
+            let mut net = Netlist::new();
+            for name in ["vdd", "in", "out", "mid", "sense"] {
+                net.node(name);
+            }
+            let a = net.anon_node();
+            let b = net.anon_node();
+            net.add_resistor(a, b, Resistance::from_kilohms(2.0));
+            net
+        }
+        let first = build();
+        let second = build();
+        assert_eq!(first.names, second.names);
+        for name in ["vdd", "in", "out", "mid", "sense", "_anon6"] {
+            assert_eq!(first.find_node(name), second.find_node(name), "{name}");
+        }
     }
 
     #[test]

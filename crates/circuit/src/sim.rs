@@ -3,7 +3,7 @@
 use crate::netlist::{Element, Netlist, NodeId};
 use srlr_tech::MosKind;
 use srlr_units::{Energy, TimeInterval, Voltage};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Transient simulation engine over a [`Netlist`].
 ///
@@ -70,7 +70,7 @@ impl Transient {
     ///
     /// Panics if `duration` is not strictly positive.
     pub fn run(&self, duration: TimeInterval) -> TransientResult {
-        self.run_from(duration, &HashMap::new())
+        self.run_from(duration, &BTreeMap::new())
     }
 
     /// Runs the transient with explicit initial conditions for some nodes
@@ -83,7 +83,7 @@ impl Transient {
     pub fn run_from(
         &self,
         duration: TimeInterval,
-        initial: &HashMap<NodeId, Voltage>,
+        initial: &BTreeMap<NodeId, Voltage>,
     ) -> TransientResult {
         let t_end = duration.seconds();
         assert!(t_end > 0.0, "simulation duration must be positive");
@@ -349,7 +349,7 @@ mod tests {
         let dev = Device::new(MosKind::Nmos, MosfetModel::nmos_soi45(), 0.5e-6, 45e-9);
         net.add_mosfet(dev, cap, gate, NodeId::GROUND);
 
-        let mut init = HashMap::new();
+        let mut init = BTreeMap::new();
         init.insert(cap, Voltage::from_volts(0.8));
         let result = Transient::new(&net).run_from(TimeInterval::from_nanoseconds(1.0), &init);
         let w = result.waveform(cap);
@@ -486,7 +486,7 @@ mod tests {
         net.add_capacitance(a, Capacitance::from_femtofarads(100.0));
         net.add_capacitance(b, Capacitance::from_femtofarads(300.0));
         net.add_resistor(a, b, Resistance::from_kilohms(1.0));
-        let mut init = HashMap::new();
+        let mut init = BTreeMap::new();
         init.insert(a, Voltage::from_volts(0.8));
         let r = Transient::new(&net).run_from(TimeInterval::from_nanoseconds(5.0), &init);
         let va = r.waveform(a).last_value().volts();

@@ -113,6 +113,7 @@ impl Waveform {
     ///
     /// Panics on an empty waveform.
     pub fn last_value(&self) -> Voltage {
+        // srlr-lint: allow(no-panic, reason = "documented panic: API contract requires a non-empty waveform, see # Panics")
         let &(_, v) = self.samples.last().expect("waveform has no samples");
         Voltage::from_volts(v)
     }
@@ -254,7 +255,7 @@ impl Waveform {
                 format!("{:>11} |", "")
             };
             out.push_str(&label);
-            out.push_str(core::str::from_utf8(row).expect("ascii"));
+            out.push_str(&String::from_utf8_lossy(row));
             out.push('\n');
         }
         out

@@ -1,12 +1,12 @@
 //! Minimal flag parsing (`--name value` pairs) without external crates.
 
 use crate::CliError;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Parsed `--flag value` pairs.
 #[derive(Debug, Clone, Default)]
 pub struct Flags {
-    values: HashMap<String, String>,
+    values: BTreeMap<String, String>,
 }
 
 impl Flags {
@@ -18,7 +18,7 @@ impl Flags {
     /// Returns a usage error for unknown flags, missing values or stray
     /// positional arguments.
     pub fn parse(rest: &[String], allowed: &[&str]) -> Result<Self, CliError> {
-        let mut values = HashMap::new();
+        let mut values = BTreeMap::new();
         let mut it = rest.iter();
         while let Some(flag) = it.next() {
             let Some(name) = flag.strip_prefix("--") else {

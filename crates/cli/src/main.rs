@@ -1,5 +1,10 @@
 //! The `srlr` binary: see [`srlr_cli`] for the command set.
+//!
+//! Exit codes follow the usual shell convention: `0` on success, `1`
+//! when an experiment fails to run, and `2` for usage errors (unknown
+//! commands, malformed flags) so scripts can tell the two apart.
 
+use srlr_cli::CliError;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -11,7 +16,10 @@ fn main() -> ExitCode {
         }
         Err(err) => {
             eprintln!("srlr: {err}");
-            ExitCode::FAILURE
+            match err {
+                CliError::Usage(_) => ExitCode::from(2),
+                CliError::Experiment(_) => ExitCode::FAILURE,
+            }
         }
     }
 }

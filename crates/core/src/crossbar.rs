@@ -102,21 +102,24 @@ impl SrlrCrossbar {
         if !self.is_enabled(input, output) {
             return (PulseState::dead(), Energy::zero());
         }
-        let chain = self.crosspoints[input * PORTS + output]
-            .as_ref()
-            .expect("off-diagonal crosspoint exists");
+        // Off-diagonal crosspoints are always populated by `new`; treat a
+        // missing one as a disabled route rather than panicking.
+        let Some(chain) = self.crosspoints[input * PORTS + output].as_ref() else {
+            return (PulseState::dead(), Energy::zero());
+        };
         let outcome = chain.stages()[0].process(pulse);
         (outcome.output, outcome.energy)
     }
 
     /// A healthy input pulse for this crossbar's design point.
     pub fn nominal_input_pulse(&self) -> PulseState {
+        // A crossbar always has off-diagonal crosspoints; a (theoretical)
+        // empty one yields a dead pulse instead of panicking.
         self.crosspoints
             .iter()
             .flatten()
             .next()
-            .expect("crossbar has crosspoints")
-            .nominal_input_pulse()
+            .map_or_else(PulseState::dead, |chain| chain.nominal_input_pulse())
     }
 
     /// Total SRLRs of a full-width crossbar (`bits` lanes).

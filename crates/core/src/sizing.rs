@@ -116,12 +116,7 @@ impl<'a> SizingExplorer<'a> {
         self.sweep(m1_widths_m, m2_widths_m)
             .into_iter()
             .filter(SizingCandidate::is_viable)
-            .min_by(|a, b| {
-                a.energy
-                    .value()
-                    .partial_cmp(&b.energy.value())
-                    .expect("energy is finite")
-            })
+            .min_by(|a, b| a.energy.value().total_cmp(&b.energy.value()))
     }
 }
 

@@ -25,7 +25,7 @@ use crate::design::SrlrDesign;
 use srlr_circuit::{LadderSpec, Netlist, NodeId, Stimulus, Transient, Waveform};
 use srlr_tech::{Device, GlobalVariation, MosKind, Technology};
 use srlr_units::{Capacitance, TimeInterval, Voltage};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A single elaborated SRLR stage with its input stimulus port and output
 /// wire, ready for transient simulation.
@@ -42,7 +42,7 @@ pub struct SrlrTransientFixture {
     pub next_input: NodeId,
     /// Per-stage probe nodes `(x, out, delivered)` in chain order.
     pub stage_nodes: Vec<(NodeId, NodeId, NodeId)>,
-    initial: HashMap<NodeId, Voltage>,
+    initial: BTreeMap<NodeId, Voltage>,
 }
 
 /// Shared device context while elaborating stages.
@@ -138,7 +138,7 @@ impl SrlrTransientFixture {
             ),
         );
 
-        let mut initial = HashMap::new();
+        let mut initial = BTreeMap::new();
         let mut stage_nodes = Vec::with_capacity(stages);
         let mut stage_in = input;
         for k in 0..stages {
@@ -165,7 +165,7 @@ impl SrlrTransientFixture {
         ctx: &StageContext<'_>,
         input: NodeId,
         index: usize,
-        initial: &mut HashMap<NodeId, Voltage>,
+        initial: &mut BTreeMap<NodeId, Voltage>,
     ) -> (NodeId, NodeId, NodeId) {
         let (tech, design, var) = (ctx.tech, ctx.design, ctx.var);
         let l = tech.min_length_m;
@@ -202,6 +202,7 @@ impl SrlrTransientFixture {
         let load_ff = 5.5 * (delay_here / delay_nom);
         let mut chain_in = output;
         let mut rst = output;
+        let mut dly_nodes = Vec::with_capacity(inverters);
         for k in 0..inverters {
             let out_k = net.node(&format!("{pre}.dly{k}"));
             let p = Device::new(MosKind::Pmos, reg_p, 0.6e-6, l);
@@ -209,6 +210,7 @@ impl SrlrTransientFixture {
             net.add_mosfet(p, out_k, chain_in, ctx.vdd);
             net.add_mosfet(n, out_k, chain_in, NodeId::GROUND);
             net.add_capacitance(out_k, Capacitance::from_femtofarads(load_ff));
+            dly_nodes.push(out_k);
             chain_in = out_k;
             rst = out_k;
         }
@@ -244,10 +246,7 @@ impl SrlrTransientFixture {
         let standby = tech.vdd - Voltage::from_volts(lvt_n.vth0.volts());
         initial.insert(node_x, standby);
         initial.insert(outb, tech.vdd);
-        for k in 0..inverters {
-            let n = net
-                .find_node(&format!("{pre}.dly{k}"))
-                .expect("delay node exists");
+        for (k, &n) in dly_nodes.iter().enumerate() {
             if k % 2 == 0 {
                 initial.insert(n, tech.vdd);
             }
@@ -262,7 +261,7 @@ impl SrlrTransientFixture {
 
     /// The initial node voltages (standby levels) the simulation starts
     /// from.
-    pub fn initial_conditions(&self) -> &HashMap<NodeId, Voltage> {
+    pub fn initial_conditions(&self) -> &BTreeMap<NodeId, Voltage> {
         &self.initial
     }
 

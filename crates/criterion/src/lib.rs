@@ -92,8 +92,9 @@ fn report(id: &str, samples: &[Duration]) {
         println!("{id:<44} (no samples)");
         return;
     }
-    let min = samples.iter().min().expect("non-empty");
-    let max = samples.iter().max().expect("non-empty");
+    let (Some(min), Some(max)) = (samples.iter().min(), samples.iter().max()) else {
+        return; // unreachable: the empty case returned above
+    };
     let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
     println!(
         "{id:<44} time: [{} {} {}]",

@@ -126,12 +126,15 @@ impl SrlrLink {
     }
 
     /// Wraps an already-instantiated chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain has no stages ([`SrlrChain`] construction
+    /// guarantees at least one).
     pub fn from_chain(chain: SrlrChain, config: LinkConfig) -> Self {
-        let sense = chain
-            .stages()
-            .last()
-            .expect("chain is non-empty")
-            .sense_threshold;
+        let last = chain.stages().last();
+        // srlr-lint: allow(no-panic, reason = "documented panic: SrlrChain::instantiate asserts stages >= 1, see # Panics")
+        let sense = last.expect("chain is non-empty").sense_threshold;
         Self {
             chain,
             config,

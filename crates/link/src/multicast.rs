@@ -31,10 +31,7 @@ impl MulticastLink {
             assert!(w[1] > w[0], "taps must be strictly increasing");
         }
         let n = link.chain().len();
-        assert!(
-            *taps.last().expect("non-empty") < n,
-            "tap index out of range"
-        );
+        assert!(taps.iter().all(|&t| t < n), "tap index out of range");
         Self { link, taps }
     }
 
@@ -67,7 +64,10 @@ impl MulticastLink {
     /// Energy of delivering one pulse to *all* taps using the inherent
     /// multicast: one traversal to the furthest tap.
     pub fn multicast_pulse_energy(&self) -> Energy {
-        let furthest = *self.taps.last().expect("non-empty");
+        // `new` guarantees at least one tap; no taps cost no energy.
+        let Some(&furthest) = self.taps.last() else {
+            return Energy::zero();
+        };
         self.prefix_pulse_energy(furthest)
     }
 

@@ -1,0 +1,102 @@
+//! Diagnostics: what a rule violation looks like when reported.
+
+use crate::rules::RuleId;
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path of the offending file, relative to the workspace root, with
+    /// forward slashes (stable across platforms for baseline matching).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (characters).
+    pub col: u32,
+    /// The violated rule.
+    pub rule: RuleId,
+    /// Human-oriented explanation.
+    pub message: String,
+    /// The full source line, for rendering.
+    pub snippet: String,
+    /// Character length of the offending token (for the caret underline).
+    pub width: u32,
+}
+
+impl Diagnostic {
+    /// The key this diagnostic matches against baseline entries:
+    /// `rule path:line`.
+    pub fn baseline_key(&self) -> String {
+        format!("{} {}:{}", self.rule.name(), self.path, self.line)
+    }
+
+    /// Renders the diagnostic as a rustc-style block:
+    ///
+    /// ```text
+    /// crates/noc/src/network.rs:154:32: error[no-panic]: `.expect()` …
+    ///    154 |         self.traces.as_ref().expect("tracing not enabled")
+    ///        |                              ^^^^^^
+    /// ```
+    pub fn render(&self) -> String {
+        let severity = if self.rule.advisory() {
+            "warning"
+        } else {
+            "error"
+        };
+        let gutter = format!("{:>6}", self.line);
+        let caret_pad: String = self
+            .snippet
+            .chars()
+            .take(self.col.saturating_sub(1) as usize)
+            .map(|c| if c == '\t' { '\t' } else { ' ' })
+            .collect();
+        let carets = "^".repeat((self.width.max(1)) as usize);
+        format!(
+            "{}:{}:{}: {severity}[{}]: {}\n{gutter} | {}\n{} | {caret_pad}{carets}\n",
+            self.path,
+            self.line,
+            self.col,
+            self.rule.name(),
+            self.message,
+            self.snippet,
+            " ".repeat(gutter.len()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            path: "crates/x/src/lib.rs".into(),
+            line: 7,
+            col: 11,
+            rule: RuleId::NoPanic,
+            message: "`.unwrap()` in library code".into(),
+            snippet: "    let x = y.unwrap();".into(),
+            width: 6,
+        }
+    }
+
+    #[test]
+    fn baseline_key_is_rule_path_line() {
+        assert_eq!(diag().baseline_key(), "no-panic crates/x/src/lib.rs:7");
+    }
+
+    #[test]
+    fn render_contains_position_rule_and_caret() {
+        let r = diag().render();
+        assert!(r.contains("crates/x/src/lib.rs:7:11"));
+        assert!(r.contains("error[no-panic]"));
+        assert!(r.contains("^^^^^^"));
+        assert!(r.contains("let x = y.unwrap();"));
+    }
+
+    #[test]
+    fn advisory_rules_render_as_warnings() {
+        let mut d = diag();
+        d.rule = RuleId::Indexing;
+        assert!(d.render().contains("warning[indexing]"));
+    }
+}

@@ -1,0 +1,625 @@
+//! A small self-contained Rust lexer: just enough of the language to
+//! token-scan workspace sources reliably.
+//!
+//! The lexer understands everything that could make a naive text search
+//! lie about code: raw strings (`r#"…"#`, any number of hashes), byte and
+//! C strings, nested block comments (`/* /* */ */`), char literals versus
+//! lifetimes (`'a'` versus `'a`), doc comments, float literals (including
+//! exponents, `1.`-style trailing dots and suffixes) and multi-character
+//! operators. It does **not** build a syntax tree — the rule engine in
+//! [`crate::analyze`] works on the token stream directly.
+
+/// The shape of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (includes raw identifiers `r#foo`).
+    Ident,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Integer literal (any base, any non-float suffix).
+    Int,
+    /// Float literal (`1.5`, `1.`, `2e-3`, `1f64`, …).
+    Float,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// A char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Operator or other punctuation; multi-char operators (`==`, `::`,
+    /// `..=`, …) are single tokens.
+    Op,
+    /// `{`
+    OpenBrace,
+    /// `}`
+    CloseBrace,
+    /// `(`
+    OpenParen,
+    /// `)`
+    CloseParen,
+    /// `[`
+    OpenBracket,
+    /// `]`
+    CloseBracket,
+    /// `//` comment; `doc` marks `///` and `//!` forms.
+    LineComment {
+        /// True for `///` (but not `////`) and `//!`.
+        doc: bool,
+    },
+    /// `/* … */` comment (nesting handled); `doc` marks `/**` and `/*!`.
+    BlockComment {
+        /// True for `/**` (but not `/***` or the empty `/**/`) and `/*!`.
+        doc: bool,
+    },
+    /// A byte the lexer did not recognise (kept so positions stay exact).
+    Unknown,
+}
+
+impl TokenKind {
+    /// Comments of either form.
+    pub fn is_comment(self) -> bool {
+        matches!(
+            self,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+
+    /// Doc comments of either form.
+    pub fn is_doc_comment(self) -> bool {
+        matches!(
+            self,
+            TokenKind::LineComment { doc: true } | TokenKind::BlockComment { doc: true }
+        )
+    }
+}
+
+/// One lexed token with its source span and position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based source line of the first byte.
+    pub line: u32,
+    /// 1-based column (in characters) of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The source text of the token.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "=>", "->", "::", "..", "&&", "||", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        self.src.get(self.pos..).unwrap_or("")
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.rest().chars().nth(n)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_while(&mut self, pred: impl Fn(char) -> bool) {
+        while self.peek().is_some_and(&pred) {
+            self.bump();
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes a full source file into tokens (comments included).
+///
+/// Unterminated literals or comments consume the rest of the input rather
+/// than erroring: for a lint that must never abort a run, a best-effort
+/// token stream beats a hard failure on a file rustc would reject anyway.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (start, line, col) = (cur.pos, cur.line, cur.col);
+        let kind = lex_one(&mut cur, c);
+        let Some(kind) = kind else { continue };
+        out.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Lexes one token (or skips whitespace, returning `None`).
+fn lex_one(cur: &mut Cursor<'_>, c: char) -> Option<TokenKind> {
+    if c.is_whitespace() {
+        cur.bump_while(char::is_whitespace);
+        return None;
+    }
+    if cur.starts_with("//") {
+        return Some(lex_line_comment(cur));
+    }
+    if cur.starts_with("/*") {
+        return Some(lex_block_comment(cur));
+    }
+    // String-prefix forms must be checked before generic identifiers.
+    if let Some(kind) = lex_prefixed_literal(cur) {
+        return Some(kind);
+    }
+    if c == '"' {
+        lex_string(cur);
+        return Some(TokenKind::Str);
+    }
+    if c == '\'' {
+        return Some(lex_quote(cur));
+    }
+    if c.is_ascii_digit() {
+        return Some(lex_number(cur));
+    }
+    if is_ident_start(c) {
+        cur.bump_while(is_ident_continue);
+        return Some(TokenKind::Ident);
+    }
+    Some(lex_punct(cur, c))
+}
+
+fn lex_line_comment(cur: &mut Cursor<'_>) -> TokenKind {
+    let rest = cur.rest();
+    let doc = (rest.starts_with("///") && !rest.starts_with("////")) || rest.starts_with("//!");
+    cur.bump_while(|c| c != '\n');
+    TokenKind::LineComment { doc }
+}
+
+fn lex_block_comment(cur: &mut Cursor<'_>) -> TokenKind {
+    let rest = cur.rest();
+    let doc = (rest.starts_with("/**") && !rest.starts_with("/***") && !rest.starts_with("/**/"))
+        || rest.starts_with("/*!");
+    cur.bump();
+    cur.bump();
+    let mut depth = 1usize;
+    while depth > 0 {
+        if cur.starts_with("/*") {
+            depth += 1;
+            cur.bump();
+            cur.bump();
+        } else if cur.starts_with("*/") {
+            depth -= 1;
+            cur.bump();
+            cur.bump();
+        } else if cur.bump().is_none() {
+            break; // unterminated: consume to EOF
+        }
+    }
+    TokenKind::BlockComment { doc }
+}
+
+/// `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#`, `c"…"`, `cr#"…"#` and raw
+/// identifiers `r#ident`. Returns `None` when the cursor is not at any
+/// prefixed literal (plain identifiers fall through to the caller).
+fn lex_prefixed_literal(cur: &mut Cursor<'_>) -> Option<TokenKind> {
+    let rest = cur.rest();
+    let prefix_len = ["br", "cr", "r", "b", "c"]
+        .iter()
+        .find(|p| rest.starts_with(**p))
+        .map(|p| p.len())?;
+    let mut after = rest.get(prefix_len..).unwrap_or("").chars();
+    match after.next() {
+        // b'x' byte char.
+        Some('\'') if rest.starts_with("b'") => {
+            cur.bump(); // b
+            lex_quote(cur);
+            Some(TokenKind::Char)
+        }
+        // Plain (non-raw) prefixed string: b"…" or c"…".
+        Some('"') if prefix_len == 1 && !rest.starts_with("r\"") => {
+            cur.bump();
+            lex_string(cur);
+            Some(TokenKind::Str)
+        }
+        Some('"') => {
+            // r"…", br"…", cr"…": raw with zero hashes. Consume the
+            // prefix and the opening quote, then scan for the bare close.
+            for _ in 0..prefix_len + 1 {
+                cur.bump();
+            }
+            lex_raw_string(cur, 0);
+            Some(TokenKind::Str)
+        }
+        Some('#') => {
+            // Count hashes; a quote makes it a raw string, an identifier
+            // start after exactly `r#` makes it a raw identifier.
+            let mut hashes = 0usize;
+            let mut probe = after;
+            let mut next = Some('#');
+            while next == Some('#') {
+                hashes += 1;
+                next = probe.next();
+            }
+            match next {
+                Some('"') => {
+                    for _ in 0..prefix_len + hashes + 1 {
+                        cur.bump();
+                    }
+                    lex_raw_string(cur, hashes);
+                    Some(TokenKind::Str)
+                }
+                Some(c) if rest.starts_with("r#") && hashes == 1 && is_ident_start(c) => {
+                    cur.bump(); // r
+                    cur.bump(); // #
+                    cur.bump_while(is_ident_continue);
+                    Some(TokenKind::Ident)
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Consumes a `"`-delimited string body; the opening quote is the current
+/// character.
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => return,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw-string body after the opening quote was consumed;
+/// terminates on `"` followed by `hashes` hash marks.
+fn lex_raw_string(cur: &mut Cursor<'_>, hashes: usize) {
+    while let Some(c) = cur.bump() {
+        if c == '"' {
+            let closing = (0..hashes).all(|n| cur.peek_at(n) == Some('#'));
+            if closing {
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime); the cursor is at the
+/// opening quote.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // '
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: consume the escape then scan to the
+            // closing quote (covers \u{…}, \x41, \n, \').
+            cur.bump();
+            cur.bump();
+            while let Some(c) = cur.peek() {
+                cur.bump();
+                if c == '\'' {
+                    break;
+                }
+            }
+            TokenKind::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            if cur.peek_at(1) == Some('\'') {
+                cur.bump();
+                cur.bump();
+                TokenKind::Char
+            } else {
+                cur.bump_while(is_ident_continue);
+                TokenKind::Lifetime
+            }
+        }
+        Some(_) => {
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            TokenKind::Char
+        }
+        None => TokenKind::Char,
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> TokenKind {
+    if cur.starts_with("0x")
+        || cur.starts_with("0X")
+        || cur.starts_with("0o")
+        || cur.starts_with("0b")
+    {
+        cur.bump();
+        cur.bump();
+        cur.bump_while(|c| c.is_ascii_hexdigit() || c == '_');
+        cur.bump_while(is_ident_continue); // suffix
+        return TokenKind::Int;
+    }
+    cur.bump_while(|c| c.is_ascii_digit() || c == '_');
+    let mut float = false;
+    if cur.peek() == Some('.') {
+        match cur.peek_at(1) {
+            // `1.5`
+            Some(d) if d.is_ascii_digit() => {
+                float = true;
+                cur.bump();
+                cur.bump_while(|c| c.is_ascii_digit() || c == '_');
+            }
+            // `1.` is a float, but `1..2` is a range and `1.max(…)` is a
+            // method call.
+            Some(c) if c == '.' || is_ident_start(c) => {}
+            _ => {
+                float = true;
+                cur.bump();
+            }
+        }
+    }
+    if matches!(cur.peek(), Some('e' | 'E')) {
+        let exp_ok = match cur.peek_at(1) {
+            Some(d) if d.is_ascii_digit() => true,
+            Some('+' | '-') => cur.peek_at(2).is_some_and(|d| d.is_ascii_digit()),
+            _ => false,
+        };
+        if exp_ok {
+            float = true;
+            cur.bump(); // e
+            if matches!(cur.peek(), Some('+' | '-')) {
+                cur.bump();
+            }
+            cur.bump_while(|c| c.is_ascii_digit() || c == '_');
+        }
+    }
+    // Suffix: `f32`/`f64` force float, anything else leaves the kind.
+    if cur.peek().is_some_and(is_ident_start) {
+        let suffix_start = cur.pos;
+        cur.bump_while(is_ident_continue);
+        let suffix = cur.src.get(suffix_start..cur.pos).unwrap_or("");
+        if suffix == "f32" || suffix == "f64" {
+            float = true;
+        }
+    }
+    if float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    }
+}
+
+fn lex_punct(cur: &mut Cursor<'_>, c: char) -> TokenKind {
+    for op in OPERATORS {
+        if cur.starts_with(op) {
+            for _ in 0..op.len() {
+                cur.bump();
+            }
+            return TokenKind::Op;
+        }
+    }
+    cur.bump();
+    match c {
+        '{' => TokenKind::OpenBrace,
+        '}' => TokenKind::CloseBrace,
+        '(' => TokenKind::OpenParen,
+        ')' => TokenKind::CloseParen,
+        '[' => TokenKind::OpenBracket,
+        ']' => TokenKind::CloseBracket,
+        '!' | '#' | '.' | ',' | ';' | ':' | '=' | '<' | '>' | '+' | '-' | '*' | '/' | '%' | '&'
+        | '|' | '^' | '?' | '@' | '~' | '$' => TokenKind::Op,
+        _ => TokenKind::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_owned()))
+            .collect()
+    }
+
+    fn code_texts(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !t.kind.is_comment())
+            .map(|t| t.text(src).to_owned())
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_ops() {
+        let ks = kinds("a == b != 0.5");
+        assert_eq!(
+            ks,
+            vec![
+                (TokenKind::Ident, "a".into()),
+                (TokenKind::Op, "==".into()),
+                (TokenKind::Ident, "b".into()),
+                (TokenKind::Op, "!=".into()),
+                (TokenKind::Float, "0.5".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_string_contents_are_not_tokens() {
+        // The `unwrap()` inside the raw string must stay a single Str
+        // token; a text-level grep would false-positive here.
+        let src = r####"let s = r#"x.unwrap()"#; s.len()"####;
+        let ks = kinds(src);
+        assert!(ks.contains(&(TokenKind::Str, "r#\"x.unwrap()\"#".into())));
+        let idents: Vec<_> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert!(!idents.contains(&"unwrap"), "idents: {idents:?}");
+    }
+
+    #[test]
+    fn raw_strings_with_many_hashes() {
+        let src = "r##\"one \"# two\"## + 1";
+        let ks = kinds(src);
+        assert_eq!(ks[0], (TokenKind::Str, "r##\"one \"# two\"##".into()));
+        assert_eq!(ks[2], (TokenKind::Int, "1".into()));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let ks = kinds(r##"b"bytes" c"cstr" br#"raw"# b'x'"##);
+        assert_eq!(ks[0].0, TokenKind::Str);
+        assert_eq!(ks[1].0, TokenKind::Str);
+        assert_eq!(ks[2].0, TokenKind::Str);
+        assert_eq!(ks[3].0, TokenKind::Char);
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        let ks = kinds("r#type = 1");
+        assert_eq!(ks[0], (TokenKind::Ident, "r#type".into()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let ks = kinds(src);
+        assert_eq!(ks.len(), 3);
+        assert_eq!(ks[0], (TokenKind::Ident, "a".into()));
+        assert_eq!(ks[1].0, TokenKind::BlockComment { doc: false });
+        assert_eq!(ks[2], (TokenKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn doc_comment_flavours() {
+        assert_eq!(kinds("/// doc")[0].0, TokenKind::LineComment { doc: true });
+        assert_eq!(kinds("//! doc")[0].0, TokenKind::LineComment { doc: true });
+        assert_eq!(kinds("// not")[0].0, TokenKind::LineComment { doc: false });
+        assert_eq!(
+            kinds("//// not")[0].0,
+            TokenKind::LineComment { doc: false }
+        );
+        assert_eq!(
+            kinds("/** doc */")[0].0,
+            TokenKind::BlockComment { doc: true }
+        );
+        assert_eq!(kinds("/**/")[0].0, TokenKind::BlockComment { doc: false });
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let ks = kinds("'a' 'x 'static '\\n' '\\u{41}' b'q'");
+        assert_eq!(ks[0].0, TokenKind::Char);
+        assert_eq!(ks[1], (TokenKind::Lifetime, "'x".into()));
+        assert_eq!(ks[2], (TokenKind::Lifetime, "'static".into()));
+        assert_eq!(ks[3].0, TokenKind::Char);
+        assert_eq!(ks[4].0, TokenKind::Char);
+        assert_eq!(ks[5].0, TokenKind::Char);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("1")[0].0, TokenKind::Int);
+        assert_eq!(kinds("1.5")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1e9")[0].0, TokenKind::Float);
+        assert_eq!(kinds("2.5e-3")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1f64")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1u32")[0].0, TokenKind::Int);
+        assert_eq!(kinds("0xFF_usize")[0].0, TokenKind::Int);
+        // `1.` is a float but `1..2` is int-op-int and `1.max` a call.
+        assert_eq!(kinds("1.")[0].0, TokenKind::Float);
+        assert_eq!(
+            code_texts("1..2"),
+            vec!["1".to_owned(), "..".to_owned(), "2".to_owned()]
+        );
+        assert_eq!(kinds("3.max(4)")[0].0, TokenKind::Int);
+        // Tuple field access stays integral.
+        let ks = kinds("t.0");
+        assert_eq!(ks[2].0, TokenKind::Int);
+    }
+
+    #[test]
+    fn operators_are_greedy() {
+        assert_eq!(code_texts("a<=b"), vec!["a", "<=", "b"]);
+        assert_eq!(code_texts("a..=b"), vec!["a", "..=", "b"]);
+        assert_eq!(code_texts("m::n"), vec!["m", "::", "n"]);
+        assert_eq!(code_texts("x=>y"), vec!["x", "=>", "y"]);
+    }
+
+    #[test]
+    fn positions_track_lines_and_columns() {
+        let src = "ab\n  cd";
+        let ts = lex(src);
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_early() {
+        let ks = kinds(r#""a\"b" c"#);
+        assert_eq!(ks[0], (TokenKind::Str, r#""a\"b""#.into()));
+        assert_eq!(ks[1], (TokenKind::Ident, "c".into()));
+    }
+
+    #[test]
+    fn unterminated_forms_consume_to_eof() {
+        assert_eq!(kinds("\"open").len(), 1);
+        assert_eq!(kinds("/* open").len(), 1);
+        assert_eq!(kinds("r#\"open").len(), 1);
+    }
+}

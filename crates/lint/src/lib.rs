@@ -1,0 +1,194 @@
+//! `srlr-lint`: dependency-free static analysis for the SRLR workspace.
+//!
+//! The reproduction's headline guarantees — bit-identical Monte Carlo
+//! results at any thread count, and sweep runs that degrade instead of
+//! aborting — are invariants no compiler pass checks. This crate checks
+//! them: it lexes every workspace `src/` file with its own Rust lexer
+//! (raw strings, nested block comments, char-vs-lifetime — see
+//! [`lexer`]) and enforces the rule catalog in [`rules`]:
+//!
+//! * `no-panic` — no `unwrap`/`expect`/`panic!` family in library code,
+//! * `det-map` — no `HashMap`/`HashSet` (iteration order leaks),
+//! * `det-time` — no wall-clock reads outside `crates/criterion`,
+//! * `det-spawn` — no threads outside `srlr-parallel`,
+//! * `float-eq` — no `==`/`!=` against float literals,
+//! * `missing-doc` — public items in `srlr-tech`/`srlr-circuit`/
+//!   `srlr-units` carry doc comments,
+//! * `indexing` — advisory, opt-in (`--warn-indexing`).
+//!
+//! Violations are waved through only by an inline
+//! `// srlr-lint: allow(rule, reason = "…")` with a mandatory reason, or
+//! by an entry in the shrink-only `lint-baseline.txt`.
+
+pub mod analyze;
+pub mod baseline;
+pub mod diagnostics;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::PathBuf;
+
+use analyze::AnalyzeOptions;
+use baseline::Baseline;
+use diagnostics::Diagnostic;
+
+/// Path prefixes (relative, `/`-separated) whose public items must carry
+/// doc comments.
+const DOC_COVERED: &[&str] = &["crates/tech/", "crates/circuit/", "crates/units/"];
+/// Prefix allowed to read the wall clock.
+const TIME_ALLOWED: &[&str] = &["crates/criterion/"];
+/// Prefix allowed to spawn threads.
+const SPAWN_ALLOWED: &[&str] = &["crates/parallel/"];
+
+/// A lint run's configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace root to scan.
+    pub root: PathBuf,
+    /// Baseline file; defaults to `<root>/lint-baseline.txt`.
+    pub baseline_path: PathBuf,
+    /// Enable the advisory `indexing` rule.
+    pub warn_indexing: bool,
+}
+
+impl Config {
+    /// Configuration for scanning `root` with the default baseline path.
+    pub fn new(root: impl Into<PathBuf>) -> Config {
+        let root = root.into();
+        let baseline_path = root.join("lint-baseline.txt");
+        Config {
+            root,
+            baseline_path,
+            warn_indexing: false,
+        }
+    }
+}
+
+/// Outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of files scanned.
+    pub files_checked: usize,
+    /// Violations not covered by the baseline, sorted by path/line.
+    pub fresh: Vec<Diagnostic>,
+    /// Violations tolerated by a baseline entry.
+    pub baselined: Vec<Diagnostic>,
+    /// Baseline entries that matched nothing (must be deleted).
+    pub stale: Vec<String>,
+}
+
+impl Report {
+    /// Fresh violations that fail the run (advisory rules never do).
+    pub fn failures(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.fresh.iter().filter(|d| !d.rule.advisory())
+    }
+
+    /// Whether the tree is clean: no failing fresh violations.
+    pub fn is_clean(&self) -> bool {
+        self.failures().next().is_none()
+    }
+
+    /// Baseline keys for every current non-advisory violation (fresh and
+    /// baselined) — what `--write-baseline` persists.
+    pub fn all_violation_keys(&self) -> BTreeSet<String> {
+        self.fresh
+            .iter()
+            .chain(self.baselined.iter())
+            .filter(|d| !d.rule.advisory())
+            .map(Diagnostic::baseline_key)
+            .collect()
+    }
+}
+
+/// A lint run failure (I/O, not a rule violation).
+#[derive(Debug)]
+pub struct Error {
+    /// What the run was touching when it failed.
+    pub context: String,
+    /// The underlying I/O error.
+    pub source: std::io::Error,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.context, self.source)
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+fn io_err(context: impl Into<String>) -> impl FnOnce(std::io::Error) -> Error {
+    let context = context.into();
+    move |source| Error { context, source }
+}
+
+/// Derives the per-file rule toggles from a workspace-relative path.
+pub fn options_for(rel: &str, warn_indexing: bool) -> AnalyzeOptions {
+    AnalyzeOptions {
+        check_missing_doc: DOC_COVERED.iter().any(|p| rel.starts_with(p)),
+        allow_time: TIME_ALLOWED.iter().any(|p| rel.starts_with(p)),
+        allow_spawn: SPAWN_ALLOWED.iter().any(|p| rel.starts_with(p)),
+        warn_indexing,
+    }
+}
+
+/// Scans the workspace and partitions the results against the baseline.
+pub fn run(config: &Config) -> Result<Report, Error> {
+    let bl = Baseline::load(&config.baseline_path).map_err(io_err(format!(
+        "reading {}",
+        config.baseline_path.display()
+    )))?;
+    let files = walk::workspace_files(&config.root)
+        .map_err(io_err(format!("walking {}", config.root.display())))?;
+
+    let mut diags = Vec::new();
+    let mut files_checked = 0usize;
+    for file in &files {
+        let src = std::fs::read_to_string(&file.abs)
+            .map_err(io_err(format!("reading {}", file.abs.display())))?;
+        let opts = options_for(&file.rel, config.warn_indexing);
+        diags.extend(analyze::analyze_source(&file.rel, &src, opts));
+        files_checked += 1;
+    }
+    diags.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+
+    let (fresh, baselined, stale) = bl.partition(diags);
+    Ok(Report {
+        files_checked,
+        fresh,
+        baselined,
+        stale,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    #[test]
+    fn options_follow_path_prefixes() {
+        let o = options_for("crates/tech/src/mosfet.rs", false);
+        assert!(o.check_missing_doc && !o.allow_time && !o.allow_spawn);
+        let o = options_for("crates/criterion/src/lib.rs", false);
+        assert!(!o.check_missing_doc && o.allow_time && !o.allow_spawn);
+        let o = options_for("crates/parallel/src/pool.rs", false);
+        assert!(o.allow_spawn);
+        let o = options_for("crates/noc/src/router.rs", true);
+        assert!(!o.check_missing_doc && o.warn_indexing);
+    }
+
+    #[test]
+    fn config_defaults_baseline_under_root() {
+        let c = Config::new("/ws");
+        assert_eq!(c.baseline_path, Path::new("/ws/lint-baseline.txt"));
+        assert!(!c.warn_indexing);
+    }
+}

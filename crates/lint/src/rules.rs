@@ -1,0 +1,137 @@
+//! The rule catalog: every invariant `srlr-lint` enforces, with the
+//! rationale each rule encodes.
+//!
+//! The rules exist because two guarantees of this reproduction are
+//! load-bearing and easy to erode silently:
+//!
+//! * **Determinism** — the Fig. 6 Monte Carlo, the shmoo/bathtub sweeps
+//!   and the NoC fault-injection runs promise bit-identical results at
+//!   every thread count and across machines. A single `HashMap` iteration
+//!   in a result-bearing path, a wall-clock call, or an untracked thread
+//!   breaks that promise without failing any test on the machine it was
+//!   written on.
+//! * **No-panic library path** — `Network::run_until_delivered` and the
+//!   histogram/percentile APIs were converted to typed errors so that a
+//!   sweep point degrades instead of aborting a multi-hour run; a stray
+//!   `unwrap()` reintroduces the abort.
+
+/// Identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// `unwrap`/`expect` calls and `panic!`-family macros in non-test
+    /// library code. Use typed errors, graceful degradation, or an
+    /// `assert!` with a message for documented preconditions.
+    NoPanic,
+    /// `HashMap`/`HashSet` anywhere in non-test code: iteration order is
+    /// randomized per process, which can leak into results. Use
+    /// `BTreeMap`/`BTreeSet` or suppress with a justification.
+    DetMap,
+    /// `Instant`/`SystemTime` outside the `crates/criterion` timing shim:
+    /// wall-clock reads make results time-dependent.
+    DetTime,
+    /// `spawn(...)` calls outside `srlr-parallel`: all concurrency must go
+    /// through the deterministic index-ordered pool.
+    DetSpawn,
+    /// `==`/`!=` against a float literal: exact float comparison is
+    /// usually a tolerance bug. (Token-level: only literal operands are
+    /// detectable.)
+    FloatEq,
+    /// Public item without a doc comment, in the crates configured for
+    /// doc coverage (`srlr-tech`, `srlr-circuit`, `srlr-units`).
+    MissingDoc,
+    /// Advisory: `expr[index]` can panic; prefer `.get()` on untrusted
+    /// indices. Off by default (token-level analysis cannot see types),
+    /// enabled with `--warn-indexing`.
+    Indexing,
+    /// A `srlr-lint:` suppression comment that is malformed, names an
+    /// unknown rule, or omits the mandatory `reason = "…"`.
+    BadSuppression,
+    /// A baseline entry that no longer matches any violation: the
+    /// baseline file may only shrink, so stale entries must be deleted.
+    StaleBaseline,
+}
+
+/// Every rule, in reporting order.
+pub const ALL_RULES: &[RuleId] = &[
+    RuleId::NoPanic,
+    RuleId::DetMap,
+    RuleId::DetTime,
+    RuleId::DetSpawn,
+    RuleId::FloatEq,
+    RuleId::MissingDoc,
+    RuleId::Indexing,
+    RuleId::BadSuppression,
+    RuleId::StaleBaseline,
+];
+
+impl RuleId {
+    /// The stable kebab-case name used in suppressions, baselines and
+    /// diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::NoPanic => "no-panic",
+            RuleId::DetMap => "det-map",
+            RuleId::DetTime => "det-time",
+            RuleId::DetSpawn => "det-spawn",
+            RuleId::FloatEq => "float-eq",
+            RuleId::MissingDoc => "missing-doc",
+            RuleId::Indexing => "indexing",
+            RuleId::BadSuppression => "bad-suppression",
+            RuleId::StaleBaseline => "stale-baseline",
+        }
+    }
+
+    /// Parses a rule name (as written in a suppression or baseline).
+    pub fn from_name(name: &str) -> Option<RuleId> {
+        ALL_RULES.iter().copied().find(|r| r.name() == name)
+    }
+
+    /// One-line description for `--list-rules`.
+    pub fn description(self) -> &'static str {
+        match self {
+            RuleId::NoPanic => {
+                "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! in non-test library code"
+            }
+            RuleId::DetMap => "no HashMap/HashSet (iteration order leaks): use BTreeMap/BTreeSet",
+            RuleId::DetTime => "no Instant/SystemTime outside crates/criterion",
+            RuleId::DetSpawn => "no spawn() outside srlr-parallel",
+            RuleId::FloatEq => "no ==/!= against float literals",
+            RuleId::MissingDoc => "public items in doc-covered crates need doc comments",
+            RuleId::Indexing => "advisory: expr[index] can panic (enable with --warn-indexing)",
+            RuleId::BadSuppression => "suppression comments need a known rule and a reason",
+            RuleId::StaleBaseline => "baseline entries must match a real violation (shrink-only)",
+        }
+    }
+
+    /// Advisory rules are reported but never fail the run, and are only
+    /// scanned when explicitly enabled.
+    pub fn advisory(self) -> bool {
+        matches!(self, RuleId::Indexing)
+    }
+
+    /// Rules that may be suppressed inline. Meta-rules about the lint's
+    /// own inputs cannot be waved through.
+    pub fn suppressible(self) -> bool {
+        !matches!(self, RuleId::BadSuppression | RuleId::StaleBaseline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for &rule in ALL_RULES {
+            assert_eq!(RuleId::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(RuleId::from_name("nope"), None);
+    }
+
+    #[test]
+    fn meta_rules_are_not_suppressible() {
+        assert!(!RuleId::BadSuppression.suppressible());
+        assert!(!RuleId::StaleBaseline.suppressible());
+        assert!(RuleId::NoPanic.suppressible());
+    }
+}

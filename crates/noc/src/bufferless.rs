@@ -124,22 +124,22 @@ impl DeflectionNetwork {
                 if dir == Direction::Local {
                     continue;
                 }
-                if self.mesh.neighbor(f.at, dir).is_none() {
+                let Some(next) = self.mesh.neighbor(f.at, dir) else {
                     continue;
-                }
+                };
                 if !taken[node][dir.index()] {
-                    choice = Some(dir);
+                    choice = Some((dir, next));
                     break;
                 }
             }
             match choice {
-                Some(dir) => {
+                Some((dir, next)) => {
                     if dir != preferred {
                         self.deflections += 1;
                     }
                     taken[node][dir.index()] = true;
                     self.counters.link_hops += 1;
-                    f.at = self.mesh.neighbor(f.at, dir).expect("checked");
+                    f.at = next;
                     f.age += 1;
                     next_flight.push(f);
                 }
@@ -159,15 +159,14 @@ impl DeflectionNetwork {
         // The index addresses queues, coords and the taken-port table.
         #[allow(clippy::needless_range_loop)]
         for i in 0..n {
-            if self.source_queues[i].is_empty() {
-                continue;
-            }
             let here = self.mesh.coord_of(i);
             let free = Direction::ALL[..4]
                 .iter()
                 .any(|d| self.mesh.neighbor(here, *d).is_some() && !taken[i][d.index()]);
             if free {
-                let pkt = self.source_queues[i].pop_front().expect("non-empty");
+                let Some(pkt) = self.source_queues[i].pop_front() else {
+                    continue;
+                };
                 let dst = pkt.dst();
                 // Allocator work for the injection decision.
                 self.counters.allocations += 1;

@@ -9,13 +9,13 @@
 
 use crate::packet::Packet;
 use crate::topology::{Coord, Mesh};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Hop accounting for one multicast.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MulticastAccounting {
     /// Unique tree edges (XY paths union), as ordered node pairs.
-    tree_edges: HashSet<(Coord, Coord)>,
+    tree_edges: BTreeSet<(Coord, Coord)>,
     /// Sum of branch path lengths (what unicast clones pay).
     unicast_hops: usize,
 }
@@ -28,7 +28,7 @@ impl MulticastAccounting {
     /// Panics if `dsts` is empty or any coordinate is outside the mesh.
     pub fn new(mesh: Mesh, src: Coord, dsts: &[Coord]) -> Self {
         assert!(!dsts.is_empty(), "multicast needs at least one destination");
-        let mut tree_edges = HashSet::new();
+        let mut tree_edges = BTreeSet::new();
         let mut unicast_hops = 0;
         for &dst in dsts {
             let path = mesh.xy_path(src, dst);

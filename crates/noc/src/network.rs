@@ -8,7 +8,7 @@ use crate::router::{NocConfig, Router};
 use crate::stats::NetworkStats;
 use crate::topology::{Coord, Direction, Mesh};
 use crate::traffic::{Pattern, TrafficGenerator};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 /// A bounded simulation ran out of cycles before the expected packets
 /// terminated: the typed replacement for the old "step N times and
@@ -85,12 +85,12 @@ pub struct Network {
     /// free multicast; see [`crate::multicast`]).
     multicast_saved_hops: u64,
     /// When enabled, the router sequence each packet's head flit visits.
-    traces: Option<std::collections::HashMap<crate::packet::PacketId, Vec<Coord>>>,
+    traces: Option<std::collections::BTreeMap<crate::packet::PacketId, Vec<Coord>>>,
     /// The link fault injector, when the config enables one.
     fault: Option<FaultModel>,
     /// Packets poisoned by an exhausted retry budget, awaiting discard at
     /// their ejection port.
-    failed: HashSet<PacketId>,
+    failed: BTreeSet<PacketId>,
     /// Packets discarded at ejection so far.
     dropped: u64,
     /// Flits or credits that pointed off the mesh edge and were discarded
@@ -125,7 +125,7 @@ impl Network {
             multicast_saved_hops: 0,
             traces: None,
             fault: config.fault.map(|f| FaultModel::new(f, mesh)),
-            failed: HashSet::new(),
+            failed: BTreeSet::new(),
             dropped: 0,
             routing_errors: 0,
             link_busy_until: vec![0; n * Direction::MESH.len()],
@@ -136,7 +136,7 @@ impl Network {
     /// is recorded. Costs memory proportional to traffic; intended for
     /// validation and debugging.
     pub fn enable_tracing(&mut self) {
-        self.traces = Some(std::collections::HashMap::new());
+        self.traces = Some(std::collections::BTreeMap::new());
     }
 
     /// The recorded route of a packet (router coordinates in visit
@@ -150,7 +150,8 @@ impl Network {
     /// # Panics
     ///
     /// Panics if tracing was never enabled.
-    pub fn traces(&self) -> &std::collections::HashMap<crate::packet::PacketId, Vec<Coord>> {
+    pub fn traces(&self) -> &std::collections::BTreeMap<crate::packet::PacketId, Vec<Coord>> {
+        // srlr-lint: allow(no-panic, reason = "documented panic: caller must call enable_tracing first, see # Panics")
         self.traces.as_ref().expect("tracing not enabled")
     }
 
@@ -291,7 +292,7 @@ impl Network {
                     // Pick the emptiest local VC for the new packet.
                     let vc = (0..self.config.vcs)
                         .max_by_key(|&v| self.routers[i].free_slots(Direction::Local, v))
-                        .expect("at least one VC");
+                        .unwrap_or(0);
                     self.inject[i] = InjectState {
                         flits: pkt.flits(dst).into(),
                         vc,

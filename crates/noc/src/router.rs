@@ -299,10 +299,15 @@ impl Router {
                             // Adaptive choice: prefer the candidate whose
                             // output column has the most downstream
                             // credits (a congestion-aware local greedy).
-                            let dir = *candidates
+                            // A routing function always offers at least
+                            // one port; an empty candidate set leaves the
+                            // flit parked instead of panicking.
+                            let Some(&dir) = candidates
                                 .iter()
                                 .max_by_key(|d| self.out_credits[d.index()].iter().sum::<usize>())
-                                .expect("routing always offers a port");
+                            else {
+                                continue;
+                            };
                             self.inputs[port][vc].route = Some(dir);
                             activity.route_computations += 1;
                         }
@@ -323,7 +328,9 @@ impl Router {
             let start = self.rr_va % requesters.len();
             for k in 0..requesters.len() {
                 let (p, v) = requesters[(start + k) % requesters.len()];
-                let out = self.inputs[p][v].route.expect("requester is routed");
+                let Some(out) = self.inputs[p][v].route else {
+                    continue; // requesters are routed by construction
+                };
                 let o = out.index();
                 // The Local output needs no VC ownership (ejection sink).
                 if out == Direction::Local {
@@ -353,7 +360,7 @@ impl Router {
                     && s.out_vc.is_some()
                     && s.route.is_some_and(|d| {
                         d == Direction::Local
-                            || self.out_credits[d.index()][s.out_vc.expect("checked")] > 0
+                            || s.out_vc.is_some_and(|w| self.out_credits[d.index()][w] > 0)
                     });
                 if ready {
                     nominations[port] = Some((port, vc));
@@ -369,7 +376,9 @@ impl Router {
         for k in 0..5 {
             let port = (start + k) % 5;
             if let Some((p, v)) = nominations[port] {
-                let out = self.inputs[p][v].route.expect("nominee is routed");
+                let Some(out) = self.inputs[p][v].route else {
+                    continue; // nominees are routed by construction
+                };
                 if !granted_outputs[out.index()] {
                     granted_outputs[out.index()] = true;
                     winners.push((p, v));
@@ -381,12 +390,15 @@ impl Router {
         // --- ST: winners move one flit each.
         let mut sent = Vec::with_capacity(winners.len());
         for (p, v) in winners {
-            let out = self.inputs[p][v].route.expect("winner is routed");
-            let w = self.inputs[p][v].out_vc.expect("winner has a VC");
-            let flit = self.inputs[p][v]
-                .buffer
-                .pop_front()
-                .expect("winner has a flit");
+            // Winners are routed, VC-allocated and non-empty by the SA
+            // stage above; a violated invariant skips the grant instead of
+            // aborting the simulation.
+            let (Some(out), Some(w)) = (self.inputs[p][v].route, self.inputs[p][v].out_vc) else {
+                continue;
+            };
+            let Some(flit) = self.inputs[p][v].buffer.pop_front() else {
+                continue;
+            };
             if out != Direction::Local {
                 self.out_credits[out.index()][w] -= 1;
             }

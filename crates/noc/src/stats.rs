@@ -99,7 +99,10 @@ impl Histogram {
                 .bins
                 .iter()
                 .zip(&earlier.bins)
-                .map(|(&now, &then)| now.checked_sub(then).expect("histogram went backwards"))
+                .map(|(&now, &then)| {
+                    assert!(now >= then, "histogram went backwards");
+                    now - then
+                })
                 .collect(),
             overflow: self.overflow - earlier.overflow,
             count: self.count - earlier.count,

@@ -229,7 +229,13 @@ impl Mesh {
         let mut here = src;
         while here != dst {
             let dir = self.xy_route(here, dst);
-            here = self.neighbor(here, dir).expect("XY route stays in mesh");
+            // XY routing toward an in-mesh destination never walks off the
+            // edge; an off-mesh `dst` yields the partial path instead of
+            // panicking (or looping).
+            let Some(next) = self.neighbor(here, dir) else {
+                break;
+            };
+            here = next;
             path.push(here);
         }
         path

@@ -79,6 +79,7 @@ where
     });
     slots
         .into_iter()
+        // srlr-lint: allow(no-panic, reason = "invariant: chunks_mut partitions 0..n, so every slot is written exactly once before the scope joins")
         .map(|slot| slot.expect("every index was assigned to a worker"))
         .collect()
 }

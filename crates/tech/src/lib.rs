@@ -37,15 +37,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Subthreshold bias generators for the adaptive low-swing driver.
 pub mod bias;
+/// Process-corner definitions (TT/FF/SS/FS/SF).
 pub mod corner;
+/// Sized device instances built on the MOSFET model.
 pub mod device;
+/// Deterministic Monte Carlo sampling of global and local variation.
 pub mod montecarlo;
+/// The continuous compact MOSFET drain-current model.
 pub mod mosfet;
+/// Self-resetting repeater device-level parameters.
 pub mod repeater;
+/// The 45nm SOI technology card.
 pub mod technology;
+/// Operating-temperature modelling.
 pub mod temperature;
+/// Global (die-to-die) and local (mismatch) variation models.
 pub mod variation;
+/// Wire geometry and distributed RC extraction.
 pub mod wire;
 
 pub use bias::{AdaptiveSwingBias, OgueyReference};

@@ -105,6 +105,7 @@ impl MosfetModel {
             vds.volts() >= 0.0,
             "drain_current_per_ratio requires canonical vds >= 0"
         );
+        // srlr-lint: allow(float-eq, reason = "exact-zero short circuit: zero bias means exactly zero current, not approximately")
         if vds.volts() == 0.0 {
             return Current::zero();
         }

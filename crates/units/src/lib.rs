@@ -36,11 +36,17 @@
 #[macro_use]
 mod macros;
 
+/// Voltage, current, charge, resistance and capacitance quantities.
 pub mod electrical;
+/// Energy and power quantities.
 pub mod energy;
+/// Length and area quantities.
 pub mod geometry;
+/// Data-rate and energy-efficiency figures of merit.
 pub mod rate;
+/// SI prefix scaling for human-readable formatting.
 pub mod si;
+/// Time and frequency quantities.
 pub mod time;
 
 pub use electrical::{Capacitance, Charge, Current, Resistance, Voltage};

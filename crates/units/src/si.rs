@@ -37,6 +37,7 @@ const PREFIXES: &[(i32, &str)] = &[
 /// assert_eq!(srlr_units::si::si_scale(0.0), (0.0, ""));
 /// ```
 pub fn si_scale(value: f64) -> (f64, &'static str) {
+    // srlr-lint: allow(float-eq, reason = "exact-zero sentinel: log10 of zero is undefined, documented to map to the unscaled form")
     if value == 0.0 || !value.is_finite() {
         return (value, "");
     }
