@@ -56,6 +56,37 @@ fn print_figure() {
         3.7,
         ratio,
     );
+
+    let mut run = srlr_telemetry::RunReport::new("fig6_monte_carlo");
+    run.param("runs", srlr_telemetry::Value::U64(runs() as u64));
+    run.metric("immunity_ratio", srlr_telemetry::Value::F64(ratio));
+    run.metric(
+        "proposed_error_probability",
+        srlr_telemetry::Value::F64(p.estimate()),
+    );
+    run.metric(
+        "straightforward_error_probability",
+        srlr_telemetry::Value::F64(s.estimate()),
+    );
+    for (i, ((swing, p), (_, s))) in sweep_p.iter().zip(&sweep_s).enumerate() {
+        let section = format!("point.{i:03}");
+        run.section_metric(
+            &section,
+            "swing_mv",
+            srlr_telemetry::Value::F64(swing.millivolts()),
+        );
+        run.section_metric(
+            &section,
+            "proposed_failures",
+            srlr_telemetry::Value::U64(p.failures as u64),
+        );
+        run.section_metric(
+            &section,
+            "straightforward_failures",
+            srlr_telemetry::Value::U64(s.failures as u64),
+        );
+    }
+    report::emit_run_report(&run);
 }
 
 fn bench(c: &mut Criterion) {

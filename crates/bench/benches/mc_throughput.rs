@@ -45,6 +45,12 @@ fn print_throughput() {
         std::env::var(engine::THREADS_ENV).unwrap_or_else(|_| "unset".into()),
     );
 
+    let mut run = srlr_telemetry::RunReport::new("mc_throughput");
+    run.param("runs", srlr_telemetry::Value::U64(n as u64));
+    run.param(
+        "available_threads",
+        srlr_telemetry::Value::U64(engine::available_threads() as u64),
+    );
     let mut serial_rate = 0.0;
     for threads in [1usize, 2, 4, engine::available_threads()] {
         let exp = McExperiment::paper_default(&tech)
@@ -58,7 +64,13 @@ fn print_throughput() {
             "{threads:>3} thread(s): {rate:>10.0} dice/s  (x{:.2} vs serial)",
             rate / serial_rate.max(f64::MIN_POSITIVE)
         );
+        run.section_metric(
+            &format!("threads.{threads:03}"),
+            "dice_per_second",
+            srlr_telemetry::Value::F64(rate),
+        );
     }
+    report::emit_run_report(&run);
 }
 
 fn bench(c: &mut Criterion) {

@@ -51,6 +51,28 @@ fn print_tables() {
          gracefully delivery degrades (and energy/bit grows) if a link were\n\
          orders of magnitude worse than measured."
     );
+
+    let mut run = srlr_telemetry::RunReport::new("noc_faults");
+    run.param("points", srlr_telemetry::Value::U64(points.len() as u64));
+    run.param("load", srlr_telemetry::Value::F64(0.05));
+    for (i, p) in points.iter().enumerate() {
+        let section = format!("point.{i:03}");
+        run.section_metric(&section, "ber", srlr_telemetry::Value::F64(p.ber));
+        run.section_metric(
+            &section,
+            "delivered_fraction",
+            srlr_telemetry::Value::F64(p.stats.delivered_fraction()),
+        );
+        run.section_metric(
+            &section,
+            "flits_retransmitted",
+            srlr_telemetry::Value::U64(p.stats.faults.flits_retransmitted),
+        );
+        for (name, value) in p.stats.latency_histogram.summary().metric_fields("latency") {
+            run.section_metric(&section, &name, value);
+        }
+    }
+    report::emit_run_report(&run);
 }
 
 fn bench(c: &mut Criterion) {

@@ -1,4 +1,32 @@
-//! Plain-text report formatting shared by the bench harnesses.
+//! Plain-text report formatting shared by the bench harnesses, plus the
+//! machine-readable run-report sink.
+
+use srlr_telemetry::RunReport;
+use std::path::PathBuf;
+
+/// Directory the JSON run reports land in: `SRLR_REPORT_DIR` when set,
+/// otherwise `target/srlr-reports` under the working directory.
+pub fn report_dir() -> PathBuf {
+    std::env::var_os("SRLR_REPORT_DIR")
+        .map_or_else(|| PathBuf::from("target/srlr-reports"), PathBuf::from)
+}
+
+/// Writes `report` as `<report_dir>/<name>.json` alongside the ASCII
+/// output and prints where it went. A failure (e.g. a read-only
+/// directory) is printed, not fatal: the ASCII tables still stand on
+/// their own.
+pub fn emit_run_report(report: &RunReport) {
+    let dir = report_dir();
+    let path = dir.join(format!("{}.json", report.name()));
+    let outcome = std::fs::create_dir_all(&dir).and_then(|()| {
+        let mut file = std::fs::File::create(&path)?;
+        report.write_to(&mut file)
+    });
+    match outcome {
+        Ok(()) => println!("\nrun report: {}", path.display()),
+        Err(e) => println!("\nrun report NOT written to {}: {e}", path.display()),
+    }
+}
 
 /// Prints a boxed section header.
 pub fn section(title: &str) {

@@ -64,6 +64,6 @@ pub mod waveform;
 
 pub use ladder::LadderSpec;
 pub use netlist::{Netlist, NodeId};
-pub use sim::{Transient, TransientResult};
+pub use sim::{Transient, TransientResult, TransientStats};
 pub use stimulus::Stimulus;
 pub use waveform::{Edge, Waveform};

@@ -111,6 +111,7 @@ impl Transient {
         let n_records = (t_end / self.record_dt).ceil() as usize + 1;
         let mut records: Vec<Vec<(f64, f64)>> = vec![Vec::with_capacity(n_records.min(1 << 20)); n];
         let mut source_energy = vec![0.0_f64; self.net.forced.len()];
+        let mut stats = TransientStats::default();
 
         let mut t = 0.0_f64;
         let mut next_record = 0.0_f64;
@@ -126,6 +127,7 @@ impl Transient {
                     rec.push((t, v[i]));
                 }
                 next_record += self.record_dt;
+                stats.records += 1;
             }
 
             self.eval_currents(&v, &mut currents);
@@ -140,10 +142,21 @@ impl Transient {
                 max_rate = max_rate.max(rate);
             }
             if max_rate > 0.0 {
-                dt = (self.dv_target / max_rate).clamp(self.dt_min, self.dt_max);
+                let want = self.dv_target / max_rate;
+                if want < self.dt_min {
+                    stats.dv_target_missed += 1;
+                } else if want > self.dt_max {
+                    stats.dt_max_capped += 1;
+                }
+                dt = want.clamp(self.dt_min, self.dt_max);
             } else {
+                stats.dt_max_capped += 1;
                 dt = self.dt_max;
             }
+            stats.steps += 1;
+            stats.current_evals += 2;
+            stats.dt_min_taken = stats.dt_min_taken.min(dt);
+            stats.dt_max_taken = stats.dt_max_taken.max(dt);
             if t + dt > t_end {
                 dt = t_end - t;
             }
@@ -179,11 +192,27 @@ impl Transient {
         for (i, rec) in records.iter_mut().enumerate() {
             rec.push((t, v[i]));
         }
+        stats.records += 1;
+
+        // Element-evaluation tallies are derivable after the fact (every
+        // `eval_currents` call walks every element), so the hot loop pays
+        // nothing for them.
+        let (mut n_resistors, mut n_mosfets) = (0u64, 0u64);
+        for e in &self.net.elements {
+            match e {
+                Element::Resistor { .. } => n_resistors += 1,
+                Element::Mosfet { .. } => n_mosfets += 1,
+            }
+        }
+        stats.resistor_evals = stats.current_evals * n_resistors;
+        stats.mosfet_evals = stats.current_evals * n_mosfets;
+        stats.element_evals = stats.resistor_evals + stats.mosfet_evals;
 
         TransientResult {
             records,
             source_labels: self.net.forced.iter().map(|f| f.label.clone()).collect(),
             source_energy,
+            stats,
         }
     }
 
@@ -246,6 +275,122 @@ impl Transient {
     }
 }
 
+/// Step-control statistics for one transient run.
+///
+/// The integrator never *rejects* a step outright — it picks the step
+/// size from the dv-per-step target first and only then applies the
+/// `[dt_min, dt_max]` clamp — so the honest observability story is the
+/// clamp tallies: [`TransientStats::dv_target_missed`] counts steps a
+/// strict error controller would have rejected (the target demanded a
+/// step below `dt_min`, so the realised |dV| overshot the target), and
+/// [`TransientStats::dt_max_capped`] counts steps limited by the
+/// stiffness bound rather than accuracy. Collecting these is a handful
+/// of scalar updates per step; results are unchanged by observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientStats {
+    /// Integration steps taken.
+    pub steps: u64,
+    /// Steps where the dv-target step size fell below `dt_min` and was
+    /// clamped up: the per-step |dV| target was *not* honoured.
+    pub dv_target_missed: u64,
+    /// Steps capped at `dt_max` by the stiffness bound (including
+    /// quiescent steps where no node was moving).
+    pub dt_max_capped: u64,
+    /// Smallest step size the controller chose (seconds; before
+    /// end-of-run truncation). `INFINITY` when no steps ran.
+    pub dt_min_taken: f64,
+    /// Largest step size the controller chose (seconds).
+    pub dt_max_taken: f64,
+    /// Calls to the per-element current evaluation (two per step:
+    /// predictor + corrector).
+    pub current_evals: u64,
+    /// Total element evaluations (`current_evals` × element count).
+    pub element_evals: u64,
+    /// Resistor evaluations.
+    pub resistor_evals: u64,
+    /// MOSFET evaluations.
+    pub mosfet_evals: u64,
+    /// Waveform grid records written (per node set, not per node).
+    pub records: u64,
+}
+
+impl Default for TransientStats {
+    fn default() -> Self {
+        Self {
+            steps: 0,
+            dv_target_missed: 0,
+            dt_max_capped: 0,
+            dt_min_taken: f64::INFINITY,
+            dt_max_taken: 0.0,
+            current_evals: 0,
+            element_evals: 0,
+            resistor_evals: 0,
+            mosfet_evals: 0,
+            records: 0,
+        }
+    }
+}
+
+impl TransientStats {
+    /// Folds another run's statistics into this one (for experiments
+    /// that run many transients and report an aggregate).
+    pub fn absorb(&mut self, other: &TransientStats) {
+        self.steps += other.steps;
+        self.dv_target_missed += other.dv_target_missed;
+        self.dt_max_capped += other.dt_max_capped;
+        self.dt_min_taken = self.dt_min_taken.min(other.dt_min_taken);
+        self.dt_max_taken = self.dt_max_taken.max(other.dt_max_taken);
+        self.current_evals += other.current_evals;
+        self.element_evals += other.element_evals;
+        self.resistor_evals += other.resistor_evals;
+        self.mosfet_evals += other.mosfet_evals;
+        self.records += other.records;
+    }
+
+    /// Records these statistics as `"<prefix>.<stat>"` metrics on a
+    /// telemetry collector (free when the collector is disabled).
+    pub fn record_metrics(&self, collector: &mut srlr_telemetry::Collector, prefix: &str) {
+        if !collector.is_enabled() {
+            return;
+        }
+        use srlr_telemetry::Value;
+        collector.set_metric(&format!("{prefix}.steps"), Value::U64(self.steps));
+        collector.set_metric(
+            &format!("{prefix}.dv_target_missed"),
+            Value::U64(self.dv_target_missed),
+        );
+        collector.set_metric(
+            &format!("{prefix}.dt_max_capped"),
+            Value::U64(self.dt_max_capped),
+        );
+        collector.set_metric(
+            &format!("{prefix}.dt_min_taken_s"),
+            Value::F64(self.dt_min_taken),
+        );
+        collector.set_metric(
+            &format!("{prefix}.dt_max_taken_s"),
+            Value::F64(self.dt_max_taken),
+        );
+        collector.set_metric(
+            &format!("{prefix}.current_evals"),
+            Value::U64(self.current_evals),
+        );
+        collector.set_metric(
+            &format!("{prefix}.element_evals"),
+            Value::U64(self.element_evals),
+        );
+        collector.set_metric(
+            &format!("{prefix}.resistor_evals"),
+            Value::U64(self.resistor_evals),
+        );
+        collector.set_metric(
+            &format!("{prefix}.mosfet_evals"),
+            Value::U64(self.mosfet_evals),
+        );
+        collector.set_metric(&format!("{prefix}.records"), Value::U64(self.records));
+    }
+}
+
 /// The outcome of a transient run: per-node waveforms plus per-source
 /// delivered energy.
 #[derive(Debug, Clone)]
@@ -253,9 +398,15 @@ pub struct TransientResult {
     records: Vec<Vec<(f64, f64)>>,
     source_labels: Vec<String>,
     source_energy: Vec<f64>,
+    stats: TransientStats,
 }
 
 impl TransientResult {
+    /// Step-control statistics of the run that produced this result.
+    pub fn stats(&self) -> &TransientStats {
+        &self.stats
+    }
+
     /// The recorded waveform of a node.
     ///
     /// # Panics
@@ -496,6 +647,87 @@ mod tests {
         assert!((va - 0.2).abs() < 0.005, "a settled at {va}");
         assert!((vb - 0.2).abs() < 0.005, "b settled at {vb}");
         assert!((va - vb).abs() < 1e-3, "nodes must equalise");
+    }
+
+    #[test]
+    fn stats_count_steps_and_evals() {
+        let (net, _, _) = rc_step();
+        let r = Transient::new(&net).run(TimeInterval::from_nanoseconds(1.0));
+        let s = r.stats();
+        assert!(s.steps > 10, "expected many steps, got {}", s.steps);
+        assert_eq!(s.current_evals, 2 * s.steps, "RK2 = two evals per step");
+        // rc_step has one resistor and no MOSFETs.
+        assert_eq!(s.resistor_evals, s.current_evals);
+        assert_eq!(s.mosfet_evals, 0);
+        assert_eq!(s.element_evals, s.resistor_evals);
+        assert!(s.dt_min_taken > 0.0 && s.dt_min_taken <= s.dt_max_taken);
+        assert!(s.records >= 2, "at least first + final grid records");
+        assert_eq!(
+            s.steps,
+            s.dv_target_missed + s.dt_max_capped + (s.steps - s.dv_target_missed - s.dt_max_capped),
+            "tallies never exceed the step count"
+        );
+        assert!(s.dv_target_missed + s.dt_max_capped <= s.steps);
+    }
+
+    #[test]
+    fn tight_dv_target_forces_dt_min_misses() {
+        // An absurdly tight dv target (1 nV/step) demands steps far below
+        // dt_min while the RC edge slews, so the controller must report
+        // missed targets; the default target on the same circuit reports
+        // mostly stiffness-capped steps once settled.
+        let (net, _, _) = rc_step();
+        let tight = Transient::new(&net)
+            .with_dv_target(Voltage::from_volts(1e-9))
+            .run(TimeInterval::from_picoseconds(100.0));
+        assert!(
+            tight.stats().dv_target_missed > 0,
+            "1 nV/step target must miss: {:?}",
+            tight.stats()
+        );
+        let relaxed = Transient::new(&net).run(TimeInterval::from_nanoseconds(2.0));
+        assert!(
+            relaxed.stats().dt_max_capped > 0,
+            "settled RC must hit the stiffness cap: {:?}",
+            relaxed.stats()
+        );
+    }
+
+    #[test]
+    fn stats_absorb_aggregates_runs() {
+        let (net, _, _) = rc_step();
+        let a = Transient::new(&net).run(TimeInterval::from_picoseconds(100.0));
+        let b = Transient::new(&net).run(TimeInterval::from_nanoseconds(1.0));
+        let mut agg = TransientStats::default();
+        agg.absorb(a.stats());
+        agg.absorb(b.stats());
+        assert_eq!(agg.steps, a.stats().steps + b.stats().steps);
+        assert_eq!(
+            agg.dt_min_taken,
+            a.stats().dt_min_taken.min(b.stats().dt_min_taken)
+        );
+        assert_eq!(
+            agg.dt_max_taken,
+            a.stats().dt_max_taken.max(b.stats().dt_max_taken)
+        );
+    }
+
+    #[test]
+    fn stats_record_metrics_into_collector() {
+        use srlr_telemetry::{Collector, Value};
+        let (net, _, _) = rc_step();
+        let r = Transient::new(&net).run(TimeInterval::from_picoseconds(100.0));
+        let mut c = Collector::enabled("sim");
+        r.stats().record_metrics(&mut c, "transient");
+        assert_eq!(
+            c.metrics().get("transient.steps"),
+            Some(&Value::U64(r.stats().steps))
+        );
+        assert!(c.metrics().contains_key("transient.dt_min_taken_s"));
+        // Disabled collectors stay empty.
+        let mut off = Collector::disabled();
+        r.stats().record_metrics(&mut off, "transient");
+        assert!(off.metrics().is_empty());
     }
 
     #[test]

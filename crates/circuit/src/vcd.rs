@@ -5,7 +5,7 @@
 //! transient result can be inspected next to RTL traces.
 
 use crate::waveform::Waveform;
-use std::fmt::Write as _;
+use std::io::{self, Write};
 
 /// Time resolution of the exported dump.
 const TIMESCALE_FS: f64 = 1.0e-15;
@@ -82,22 +82,29 @@ impl VcdExporter {
         out
     }
 
-    /// Renders the VCD text.
+    /// Streams the VCD text to any [`io::Write`] sink — a file, a pipe,
+    /// or an in-memory buffer. Unlike the old all-in-one-`String`
+    /// renderer, nothing but the (deduplicated, sorted) value-change
+    /// index is buffered, so multi-million-sample dumps stream straight
+    /// to disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
     ///
     /// # Panics
     ///
     /// Panics if no signals were added.
-    pub fn render(&self) -> String {
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
         assert!(!self.signals.is_empty(), "no signals to export");
-        let mut out = String::new();
-        out.push_str("$date srlr reproduction $end\n");
-        out.push_str("$version srlr-circuit vcd exporter $end\n");
-        out.push_str("$timescale 1 fs $end\n");
-        let _ = writeln!(out, "$scope module {} $end", self.module);
+        w.write_all(b"$date srlr reproduction $end\n")?;
+        w.write_all(b"$version srlr-circuit vcd exporter $end\n")?;
+        w.write_all(b"$timescale 1 fs $end\n")?;
+        writeln!(w, "$scope module {} $end", self.module)?;
         for (i, (name, _)) in self.signals.iter().enumerate() {
-            let _ = writeln!(out, "$var real 64 {} {} $end", Self::code(i), name);
+            writeln!(w, "$var real 64 {} {} $end", Self::code(i), name)?;
         }
-        out.push_str("$upscope $end\n$enddefinitions $end\n");
+        w.write_all(b"$upscope $end\n$enddefinitions $end\n")?;
 
         // Merge all sample times, emitting value changes in time order.
         let mut events: Vec<(u64, usize, f64)> = Vec::new();
@@ -118,12 +125,25 @@ impl VcdExporter {
         let mut current_time = None;
         for (ticks, signal, volts) in events {
             if current_time != Some(ticks) {
-                let _ = writeln!(out, "#{ticks}");
+                writeln!(w, "#{ticks}")?;
                 current_time = Some(ticks);
             }
-            let _ = writeln!(out, "r{volts:.6} {}", Self::code(signal));
+            writeln!(w, "r{volts:.6} {}", Self::code(signal))?;
         }
-        out
+        Ok(())
+    }
+
+    /// Renders the VCD text into a `String` (convenience wrapper over
+    /// [`VcdExporter::write_to`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no signals were added.
+    pub fn render(&self) -> String {
+        let mut buf = Vec::new();
+        // Writing into a Vec cannot fail.
+        self.write_to(&mut buf).unwrap_or_default();
+        String::from_utf8_lossy(&buf).into_owned()
     }
 }
 
@@ -170,6 +190,32 @@ mod tests {
         vcd.add("flat", &wave(&[(0.0, 0.4), (1.0, 0.4), (2.0, 0.4)]));
         let text = vcd.render();
         assert_eq!(text.matches("r0.400000").count(), 1);
+    }
+
+    #[test]
+    fn write_to_and_render_agree_byte_for_byte() {
+        let mut vcd = VcdExporter::new("dut");
+        vcd.add("a", &wave(&[(0.0, 0.0), (10.0, 0.8)]));
+        vcd.add("b", &wave(&[(0.0, 0.55), (10.0, 0.1)]));
+        let mut buf = Vec::new();
+        vcd.write_to(&mut buf).expect("vec write cannot fail");
+        assert_eq!(String::from_utf8(buf).expect("utf8"), vcd.render());
+    }
+
+    #[test]
+    fn write_to_propagates_io_errors() {
+        struct Failing;
+        impl std::io::Write for Failing {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("sink full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut vcd = VcdExporter::new("dut");
+        vcd.add("x", &wave(&[(0.0, 0.1)]));
+        assert!(vcd.write_to(&mut Failing).is_err());
     }
 
     #[test]

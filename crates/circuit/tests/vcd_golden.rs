@@ -1,0 +1,66 @@
+//! Golden-file regression test pinning the VCD output format.
+//!
+//! External waveform viewers (GTKWave & friends) parse the header
+//! byte-for-byte; an accidental change to the `$timescale`, `$var`
+//! declarations, or value-change framing would silently break them.
+//! If a format change is *intentional*, regenerate the golden file and
+//! say so in the changelog.
+
+use srlr_circuit::vcd::VcdExporter;
+use srlr_circuit::Waveform;
+use srlr_units::{TimeInterval, Voltage};
+
+const GOLDEN: &str = include_str!("golden/two_signal.vcd");
+
+fn wave(points: &[(f64, f64)]) -> Waveform {
+    Waveform::from_samples(
+        points
+            .iter()
+            .map(|&(ps, v)| (TimeInterval::from_picoseconds(ps), Voltage::from_volts(v))),
+    )
+}
+
+fn two_signal_exporter() -> VcdExporter {
+    let mut vcd = VcdExporter::new("srlr");
+    vcd.add("a", &wave(&[(0.0, 0.0), (10.0, 0.8), (20.0, 0.4)]));
+    vcd.add("b", &wave(&[(0.0, 0.55), (10.0, 0.1)]));
+    vcd
+}
+
+#[test]
+fn vcd_output_matches_golden_file() {
+    assert_eq!(
+        two_signal_exporter().render(),
+        GOLDEN,
+        "VCD output drifted from the pinned format; if intentional, \
+         regenerate crates/circuit/tests/golden/two_signal.vcd"
+    );
+}
+
+#[test]
+fn golden_header_pins_timescale_and_declarations() {
+    // Belt and braces: even if the golden file is regenerated, these
+    // format anchors must survive.
+    for anchor in [
+        "$date srlr reproduction $end",
+        "$version srlr-circuit vcd exporter $end",
+        "$timescale 1 fs $end",
+        "$scope module srlr $end",
+        "$var real 64 ! a $end",
+        "$upscope $end\n$enddefinitions $end",
+    ] {
+        assert!(
+            GOLDEN.contains(anchor),
+            "golden file lost anchor {anchor:?}"
+        );
+    }
+}
+
+#[test]
+fn streaming_writer_reproduces_golden_file() {
+    let mut buf = Vec::new();
+    two_signal_exporter()
+        .write_to(&mut buf)
+        .expect("writing to a Vec cannot fail");
+    assert_eq!(String::from_utf8(buf).expect("utf8"), GOLDEN);
+}

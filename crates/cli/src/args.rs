@@ -3,10 +3,11 @@
 use crate::CliError;
 use std::collections::BTreeMap;
 
-/// Parsed `--flag value` pairs.
+/// Parsed `--flag value` pairs plus valueless `--switch` flags.
 #[derive(Debug, Clone, Default)]
 pub struct Flags {
     values: BTreeMap<String, String>,
+    switches: std::collections::BTreeSet<String>,
 }
 
 impl Flags {
@@ -18,7 +19,23 @@ impl Flags {
     /// Returns a usage error for unknown flags, missing values or stray
     /// positional arguments.
     pub fn parse(rest: &[String], allowed: &[&str]) -> Result<Self, CliError> {
+        Self::parse_with_switches(rest, allowed, &[])
+    }
+
+    /// [`Flags::parse`], additionally accepting the valueless boolean
+    /// flags named in `switches` (e.g. `--progress`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage error for unknown flags, missing values or stray
+    /// positional arguments.
+    pub fn parse_with_switches(
+        rest: &[String],
+        allowed: &[&str],
+        switches: &[&str],
+    ) -> Result<Self, CliError> {
         let mut values = BTreeMap::new();
+        let mut set = std::collections::BTreeSet::new();
         let mut it = rest.iter();
         while let Some(flag) = it.next() {
             let Some(name) = flag.strip_prefix("--") else {
@@ -26,12 +43,17 @@ impl Flags {
                     "unexpected positional argument `{flag}`"
                 )));
             };
+            if switches.contains(&name) {
+                set.insert(name.to_owned());
+                continue;
+            }
             if !allowed.contains(&name) {
                 return Err(CliError::Usage(format!(
                     "unknown flag `--{name}` (allowed: {})",
                     allowed
                         .iter()
                         .map(|a| format!("--{a}"))
+                        .chain(switches.iter().map(|s| format!("--{s}")))
                         .collect::<Vec<_>>()
                         .join(", ")
                 )));
@@ -41,7 +63,15 @@ impl Flags {
             };
             values.insert(name.to_owned(), value.clone());
         }
-        Ok(Self { values })
+        Ok(Self {
+            values,
+            switches: set,
+        })
+    }
+
+    /// Whether a boolean switch (e.g. `--progress`) was given.
+    pub fn is_set(&self, name: &str) -> bool {
+        self.switches.contains(name)
     }
 
     /// Returns a flag parsed into `T`, or `default` when absent.
@@ -111,5 +141,25 @@ mod tests {
     fn unparsable_value_rejected() {
         let f = Flags::parse(&argv(&["--bits", "soup"]), &["bits"]).unwrap();
         assert!(f.get_or("bits", 0usize).is_err());
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let f = Flags::parse_with_switches(
+            &argv(&["--progress", "--bits", "9"]),
+            &["bits"],
+            &["progress"],
+        )
+        .unwrap();
+        assert!(f.is_set("progress"));
+        assert!(!f.is_set("quiet"));
+        assert_eq!(f.get_or("bits", 0usize).unwrap(), 9);
+    }
+
+    #[test]
+    fn unknown_flag_error_lists_switches_too() {
+        let err = Flags::parse_with_switches(&argv(&["--nope", "1"]), &["bits"], &["progress"])
+            .unwrap_err();
+        assert!(err.to_string().contains("--progress"));
     }
 }

@@ -9,10 +9,11 @@ use srlr_link::montecarlo::McExperiment;
 use srlr_link::{measure_eye, ComparisonTable, LinkConfig, LinkErrorModel, SrlrLink};
 use srlr_noc::traffic::Pattern;
 use srlr_noc::{
-    ber_sweep, DatapathKind, ExpressComparison, ExpressTopology, FaultConfig, Mesh, Network,
-    NocConfig, PowerModel,
+    ber_sweep_observed, DatapathKind, ExpressComparison, ExpressTopology, FaultConfig, Mesh,
+    Network, NocConfig, PowerModel,
 };
 use srlr_tech::Technology;
+use srlr_telemetry::{Collector, Obs, Progress, RunReport, Value};
 use srlr_units::{DataRate, Voltage};
 use std::fmt::Write as _;
 
@@ -43,7 +44,15 @@ pub fn help() -> String {
        help                             this text\n\
      \n\
      --threads T: worker threads (0 or unset = SRLR_THREADS env var, then\n\
-     the machine). Results are identical at every thread count.\n"
+     the machine). Results are identical at every thread count.\n\
+     \n\
+     telemetry (fig6, waveforms, noc, noc-faults):\n\
+       --trace-out FILE     Chrome trace_event JSON (Perfetto-loadable)\n\
+       --events-out FILE    JSONL structured-event stream\n\
+       --metrics-out FILE   versioned machine-readable run report\n\
+       --progress           decile progress to stderr (fig6, noc-faults)\n\
+     Telemetry never perturbs results and its files are bit-identical at\n\
+     every --threads count.\n"
         .to_owned()
 }
 
@@ -84,6 +93,82 @@ pub fn bathtub(rest: &[String]) -> Result<String, CliError> {
 fn parse_threads(flags: &Flags) -> Result<Option<usize>, CliError> {
     let threads: usize = flags.get_or("threads", 0)?;
     Ok(if threads == 0 { None } else { Some(threads) })
+}
+
+/// The telemetry file-output flags accepted by the instrumented
+/// subcommands (`fig6`, `waveforms`, `noc`, `noc-faults`).
+const TELEMETRY_FLAGS: [&str; 3] = ["trace-out", "metrics-out", "events-out"];
+
+/// Parsed telemetry options of one invocation.
+#[derive(Debug, Default)]
+struct TelemetryOpts {
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    events_out: Option<String>,
+    progress: bool,
+}
+
+impl TelemetryOpts {
+    /// Reads the telemetry flags (and the `--progress` switch, where the
+    /// command accepts it) out of parsed flags.
+    fn from_flags(flags: &Flags) -> Self {
+        Self {
+            trace_out: flags.get_str("trace-out").map(str::to_owned),
+            metrics_out: flags.get_str("metrics-out").map(str::to_owned),
+            events_out: flags.get_str("events-out").map(str::to_owned),
+            progress: flags.is_set("progress"),
+        }
+    }
+
+    /// Whether any file sink was requested (the collector only records
+    /// when something will drain it).
+    fn wants_collector(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.events_out.is_some()
+    }
+
+    /// The observability hooks for a run of `total` work items with
+    /// timestamps in `timebase`.
+    fn obs(&self, timebase: &str, label: &str, total: u64) -> Obs {
+        Obs {
+            collector: if self.wants_collector() {
+                Collector::enabled(timebase)
+            } else {
+                Collector::disabled()
+            },
+            progress: if self.progress {
+                Progress::enabled(label, total)
+            } else {
+                Progress::disabled()
+            },
+        }
+    }
+
+    /// Drains the run's telemetry into the requested files: the Chrome
+    /// `trace_event` document (`--trace-out`), the JSONL event stream
+    /// (`--events-out`) and the versioned run report (`--metrics-out`).
+    fn write(&self, collector: &Collector, report: &RunReport) -> Result<(), CliError> {
+        if let Some(path) = &self.trace_out {
+            write_file(path, collector.chrome_trace_json().as_bytes())?;
+        }
+        if let Some(path) = &self.events_out {
+            let mut buf = Vec::new();
+            collector
+                .write_events_jsonl(&mut buf)
+                .map_err(|e| CliError::Experiment(format!("cannot render `{path}`: {e}")))?;
+            write_file(path, &buf)?;
+        }
+        if let Some(path) = &self.metrics_out {
+            write_file(path, report.to_json().as_bytes())?;
+        }
+        Ok(())
+    }
+}
+
+/// Writes one telemetry artifact, mapping I/O failure to an experiment
+/// error.
+fn write_file(path: &str, contents: &[u8]) -> Result<(), CliError> {
+    std::fs::write(path, contents)
+        .map_err(|e| CliError::Experiment(format!("cannot write `{path}`: {e}")))
 }
 
 /// `srlr crosstalk`.
@@ -201,14 +286,20 @@ pub fn table1() -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `srlr fig6 [--runs N] [--threads T]`.
+/// `srlr fig6 [--runs N] [--threads T]` plus the telemetry flags: the
+/// proposed-design sweep records one `trial` span per die.
 pub fn fig6(rest: &[String]) -> Result<String, CliError> {
-    let flags = Flags::parse(rest, &["runs", "threads"])?;
+    let flags = Flags::parse_with_switches(
+        rest,
+        &["runs", "threads", "trace-out", "metrics-out", "events-out"],
+        &["progress"],
+    )?;
     let runs: usize = flags.get_or("runs", 300)?;
     let threads = parse_threads(&flags)?;
     if runs == 0 {
         return Err(CliError::Usage("--runs must be positive".into()));
     }
+    let tel = TelemetryOpts::from_flags(&flags);
     let tech = Technology::soi45();
     let exp = McExperiment::paper_default(&tech)
         .with_runs(runs)
@@ -222,7 +313,8 @@ pub fn fig6(rest: &[String]) -> Result<String, CliError> {
         "{:>9} {:>22} {:>22}",
         "swing", "proposed", "straightforward"
     );
-    let sweep_p = exp.swing_sweep(&SrlrDesign::paper_proposed(&tech), &swings);
+    let mut obs = tel.obs("trial-index", "fig6", (runs * swings.len()) as u64);
+    let sweep_p = exp.swing_sweep_observed(&SrlrDesign::paper_proposed(&tech), &swings, &mut obs);
     let sweep_s = exp.swing_sweep(&SrlrDesign::straightforward(&tech), &swings);
     for ((swing, p), (_, s)) in sweep_p.iter().zip(&sweep_s) {
         let _ = writeln!(
@@ -238,6 +330,17 @@ pub fn fig6(rest: &[String]) -> Result<String, CliError> {
         out,
         "\nimmunity at the fabrication swing: proposed {p}, straightforward {s} => ratio {ratio:.2}x (paper: 3.7x)"
     );
+    let mut report = RunReport::new("fig6");
+    report.param("runs", Value::U64(runs as u64));
+    report.param("swings", Value::U64(swings.len() as u64));
+    report.metric("proposed_error_probability", Value::F64(p.estimate()));
+    report.metric(
+        "straightforward_error_probability",
+        Value::F64(s.estimate()),
+    );
+    report.metric("immunity_ratio", Value::F64(ratio));
+    report.absorb_collector(&obs.collector);
+    tel.write(&obs.collector, &report)?;
     Ok(out)
 }
 
@@ -263,10 +366,18 @@ pub fn fig8() -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `srlr waveforms`.
-pub fn waveforms() -> Result<String, CliError> {
+/// `srlr waveforms` plus the telemetry flags: the run report and
+/// metrics carry the transient integrator's step statistics.
+pub fn waveforms(rest: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(rest, &TELEMETRY_FLAGS)?;
+    let tel = TelemetryOpts::from_flags(&flags);
     let tech = Technology::soi45();
-    let waves = srlr_core::transient::SrlrTransientFixture::fig4(&tech);
+    let mut collector = if tel.wants_collector() {
+        Collector::enabled("sim-s")
+    } else {
+        Collector::disabled()
+    };
+    let waves = srlr_core::transient::SrlrTransientFixture::fig4_observed(&tech, &mut collector);
     let mut out = String::new();
     let _ = writeln!(out, "IN (peak {}):", waves.input.peak());
     out.push_str(&waves.input.ascii_plot(8, 80));
@@ -276,6 +387,15 @@ pub fn waveforms() -> Result<String, CliError> {
     out.push_str(&waves.output.ascii_plot(8, 80));
     let _ = writeln!(out, "\nNEXT IN (peak {}):", waves.next_input.peak());
     out.push_str(&waves.next_input.ascii_plot(8, 80));
+    let mut report = RunReport::new("waveforms");
+    report.metric("input_peak_v", Value::F64(waves.input.peak().volts()));
+    report.metric("output_peak_v", Value::F64(waves.output.peak().volts()));
+    report.metric(
+        "next_input_peak_v",
+        Value::F64(waves.next_input.peak().volts()),
+    );
+    report.absorb_collector(&collector);
+    tel.write(&collector, &report)?;
     Ok(out)
 }
 
@@ -319,9 +439,24 @@ pub fn eye(rest: &[String]) -> Result<String, CliError> {
     ))
 }
 
-/// `srlr noc [...]`.
+/// `srlr noc [...]` plus the telemetry flags: with any telemetry sink
+/// requested, the run traces the full flit lifecycle (inject, route,
+/// CRC fail, retry, eject) and reports per-link utilisation.
 pub fn noc(rest: &[String]) -> Result<String, CliError> {
-    let flags = Flags::parse(rest, &["cols", "rows", "load", "datapath", "cycles"])?;
+    let flags = Flags::parse(
+        rest,
+        &[
+            "cols",
+            "rows",
+            "load",
+            "datapath",
+            "cycles",
+            "trace-out",
+            "metrics-out",
+            "events-out",
+        ],
+    )?;
+    let tel = TelemetryOpts::from_flags(&flags);
     let cols: u16 = flags.get_or("cols", 8)?;
     let rows: u16 = flags.get_or("rows", 8)?;
     let load: f64 = flags.get_or("load", 0.05)?;
@@ -345,9 +480,33 @@ pub fn noc(rest: &[String]) -> Result<String, CliError> {
         .with_size(cols, rows)
         .with_datapath(datapath);
     let mut net = Network::new(config);
+    if tel.wants_collector() {
+        net.enable_flit_telemetry();
+    }
     let stats = net.run_warmup_and_measure(Pattern::UniformRandom, load, cycles / 4, cycles);
     let model = PowerModel::for_datapath(&tech, config.flit_bits, datapath);
     let power = model.report(&stats.energy, cycles, config.clock, config.mesh().len());
+    let collector = net.take_flit_telemetry().unwrap_or_default();
+    let mut report = RunReport::new("noc");
+    report.param("cols", Value::U64(u64::from(cols)));
+    report.param("rows", Value::U64(u64::from(rows)));
+    report.param("load", Value::F64(load));
+    report.param("cycles", Value::U64(cycles));
+    report.param("datapath", Value::Str(datapath.to_string()));
+    report.metric("packets_injected", Value::U64(stats.packets_injected));
+    report.metric("packets_received", Value::U64(stats.packets_received));
+    if stats.packets_received > 0 {
+        report.metric("avg_latency_cycles", Value::F64(stats.avg_latency_cycles()));
+        report.metric(
+            "throughput_flits_per_node_cycle",
+            Value::F64(stats.throughput_flits_per_node_cycle()),
+        );
+    }
+    for (name, value) in stats.latency_histogram.summary().metric_fields("latency") {
+        report.metric(&name, value);
+    }
+    report.absorb_collector(&collector);
+    tel.write(&collector, &report)?;
     Ok(format!(
         "{cols}x{rows} mesh, {datapath}, load {load}\ntraffic: {stats}\npower:   {power}\n"
     ))
@@ -370,7 +529,7 @@ fn parse_list(name: &str, raw: &str) -> Result<Vec<f64>, CliError> {
 /// Carlo dice with the link physics and its *effective* BER (Wilson
 /// upper bound when error-free) drives the injector.
 pub fn noc_faults(rest: &[String]) -> Result<String, CliError> {
-    let flags = Flags::parse(
+    let flags = Flags::parse_with_switches(
         rest,
         &[
             "cols",
@@ -383,8 +542,13 @@ pub fn noc_faults(rest: &[String]) -> Result<String, CliError> {
             "bits",
             "max-retries",
             "threads",
+            "trace-out",
+            "metrics-out",
+            "events-out",
         ],
+        &["progress"],
     )?;
+    let tel = TelemetryOpts::from_flags(&flags);
     let cols: u16 = flags.get_or("cols", 8)?;
     let rows: u16 = flags.get_or("rows", 8)?;
     let load: f64 = flags.get_or("load", 0.05)?;
@@ -454,7 +618,8 @@ pub fn noc_faults(rest: &[String]) -> Result<String, CliError> {
 
     let config = NocConfig::paper_default().with_size(cols, rows);
     let template = FaultConfig::new(0.0).with_max_retries(max_retries);
-    let points = ber_sweep(
+    let mut obs = tel.obs("point-index", "noc-faults", bers.len() as u64);
+    let points = ber_sweep_observed(
         config,
         template,
         Pattern::UniformRandom,
@@ -463,6 +628,7 @@ pub fn noc_faults(rest: &[String]) -> Result<String, CliError> {
         cycles,
         &bers,
         threads,
+        &mut obs,
     );
 
     let tech = Technology::soi45();
@@ -499,6 +665,35 @@ pub fn noc_faults(rest: &[String]) -> Result<String, CliError> {
             per_bit,
         );
     }
+    let mut report = RunReport::new("noc-faults");
+    report.param("cols", Value::U64(u64::from(cols)));
+    report.param("rows", Value::U64(u64::from(rows)));
+    report.param("load", Value::F64(load));
+    report.param("cycles", Value::U64(cycles));
+    report.param("max_retries", Value::U64(u64::from(max_retries)));
+    report.param("points", Value::U64(points.len() as u64));
+    for (i, (label, point)) in labels.iter().zip(&points).enumerate() {
+        let section = format!("point.{i:03}");
+        report.section_metric(&section, "label", Value::Str(label.clone()));
+        report.section_metric(&section, "ber", Value::F64(point.ber));
+        report.section_metric(
+            &section,
+            "delivered_fraction",
+            Value::F64(point.stats.delivered_fraction()),
+        );
+        report.section_metric(
+            &section,
+            "flits_retransmitted",
+            Value::U64(point.stats.faults.flits_retransmitted),
+        );
+        report.section_metric(
+            &section,
+            "packets_dropped",
+            Value::U64(point.stats.packets_dropped),
+        );
+    }
+    report.absorb_collector(&obs.collector);
+    tel.write(&obs.collector, &report)?;
     Ok(out)
 }
 

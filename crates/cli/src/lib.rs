@@ -61,7 +61,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "table1" => commands::table1(),
         "fig6" => commands::fig6(rest),
         "fig8" => commands::fig8(),
-        "waveforms" => commands::waveforms(),
+        "waveforms" => commands::waveforms(rest),
         "ber" => commands::ber(rest),
         "eye" => commands::eye(rest),
         "noc" => commands::noc(rest),

@@ -274,7 +274,31 @@ impl SrlrTransientFixture {
     /// Runs the transient for `duration` and returns the Fig. 4 waveform
     /// set.
     pub fn simulate(&self, duration: TimeInterval) -> Fig4Waveforms {
+        self.simulate_observed(duration, &mut srlr_telemetry::Collector::disabled())
+    }
+
+    /// Like [`SrlrTransientFixture::simulate`], but also records the
+    /// integrator's step-control statistics (step count, dv-target
+    /// misses, stiffness caps, min/max dt, per-element eval counts) as
+    /// `transient.*` metrics on `collector`. Free when the collector is
+    /// disabled; the waveforms are bit-identical either way.
+    pub fn simulate_observed(
+        &self,
+        duration: TimeInterval,
+        collector: &mut srlr_telemetry::Collector,
+    ) -> Fig4Waveforms {
         let result = Transient::new(&self.net).run_from(duration, &self.initial);
+        result.stats().record_metrics(collector, "transient");
+        if collector.is_enabled() {
+            collector.set_metric(
+                "transient.nodes",
+                srlr_telemetry::Value::U64(self.net.node_count() as u64),
+            );
+            collector.set_metric(
+                "transient.elements",
+                srlr_telemetry::Value::U64(self.net.element_count() as u64),
+            );
+        }
         Fig4Waveforms {
             input: result.waveform(self.input),
             node_x: result.waveform(self.node_x),
@@ -286,6 +310,15 @@ impl SrlrTransientFixture {
     /// Convenience: the paper's Fig. 4 setup — the proposed design at the
     /// typical corner, a `1, 0, 1` pattern at 4.1 Gb/s.
     pub fn fig4(tech: &Technology) -> Fig4Waveforms {
+        Self::fig4_observed(tech, &mut srlr_telemetry::Collector::disabled())
+    }
+
+    /// [`SrlrTransientFixture::fig4`] with integrator telemetry recorded
+    /// on `collector` (see [`SrlrTransientFixture::simulate_observed`]).
+    pub fn fig4_observed(
+        tech: &Technology,
+        collector: &mut srlr_telemetry::Collector,
+    ) -> Fig4Waveforms {
         let design = SrlrDesign::paper_proposed(tech);
         let bit_period = TimeInterval::from_picoseconds(244.0);
         let fixture = Self::build(
@@ -295,7 +328,7 @@ impl SrlrTransientFixture {
             &[true, false, true],
             bit_period,
         );
-        fixture.simulate(TimeInterval::from_picoseconds(244.0 * 3.5))
+        fixture.simulate_observed(TimeInterval::from_picoseconds(244.0 * 3.5), collector)
     }
 }
 
@@ -368,6 +401,27 @@ mod tests {
         assert!(
             ps > 40.0 && ps < 220.0,
             "output width {ps} ps far from the designed window"
+        );
+    }
+
+    #[test]
+    fn observed_simulation_records_integrator_metrics() {
+        use srlr_telemetry::{Collector, Value};
+        let mut c = Collector::enabled("sim");
+        let observed = SrlrTransientFixture::fig4_observed(&Technology::soi45(), &mut c);
+        let steps = match c.metrics().get("transient.steps") {
+            Some(&Value::U64(n)) => n,
+            other => panic!("missing transient.steps metric: {other:?}"),
+        };
+        assert!(steps > 100, "fig4 takes thousands of steps, got {steps}");
+        assert!(c.metrics().contains_key("transient.element_evals"));
+        assert!(c.metrics().contains_key("transient.nodes"));
+        // Observation must not perturb the simulation.
+        let plain = waves();
+        assert_eq!(
+            observed.output.peak(),
+            plain.output.peak(),
+            "telemetry changed the simulation result"
         );
     }
 

@@ -89,6 +89,7 @@ impl Bencher {
 
 fn report(id: &str, samples: &[Duration]) {
     if samples.is_empty() {
+        // srlr-lint: allow(no-print, reason = "the criterion shim IS the bench reporter; its one job is terminal output")
         println!("{id:<44} (no samples)");
         return;
     }
@@ -96,6 +97,7 @@ fn report(id: &str, samples: &[Duration]) {
         return; // unreachable: the empty case returned above
     };
     let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    // srlr-lint: allow(no-print, reason = "the criterion shim IS the bench reporter; its one job is terminal output")
     println!(
         "{id:<44} time: [{} {} {}]",
         human(*min),

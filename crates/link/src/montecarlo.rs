@@ -20,6 +20,7 @@ use crate::prbs::Prbs;
 use srlr_core::SrlrDesign;
 use srlr_tech::montecarlo::ErrorProbability;
 use srlr_tech::{MonteCarlo, Technology};
+use srlr_telemetry::{Obs, Value};
 use srlr_units::Voltage;
 
 /// The Sec. III-B deterministic worst-case stress patterns, shared by
@@ -103,11 +104,63 @@ impl<'a> McExperiment<'a> {
     /// Runs the experiment for one design, returning the error
     /// probability over the sampled dice.
     pub fn error_probability(&self, design: &SrlrDesign) -> ErrorProbability {
+        self.error_probability_observed(design, &mut Obs::none())
+    }
+
+    /// [`McExperiment::error_probability`] with observability: each die
+    /// becomes a `trial` span (timestamped by its trial index, the
+    /// experiment's logical clock), per-run totals land as `mc.*`
+    /// metrics, and `obs.progress` ticks once per die.
+    ///
+    /// When `obs` is inactive this *is* the untraced path — same code,
+    /// no allocation, bit-identical result. When active, workers record
+    /// into per-trial child collectors that are merged back in trial
+    /// order, so the telemetry bytes are identical at any thread count.
+    pub fn error_probability_observed(
+        &self,
+        design: &SrlrDesign,
+        obs: &mut Obs,
+    ) -> ErrorProbability {
         let mc = MonteCarlo::new(self.tech, self.seed);
         let threads = engine::resolve_threads(self.threads);
-        let failures = engine::par_count(self.runs, threads, |trial| {
-            !self.trial_passes(design, &mc, trial as u64)
+        if !obs.is_active() {
+            let failures = engine::par_count(self.runs, threads, |trial| {
+                !self.trial_passes(design, &mc, trial as u64)
+            });
+            return ErrorProbability {
+                failures,
+                trials: self.runs,
+            };
+        }
+        let (collector, progress) = (&obs.collector, &obs.progress);
+        let outcomes = engine::par_map_indexed(self.runs, threads, |trial| {
+            let pass = self.trial_passes(design, &mc, trial as u64);
+            progress.tick();
+            let mut child = collector.child();
+            child.span(
+                "trial",
+                "mc",
+                trial as f64,
+                1.0,
+                0,
+                &[
+                    ("trial", Value::U64(trial as u64)),
+                    ("pass", Value::Bool(pass)),
+                ],
+            );
+            (pass, child)
         });
+        let mut failures = 0usize;
+        for (pass, child) in outcomes {
+            obs.collector.merge(child);
+            failures += usize::from(!pass);
+        }
+        obs.collector.add("mc.trials", self.runs as u64);
+        obs.collector.add("mc.failures", failures as u64);
+        obs.collector.set_metric(
+            "mc.error_probability",
+            Value::F64(failures as f64 / self.runs as f64),
+        );
         ErrorProbability {
             failures,
             trials: self.runs,
@@ -124,17 +177,60 @@ impl<'a> McExperiment<'a> {
         design: &SrlrDesign,
         swings: &[Voltage],
     ) -> Vec<(Voltage, ErrorProbability)> {
+        self.swing_sweep_observed(design, swings, &mut Obs::none())
+    }
+
+    /// [`McExperiment::swing_sweep`] with observability (see
+    /// [`McExperiment::error_probability_observed`]): each die becomes a
+    /// `trial` span on the track of its sweep point, per-point tallies
+    /// land as `mc.point.NNN.*` metrics, and `obs.progress` ticks once
+    /// per die across the whole flattened workload.
+    pub fn swing_sweep_observed(
+        &self,
+        design: &SrlrDesign,
+        swings: &[Voltage],
+        obs: &mut Obs,
+    ) -> Vec<(Voltage, ErrorProbability)> {
         let designs: Vec<SrlrDesign> = swings
             .iter()
             .map(|&s| design.with_nominal_swing(s))
             .collect();
         let mc = MonteCarlo::new(self.tech, self.seed);
         let threads = engine::resolve_threads(self.threads);
-        let passes = engine::par_map_indexed(swings.len() * self.runs, threads, |i| {
-            let (point, trial) = (i / self.runs, i % self.runs);
-            self.trial_passes(&designs[point], &mc, trial as u64)
-        });
-        swings
+        let passes = if obs.is_active() {
+            let (collector, progress) = (&obs.collector, &obs.progress);
+            let outcomes = engine::par_map_indexed(swings.len() * self.runs, threads, |i| {
+                let (point, trial) = (i / self.runs, i % self.runs);
+                let pass = self.trial_passes(&designs[point], &mc, trial as u64);
+                progress.tick();
+                let mut child = collector.child();
+                child.span(
+                    "trial",
+                    "mc.sweep",
+                    i as f64,
+                    1.0,
+                    point as u64,
+                    &[
+                        ("point", Value::U64(point as u64)),
+                        ("trial", Value::U64(trial as u64)),
+                        ("pass", Value::Bool(pass)),
+                    ],
+                );
+                (pass, child)
+            });
+            let mut passes = Vec::with_capacity(outcomes.len());
+            for (pass, child) in outcomes {
+                obs.collector.merge(child);
+                passes.push(pass);
+            }
+            passes
+        } else {
+            engine::par_map_indexed(swings.len() * self.runs, threads, |i| {
+                let (point, trial) = (i / self.runs, i % self.runs);
+                self.trial_passes(&designs[point], &mc, trial as u64)
+            })
+        };
+        let sweep: Vec<(Voltage, ErrorProbability)> = swings
             .iter()
             .zip(passes.chunks(self.runs))
             .map(|(&s, chunk)| {
@@ -146,7 +242,23 @@ impl<'a> McExperiment<'a> {
                     },
                 )
             })
-            .collect()
+            .collect();
+        if obs.collector.is_enabled() {
+            obs.collector
+                .add("mc.trials", (swings.len() * self.runs) as u64);
+            for (point, (swing, p)) in sweep.iter().enumerate() {
+                let prefix = format!("mc.point.{point:03}");
+                obs.collector.set_metric(
+                    &format!("{prefix}.swing_mv"),
+                    Value::F64(swing.millivolts()),
+                );
+                obs.collector
+                    .set_metric(&format!("{prefix}.failures"), Value::U64(p.failures as u64));
+                obs.collector
+                    .set_metric(&format!("{prefix}.trials"), Value::U64(p.trials as u64));
+            }
+        }
+        sweep
     }
 
     /// The paper's headline robustness claim: the immunity ratio between
@@ -271,5 +383,59 @@ mod tests {
     fn zero_runs_rejected() {
         let tech = Technology::soi45();
         let _ = McExperiment::paper_default(&tech).with_runs(0);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_bit_for_bit() {
+        use srlr_telemetry::Collector;
+        let tech = Technology::soi45();
+        let design = SrlrDesign::paper_proposed(&tech);
+        let exp = McExperiment::paper_default(&tech).with_runs(60);
+        let plain = exp.error_probability(&design);
+        let mut obs = Obs {
+            collector: Collector::enabled("trial-index"),
+            ..Obs::default()
+        };
+        let traced = exp.error_probability_observed(&design, &mut obs);
+        assert_eq!(plain, traced, "telemetry must not perturb the result");
+        assert_eq!(obs.collector.spans().len(), 60, "one span per die");
+        assert_eq!(obs.collector.counter("mc.trials"), 60);
+        assert_eq!(obs.collector.counter("mc.failures"), plain.failures as u64);
+    }
+
+    #[test]
+    fn telemetry_is_bit_identical_across_thread_counts() {
+        use srlr_telemetry::Collector;
+        let tech = Technology::soi45();
+        let design = SrlrDesign::paper_proposed(&tech);
+        let swings = [
+            Voltage::from_millivolts(300.0),
+            Voltage::from_millivolts(450.0),
+        ];
+        let jsonl_at = |threads: usize| {
+            let exp = McExperiment::paper_default(&tech)
+                .with_runs(40)
+                .with_threads(Some(threads));
+            let mut obs = Obs {
+                collector: Collector::enabled("trial-index"),
+                ..Obs::default()
+            };
+            let sweep = exp.swing_sweep_observed(&design, &swings, &mut obs);
+            let mut buf = Vec::new();
+            obs.collector
+                .write_events_jsonl(&mut buf)
+                .expect("vec write");
+            (sweep, buf, obs.collector.chrome_trace_json())
+        };
+        let (sweep1, jsonl1, chrome1) = jsonl_at(1);
+        for threads in [2usize, 8] {
+            let (sweep_n, jsonl_n, chrome_n) = jsonl_at(threads);
+            assert_eq!(sweep1, sweep_n, "results diverged at {threads} threads");
+            assert_eq!(jsonl1, jsonl_n, "JSONL diverged at {threads} threads");
+            assert_eq!(chrome1, chrome_n, "trace diverged at {threads} threads");
+        }
+        // Spans arrive in flattened-index order regardless of threads.
+        let text = String::from_utf8(jsonl1).expect("utf8");
+        assert_eq!(text.lines().filter(|l| l.contains("\"span\"")).count(), 80);
     }
 }

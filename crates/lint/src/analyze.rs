@@ -22,6 +22,8 @@ use crate::rules::RuleId;
 const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
 /// Macros that abort the process.
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+/// Macros that write straight to stdout/stderr.
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
 /// Keywords that complete a `pub` item for `missing-doc`.
 const ITEM_KEYWORDS: &[&str] = &[
     "fn", "struct", "enum", "trait", "type", "static", "mod", "union",
@@ -48,6 +50,8 @@ pub struct AnalyzeOptions {
     pub allow_time: bool,
     /// Allow `spawn(…)` (the `srlr-parallel` worker pool).
     pub allow_spawn: bool,
+    /// Allow the `println!` family (binaries and the bench harness).
+    pub allow_print: bool,
     /// Scan for the advisory `indexing` rule.
     pub warn_indexing: bool,
 }
@@ -396,6 +400,20 @@ fn scan_code_rules(view: &FileView<'_>, opts: AnalyzeOptions, diags: &mut Vec<Di
                         RuleId::NoPanic,
                         format!("`{text}!` aborts in library code; return a typed error instead"),
                     ));
+                } else if PRINT_MACROS.contains(&text)
+                    && next_is_bang
+                    && !prev_is_dot
+                    && !opts.allow_print
+                {
+                    diags.push(view.diag(
+                        &tok,
+                        RuleId::NoPrint,
+                        format!(
+                            "`{text}!` writes to the terminal from library code; return a \
+                             string, take an `io::Write`, or record through the telemetry \
+                             sinks"
+                        ),
+                    ));
                 } else if text == "HashMap" || text == "HashSet" {
                     diags.push(view.diag(
                         &tok,
@@ -670,6 +688,38 @@ mod tests {
     #[test]
     fn int_eq_is_fine() {
         assert!(run("fn f(x: u8) -> bool { x == 3 }").is_empty());
+    }
+
+    #[test]
+    fn catches_print_macros() {
+        let d = run("fn f() { println!(\"x\"); eprintln!(\"y\"); dbg!(1); }");
+        assert_eq!(
+            rules(&d),
+            [RuleId::NoPrint, RuleId::NoPrint, RuleId::NoPrint]
+        );
+        assert!(d[0].message.contains("println!"));
+    }
+
+    #[test]
+    fn print_is_allowed_in_binaries_and_tests() {
+        let opts = AnalyzeOptions {
+            allow_print: true,
+            ..AnalyzeOptions::default()
+        };
+        assert!(analyze_source("main.rs", "fn main() { println!(\"ok\"); }", opts).is_empty());
+        let test_code =
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { println!(\"dbg\"); }\n}";
+        assert!(run(test_code).is_empty());
+    }
+
+    #[test]
+    fn writeln_and_print_named_items_are_not_flagged() {
+        // `writeln!` to an explicit writer is the sanctioned pattern, and
+        // an identifier merely named `print` is not the macro.
+        assert!(
+            run("fn f(w: &mut impl std::io::Write) { let _ = writeln!(w, \"x\"); }").is_empty()
+        );
+        assert!(run("fn f(print: u8) -> u8 { print }").is_empty());
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! * `det-time` — no wall-clock reads outside `crates/criterion`,
 //! * `det-spawn` — no threads outside `srlr-parallel`,
 //! * `float-eq` — no `==`/`!=` against float literals,
+//! * `no-print` — no `println!` family in library code (binaries and
+//!   `crates/bench` may print),
 //! * `missing-doc` — public items in `srlr-tech`/`srlr-circuit`/
 //!   `srlr-units` carry doc comments,
 //! * `indexing` — advisory, opt-in (`--warn-indexing`).
@@ -42,6 +44,9 @@ const DOC_COVERED: &[&str] = &["crates/tech/", "crates/circuit/", "crates/units/
 const TIME_ALLOWED: &[&str] = &["crates/criterion/"];
 /// Prefix allowed to spawn threads.
 const SPAWN_ALLOWED: &[&str] = &["crates/parallel/"];
+/// Prefixes allowed to print: the bench harness crate is a reporting
+/// tool whose whole job is terminal output.
+const PRINT_ALLOWED: &[&str] = &["crates/bench/"];
 
 /// A lint run's configuration.
 #[derive(Debug, Clone)]
@@ -135,6 +140,9 @@ pub fn options_for(rel: &str, warn_indexing: bool) -> AnalyzeOptions {
         check_missing_doc: DOC_COVERED.iter().any(|p| rel.starts_with(p)),
         allow_time: TIME_ALLOWED.iter().any(|p| rel.starts_with(p)),
         allow_spawn: SPAWN_ALLOWED.iter().any(|p| rel.starts_with(p)),
+        allow_print: PRINT_ALLOWED.iter().any(|p| rel.starts_with(p))
+            || rel == "main.rs"
+            || rel.ends_with("/main.rs"),
         warn_indexing,
     }
 }
@@ -176,13 +184,22 @@ mod tests {
     #[test]
     fn options_follow_path_prefixes() {
         let o = options_for("crates/tech/src/mosfet.rs", false);
-        assert!(o.check_missing_doc && !o.allow_time && !o.allow_spawn);
+        assert!(o.check_missing_doc && !o.allow_time && !o.allow_spawn && !o.allow_print);
         let o = options_for("crates/criterion/src/lib.rs", false);
         assert!(!o.check_missing_doc && o.allow_time && !o.allow_spawn);
         let o = options_for("crates/parallel/src/pool.rs", false);
         assert!(o.allow_spawn);
         let o = options_for("crates/noc/src/router.rs", true);
         assert!(!o.check_missing_doc && o.warn_indexing);
+    }
+
+    #[test]
+    fn printing_is_allowed_in_binaries_and_bench_only() {
+        assert!(options_for("crates/cli/src/main.rs", false).allow_print);
+        assert!(options_for("crates/lint/src/main.rs", false).allow_print);
+        assert!(options_for("crates/bench/src/report.rs", false).allow_print);
+        assert!(!options_for("crates/cli/src/lib.rs", false).allow_print);
+        assert!(!options_for("crates/noc/src/domain.rs", false).allow_print);
     }
 
     #[test]

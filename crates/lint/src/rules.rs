@@ -36,6 +36,11 @@ pub enum RuleId {
     /// usually a tolerance bug. (Token-level: only literal operands are
     /// detectable.)
     FloatEq,
+    /// `println!`-family macros in library code: libraries return strings
+    /// or write through `io::Write`/the telemetry sinks so output stays
+    /// testable and redirectable. Binaries (`main.rs`) and the bench
+    /// harness crate keep printing.
+    NoPrint,
     /// Public item without a doc comment, in the crates configured for
     /// doc coverage (`srlr-tech`, `srlr-circuit`, `srlr-units`).
     MissingDoc,
@@ -58,6 +63,7 @@ pub const ALL_RULES: &[RuleId] = &[
     RuleId::DetTime,
     RuleId::DetSpawn,
     RuleId::FloatEq,
+    RuleId::NoPrint,
     RuleId::MissingDoc,
     RuleId::Indexing,
     RuleId::BadSuppression,
@@ -74,6 +80,7 @@ impl RuleId {
             RuleId::DetTime => "det-time",
             RuleId::DetSpawn => "det-spawn",
             RuleId::FloatEq => "float-eq",
+            RuleId::NoPrint => "no-print",
             RuleId::MissingDoc => "missing-doc",
             RuleId::Indexing => "indexing",
             RuleId::BadSuppression => "bad-suppression",
@@ -96,6 +103,10 @@ impl RuleId {
             RuleId::DetTime => "no Instant/SystemTime outside crates/criterion",
             RuleId::DetSpawn => "no spawn() outside srlr-parallel",
             RuleId::FloatEq => "no ==/!= against float literals",
+            RuleId::NoPrint => {
+                "no println!/eprintln!/print!/eprint!/dbg! in library code (main.rs and \
+                 crates/bench may print)"
+            }
             RuleId::MissingDoc => "public items in doc-covered crates need doc comments",
             RuleId::Indexing => "advisory: expr[index] can panic (enable with --warn-indexing)",
             RuleId::BadSuppression => "suppression comments need a known rule and a reason",

@@ -366,15 +366,104 @@ pub fn ber_sweep(
     bers: &[f64],
     threads: Option<usize>,
 ) -> Vec<FaultSweepPoint> {
+    let mut obs = srlr_telemetry::Obs::none();
+    ber_sweep_observed(
+        base, template, pattern, load, warmup, measure, bers, threads, &mut obs,
+    )
+}
+
+/// [`ber_sweep`] with telemetry: one `point` span per BER point (track =
+/// point index, so the merged stream is identical at every thread
+/// count), per-point `ber.point.NNN.*` metrics including the latency
+/// histogram summary, `ber.points` / `ber.packets_*` counters, and a
+/// progress tick per point. With an inactive `obs` this is exactly
+/// [`ber_sweep`]: no allocation, no overhead beyond one branch.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`ber_sweep`].
+#[allow(clippy::too_many_arguments)]
+pub fn ber_sweep_observed(
+    base: NocConfig,
+    template: FaultConfig,
+    pattern: Pattern,
+    load: f64,
+    warmup: u64,
+    measure: u64,
+    bers: &[f64],
+    threads: Option<usize>,
+    obs: &mut srlr_telemetry::Obs,
+) -> Vec<FaultSweepPoint> {
+    use srlr_telemetry::Value;
     assert!(!bers.is_empty(), "need at least one BER point");
     let workers = srlr_parallel::resolve_threads(threads);
-    srlr_parallel::par_map_indexed(bers.len(), workers, |i| {
+    let run_point = |i: usize| {
         let ber = bers[i];
         let fault = FaultConfig { ber, ..template };
         let mut net = crate::Network::new(base.with_faults(fault));
         let stats = net.run_warmup_and_measure(pattern, load, warmup, measure);
         FaultSweepPoint { ber, stats }
-    })
+    };
+    if !obs.is_active() {
+        return srlr_parallel::par_map_indexed(bers.len(), workers, run_point);
+    }
+    let (collector, progress) = (&obs.collector, &obs.progress);
+    let observed = srlr_parallel::par_map_indexed(bers.len(), workers, |i| {
+        let point = run_point(i);
+        let mut child = collector.child();
+        child.span(
+            "point",
+            "ber-sweep",
+            i as f64,
+            1.0,
+            i as u64,
+            &[
+                ("point", Value::U64(i as u64)),
+                ("ber", Value::F64(point.ber)),
+                ("received", Value::U64(point.stats.packets_received)),
+                ("dropped", Value::U64(point.stats.packets_dropped)),
+            ],
+        );
+        let prefix = format!("ber.point.{i:03}");
+        child.set_metric(&format!("{prefix}.ber"), Value::F64(point.ber));
+        child.set_metric(
+            &format!("{prefix}.packets_received"),
+            Value::U64(point.stats.packets_received),
+        );
+        child.set_metric(
+            &format!("{prefix}.packets_dropped"),
+            Value::U64(point.stats.packets_dropped),
+        );
+        child.set_metric(
+            &format!("{prefix}.delivered_fraction"),
+            Value::F64(point.stats.delivered_fraction()),
+        );
+        child.set_metric(
+            &format!("{prefix}.retries_exhausted"),
+            Value::U64(point.stats.faults.retries_exhausted),
+        );
+        for (name, value) in point
+            .stats
+            .latency_histogram
+            .summary()
+            .metric_fields(&format!("{prefix}.latency"))
+        {
+            child.set_metric(&name, value);
+        }
+        progress.tick();
+        (point, child)
+    });
+    let mut points = Vec::with_capacity(observed.len());
+    for (point, child) in observed {
+        obs.collector.merge(child);
+        obs.collector.add("ber.points", 1);
+        obs.collector
+            .add("ber.packets_received", point.stats.packets_received);
+        obs.collector
+            .add("ber.packets_dropped", point.stats.packets_dropped);
+        points.push(point);
+    }
+    points
 }
 
 #[cfg(test)]
@@ -501,6 +590,57 @@ mod tests {
     #[should_panic(expected = "BER must be in [0, 1)")]
     fn invalid_ber_rejected() {
         let _ = FaultConfig::new(1.5);
+    }
+
+    #[test]
+    fn observed_ber_sweep_matches_unobserved_and_is_thread_invariant() {
+        let bers = [0.0, 1e-3, 5e-3];
+        let run = |threads: usize, observe: bool| {
+            let mut obs = if observe {
+                srlr_telemetry::Obs {
+                    collector: srlr_telemetry::Collector::enabled("point-index"),
+                    progress: srlr_telemetry::Progress::disabled(),
+                }
+            } else {
+                srlr_telemetry::Obs::none()
+            };
+            let points = ber_sweep_observed(
+                NocConfig::paper_default().with_size(4, 4),
+                FaultConfig::new(0.0),
+                Pattern::UniformRandom,
+                0.05,
+                100,
+                400,
+                &bers,
+                Some(threads),
+                &mut obs,
+            );
+            let mut jsonl = Vec::new();
+            obs.collector
+                .write_events_jsonl(&mut jsonl)
+                .expect("in-memory write");
+            (points, jsonl)
+        };
+        let (plain, empty) = run(1, false);
+        assert!(empty.is_empty(), "inactive obs records nothing");
+        let (p1, t1) = run(1, true);
+        let (p2, t2) = run(2, true);
+        let (p8, t8) = run(8, true);
+        assert_eq!(plain, p1, "observation must not perturb results");
+        assert_eq!(p1, p2);
+        assert_eq!(p1, p8);
+        assert_eq!(t1, t2, "telemetry must be bit-identical at 2 threads");
+        assert_eq!(t1, t8, "telemetry must be bit-identical at 8 threads");
+        let text = String::from_utf8(t1).expect("utf8");
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.contains("\"type\":\"span\""))
+                .count(),
+            bers.len(),
+            "one span per BER point"
+        );
+        assert!(text.contains("\"ber.point.001.latency.p50\""));
+        assert!(text.contains("\"name\":\"ber.points\",\"value\":3"));
     }
 
     #[test]

@@ -61,12 +61,14 @@ pub mod traffic;
 pub use area::RouterAreaModel;
 pub use bufferless::DeflectionNetwork;
 pub use express::{ExpressComparison, ExpressTopology};
-pub use fault::{ber_sweep, FaultConfig, FaultModel, FaultSweepPoint, FaultTally};
+pub use fault::{
+    ber_sweep, ber_sweep_observed, FaultConfig, FaultModel, FaultSweepPoint, FaultTally,
+};
 pub use multicast::MulticastAccounting;
 pub use network::{Network, StalledError};
 pub use packet::{crc16, Flit, FlitKind, Packet, PacketId};
 pub use power::{DatapathKind, PowerModel, PublishedBreakdown, RouterPowerReport};
 pub use router::{NocConfig, Router};
 pub use routing::RoutingAlgorithm;
-pub use stats::{Histogram, NetworkStats};
+pub use stats::{Histogram, HistogramSummary, NetworkStats};
 pub use topology::{Coord, Direction, Mesh};

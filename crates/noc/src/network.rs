@@ -1,14 +1,87 @@
 //! The cycle-accurate network simulator: routers, links, injection and
 //! ejection, with deterministic two-phase updates.
 
-use crate::fault::FaultModel;
+use crate::fault::{FaultModel, LinkTransmission};
 use crate::packet::{Flit, Packet, PacketId};
 use crate::power::EnergyCounters;
 use crate::router::{NocConfig, Router};
 use crate::stats::NetworkStats;
 use crate::topology::{Coord, Direction, Mesh};
 use crate::traffic::{Pattern, TrafficGenerator};
+use srlr_telemetry::{Collector, Value};
 use std::collections::{BTreeSet, VecDeque};
+
+/// Opt-in flit-lifecycle telemetry (see
+/// [`Network::enable_flit_telemetry`]): a collector of per-flit
+/// lifecycle events plus a per-directed-link traversal tally that
+/// becomes `link.*` counters when the collector is taken.
+#[derive(Debug, Clone)]
+struct FlitTelemetry {
+    collector: Collector,
+    /// Flit traversals per directed link (`node * 4 + direction`).
+    link_flits: Vec<u64>,
+}
+
+/// Emits the CRC-fail / NACK / retry lifecycle events and counters for
+/// one faulty link traversal. Clean traversals return after one branch.
+fn record_fault_events(
+    collector: &mut Collector,
+    cycle: u64,
+    from: Coord,
+    out: Direction,
+    packet: PacketId,
+    tx: &LinkTransmission,
+) {
+    if tx.nacks == 0 && tx.delivered && !tx.silent {
+        return;
+    }
+    let ts = cycle as f64;
+    if tx.nacks > 0 {
+        collector.event(
+            "flit.crc_fail",
+            ts,
+            &[
+                ("packet", Value::U64(packet.0)),
+                ("x", Value::U64(u64::from(from.x))),
+                ("y", Value::U64(u64::from(from.y))),
+                ("out", Value::Str(out.to_string())),
+                ("nacks", Value::U64(u64::from(tx.nacks))),
+            ],
+        );
+        collector.add("flit.nacks", u64::from(tx.nacks));
+    }
+    if tx.attempts > 1 {
+        collector.event(
+            "flit.retry",
+            ts,
+            &[
+                ("packet", Value::U64(packet.0)),
+                ("x", Value::U64(u64::from(from.x))),
+                ("y", Value::U64(u64::from(from.y))),
+                ("out", Value::Str(out.to_string())),
+                ("retries", Value::U64(u64::from(tx.attempts - 1))),
+                ("delivered", Value::Bool(tx.delivered)),
+            ],
+        );
+        collector.add("flit.retries", u64::from(tx.attempts - 1));
+    }
+    if !tx.delivered {
+        collector.event(
+            "flit.retry_exhausted",
+            ts,
+            &[
+                ("packet", Value::U64(packet.0)),
+                ("x", Value::U64(u64::from(from.x))),
+                ("y", Value::U64(u64::from(from.y))),
+                ("out", Value::Str(out.to_string())),
+            ],
+        );
+        collector.add("flit.retries_exhausted", 1);
+    }
+    if tx.silent {
+        collector.add("flit.silent_corruptions", 1);
+    }
+}
 
 /// A bounded simulation ran out of cycles before the expected packets
 /// terminated: the typed replacement for the old "step N times and
@@ -101,6 +174,9 @@ pub struct Network {
     /// cycle granted so far: retransmission delays must not let a later
     /// flit overtake an earlier one on the same wire.
     link_busy_until: Vec<u64>,
+    /// Opt-in flit-lifecycle telemetry; `None` costs one branch per
+    /// instrumentation site and no allocation.
+    telemetry: Option<Box<FlitTelemetry>>,
 }
 
 impl Network {
@@ -129,6 +205,7 @@ impl Network {
             dropped: 0,
             routing_errors: 0,
             link_busy_until: vec![0; n * Direction::MESH.len()],
+            telemetry: None,
         }
     }
 
@@ -153,6 +230,50 @@ impl Network {
     pub fn traces(&self) -> &std::collections::BTreeMap<crate::packet::PacketId, Vec<Coord>> {
         // srlr-lint: allow(no-panic, reason = "documented panic: caller must call enable_tracing first, see # Panics")
         self.traces.as_ref().expect("tracing not enabled")
+    }
+
+    /// Enables the flit-lifecycle tracer: `flit.inject`, `flit.route`,
+    /// `flit.crc_fail`, `flit.retry`, `flit.retry_exhausted`,
+    /// `flit.eject` and `flit.drop` events (timestamps in cycles) plus
+    /// per-directed-link flit tallies. Costs memory proportional to
+    /// traffic; intended for validation, debugging and `--events-out`.
+    pub fn enable_flit_telemetry(&mut self) {
+        self.telemetry = Some(Box::new(FlitTelemetry {
+            collector: Collector::enabled("cycles"),
+            link_flits: vec![0; self.mesh.len() * Direction::MESH.len()],
+        }));
+    }
+
+    /// Whether the flit-lifecycle tracer is currently recording.
+    pub fn flit_telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Takes the flit-lifecycle collector, folding the per-link flit
+    /// tallies into `link.x{X}y{Y}.{dir}.flits` counters and summary
+    /// metrics (`link.links_used`, `link.max_flits`,
+    /// `link.total_flits`, `flit.cycles`). Returns `None` when the
+    /// tracer was never enabled; recording stops.
+    pub fn take_flit_telemetry(&mut self) -> Option<Collector> {
+        let tel = self.telemetry.take()?;
+        let mut collector = tel.collector;
+        let (mut links_used, mut max_flits, mut total_flits) = (0u64, 0u64, 0u64);
+        for (link, &flits) in tel.link_flits.iter().enumerate() {
+            if flits == 0 {
+                continue;
+            }
+            links_used += 1;
+            max_flits = max_flits.max(flits);
+            total_flits += flits;
+            let at = self.mesh.coord_of(link / Direction::MESH.len());
+            let dir = Direction::MESH[link % Direction::MESH.len()];
+            collector.add(&format!("link.x{}y{}.{dir}.flits", at.x, at.y), flits);
+        }
+        collector.set_metric("link.links_used", Value::U64(links_used));
+        collector.set_metric("link.max_flits", Value::U64(max_flits));
+        collector.set_metric("link.total_flits", Value::U64(total_flits));
+        collector.set_metric("flit.cycles", Value::U64(self.cycle));
+        Some(collector)
     }
 
     /// The configuration.
@@ -244,6 +365,20 @@ impl Network {
     pub fn enqueue(&mut self, packet: Packet) {
         let node = self.mesh.index_of(packet.src);
         self.injected += 1;
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.collector.event(
+                "flit.inject",
+                self.cycle as f64,
+                &[
+                    ("packet", Value::U64(packet.id.0)),
+                    ("src_x", Value::U64(u64::from(packet.src.x))),
+                    ("src_y", Value::U64(u64::from(packet.src.y))),
+                    ("flits", Value::U64(packet.len_flits as u64)),
+                    ("branches", Value::U64(packet.dsts.len() as u64)),
+                ],
+            );
+            tel.collector.add("flit.packets_injected", 1);
+        }
         if packet.is_multicast() {
             let acc = crate::multicast::MulticastAccounting::for_packet(self.mesh, &packet);
             self.multicast_saved_hops += acc.saved_hops() as u64 * packet.len_flits as u64;
@@ -325,6 +460,19 @@ impl Network {
                             .or_default()
                             .push(self.routers[i].coord());
                     }
+                    if let Some(tel) = self.telemetry.as_mut() {
+                        let at = self.routers[i].coord();
+                        tel.collector.event(
+                            "flit.route",
+                            self.cycle as f64,
+                            &[
+                                ("packet", Value::U64(s.flit.packet.0)),
+                                ("x", Value::U64(u64::from(at.x))),
+                                ("y", Value::U64(u64::from(at.y))),
+                                ("out", Value::Str(s.out_port.to_string())),
+                            ],
+                        );
+                    }
                 }
                 let here = self.routers[i].coord();
                 // Credit back to the upstream router (not for local
@@ -351,9 +499,34 @@ impl Network {
                             if let Some(fault) = self.fault.as_mut() {
                                 fault.note_packet_dropped();
                             }
+                            if let Some(tel) = self.telemetry.as_mut() {
+                                tel.collector.event(
+                                    "flit.drop",
+                                    self.cycle as f64,
+                                    &[
+                                        ("packet", Value::U64(s.flit.packet.0)),
+                                        ("x", Value::U64(u64::from(here.x))),
+                                        ("y", Value::U64(u64::from(here.y))),
+                                    ],
+                                );
+                                tel.collector.add("flit.packets_dropped", 1);
+                            }
                         } else {
                             let latency = self.cycle - s.flit.inject_cycle + 1;
                             completed.push((here, latency));
+                            if let Some(tel) = self.telemetry.as_mut() {
+                                tel.collector.event(
+                                    "flit.eject",
+                                    self.cycle as f64,
+                                    &[
+                                        ("packet", Value::U64(s.flit.packet.0)),
+                                        ("x", Value::U64(u64::from(here.x))),
+                                        ("y", Value::U64(u64::from(here.y))),
+                                        ("latency", Value::U64(latency)),
+                                    ],
+                                );
+                                tel.collector.add("flit.packets_ejected", 1);
+                            }
                         }
                     }
                 } else {
@@ -369,11 +542,24 @@ impl Network {
                                 if !tx.delivered {
                                     self.failed.insert(s.flit.packet);
                                 }
+                                if let Some(tel) = self.telemetry.as_mut() {
+                                    record_fault_events(
+                                        &mut tel.collector,
+                                        self.cycle,
+                                        here,
+                                        s.out_port,
+                                        s.flit.packet,
+                                        &tx,
+                                    );
+                                }
                             }
                             // Retransmission delay must not let this flit
                             // overtake an earlier one on the same wire.
                             let link = self.mesh.index_of(here) * Direction::MESH.len()
                                 + s.out_port.index();
+                            if let Some(tel) = self.telemetry.as_mut() {
+                                tel.link_flits[link] += 1;
+                            }
                             let at = (self.cycle + delay).max(self.link_busy_until[link] + 1);
                             self.link_busy_until[link] = at;
                             self.pending_flits[self.mesh.index_of(next)].push((
@@ -711,6 +897,81 @@ mod tests {
             net.fault_tally().expect("faults enabled").packets_dropped
         );
         assert!(net.drain(50_000), "drops must not wedge the wormhole");
+    }
+
+    #[test]
+    fn flit_telemetry_traces_the_lifecycle() {
+        let mut net = Network::new(small_config());
+        net.enable_flit_telemetry();
+        assert!(net.flit_telemetry_enabled());
+        let src = Coord::new(0, 0);
+        let dst = Coord::new(3, 3);
+        net.enqueue(Packet::unicast(PacketId(9), src, dst, 2, 0));
+        let done = net.run_until_delivered(1, 200).expect("must arrive");
+        let latency = done[0].1;
+        let tel = net.take_flit_telemetry().expect("tracer was enabled");
+        assert!(!net.flit_telemetry_enabled(), "take stops recording");
+        assert!(net.take_flit_telemetry().is_none());
+
+        assert_eq!(tel.timebase(), "cycles");
+        let names: Vec<&str> = tel.events().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names.first(), Some(&"flit.inject"));
+        assert_eq!(names.last(), Some(&"flit.eject"));
+        // XY from (0,0) to (3,3): 6 inter-router hops + the local
+        // ejection = 7 route events for the head flit.
+        assert_eq!(names.iter().filter(|n| **n == "flit.route").count(), 7);
+        let eject = tel.events().last().expect("eject event");
+        assert_eq!(
+            eject.fields.get("latency"),
+            Some(&srlr_telemetry::Value::U64(latency))
+        );
+        assert_eq!(tel.counter("flit.packets_injected"), 1);
+        assert_eq!(tel.counter("flit.packets_ejected"), 1);
+        assert_eq!(tel.counter("flit.packets_dropped"), 0);
+        // 6 links x 2 flits traversed; the per-link counters agree.
+        assert_eq!(
+            tel.metrics().get("link.total_flits"),
+            Some(&srlr_telemetry::Value::U64(12))
+        );
+        assert_eq!(
+            tel.metrics().get("link.links_used"),
+            Some(&srlr_telemetry::Value::U64(6))
+        );
+        assert_eq!(tel.counter("link.x0y0.E.flits"), 2);
+        // Timestamps are cycles: monotone non-decreasing in the stream.
+        let ts: Vec<f64> = tel.events().iter().map(|e| e.ts).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "cycle order: {ts:?}");
+    }
+
+    #[test]
+    fn flit_telemetry_does_not_perturb_the_simulation() {
+        let run = |trace: bool| {
+            let mut net = Network::new(small_config().with_seed(5));
+            if trace {
+                net.enable_flit_telemetry();
+            }
+            let stats = net.run_warmup_and_measure(Pattern::UniformRandom, 0.08, 200, 800);
+            (stats.packets_received, stats.latency_sum, stats.energy)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn flit_telemetry_records_faults_and_drops() {
+        let mut net = Network::new(small_config().with_ber(0.02));
+        net.enable_flit_telemetry();
+        let _ = net.run_warmup_and_measure(Pattern::UniformRandom, 0.03, 300, 2000);
+        let dropped = net.packets_dropped();
+        assert!(dropped > 0, "2 % BER must drop packets");
+        let tel = net.take_flit_telemetry().expect("enabled");
+        assert!(tel.counter("flit.nacks") > 0);
+        assert!(tel.counter("flit.retries") > 0);
+        assert!(tel.counter("flit.retries_exhausted") > 0);
+        assert_eq!(tel.counter("flit.packets_dropped"), dropped);
+        let names: Vec<&str> = tel.events().iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"flit.crc_fail"));
+        assert!(names.contains(&"flit.retry"));
+        assert!(names.contains(&"flit.drop"));
     }
 
     #[test]

@@ -85,6 +85,20 @@ impl Histogram {
         None
     }
 
+    /// A serializable summary of this histogram (counts, overflow, and
+    /// the p50/p95/p99 percentiles), ready for the JSON run report.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            overflow: self.overflow,
+            bins: self.bins.len() as u64,
+            p50: self.percentile(50.0),
+            p95: self.percentile(95.0),
+            p99: self.percentile(99.0),
+            max_binned: self.bins.iter().rposition(|&c| c > 0).map(|bin| bin as u64),
+        }
+    }
+
     /// Bin-wise difference `self - earlier` (for measurement windows).
     ///
     /// # Panics
@@ -107,6 +121,55 @@ impl Histogram {
             overflow: self.overflow - earlier.overflow,
             count: self.count - earlier.count,
         }
+    }
+}
+
+/// A serializable summary of a [`Histogram`], following the overflow
+/// honesty of the source: percentiles that fall among overflowed
+/// samples are `None`, never clamped to the top bin, and
+/// [`HistogramSummary::max_binned`] reports only the largest *binned*
+/// value (the true maximum may live in overflow — check
+/// [`HistogramSummary::overflow`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Total samples recorded (including overflowed ones).
+    pub count: u64,
+    /// Samples beyond the binned range.
+    pub overflow: u64,
+    /// Number of bins in the source histogram.
+    pub bins: u64,
+    /// Median, when it falls inside the binned range.
+    pub p50: Option<u64>,
+    /// 95th percentile, when it falls inside the binned range.
+    pub p95: Option<u64>,
+    /// 99th percentile, when it falls inside the binned range.
+    pub p99: Option<u64>,
+    /// Highest non-empty bin, `None` for an empty histogram.
+    pub max_binned: Option<u64>,
+}
+
+impl HistogramSummary {
+    /// The summary as `"<prefix>.<stat>"` telemetry metric pairs, for a
+    /// [`srlr_telemetry::RunReport`] section or collector. Unreportable
+    /// percentiles are emitted as `null` (JSON has no `Option`), with
+    /// the overflow count alongside so consumers can tell "empty" from
+    /// "beyond range".
+    pub fn metric_fields(&self, prefix: &str) -> Vec<(String, srlr_telemetry::Value)> {
+        use srlr_telemetry::Value;
+        let opt = |v: Option<u64>| match v {
+            // `null` in the JSON sinks: f64::NAN serializes as null.
+            None => Value::F64(f64::NAN),
+            Some(v) => Value::U64(v),
+        };
+        vec![
+            (format!("{prefix}.count"), Value::U64(self.count)),
+            (format!("{prefix}.overflow"), Value::U64(self.overflow)),
+            (format!("{prefix}.bins"), Value::U64(self.bins)),
+            (format!("{prefix}.p50"), opt(self.p50)),
+            (format!("{prefix}.p95"), opt(self.p95)),
+            (format!("{prefix}.p99"), opt(self.p99)),
+            (format!("{prefix}.max_binned"), opt(self.max_binned)),
+        ]
     }
 }
 
@@ -332,6 +395,79 @@ mod tests {
     #[test]
     fn empty_histogram_has_no_percentile() {
         assert_eq!(Histogram::new(4).percentile(50.0), None);
+    }
+
+    #[test]
+    fn summary_of_empty_histogram() {
+        let s = Histogram::new(4).summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.overflow, 0);
+        assert_eq!(s.bins, 4);
+        assert_eq!(
+            (s.p50, s.p95, s.p99, s.max_binned),
+            (None, None, None, None)
+        );
+    }
+
+    #[test]
+    fn summary_reports_percentiles_and_max() {
+        let mut h = Histogram::new(256);
+        for v in 1..=100 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.overflow, 0);
+        assert_eq!(s.p50, Some(50));
+        assert_eq!(s.p95, Some(95));
+        assert_eq!(s.p99, Some(99));
+        assert_eq!(s.max_binned, Some(100));
+    }
+
+    #[test]
+    fn summary_overflow_only_is_all_unreportable() {
+        let mut h = Histogram::new(8);
+        h.record(1_000);
+        h.record(2_000);
+        let s = h.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.overflow, 2);
+        assert_eq!((s.p50, s.p99), (None, None));
+        assert_eq!(s.max_binned, None, "nothing landed in a bin");
+    }
+
+    #[test]
+    fn summary_mixed_overflow_keeps_low_percentiles() {
+        let mut h = Histogram::new(16);
+        for _ in 0..99 {
+            h.record(5);
+        }
+        h.record(10_000);
+        let s = h.summary();
+        assert_eq!(s.p50, Some(5));
+        assert_eq!(s.p99, Some(5));
+        assert_eq!(s.overflow, 1);
+        assert_eq!(s.max_binned, Some(5), "overflow must not fake a max");
+    }
+
+    #[test]
+    fn summary_metric_fields_serialize_none_as_null() {
+        use srlr_telemetry::Value;
+        let mut h = Histogram::new(4);
+        h.record(100);
+        let fields = h.summary().metric_fields("latency");
+        let get = |k: &str| {
+            fields
+                .iter()
+                .find(|(name, _)| name == &format!("latency.{k}"))
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("missing field {k}"))
+        };
+        assert_eq!(get("count"), Value::U64(1));
+        assert_eq!(get("overflow"), Value::U64(1));
+        let mut out = String::new();
+        get("p50").write_json(&mut out);
+        assert_eq!(out, "null", "unreportable percentile must be null");
     }
 
     #[test]

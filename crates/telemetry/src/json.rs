@@ -1,0 +1,442 @@
+//! Hand-rolled JSON: a deterministic writer and a minimal parser.
+//!
+//! The workspace is hermetic (no registry access), so the telemetry
+//! sinks cannot use `serde`. Writing JSON by hand is easy; this module
+//! also carries a small recursive-descent parser so tests and smoke
+//! checks can assert that every sink emits *valid* JSON without
+//! shelling out to an external validator.
+//!
+//! Determinism notes: objects are emitted from `BTreeMap`s (sorted key
+//! order), floats are formatted with Rust's shortest-roundtrip `Display`
+//! (identical on every platform), and non-finite floats serialize as
+//! `null` (JSON has no NaN/Inf).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A scalar recorded in telemetry fields, metrics, and report entries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Boolean flag.
+    Bool(bool),
+    /// Unsigned integer (counters, indices, cycle stamps).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating-point measurement; non-finite values serialize as `null`.
+    F64(f64),
+    /// Text.
+    Str(String),
+}
+
+impl Value {
+    /// Appends the JSON encoding of this value to `out`.
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) => write_f64(out, *v),
+            Value::Str(s) => write_str(out, s),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// Appends a JSON number for `v`, or `null` when `v` is not finite.
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+        // `Display` prints integral floats without a decimal point
+        // ("1"), which is a valid JSON number; nothing more to do.
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends a JSON string literal for `s` (quotes, escapes).
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a JSON object from sorted `(key, value)` entries.
+pub fn write_obj(out: &mut String, entries: &BTreeMap<String, Value>) {
+    out.push('{');
+    for (i, (k, v)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_str(out, k);
+        out.push(':');
+        v.write_json(out);
+    }
+    out.push('}');
+}
+
+/// A parsed JSON document (used by tests and CI smoke validation).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (keys sorted; duplicate keys keep the last value).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Looks up `key` when this is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The elements when this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The number when this is numeric.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The text when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document, rejecting trailing garbage.
+///
+/// # Errors
+///
+/// Returns a human-readable description (with byte offset) of the first
+/// syntax error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(&b) = bytes.get(*pos) {
+        if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn expect_byte(bytes: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+    match bytes.get(*pos) {
+        Some(&b) if b == want => {
+            *pos += 1;
+            Ok(())
+        }
+        Some(&b) => Err(format!(
+            "expected `{}` at byte {}, found `{}`",
+            want as char, *pos, b as char
+        )),
+        None => Err(format!("expected `{}` at end of input", want as char)),
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_num(bytes, pos),
+        None => Err("unexpected end of input".to_owned()),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    let end = *pos + lit.len();
+    if bytes.get(*pos..end) == Some(lit.as_bytes()) {
+        *pos = end;
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while let Some(&b) = bytes.get(*pos) {
+        if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    let text = std::str::from_utf8(bytes.get(start..*pos).unwrap_or_default()).unwrap_or_default();
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect_byte(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_owned()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape digits")?;
+                        // Surrogate pairs are not needed by our own
+                        // writer; map them to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte safe: copy raw
+                // bytes up to the next scalar boundary).
+                let rest = bytes.get(*pos..).unwrap_or_default();
+                let text = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8 in string")?;
+                if let Some(c) = text.chars().next() {
+                    out.push(c);
+                    *pos += c.len_utf8();
+                } else {
+                    return Err("unterminated string".to_owned());
+                }
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect_byte(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect_byte(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect_byte(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut out = String::new();
+        Value::Bool(true).write_json(&mut out);
+        out.push(' ');
+        Value::U64(42).write_json(&mut out);
+        out.push(' ');
+        Value::I64(-7).write_json(&mut out);
+        out.push(' ');
+        Value::F64(1.5).write_json(&mut out);
+        assert_eq!(out, "true 42 -7 1.5");
+    }
+
+    #[test]
+    fn integral_floats_print_as_plain_numbers() {
+        let mut out = String::new();
+        write_f64(&mut out, 3.0);
+        assert_eq!(out, "3");
+        assert!(matches!(parse("3"), Ok(Json::Num(_))));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut out = String::new();
+        write_f64(&mut out, f64::NAN);
+        out.push(' ');
+        write_f64(&mut out, f64::INFINITY);
+        assert_eq!(out, "null null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        write_str(&mut out, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+        assert_eq!(
+            parse(&out).and_then(|j| j.as_str().map(str::to_owned).ok_or_else(String::new)),
+            Ok("a\"b\\c\nd\te\u{1}".to_owned())
+        );
+    }
+
+    #[test]
+    fn objects_emit_sorted_keys() {
+        let mut m = BTreeMap::new();
+        m.insert("zeta".to_owned(), Value::U64(1));
+        m.insert("alpha".to_owned(), Value::Bool(false));
+        let mut out = String::new();
+        write_obj(&mut out, &m);
+        assert_eq!(out, "{\"alpha\":false,\"zeta\":1}");
+    }
+
+    #[test]
+    fn parser_accepts_nested_documents() {
+        let doc = parse("{\"a\":[1,2,{\"b\":null}],\"c\":\"x\",\"d\":true}").expect("valid");
+        assert_eq!(doc.get("c").and_then(Json::as_str), Some("x"));
+        let arr = doc.get("a").and_then(Json::as_arr).expect("array");
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[0].as_num(), Some(1.0));
+        assert_eq!(arr[2].get("b"), Some(&Json::Null));
+        assert_eq!(doc.get("d"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("1 2").is_err(), "trailing garbage must fail");
+        assert!(parse("nul").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+    }
+
+    #[test]
+    fn parser_handles_unicode_and_escapes() {
+        let doc = parse("\"caf\u{e9} \\u00e9 ok\"").expect("valid");
+        assert_eq!(doc.as_str(), Some("caf\u{e9} \u{e9} ok"));
+    }
+
+    #[test]
+    fn writer_output_always_parses() {
+        let mut m = BTreeMap::new();
+        m.insert("nan".to_owned(), Value::F64(f64::NAN));
+        m.insert("text".to_owned(), Value::Str("line1\nline2".to_owned()));
+        m.insert("n".to_owned(), Value::I64(i64::MIN));
+        let mut out = String::new();
+        write_obj(&mut out, &m);
+        assert!(parse(&out).is_ok(), "writer emitted invalid JSON: {out}");
+    }
+}

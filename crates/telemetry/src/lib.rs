@@ -1,0 +1,93 @@
+//! `srlr-telemetry`: deterministic, zero-cost-when-disabled telemetry.
+//!
+//! The reproduction's experiments are *measurements*, and measurements
+//! need instruments. This crate is the workspace's instrumentation
+//! layer: structured events, spans, counters, and scalar metrics
+//! collected by a [`Collector`] and drained through three sinks —
+//!
+//! 1. a JSONL structured-event stream
+//!    ([`Collector::write_events_jsonl`]),
+//! 2. a Chrome `trace_event` span export loadable in Perfetto /
+//!    `chrome://tracing` ([`Collector::write_chrome_trace`]), and
+//! 3. a versioned machine-readable JSON run report ([`RunReport`])
+//!    emitted by bench harnesses and CLI subcommands alongside their
+//!    ASCII output.
+//!
+//! All JSON is hand-rolled ([`json`]) — the workspace is hermetic and
+//! carries no serde.
+//!
+//! # Invariants (enforced by `srlr-lint` and the crate's tests)
+//!
+//! * **Zero cost when disabled.** A disabled [`Collector`] is one
+//!   `None`; every record method is a branch that returns without
+//!   allocating. Instrumented hot loops are free when telemetry is off.
+//! * **Simulated time only.** Timestamps are cycles, trial indices, or
+//!   simulated picoseconds — never the wall clock (`det-time` reserves
+//!   that for the `crates/criterion` shim).
+//! * **Bit-identical at any worker count.** Parallel stages record into
+//!   per-item [`Collector::child`] collectors merged back in item-index
+//!   order, mirroring `par_map_indexed`; spans carry their item index.
+//!   Every file sink's bytes are identical at `--threads 1/2/8`.
+//! * **Deterministic iteration.** All key/value state lives in
+//!   `BTreeMap`s; sinks emit sorted-key order.
+
+pub mod collect;
+pub mod json;
+pub mod progress;
+pub mod report;
+
+pub use collect::{Collector, Event, Span};
+pub use json::{Json, Value};
+pub use progress::Progress;
+pub use report::{RunReport, RUN_REPORT_VERSION};
+
+/// The observability hooks an experiment accepts: a collector for the
+/// file sinks plus a progress reporter. [`Obs::none`] (the default) is
+/// free — instrumented code branches on it and does no work.
+#[derive(Debug, Default)]
+pub struct Obs {
+    /// Structured event/metric collector (drained by the caller).
+    pub collector: Collector,
+    /// Progress reporting to stderr.
+    pub progress: Progress,
+}
+
+impl Obs {
+    /// No observability: collector and progress both disabled.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether any hook is active (instrumented code may use this to
+    /// skip to its untraced fast path).
+    pub fn is_active(&self) -> bool {
+        self.collector.is_enabled() || self.progress.is_enabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_none_is_inactive() {
+        let obs = Obs::none();
+        assert!(!obs.is_active());
+        assert!(!obs.collector.is_enabled());
+        assert!(!obs.progress.is_enabled());
+    }
+
+    #[test]
+    fn obs_with_either_hook_is_active() {
+        let obs = Obs {
+            collector: Collector::enabled("t"),
+            progress: Progress::disabled(),
+        };
+        assert!(obs.is_active());
+        let obs = Obs {
+            collector: Collector::disabled(),
+            progress: Progress::enabled("x", 10),
+        };
+        assert!(obs.is_active());
+    }
+}

@@ -1,0 +1,88 @@
+//! The zero-cost-when-disabled contract, asserted with a counting
+//! allocator: recording into a disabled [`Collector`] and ticking a
+//! disabled [`Progress`] must perform **zero** heap allocations.
+
+use srlr_telemetry::{Collector, Obs, Progress, Value};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    f();
+    ALLOCATIONS.load(Ordering::SeqCst) - before
+}
+
+#[test]
+fn disabled_collector_never_allocates() {
+    let mut c = Collector::disabled();
+    let n = allocations_during(|| {
+        for i in 0..10_000u64 {
+            c.event("flit.inject", i as f64, &[("packet", Value::U64(i))]);
+            c.span("trial", "mc", i as f64, 1.0, 0, &[("trial", Value::U64(i))]);
+            c.add("retries", 1);
+            c.set_metric("delivered", Value::U64(i));
+            let child = c.child();
+            c.merge(child);
+        }
+    });
+    assert_eq!(n, 0, "disabled collector allocated {n} times");
+}
+
+#[test]
+fn disabled_progress_never_allocates() {
+    let p = Progress::disabled();
+    let n = allocations_during(|| {
+        for _ in 0..10_000 {
+            p.tick();
+        }
+    });
+    assert_eq!(n, 0, "disabled progress allocated {n} times");
+}
+
+#[test]
+fn obs_none_never_allocates_after_construction() {
+    let mut obs = Obs::none();
+    let n = allocations_during(|| {
+        for i in 0..10_000u64 {
+            assert!(!obs.is_active());
+            obs.collector
+                .event("e", i as f64, &[("k", Value::Bool(true))]);
+            obs.progress.tick();
+        }
+    });
+    assert_eq!(n, 0, "Obs::none() allocated {n} times");
+}
+
+#[test]
+fn enabled_collector_does_allocate_as_a_sanity_check() {
+    // Guards against the counter itself being broken: the *enabled*
+    // path must show up in the allocation count.
+    let mut c = Collector::enabled("t");
+    let n = allocations_during(|| {
+        c.event("e", 0.0, &[("k", Value::U64(1))]);
+    });
+    assert!(n > 0, "counting allocator saw no allocations at all");
+}
