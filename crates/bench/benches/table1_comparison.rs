@@ -8,6 +8,7 @@ use srlr_core::SrlrDesign;
 use srlr_link::ber::{max_data_rate, BerTester};
 use srlr_link::{ComparisonTable, LinkConfig, SrlrLink};
 use srlr_tech::{AdaptiveSwingBias, GlobalVariation, Technology};
+use srlr_units::DataRate;
 
 fn print_table() {
     let tech = Technology::soi45();
@@ -45,9 +46,9 @@ fn print_table() {
         &design,
         LinkConfig::paper_default(),
         &GlobalVariation::nominal(),
-        1.0,
-        10.0,
-        0.05,
+        DataRate::from_gigabits_per_second(1.0),
+        DataRate::from_gigabits_per_second(10.0),
+        DataRate::from_gigabits_per_second(0.05),
     )
     .expect("nominal link works");
     println!(

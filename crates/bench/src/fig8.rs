@@ -11,7 +11,7 @@ use srlr_core::SrlrDesign;
 use srlr_link::ber::max_data_rate;
 use srlr_link::{LinkConfig, LinkMetrics, PublishedInterconnect, SrlrLink};
 use srlr_tech::{GlobalVariation, Technology};
-use srlr_units::Length;
+use srlr_units::{DataRate, Length};
 
 /// One Fig. 8 point.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,9 +68,9 @@ pub fn fig8_measured_series(tech: &Technology, spacings_um: &[f64]) -> Vec<Fig8P
                 &design,
                 LinkConfig::paper_default(),
                 &nominal,
-                0.5,
-                12.0,
-                0.1,
+                DataRate::from_gigabits_per_second(0.5),
+                DataRate::from_gigabits_per_second(12.0),
+                DataRate::from_gigabits_per_second(0.1),
             )?;
             let rate = cliff * RATE_MARGIN;
             let config = LinkConfig::paper_default().with_data_rate(rate);

@@ -5,14 +5,14 @@
 
 use crate::netlist::{Netlist, NodeId};
 use srlr_tech::{Device, MosKind, MosfetModel};
-use srlr_units::Capacitance;
+use srlr_units::{Capacitance, Length};
 
 /// Device models and defaults for one logic family instance.
 #[derive(Debug, Clone)]
 pub struct CellLibrary {
     nmos: MosfetModel,
     pmos: MosfetModel,
-    length_m: f64,
+    length: Length,
     vdd: NodeId,
 }
 
@@ -23,12 +23,12 @@ impl CellLibrary {
     /// # Panics
     ///
     /// Panics if the length is not strictly positive.
-    pub fn new(nmos: MosfetModel, pmos: MosfetModel, length_m: f64, vdd: NodeId) -> Self {
-        assert!(length_m > 0.0, "channel length must be positive");
+    pub fn new(nmos: MosfetModel, pmos: MosfetModel, length: Length, vdd: NodeId) -> Self {
+        assert!(length.meters() > 0.0, "channel length must be positive");
         Self {
             nmos,
             pmos,
-            length_m,
+            length,
             vdd,
         }
     }
@@ -38,7 +38,7 @@ impl CellLibrary {
         self.vdd
     }
 
-    /// Adds a static CMOS inverter with the given device widths (metres),
+    /// Adds a static CMOS inverter with the given device widths,
     /// creating (or reusing) the output node `out_name`.
     ///
     /// # Panics
@@ -49,13 +49,16 @@ impl CellLibrary {
         net: &mut Netlist,
         input: NodeId,
         out_name: &str,
-        wn_m: f64,
-        wp_m: f64,
+        wn: Length,
+        wp: Length,
     ) -> NodeId {
-        assert!(wn_m > 0.0 && wp_m > 0.0, "device widths must be positive");
+        assert!(
+            wn.meters() > 0.0 && wp.meters() > 0.0,
+            "device widths must be positive"
+        );
         let out = net.node(out_name);
-        let n = Device::new(MosKind::Nmos, self.nmos, wn_m, self.length_m);
-        let p = Device::new(MosKind::Pmos, self.pmos, wp_m, self.length_m);
+        let n = Device::new(MosKind::Nmos, self.nmos, wn, self.length);
+        let p = Device::new(MosKind::Pmos, self.pmos, wp, self.length);
         net.add_mosfet(n, out, input, NodeId::GROUND);
         net.add_mosfet(p, out, input, self.vdd);
         out
@@ -67,11 +70,11 @@ impl CellLibrary {
         net: &mut Netlist,
         input: NodeId,
         prefix: &str,
-        wn_m: f64,
-        wp_m: f64,
+        wn: Length,
+        wp: Length,
     ) -> NodeId {
-        let mid = self.inverter(net, input, &format!("{prefix}.b0"), wn_m, wp_m);
-        self.inverter(net, mid, &format!("{prefix}.b1"), wn_m, wp_m)
+        let mid = self.inverter(net, input, &format!("{prefix}.b0"), wn, wp);
+        self.inverter(net, mid, &format!("{prefix}.b1"), wn, wp)
     }
 
     /// Adds a chain of `inverters` identical inverters, each loaded with
@@ -92,13 +95,13 @@ impl CellLibrary {
         inverters: usize,
         load: Capacitance,
         prefix: &str,
-        wn_m: f64,
-        wp_m: f64,
+        wn: Length,
+        wp: Length,
     ) -> NodeId {
         assert!(inverters > 0, "chain needs at least one inverter");
         let mut node = input;
         for k in 0..inverters {
-            node = self.inverter(net, node, &format!("{prefix}.inv{k}"), wn_m, wp_m);
+            node = self.inverter(net, node, &format!("{prefix}.inv{k}"), wn, wp);
             net.add_capacitance(node, load);
         }
         node
@@ -110,7 +113,7 @@ mod tests {
     use super::*;
     use crate::sim::Transient;
     use crate::stimulus::Stimulus;
-    use srlr_units::{TimeInterval, Voltage};
+    use srlr_units::{Length, TimeInterval, Voltage};
 
     fn fixture() -> (Netlist, CellLibrary, NodeId) {
         let mut net = Netlist::new();
@@ -118,7 +121,7 @@ mod tests {
         let lib = CellLibrary::new(
             MosfetModel::nmos_soi45(),
             MosfetModel::pmos_soi45(),
-            45e-9,
+            Length::from_nanometers(45.0),
             vdd,
         );
         let input = net.node("in");
@@ -136,7 +139,13 @@ mod tests {
     #[test]
     fn inverter_inverts() {
         let (mut net, lib, input) = fixture();
-        let out = lib.inverter(&mut net, input, "out", 0.3e-6, 0.6e-6);
+        let out = lib.inverter(
+            &mut net,
+            input,
+            "out",
+            Length::from_micrometers(0.3),
+            Length::from_micrometers(0.6),
+        );
         let r = Transient::new(&net).run(TimeInterval::from_nanoseconds(1.0));
         let w = r.waveform(out);
         assert!(w.value_at(TimeInterval::from_picoseconds(90.0)).volts() > 0.75);
@@ -146,7 +155,13 @@ mod tests {
     #[test]
     fn buffer_preserves_polarity() {
         let (mut net, lib, input) = fixture();
-        let out = lib.buffer(&mut net, input, "buf", 0.3e-6, 0.6e-6);
+        let out = lib.buffer(
+            &mut net,
+            input,
+            "buf",
+            Length::from_micrometers(0.3),
+            Length::from_micrometers(0.6),
+        );
         let r = Transient::new(&net).run(TimeInterval::from_nanoseconds(1.0));
         let w = r.waveform(out);
         assert!(w.value_at(TimeInterval::from_picoseconds(90.0)).volts() < 0.05);
@@ -163,8 +178,8 @@ mod tests {
                 stages,
                 Capacitance::from_femtofarads(4.0),
                 "dly",
-                0.3e-6,
-                0.6e-6,
+                Length::from_micrometers(0.3),
+                Length::from_micrometers(0.6),
             );
             let r = Transient::new(&net).run(TimeInterval::from_nanoseconds(2.0));
             // All nodes start at 0 V, so skip start-up settling and take
@@ -199,8 +214,8 @@ mod tests {
                 stages,
                 Capacitance::from_femtofarads(2.0),
                 "c",
-                0.3e-6,
-                0.6e-6,
+                Length::from_micrometers(0.3),
+                Length::from_micrometers(0.6),
             );
             Transient::new(&net)
                 .run(TimeInterval::from_nanoseconds(2.0))
@@ -215,13 +230,27 @@ mod tests {
     #[should_panic(expected = "at least one inverter")]
     fn empty_chain_rejected() {
         let (mut net, lib, input) = fixture();
-        let _ = lib.inverter_chain(&mut net, input, 0, Capacitance::zero(), "c", 0.3e-6, 0.6e-6);
+        let _ = lib.inverter_chain(
+            &mut net,
+            input,
+            0,
+            Capacitance::zero(),
+            "c",
+            Length::from_micrometers(0.3),
+            Length::from_micrometers(0.6),
+        );
     }
 
     #[test]
     #[should_panic(expected = "widths must be positive")]
     fn zero_width_rejected() {
         let (mut net, lib, input) = fixture();
-        let _ = lib.inverter(&mut net, input, "out", 0.0, 0.6e-6);
+        let _ = lib.inverter(
+            &mut net,
+            input,
+            "out",
+            Length::zero(),
+            Length::from_micrometers(0.6),
+        );
     }
 }

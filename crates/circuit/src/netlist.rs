@@ -241,6 +241,7 @@ impl Netlist {
 mod tests {
     use super::*;
     use srlr_tech::MosfetModel;
+    use srlr_units::Length;
 
     #[test]
     fn ground_exists_and_is_node_zero() {
@@ -308,7 +309,12 @@ mod tests {
         let g = net.node("g");
         let s = net.node("s");
         let before = net.capacitance_at(g);
-        let dev = Device::new(MosKind::Nmos, MosfetModel::nmos_soi45(), 1e-6, 45e-9);
+        let dev = Device::new(
+            MosKind::Nmos,
+            MosfetModel::nmos_soi45(),
+            Length::from_micrometers(1.0),
+            Length::from_nanometers(45.0),
+        );
         net.add_mosfet(dev, d, g, s);
         assert!(net.capacitance_at(g) > before);
         assert_eq!(net.element_count(), 1);

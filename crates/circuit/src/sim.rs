@@ -155,8 +155,8 @@ impl Transient {
             }
             stats.steps += 1;
             stats.current_evals += 2;
-            stats.dt_min_taken = stats.dt_min_taken.min(dt);
-            stats.dt_max_taken = stats.dt_max_taken.max(dt);
+            stats.dt_min_taken = stats.dt_min_taken.min(TimeInterval::from_seconds(dt));
+            stats.dt_max_taken = stats.dt_max_taken.max(TimeInterval::from_seconds(dt));
             if t + dt > t_end {
                 dt = t_end - t;
             }
@@ -296,11 +296,11 @@ pub struct TransientStats {
     /// Steps capped at `dt_max` by the stiffness bound (including
     /// quiescent steps where no node was moving).
     pub dt_max_capped: u64,
-    /// Smallest step size the controller chose (seconds; before
-    /// end-of-run truncation). `INFINITY` when no steps ran.
-    pub dt_min_taken: f64,
-    /// Largest step size the controller chose (seconds).
-    pub dt_max_taken: f64,
+    /// Smallest step size the controller chose (before end-of-run
+    /// truncation). Infinite when no steps ran.
+    pub dt_min_taken: TimeInterval,
+    /// Largest step size the controller chose.
+    pub dt_max_taken: TimeInterval,
     /// Calls to the per-element current evaluation (two per step:
     /// predictor + corrector).
     pub current_evals: u64,
@@ -320,8 +320,8 @@ impl Default for TransientStats {
             steps: 0,
             dv_target_missed: 0,
             dt_max_capped: 0,
-            dt_min_taken: f64::INFINITY,
-            dt_max_taken: 0.0,
+            dt_min_taken: TimeInterval::from_seconds(f64::INFINITY),
+            dt_max_taken: TimeInterval::from_seconds(0.0),
             current_evals: 0,
             element_evals: 0,
             resistor_evals: 0,
@@ -365,11 +365,11 @@ impl TransientStats {
         );
         collector.set_metric(
             &format!("{prefix}.dt_min_taken_s"),
-            Value::F64(self.dt_min_taken),
+            Value::F64(self.dt_min_taken.seconds()),
         );
         collector.set_metric(
             &format!("{prefix}.dt_max_taken_s"),
-            Value::F64(self.dt_max_taken),
+            Value::F64(self.dt_max_taken.seconds()),
         );
         collector.set_metric(
             &format!("{prefix}.current_evals"),
@@ -446,7 +446,7 @@ impl TransientResult {
 mod tests {
     use super::*;
     use crate::stimulus::Stimulus;
-    use srlr_units::{Capacitance, Resistance};
+    use srlr_units::{Capacitance, Length, Resistance};
 
     /// A simple RC driven by a step: the canonical analytic check.
     fn rc_step() -> (Netlist, NodeId, NodeId) {
@@ -497,7 +497,12 @@ mod tests {
             ),
         );
         net.add_capacitance(cap, Capacitance::from_femtofarads(50.0));
-        let dev = Device::new(MosKind::Nmos, MosfetModel::nmos_soi45(), 0.5e-6, 45e-9);
+        let dev = Device::new(
+            MosKind::Nmos,
+            MosfetModel::nmos_soi45(),
+            Length::from_micrometers(0.5),
+            Length::from_nanometers(45.0),
+        );
         net.add_mosfet(dev, cap, gate, NodeId::GROUND);
 
         let mut init = BTreeMap::new();
@@ -526,8 +531,18 @@ mod tests {
             ),
         );
         net.add_capacitance(out, Capacitance::from_femtofarads(5.0));
-        let n = Device::new(MosKind::Nmos, MosfetModel::nmos_soi45(), 0.4e-6, 45e-9);
-        let p = Device::new(MosKind::Pmos, MosfetModel::pmos_soi45(), 0.8e-6, 45e-9);
+        let n = Device::new(
+            MosKind::Nmos,
+            MosfetModel::nmos_soi45(),
+            Length::from_micrometers(0.4),
+            Length::from_nanometers(45.0),
+        );
+        let p = Device::new(
+            MosKind::Pmos,
+            MosfetModel::pmos_soi45(),
+            Length::from_micrometers(0.8),
+            Length::from_nanometers(45.0),
+        );
         net.add_mosfet(n, out, input, NodeId::GROUND);
         net.add_mosfet(p, out, input, vdd);
 
@@ -660,7 +675,7 @@ mod tests {
         assert_eq!(s.resistor_evals, s.current_evals);
         assert_eq!(s.mosfet_evals, 0);
         assert_eq!(s.element_evals, s.resistor_evals);
-        assert!(s.dt_min_taken > 0.0 && s.dt_min_taken <= s.dt_max_taken);
+        assert!(s.dt_min_taken.seconds() > 0.0 && s.dt_min_taken <= s.dt_max_taken);
         assert!(s.records >= 2, "at least first + final grid records");
         assert_eq!(
             s.steps,

@@ -7,6 +7,7 @@ use srlr_core::SrlrDesign;
 use srlr_link::ber::BerTester;
 use srlr_link::montecarlo::McExperiment;
 use srlr_link::{measure_eye, ComparisonTable, LinkConfig, LinkErrorModel, SrlrLink};
+use srlr_lint::{sarif, Config as LintConfig};
 use srlr_noc::traffic::Pattern;
 use srlr_noc::{
     ber_sweep_observed, DatapathKind, ExpressComparison, ExpressTopology, FaultConfig, Mesh,
@@ -41,6 +42,9 @@ pub fn help() -> String {
        temp                             temperature sweep (-40..105 C)\n\
        bathtub [--jitter PS] [--threads T]  BER vs rate under width jitter\n\
        crosstalk                        neighbour-activity scenarios\n\
+       lint   [--root DIR] [--format text|sarif] [--deny-all]\n\
+                                        workspace static analysis (see\n\
+                                        srlr-lint --list-rules)\n\
        help                             this text\n\
      \n\
      --threads T: worker threads (0 or unset = SRLR_THREADS env var, then\n\
@@ -722,8 +726,8 @@ pub fn express(rest: &[String]) -> Result<String, CliError> {
         c.srlr_energy_per_bit,
         c.express_energy_per_bit,
         c.energy_ratio(),
-        c.express_driver_area_um2,
-        c.srlr_cell_area_um2,
+        c.express_driver_area.square_micrometers(),
+        c.srlr_cell_area.square_micrometers(),
         c.driver_area_ratio(),
         topo.extra_ports_at_stations(),
     ))
@@ -734,8 +738,9 @@ pub fn sizing() -> Result<String, CliError> {
     let tech = Technology::soi45();
     let design = SrlrDesign::paper_proposed(&tech);
     let explorer = SizingExplorer::new(&tech, design, 10);
-    let m1 = [0.15e-6, 0.3e-6, 0.6e-6, 1.2e-6];
-    let m2 = [0.06e-6, 0.12e-6, 0.3e-6];
+    let um = srlr_units::Length::from_micrometers;
+    let m1 = [um(0.15), um(0.3), um(0.6), um(1.2)];
+    let m2 = [um(0.06), um(0.12), um(0.3)];
     let mut out = String::from("M1/M2 sizing sweep (10-stage chain, nominal + 5 corners)\n\n");
     let _ = writeln!(
         out,
@@ -746,8 +751,8 @@ pub fn sizing() -> Result<String, CliError> {
         let _ = writeln!(
             out,
             "{:>8.2} {:>8.2} {:>8} {:>8}/5 {:>14.1} {:>16.1}",
-            c.m1_width_m * 1e6,
-            c.m2_width_m * 1e6,
+            c.m1_width.micrometers(),
+            c.m2_width.micrometers(),
             if c.works_nominal { "ok" } else { "FAIL" },
             c.corners_passed,
             c.sense_margin.millivolts(),
@@ -760,8 +765,60 @@ pub fn sizing() -> Result<String, CliError> {
     let _ = writeln!(
         out,
         "\nlowest-energy viable point: M1 {:.2} um / M2 {:.2} um",
-        best.m1_width_m * 1e6,
-        best.m2_width_m * 1e6
+        best.m1_width.micrometers(),
+        best.m2_width.micrometers()
     );
     Ok(out)
+}
+
+/// `srlr lint [--root DIR] [--format text|sarif] [--deny-all]`.
+///
+/// Delegates to [`srlr_lint::run`]: exit `0` when the tree is clean,
+/// `1` on violations (or stale baseline entries under `--deny-all`) and
+/// `2` for usage errors, matching the standalone `srlr-lint` binary.
+pub fn lint(rest: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse_with_switches(rest, &["root", "format"], &["deny-all"])?;
+    let root = flags.get_str("root").unwrap_or(".").to_owned();
+    let format = flags.get_str("format").unwrap_or("text");
+    if !matches!(format, "text" | "sarif") {
+        return Err(CliError::Usage(format!(
+            "unknown lint format `{format}` (text|sarif)"
+        )));
+    }
+
+    let config = LintConfig::new(root);
+    let report = srlr_lint::run(&config).map_err(|e| CliError::Experiment(e.to_string()))?;
+
+    let failures = report.failures().count();
+    let stale_fails = flags.is_set("deny-all") && !report.stale.is_empty();
+    let clean = failures == 0 && !stale_fails;
+
+    let mut out = String::new();
+    if format == "sarif" {
+        out.push_str(&sarif::render(&report));
+    } else {
+        for d in &report.fresh {
+            out.push_str(&d.render());
+        }
+        for key in &report.stale {
+            let _ = writeln!(
+                out,
+                "stale-baseline: `{key}` no longer matches any violation"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "srlr-lint: {} files checked, {failures} violation(s)",
+            report.files_checked
+        );
+    }
+    if clean {
+        Ok(out)
+    } else {
+        // Experiment errors land on stderr with exit 1; keep the
+        // diagnostics as the message so they stay visible.
+        Err(CliError::Experiment(format!(
+            "lint found {failures} violation(s)\n{out}"
+        )))
+    }
 }

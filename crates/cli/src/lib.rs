@@ -15,6 +15,7 @@
 //! srlr noc-faults [--bers L | --swings MV] [--load F] [--threads T]
 //! srlr express [--interval K]
 //! srlr sizing                  M1/M2 design-space sweep
+//! srlr lint [--format sarif] [--deny-all]   workspace static analysis
 //! ```
 
 #![forbid(unsafe_code)]
@@ -73,6 +74,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "temp" => commands::temp(),
         "bathtub" => commands::bathtub(rest),
         "crosstalk" => commands::crosstalk(),
+        "lint" => commands::lint(rest),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`; try `srlr help`"
         ))),

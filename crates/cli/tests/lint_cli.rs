@@ -1,0 +1,92 @@
+//! Binary-level tests for `srlr lint`: the exit-code contract (`0`
+//! clean, `1` violations, `2` usage errors) and the SARIF emitter, as a
+//! CI runner would observe them.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+use srlr_telemetry::json::{parse, Json};
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn srlr(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_srlr"))
+        .args(args)
+        .output()
+        .expect("spawn srlr")
+}
+
+#[test]
+fn lint_deny_all_is_clean_on_this_workspace() {
+    let root = workspace_root();
+    let out = srlr(&[
+        "lint",
+        "--root",
+        root.to_str().expect("utf-8"),
+        "--deny-all",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 violation(s)"), "{stdout}");
+}
+
+#[test]
+fn lint_format_sarif_emits_valid_sarif() {
+    let root = workspace_root();
+    let out = srlr(&[
+        "lint",
+        "--root",
+        root.to_str().expect("utf-8"),
+        "--format",
+        "sarif",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    let doc = parse(&stdout).expect("stdout must be one valid JSON document");
+    let Json::Obj(top) = &doc else {
+        panic!("SARIF root must be an object")
+    };
+    assert_eq!(top.get("version"), Some(&Json::Str("2.1.0".into())));
+    assert!(top.contains_key("runs"));
+}
+
+#[test]
+fn lint_unknown_flag_is_a_usage_error() {
+    let out = srlr(&["lint", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("frobnicate"), "{stderr}");
+}
+
+#[test]
+fn lint_bad_format_is_a_usage_error() {
+    let out = srlr(&["lint", "--format", "xml"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn lint_violations_exit_one() {
+    // A seeded one-file workspace with a layering violation: the
+    // subcommand must exit 1, not 0 or 2.
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint_cli_dirty");
+    let src_dir = root.join("crates/tech/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir fixture");
+    std::fs::write(src_dir.join("lib.rs"), "use srlr_noc::Network;\n").expect("write fixture");
+    let out = srlr(&["lint", "--root", root.to_str().expect("utf-8")]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("crate-layering"), "{stderr}");
+}

@@ -47,6 +47,7 @@ impl SrlrArea {
     }
 
     /// Datapath area as a fraction of the reference router area.
+    // srlr-lint: allow(raw-f64-api, reason = "area fraction is a dimensionless ratio")
     pub fn datapath_fraction(&self, bits: usize, ports: usize, columns: usize) -> f64 {
         self.datapath_area(bits, ports, columns).square_meters() / self.router_area.square_meters()
     }

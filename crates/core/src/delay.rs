@@ -93,6 +93,7 @@ impl DelayCellDesign {
     ///
     /// Panics if `tracking` is outside `[0, 1]`.
     #[must_use]
+    // srlr-lint: allow(raw-f64-api, reason = "tracking coefficient is a dimensionless scale factor")
     pub fn with_tracking(mut self, tracking: f64) -> Self {
         assert!(
             (0.0..=1.0).contains(&tracking),

@@ -48,10 +48,10 @@ pub struct SrlrDesign {
     pub segment_length: Length,
     /// Link wire geometry.
     pub wire: WireGeometry,
-    /// Drawn width of the input NMOS M1 (metres).
-    pub m1_width_m: f64,
-    /// Drawn width of the keeper NMOS M2 (metres).
-    pub m2_width_m: f64,
+    /// Drawn width of the input NMOS M1.
+    pub m1_width: Length,
+    /// Drawn width of the keeper NMOS M2.
+    pub m2_width: Length,
     /// Threshold offset of M1/M2 relative to the regular NMOS (a low-Vt
     /// flavour; negative lowers the threshold).
     pub lvt_offset: Voltage,
@@ -81,8 +81,8 @@ impl SrlrDesign {
             nominal_swing: Voltage::from_millivolts(460.0),
             segment_length: Length::from_millimeters(1.0),
             wire: tech.wire,
-            m1_width_m: 0.3e-6,
-            m2_width_m: 0.06e-6,
+            m1_width: Length::from_micrometers(0.3),
+            m2_width: Length::from_nanometers(60.0),
             lvt_offset: Voltage::from_millivolts(-70.0),
             t_rise0: TimeInterval::from_picoseconds(10.0),
             t_fall: TimeInterval::from_picoseconds(15.0),
@@ -251,8 +251,8 @@ impl SrlrDesign {
                 // input pair (M1 against the sense reference).
                 let (local_vth, local_drive) = match mc.as_deref_mut() {
                     Some(mc) => (
-                        mc.sample_local_vth(self.m1_width_m, tech.min_length_m),
-                        mc.sample_local_drive(self.m1_width_m, tech.min_length_m),
+                        mc.sample_local_vth(self.m1_width, tech.min_length),
+                        mc.sample_local_drive(self.m1_width, tech.min_length),
                     ),
                     None => (Voltage::zero(), 1.0),
                 };
@@ -260,16 +260,16 @@ impl SrlrDesign {
                     var.dvth_n + self.lvt_offset + local_vth,
                     var.drive_mult_n * local_drive,
                 );
-                let m1 = Device::new(MosKind::Nmos, m1_model, self.m1_width_m, tech.min_length_m);
+                let m1 = Device::new(MosKind::Nmos, m1_model, self.m1_width, tech.min_length);
                 let m2_model = tech
                     .nmos
                     .with_variation(var.dvth_n + self.lvt_offset, var.drive_mult_n);
-                let m2 = Device::new(MosKind::Nmos, m2_model, self.m2_width_m, tech.min_length_m);
+                let m2 = Device::new(MosKind::Nmos, m2_model, self.m2_width, tech.min_length);
 
                 // Sensitivity margin: floor plus the keeper-ratio term
                 // (a relatively stronger keeper demands more overdrive).
                 let margin = self.sense_margin_floor
-                    + self.sense_margin_coeff * (self.m2_width_m / self.m1_width_m);
+                    + self.sense_margin_coeff * (self.m2_width / self.m1_width);
                 let sense_threshold = m1.vth() + margin;
 
                 // Node X: standby at VDD − Vth(M2); the amplifier flips at
@@ -306,10 +306,20 @@ impl SrlrDesign {
                 // (~0.45 um each) plus the idle driver pull-up.
                 let leaky_inverters = 2.0 * self.delay_cell.buffers() as f64 + 3.0;
                 let reg_n = tech.nmos.with_variation(var.dvth_n, var.drive_mult_n);
-                let inv_off =
-                    Device::new(MosKind::Nmos, reg_n, 0.45e-6, tech.min_length_m).off_current();
-                let driver_off =
-                    Device::new(MosKind::Nmos, reg_n, 4.0e-6, tech.min_length_m).off_current();
+                let inv_off = Device::new(
+                    MosKind::Nmos,
+                    reg_n,
+                    Length::from_micrometers(0.45),
+                    tech.min_length,
+                )
+                .off_current();
+                let driver_off = Device::new(
+                    MosKind::Nmos,
+                    reg_n,
+                    Length::from_micrometers(4.0),
+                    tech.min_length,
+                )
+                .off_current();
                 let leak_current = m1.off_current() + inv_off * leaky_inverters + driver_off;
                 let leakage = tech.vdd * leak_current;
 

@@ -13,7 +13,7 @@
 //! rail, which is also what makes the adaptive swing scheme possible.
 
 use srlr_tech::{Device, GlobalVariation, MosKind, Technology};
-use srlr_units::{Resistance, Voltage};
+use srlr_units::{Length, Resistance, Voltage};
 
 /// Which output-driver topology a design uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,11 +45,12 @@ pub struct OutputDriver {
 impl OutputDriver {
     /// The proposed NMOS-based driver: 4 um pull-up and pull-down NMOS.
     pub fn nmos_based(tech: &Technology) -> Self {
-        let l = tech.min_length_m;
+        let l = tech.min_length;
+        let w = Length::from_micrometers(4.0);
         Self {
             kind: DriverKind::NmosBased,
-            pull_up: Device::new(MosKind::Nmos, tech.nmos, 4.0e-6, l),
-            pull_down: Device::new(MosKind::Nmos, tech.nmos, 4.0e-6, l),
+            pull_up: Device::new(MosKind::Nmos, tech.nmos, w, l),
+            pull_down: Device::new(MosKind::Nmos, tech.nmos, w, l),
         }
     }
 
@@ -58,11 +59,11 @@ impl OutputDriver {
     /// width, which is precisely what creates the slow-discharge failure
     /// mode at a strong-PMOS/weak-NMOS corner.
     pub fn inverter(tech: &Technology) -> Self {
-        let l = tech.min_length_m;
+        let l = tech.min_length;
         Self {
             kind: DriverKind::Inverter,
-            pull_up: Device::new(MosKind::Pmos, tech.pmos, 4.0e-6, l),
-            pull_down: Device::new(MosKind::Nmos, tech.nmos, 2.0e-6, l),
+            pull_up: Device::new(MosKind::Pmos, tech.pmos, Length::from_micrometers(4.0), l),
+            pull_down: Device::new(MosKind::Nmos, tech.nmos, Length::from_micrometers(2.0), l),
         }
     }
 
@@ -122,13 +123,14 @@ impl OutputDriver {
     ///
     /// Panics if `mult` is not strictly positive and finite.
     #[must_use]
+    // srlr-lint: allow(raw-f64-api, reason = "pull-up scale is a dimensionless multiplier")
     pub fn with_pull_up_scaled(&self, mult: f64) -> Self {
         assert!(
             mult > 0.0 && mult.is_finite(),
             "pull-up scale must be positive"
         );
         Self {
-            pull_up: self.pull_up.with_width(self.pull_up.width_m() * mult),
+            pull_up: self.pull_up.with_width(self.pull_up.width() * mult),
             ..self.clone()
         }
     }

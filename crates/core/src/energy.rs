@@ -48,6 +48,7 @@ impl StageEnergyModel {
     /// # Panics
     ///
     /// Panics if `ones_density` is outside `(0, 1]`.
+    // srlr-lint: allow(raw-f64-api, reason = "ones density is a dimensionless activity fraction")
     pub fn energy_per_bit(&self, ones_density: f64) -> EnergyPerBit {
         assert!(
             ones_density > 0.0 && ones_density <= 1.0,
@@ -57,16 +58,19 @@ impl StageEnergyModel {
     }
 
     /// The paper's normalised metric: energy per bit per unit length.
+    // srlr-lint: allow(raw-f64-api, reason = "ones density is a dimensionless activity fraction")
     pub fn energy_per_bit_per_length(&self, ones_density: f64) -> EnergyPerBitLength {
         self.energy_per_bit(ones_density) / self.total_length
     }
 
     /// Average *dynamic* link power at a data rate and ones density.
+    // srlr-lint: allow(raw-f64-api, reason = "ones density is a dimensionless activity fraction")
     pub fn link_power(&self, rate: DataRate, ones_density: f64) -> Power {
         self.energy_per_bit(ones_density) * rate
     }
 
     /// Total link power: dynamic plus the chain's standby leakage.
+    // srlr-lint: allow(raw-f64-api, reason = "ones density is a dimensionless activity fraction")
     pub fn total_power(&self, rate: DataRate, ones_density: f64) -> Power {
         self.link_power(rate, ones_density) + self.chain_leakage
     }

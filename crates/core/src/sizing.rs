@@ -10,15 +10,15 @@
 use crate::design::SrlrDesign;
 use crate::energy::StageEnergyModel;
 use srlr_tech::{ProcessCorner, Technology};
-use srlr_units::{EnergyPerBitLength, Voltage};
+use srlr_units::{EnergyPerBitLength, Length, Voltage};
 
 /// One evaluated sizing point.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SizingCandidate {
-    /// Drawn M1 width (metres).
-    pub m1_width_m: f64,
-    /// Drawn M2 width (metres).
-    pub m2_width_m: f64,
+    /// Drawn M1 width.
+    pub m1_width: Length,
+    /// Drawn M2 width.
+    pub m2_width: Length,
     /// Whether a 10-stage chain propagates at the typical corner.
     pub works_nominal: bool,
     /// Number of the five global corners at which the chain propagates.
@@ -61,10 +61,10 @@ impl<'a> SizingExplorer<'a> {
     }
 
     /// Evaluates one sizing point.
-    pub fn evaluate(&self, m1_width_m: f64, m2_width_m: f64) -> SizingCandidate {
+    pub fn evaluate(&self, m1_width: Length, m2_width: Length) -> SizingCandidate {
         let design = SrlrDesign {
-            m1_width_m,
-            m2_width_m,
+            m1_width,
+            m2_width,
             ..self.design.clone()
         };
         let nominal = design.instantiate(
@@ -91,8 +91,8 @@ impl<'a> SizingExplorer<'a> {
         };
 
         SizingCandidate {
-            m1_width_m,
-            m2_width_m,
+            m1_width,
+            m2_width,
             works_nominal,
             corners_passed,
             sense_margin,
@@ -101,10 +101,10 @@ impl<'a> SizingExplorer<'a> {
     }
 
     /// Evaluates the cartesian sweep of the given width lists.
-    pub fn sweep(&self, m1_widths_m: &[f64], m2_widths_m: &[f64]) -> Vec<SizingCandidate> {
-        let mut out = Vec::with_capacity(m1_widths_m.len() * m2_widths_m.len());
-        for &w1 in m1_widths_m {
-            for &w2 in m2_widths_m {
+    pub fn sweep(&self, m1_widths: &[Length], m2_widths: &[Length]) -> Vec<SizingCandidate> {
+        let mut out = Vec::with_capacity(m1_widths.len() * m2_widths.len());
+        for &w1 in m1_widths {
+            for &w2 in m2_widths {
                 out.push(self.evaluate(w1, w2));
             }
         }
@@ -112,8 +112,8 @@ impl<'a> SizingExplorer<'a> {
     }
 
     /// The lowest-energy viable candidate of a sweep, if any.
-    pub fn best(&self, m1_widths_m: &[f64], m2_widths_m: &[f64]) -> Option<SizingCandidate> {
-        self.sweep(m1_widths_m, m2_widths_m)
+    pub fn best(&self, m1_widths: &[Length], m2_widths: &[Length]) -> Option<SizingCandidate> {
+        self.sweep(m1_widths, m2_widths)
             .into_iter()
             .filter(SizingCandidate::is_viable)
             .min_by(|a, b| a.energy.value().total_cmp(&b.energy.value()))
@@ -124,6 +124,10 @@ impl<'a> SizingExplorer<'a> {
 mod tests {
     use super::*;
 
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
     fn explorer(tech: &Technology) -> SizingExplorer<'_> {
         SizingExplorer::new(tech, SrlrDesign::paper_proposed(tech), 10)
     }
@@ -132,7 +136,7 @@ mod tests {
     fn paper_sizing_is_viable() {
         let tech = Technology::soi45();
         let e = explorer(&tech);
-        let c = e.evaluate(0.6e-6, 0.12e-6);
+        let c = e.evaluate(um(0.6), um(0.12));
         assert!(c.works_nominal, "paper sizing fails nominally");
         assert!(
             c.is_viable(),
@@ -146,8 +150,8 @@ mod tests {
     fn undersized_m1_loses_sensitivity() {
         let tech = Technology::soi45();
         let e = explorer(&tech);
-        let tiny = e.evaluate(0.05e-6, 0.12e-6);
-        let paper = e.evaluate(0.6e-6, 0.12e-6);
+        let tiny = e.evaluate(um(0.05), um(0.12));
+        let paper = e.evaluate(um(0.6), um(0.12));
         // A much smaller M1 discharges X more slowly and erodes margin.
         assert!(tiny.corners_passed <= paper.corners_passed);
     }
@@ -156,8 +160,8 @@ mod tests {
     fn oversized_keeper_raises_threshold() {
         let tech = Technology::soi45();
         let e = explorer(&tech);
-        let strong_keeper = e.evaluate(0.6e-6, 1.2e-6);
-        let paper = e.evaluate(0.6e-6, 0.12e-6);
+        let strong_keeper = e.evaluate(um(0.6), um(1.2));
+        let paper = e.evaluate(um(0.6), um(0.12));
         assert!(strong_keeper.sense_margin < paper.sense_margin);
     }
 
@@ -165,8 +169,8 @@ mod tests {
     fn best_picks_a_viable_low_energy_point() {
         let tech = Technology::soi45();
         let e = explorer(&tech);
-        let m1 = [0.4e-6, 0.6e-6, 0.9e-6];
-        let m2 = [0.12e-6, 0.24e-6];
+        let m1 = [um(0.4), um(0.6), um(0.9)];
+        let m2 = [um(0.12), um(0.24)];
         let best = e.best(&m1, &m2);
         let best = best.expect("at least the paper point should be viable");
         assert!(best.is_viable());
@@ -182,7 +186,7 @@ mod tests {
     fn sweep_size_is_cartesian() {
         let tech = Technology::soi45();
         let e = explorer(&tech);
-        assert_eq!(e.sweep(&[0.4e-6, 0.6e-6], &[0.12e-6]).len(), 2);
+        assert_eq!(e.sweep(&[um(0.4), um(0.6)], &[um(0.12)]).len(), 2);
     }
 
     #[test]

@@ -39,10 +39,13 @@ pub struct SrlrStage {
     pub m1_vth: Voltage,
     /// M1's saturation current at 1 V of effective overdrive — the
     /// pre-resolved drive scale used for the discharge-time model.
+    // srlr-lint: allow(raw-f64-api, reason = "drive multiplier is dimensionless")
     pub m1_drive_scale: f64,
     /// Alpha of M1's current law.
+    // srlr-lint: allow(raw-f64-api, reason = "alpha-power exponent is dimensionless")
     pub m1_alpha: f64,
     /// Smoothing width of the subthreshold blend (volts).
+    // srlr-lint: allow(raw-f64-api, reason = "smoothing parameter is dimensionless")
     pub m1_smooth: f64,
     /// Approximate minimum input swing that trips the stage (M1's
     /// threshold plus the keeper-ratio margin). Used for spurious-firing

@@ -24,7 +24,7 @@
 use crate::design::SrlrDesign;
 use srlr_circuit::{LadderSpec, Netlist, NodeId, Stimulus, Transient, Waveform};
 use srlr_tech::{Device, GlobalVariation, MosKind, Technology};
-use srlr_units::{Capacitance, TimeInterval, Voltage};
+use srlr_units::{Capacitance, Length, TimeInterval, Voltage};
 use std::collections::BTreeMap;
 
 /// A single elaborated SRLR stage with its input stimulus port and output
@@ -168,7 +168,7 @@ impl SrlrTransientFixture {
         initial: &mut BTreeMap<NodeId, Voltage>,
     ) -> (NodeId, NodeId, NodeId) {
         let (tech, design, var) = (ctx.tech, ctx.design, ctx.var);
-        let l = tech.min_length_m;
+        let l = tech.min_length;
         let lvt_n = tech
             .nmos
             .with_variation(var.dvth_n + design.lvt_offset, var.drive_mult_n);
@@ -178,17 +178,17 @@ impl SrlrTransientFixture {
 
         // --- Node X with M1, keeper M2 and the reset NMOS.
         let node_x = net.node(&format!("{pre}.x"));
-        let m1 = Device::new(MosKind::Nmos, lvt_n, design.m1_width_m, l);
+        let m1 = Device::new(MosKind::Nmos, lvt_n, design.m1_width, l);
         net.add_mosfet(m1, node_x, input, NodeId::GROUND);
-        let m2 = Device::new(MosKind::Nmos, lvt_n, design.m2_width_m, l);
+        let m2 = Device::new(MosKind::Nmos, lvt_n, design.m2_width, l);
         net.add_mosfet(m2, ctx.vdd, ctx.vdd, node_x);
 
         // --- Current-starved inverter amplifier (EN-gated tail).
         let output = net.node(&format!("{pre}.out"));
         let tail = net.node(&format!("{pre}.amp_tail"));
-        let amp_p = Device::new(MosKind::Pmos, reg_p, 1.2e-6, l);
-        let amp_n = Device::new(MosKind::Nmos, reg_n, 0.4e-6, l);
-        let en_n = Device::new(MosKind::Nmos, reg_n, 0.8e-6, l);
+        let amp_p = Device::new(MosKind::Pmos, reg_p, Length::from_micrometers(1.2), l);
+        let amp_n = Device::new(MosKind::Nmos, reg_n, Length::from_micrometers(0.4), l);
+        let en_n = Device::new(MosKind::Nmos, reg_n, Length::from_micrometers(0.8), l);
         net.add_mosfet(amp_p, output, node_x, ctx.vdd);
         net.add_mosfet(amp_n, output, node_x, tail);
         net.add_mosfet(en_n, tail, ctx.en, NodeId::GROUND);
@@ -205,8 +205,8 @@ impl SrlrTransientFixture {
         let mut dly_nodes = Vec::with_capacity(inverters);
         for k in 0..inverters {
             let out_k = net.node(&format!("{pre}.dly{k}"));
-            let p = Device::new(MosKind::Pmos, reg_p, 0.6e-6, l);
-            let n = Device::new(MosKind::Nmos, reg_n, 0.3e-6, l);
+            let p = Device::new(MosKind::Pmos, reg_p, Length::from_micrometers(0.6), l);
+            let n = Device::new(MosKind::Nmos, reg_n, Length::from_micrometers(0.3), l);
             net.add_mosfet(p, out_k, chain_in, ctx.vdd);
             net.add_mosfet(n, out_k, chain_in, NodeId::GROUND);
             net.add_capacitance(out_k, Capacitance::from_femtofarads(load_ff));
@@ -215,20 +215,20 @@ impl SrlrTransientFixture {
             rst = out_k;
         }
         // Reset NMOS: recharges X to VDD − Vth when the delayed OUT is high.
-        let reset_n = Device::new(MosKind::Nmos, lvt_n, 0.6e-6, l);
+        let reset_n = Device::new(MosKind::Nmos, lvt_n, Length::from_micrometers(0.6), l);
         net.add_mosfet(reset_n, ctx.vdd, rst, node_x);
 
         // --- Output driver (NMOS pull-up from Vref, NMOS pull-down).
         let outb = net.node(&format!("{pre}.outb"));
-        let pre_p = Device::new(MosKind::Pmos, reg_p, 0.6e-6, l);
-        let pre_n = Device::new(MosKind::Nmos, reg_n, 0.3e-6, l);
+        let pre_p = Device::new(MosKind::Pmos, reg_p, Length::from_micrometers(0.6), l);
+        let pre_n = Device::new(MosKind::Nmos, reg_n, Length::from_micrometers(0.3), l);
         net.add_mosfet(pre_p, outb, output, ctx.vdd);
         net.add_mosfet(pre_n, outb, output, NodeId::GROUND);
         net.add_capacitance(outb, Capacitance::from_femtofarads(2.0));
 
         let wire_near = net.node(&format!("{pre}.wire_near"));
-        let up = Device::new(MosKind::Nmos, reg_n, 6.0e-6, l);
-        let down = Device::new(MosKind::Nmos, reg_n, 4.0e-6, l);
+        let up = Device::new(MosKind::Nmos, reg_n, Length::from_micrometers(6.0), l);
+        let down = Device::new(MosKind::Nmos, reg_n, Length::from_micrometers(4.0), l);
         net.add_mosfet(up, ctx.vref, output, wire_near);
         net.add_mosfet(down, wire_near, outb, NodeId::GROUND);
 
@@ -238,7 +238,7 @@ impl SrlrTransientFixture {
             .extract(design.segment_length)
             .with_variation(var.wire_r_mult, var.wire_c_mult);
         let delivered = LadderSpec::new(10).build(net, wire_near, rc, &format!("{pre}.seg"));
-        let next_m1 = Device::new(MosKind::Nmos, lvt_n, design.m1_width_m, l);
+        let next_m1 = Device::new(MosKind::Nmos, lvt_n, design.m1_width, l);
         net.add_capacitance(delivered, next_m1.gate_capacitance());
 
         // --- Initial conditions: X at standby, delay chain settled for

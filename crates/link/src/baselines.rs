@@ -17,7 +17,8 @@
 
 use srlr_tech::WireGeometry;
 use srlr_units::{
-    BandwidthDensity, Capacitance, DataRate, EnergyPerBit, EnergyPerBitLength, Length, Voltage,
+    Area, BandwidthDensity, Capacitance, DataRate, EnergyPerBit, EnergyPerBitLength, Length,
+    Voltage,
 };
 
 /// A row of published silicon results (Table I).
@@ -140,6 +141,7 @@ pub struct FullSwingRepeatedLink {
     /// Supply (and signal) voltage.
     pub vdd: Voltage,
     /// Switching activity per bit (0.5 for random level-coded data).
+    // srlr-lint: allow(raw-f64-api, reason = "switching activity is a dimensionless fraction")
     pub activity: f64,
     /// Repeater insertion length.
     pub segment: Length,
@@ -162,7 +164,7 @@ impl FullSwingRepeatedLink {
     /// Dynamic energy per bit per unit length: `activity · C' · VDD²`
     /// for the wire plus the repeater overhead amortised per segment.
     pub fn energy_per_bit_length(&self) -> EnergyPerBitLength {
-        let c_per_m = self.wire.capacitance_per_length();
+        let c_per_m = self.wire.capacitance_per_length().farads_per_meter();
         let wire = self.activity * c_per_m * self.vdd.volts() * self.vdd.volts();
         let repeater = self.activity
             * self.repeater_capacitance.farads()
@@ -217,7 +219,7 @@ impl DifferentialClockedLink {
     /// toggles one of the pair per bit on average with activity 1), plus
     /// the clocked receiver overhead amortised per segment.
     pub fn energy_per_bit_length(&self) -> EnergyPerBitLength {
-        let c_per_m = self.wire.capacitance_per_length();
+        let c_per_m = self.wire.capacitance_per_length().farads_per_meter();
         // One wire of the pair transitions per bit: C·Vswing·Vsupply.
         let wires = c_per_m * self.swing.volts() * self.low_supply.volts();
         let clocked = self.clocked_overhead_per_hop.value() / self.segment.meters();
@@ -248,7 +250,7 @@ pub struct EqualizedLink {
     pub length: Length,
     /// Reported driver area (the \[26\] 10 mm driver is 1760 um²/bit —
     /// the mesh-integration blocker the paper cites).
-    pub driver_area_um2: f64,
+    pub driver_area: Area,
 }
 
 impl EqualizedLink {
@@ -264,13 +266,13 @@ impl EqualizedLink {
             supply: Voltage::from_volts(1.0),
             fixed_overhead: EnergyPerBit::from_femtojoules_per_bit(120.0),
             length: Length::from_millimeters(10.0),
-            driver_area_um2: 1760.0,
+            driver_area: Area::from_square_micrometers(1760.0),
         }
     }
 
     /// Energy per bit per unit length over the tuned length.
     pub fn energy_per_bit_length(&self) -> EnergyPerBitLength {
-        let c_per_m = self.wire.capacitance_per_length();
+        let c_per_m = self.wire.capacitance_per_length().farads_per_meter();
         let wires = c_per_m * self.tx_swing.volts() * self.supply.volts();
         let fixed = self.fixed_overhead.value() / self.length.meters();
         EnergyPerBitLength::from_joules_per_bit_per_meter(wires + fixed)
@@ -371,6 +373,6 @@ mod tests {
         // The paper's area argument: 1760 um² per bit-driver vs 47.9 um²
         // per SRLR — over 35x.
         let q = EqualizedLink::jssc10_reference();
-        assert!(q.driver_area_um2 / 47.9 > 35.0);
+        assert!(q.driver_area.square_micrometers() / 47.9 > 35.0);
     }
 }

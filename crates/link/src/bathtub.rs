@@ -31,6 +31,7 @@ impl BathtubPoint {
     /// # Panics
     ///
     /// Panics if no bits were transmitted.
+    // srlr-lint: allow(raw-f64-api, reason = "bit-error ratio is a dimensionless probability")
     pub fn ber(&self) -> f64 {
         assert!(self.bits > 0, "empty bathtub point");
         self.errors as f64 / self.bits as f64

@@ -31,6 +31,7 @@ impl BerReport {
     /// # Panics
     ///
     /// Panics if the run had zero bits.
+    // srlr-lint: allow(raw-f64-api, reason = "bit-error ratio is a dimensionless probability")
     pub fn ber(&self) -> f64 {
         assert!(self.bits > 0, "BER of an empty run");
         self.errors as f64 / self.bits as f64
@@ -38,6 +39,7 @@ impl BerReport {
 
     /// Wilson-score 95 % upper bound on the BER — the honest claim after
     /// a zero-error run.
+    // srlr-lint: allow(raw-f64-api, reason = "bit-error ratio is a dimensionless probability")
     pub fn ber_upper_bound(&self) -> f64 {
         srlr_tech::montecarlo::ErrorProbability {
             failures: self.errors,
@@ -125,9 +127,9 @@ fn stress_patterns(prbs_bits: usize) -> Vec<Vec<bool>> {
     patterns
 }
 
-/// Finds the highest data rate (to `resolution_gbps`) at which a link of
+/// Finds the highest data rate (to `resolution`) at which a link of
 /// `design` on die `var` transmits every stress pattern error-free.
-/// Returns `None` if even `lo_gbps` fails.
+/// Returns `None` if even `lo` fails.
 ///
 /// # Panics
 ///
@@ -137,10 +139,15 @@ pub fn max_data_rate(
     design: &SrlrDesign,
     base: LinkConfig,
     var: &GlobalVariation,
-    lo_gbps: f64,
-    hi_gbps: f64,
-    resolution_gbps: f64,
+    lo: DataRate,
+    hi: DataRate,
+    resolution: DataRate,
 ) -> Option<DataRate> {
+    let (lo_gbps, hi_gbps, resolution_gbps) = (
+        lo.gigabits_per_second(),
+        hi.gigabits_per_second(),
+        resolution.gigabits_per_second(),
+    );
     assert!(
         lo_gbps > 0.0 && hi_gbps > lo_gbps && resolution_gbps > 0.0,
         "invalid rate bracket"
@@ -198,9 +205,9 @@ mod tests {
             &design,
             LinkConfig::paper_default(),
             &GlobalVariation::nominal(),
-            1.0,
-            10.0,
-            0.1,
+            DataRate::from_gigabits_per_second(1.0),
+            DataRate::from_gigabits_per_second(10.0),
+            DataRate::from_gigabits_per_second(0.1),
         )
         .expect("link must work at 1 Gb/s");
         let gbps = rate.gigabits_per_second();
@@ -218,9 +225,9 @@ mod tests {
             &design,
             LinkConfig::paper_default(),
             &ss,
-            1.0,
-            6.0,
-            0.25,
+            DataRate::from_gigabits_per_second(1.0),
+            DataRate::from_gigabits_per_second(6.0),
+            DataRate::from_gigabits_per_second(0.25),
         );
         assert!(rate.is_none());
     }
@@ -250,9 +257,9 @@ mod tests {
             &SrlrDesign::paper_proposed(&t),
             LinkConfig::paper_default(),
             &GlobalVariation::nominal(),
-            5.0,
-            2.0,
-            0.1,
+            DataRate::from_gigabits_per_second(5.0),
+            DataRate::from_gigabits_per_second(2.0),
+            DataRate::from_gigabits_per_second(0.1),
         );
     }
 }

@@ -160,6 +160,7 @@ impl LinkBundle {
 
     /// The bias generator's share of total bundle power — the paper
     /// quotes 0.6 % at 64 bits.
+    // srlr-lint: allow(raw-f64-api, reason = "bias share is a dimensionless fraction")
     pub fn bias_share(&self) -> f64 {
         self.bias.power() / self.total_power()
     }

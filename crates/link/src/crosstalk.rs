@@ -49,9 +49,9 @@ pub fn crosstalk_sweep(tech: &Technology, design: &SrlrDesign) -> Vec<CrosstalkP
             &d,
             LinkConfig::paper_default(),
             &nominal,
-            0.5,
-            12.0,
-            0.1,
+            DataRate::from_gigabits_per_second(0.5),
+            DataRate::from_gigabits_per_second(12.0),
+            DataRate::from_gigabits_per_second(0.1),
         );
         let energy = {
             let link = SrlrLink::on_die(tech, &d, LinkConfig::paper_default(), &nominal);

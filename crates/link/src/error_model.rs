@@ -45,12 +45,14 @@ impl LinkErrorModel {
     /// # Panics
     ///
     /// Panics if the model holds zero bits.
+    // srlr-lint: allow(raw-f64-api, reason = "bit-error ratio is a dimensionless probability")
     pub fn ber(&self) -> f64 {
         assert!(self.bits > 0, "BER of an empty measurement");
         self.errors as f64 / self.bits as f64
     }
 
     /// Wilson-score 95 % upper bound on the BER.
+    // srlr-lint: allow(raw-f64-api, reason = "bit-error ratio is a dimensionless probability")
     pub fn ber_upper_bound(&self) -> f64 {
         ErrorProbability {
             failures: self.errors,
@@ -68,6 +70,7 @@ impl LinkErrorModel {
     /// The BER a downstream fault injector should run at: the point
     /// estimate when errors were observed, otherwise the Wilson upper
     /// bound (a zero-error run proves nothing about zero).
+    // srlr-lint: allow(raw-f64-api, reason = "bit-error ratio is a dimensionless probability")
     pub fn effective_ber(&self) -> f64 {
         if self.is_bounded() {
             self.ber_upper_bound()

@@ -268,6 +268,7 @@ impl<'a> McExperiment<'a> {
     /// Returns `(proposed, straightforward, ratio)`; the ratio is
     /// `straightforward / proposed` failure probabilities, `inf` when the
     /// proposed design never failed.
+    // srlr-lint: allow(raw-f64-api, reason = "immunity ratio is a dimensionless quotient of probabilities")
     pub fn immunity_ratio(&self) -> (ErrorProbability, ErrorProbability, f64) {
         let proposed = self.error_probability(&SrlrDesign::paper_proposed(self.tech));
         let straightforward = self.error_probability(&SrlrDesign::straightforward(self.tech));

@@ -79,6 +79,7 @@ impl MulticastLink {
 
     /// The multicast saving factor: unicast-clone energy over multicast
     /// energy (≥ 1, grows with tap count).
+    // srlr-lint: allow(raw-f64-api, reason = "energy saving is a dimensionless fraction")
     pub fn multicast_saving(&self) -> f64 {
         self.unicast_clone_pulse_energy() / self.multicast_pulse_energy()
     }

@@ -93,6 +93,7 @@ impl ShmooPlot {
     }
 
     /// Fraction of passing cells.
+    // srlr-lint: allow(raw-f64-api, reason = "pass fraction is dimensionless")
     pub fn pass_fraction(&self) -> f64 {
         let total = self.swings.len() * self.rates.len();
         let passing: usize = self

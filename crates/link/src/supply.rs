@@ -54,9 +54,9 @@ pub fn supply_sweep(
                 design,
                 LinkConfig::paper_default(),
                 &nominal,
-                0.5,
-                12.0,
-                0.1,
+                DataRate::from_gigabits_per_second(0.5),
+                DataRate::from_gigabits_per_second(12.0),
+                DataRate::from_gigabits_per_second(0.1),
             )?;
             let rate = cliff * RATE_MARGIN;
             let config = LinkConfig::paper_default().with_data_rate(rate);

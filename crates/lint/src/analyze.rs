@@ -58,19 +58,24 @@ pub struct AnalyzeOptions {
 
 /// One parsed suppression comment; covers its own line and the next.
 #[derive(Debug, Clone, Copy)]
-struct Suppression {
-    rule: RuleId,
-    line: u32,
+pub struct Suppression {
+    /// The rule being waved through.
+    pub rule: RuleId,
+    /// Line of the suppression comment (it also covers the next line).
+    pub line: u32,
 }
 
 /// A file's token stream plus the index of non-comment ("code") tokens.
-struct FileView<'a> {
-    path: &'a str,
-    src: &'a str,
-    lines: Vec<&'a str>,
-    tokens: Vec<Token>,
+///
+/// Shared between the token-level rule engine here and the item-tree
+/// parser in [`crate::items`].
+pub(crate) struct FileView<'a> {
+    pub(crate) path: &'a str,
+    pub(crate) src: &'a str,
+    pub(crate) lines: Vec<&'a str>,
+    pub(crate) tokens: Vec<Token>,
     /// Raw indices of the non-comment tokens, in order.
-    code: Vec<usize>,
+    pub(crate) code: Vec<usize>,
     /// Raw-index flags: token lies inside a `#[cfg(test)]`/`#[test]` item.
     excluded: Vec<bool>,
     /// Raw-index flags: token lies inside a `macro_rules!` body.
@@ -78,7 +83,7 @@ struct FileView<'a> {
 }
 
 impl<'a> FileView<'a> {
-    fn new(path: &'a str, src: &'a str) -> Self {
+    pub(crate) fn new(path: &'a str, src: &'a str) -> Self {
         let tokens = lex(src);
         let code: Vec<usize> = (0..tokens.len())
             .filter(|&i| !tokens[i].kind.is_comment())
@@ -98,31 +103,31 @@ impl<'a> FileView<'a> {
     }
 
     /// The code token at code index `ci`.
-    fn ctok(&self, ci: usize) -> Option<&Token> {
+    pub(crate) fn ctok(&self, ci: usize) -> Option<&Token> {
         self.code.get(ci).map(|&r| &self.tokens[r])
     }
 
     /// The text of the code token at code index `ci`.
-    fn ctext(&self, ci: usize) -> Option<&'a str> {
+    pub(crate) fn ctext(&self, ci: usize) -> Option<&'a str> {
         self.ctok(ci).map(|t| t.text(self.src))
     }
 
     /// Whether the code token at `ci` is inside excluded (test) code.
-    fn is_excluded(&self, ci: usize) -> bool {
+    pub(crate) fn is_excluded(&self, ci: usize) -> bool {
         self.code
             .get(ci)
             .is_some_and(|&r| self.excluded.get(r).copied().unwrap_or(false))
     }
 
     /// Whether the code token at `ci` is inside a `macro_rules!` body.
-    fn is_in_macro(&self, ci: usize) -> bool {
+    pub(crate) fn is_in_macro(&self, ci: usize) -> bool {
         self.code
             .get(ci)
             .is_some_and(|&r| self.in_macro.get(r).copied().unwrap_or(false))
     }
 
     /// Builds a diagnostic anchored at the given token.
-    fn diag(&self, tok: &Token, rule: RuleId, message: String) -> Diagnostic {
+    pub(crate) fn diag(&self, tok: &Token, rule: RuleId, message: String) -> Diagnostic {
         let snippet = self
             .lines
             .get(tok.line.saturating_sub(1) as usize)
@@ -142,7 +147,12 @@ impl<'a> FileView<'a> {
 
     /// Finds the code index of the close delimiter matching the open
     /// delimiter at code index `i`.
-    fn matching_close(&self, i: usize, open: TokenKind, close: TokenKind) -> Option<usize> {
+    pub(crate) fn matching_close(
+        &self,
+        i: usize,
+        open: TokenKind,
+        close: TokenKind,
+    ) -> Option<usize> {
         let mut depth = 0usize;
         for ci in i..self.code.len() {
             let kind = self.ctok(ci)?.kind;
@@ -161,7 +171,7 @@ impl<'a> FileView<'a> {
     /// Parses an attribute group (`#[…]` or `#![…]`) starting at code
     /// index `i`. Returns the code index of the closing `]` and whether
     /// the attribute marks test code (`#[test]` / `#[cfg(test)]`).
-    fn parse_attr(&self, i: usize) -> Option<(usize, bool)> {
+    pub(crate) fn parse_attr(&self, i: usize) -> Option<(usize, bool)> {
         if self.ctext(i)? != "#" {
             return None;
         }
@@ -181,7 +191,7 @@ impl<'a> FileView<'a> {
     /// Finds the code index of the last token of the item starting at `i`
     /// (skipping stacked attributes): a top-level `;`, or the closing `}`
     /// of the item's brace block.
-    fn item_end(&self, mut i: usize) -> Option<usize> {
+    pub(crate) fn item_end(&self, mut i: usize) -> Option<usize> {
         while let Some((close, _)) = self.parse_attr(i) {
             i = close + 1;
         }
@@ -261,8 +271,20 @@ impl<'a> FileView<'a> {
     }
 }
 
-/// Analyzes one file and returns its diagnostics, sorted by position.
-pub fn analyze_source(path: &str, src: &str, opts: AnalyzeOptions) -> Vec<Diagnostic> {
+/// Token-level analysis of one file: the (unsuppressed) diagnostics plus
+/// the parsed suppressions, so the caller can apply the same suppressions
+/// to cross-file diagnostics (raw-f64-api, crate-layering, api-lock)
+/// anchored in this file.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// Diagnostics from the token-level rules, not yet suppression-filtered.
+    pub diags: Vec<Diagnostic>,
+    /// Every well-formed suppression comment in the file.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Runs the token-level rules on one file without applying suppressions.
+pub fn analyze_file(path: &str, src: &str, opts: AnalyzeOptions) -> FileAnalysis {
     let view = FileView::new(path, src);
     let mut diags: Vec<Diagnostic> = Vec::new();
 
@@ -271,15 +293,29 @@ pub fn analyze_source(path: &str, src: &str, opts: AnalyzeOptions) -> Vec<Diagno
     if opts.check_missing_doc {
         scan_missing_doc(&view, &mut diags);
     }
+    FileAnalysis {
+        diags,
+        suppressions,
+    }
+}
 
+/// Drops every suppressible diagnostic covered by a suppression on its
+/// own line or the line above.
+pub fn apply_suppressions(diags: &mut Vec<Diagnostic>, suppressions: &[Suppression]) {
     diags.retain(|d| {
         !(d.rule.suppressible()
             && suppressions
                 .iter()
                 .any(|s| s.rule == d.rule && (d.line == s.line || d.line == s.line + 1)))
     });
-    diags.sort_by_key(|d| (d.line, d.col, d.rule));
-    diags
+}
+
+/// Analyzes one file and returns its diagnostics, sorted by position.
+pub fn analyze_source(path: &str, src: &str, opts: AnalyzeOptions) -> Vec<Diagnostic> {
+    let mut analysis = analyze_file(path, src, opts);
+    apply_suppressions(&mut analysis.diags, &analysis.suppressions);
+    analysis.diags.sort_by_key(|d| (d.line, d.col, d.rule));
+    analysis.diags
 }
 
 /// Parses every `srlr-lint:` comment; malformed ones become

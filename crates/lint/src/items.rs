@@ -1,0 +1,992 @@
+//! A lightweight recursive-descent **item-tree** parser.
+//!
+//! This is deliberately not a Rust parser: it walks the token stream of
+//! one file and recovers only the *item skeleton* — `use` declarations,
+//! inline `mod` nesting, `impl`/`trait` ownership, and the signatures of
+//! `pub` functions, structs and fields. Expression bodies are skipped
+//! wholesale (via the file view's `item_end`), so the parser stays robust on
+//! anything rustc would accept while giving the semantic rules
+//! (`raw-f64-api`, `crate-layering`, `api-lock`) real item identities to
+//! anchor on instead of raw token positions.
+//!
+//! Conventions the rules rely on:
+//!
+//! * Test code (`#[cfg(test)]` / `#[test]`) and `macro_rules!` bodies are
+//!   invisible, exactly as for the token-level rules.
+//! * Only unrestricted `pub` items are recorded; `pub(crate)` and
+//!   narrower are workspace-internal and carry no API obligations.
+//! * Methods inside `impl Trait for Type` blocks are **not** recorded:
+//!   the trait declaration is the source of truth for their signatures.
+//! * Macro-generated items cannot be seen (the lint never expands
+//!   macros); the api-lock snapshot is therefore "everything the item
+//!   parser sees", applied identically when writing and when checking.
+
+use crate::analyze::FileView;
+
+/// What kind of public item a [`PubItem`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ItemKind {
+    /// A free function, inherent method, or trait method declaration.
+    Fn,
+    /// A struct.
+    Struct,
+    /// A named or tuple struct field.
+    Field,
+    /// An enum (variants are not descended into).
+    Enum,
+    /// A trait declaration.
+    Trait,
+    /// A `type` alias.
+    TypeAlias,
+    /// A `const` item.
+    Const,
+    /// A `static` item.
+    Static,
+    /// A `union`.
+    Union,
+}
+
+impl ItemKind {
+    /// The keyword used in api-lock entries and diagnostics.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ItemKind::Fn => "fn",
+            ItemKind::Struct => "struct",
+            ItemKind::Field => "field",
+            ItemKind::Enum => "enum",
+            ItemKind::Trait => "trait",
+            ItemKind::TypeAlias => "type",
+            ItemKind::Const => "const",
+            ItemKind::Static => "static",
+            ItemKind::Union => "union",
+        }
+    }
+}
+
+/// One recorded public item.
+#[derive(Debug, Clone)]
+pub struct PubItem {
+    /// The item kind.
+    pub kind: ItemKind,
+    /// Inline-module path within the file (`""` at file root, `a::b` for
+    /// nested `mod` blocks).
+    pub module: String,
+    /// Owning type or trait for methods, owning struct for fields.
+    pub owner: Option<String>,
+    /// Item name; tuple fields use their positional index.
+    pub name: String,
+    /// Normalized signature: `(params) -> ret` for fns, `: Type` for
+    /// fields/consts/statics, empty otherwise.
+    pub signature: String,
+    /// 1-based line of the item's first token.
+    pub line: u32,
+    /// 1-based column of the item's first token.
+    pub col: u32,
+    /// Positions of every bare `f64` token in the signature.
+    pub f64_spans: Vec<(u32, u32)>,
+}
+
+/// One `use` declaration (any visibility — re-exports count as
+/// dependencies too).
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    /// The first path segment (`srlr_units`, `std`, `crate`, …).
+    pub first_segment: String,
+    /// 1-based line of the `use` keyword.
+    pub line: u32,
+}
+
+/// The parsed item skeleton of one file.
+#[derive(Debug, Default)]
+pub struct ItemTree {
+    /// Every `use` declaration, in source order.
+    pub uses: Vec<UseDecl>,
+    /// Every recorded public item, in source order.
+    pub items: Vec<PubItem>,
+}
+
+/// Parses the item tree of one source file.
+pub fn parse_items(path: &str, src: &str) -> ItemTree {
+    let view = FileView::new(path, src);
+    let mut walker = Walker {
+        view: &view,
+        tree: ItemTree::default(),
+    };
+    walker.walk(0, view.code.len(), String::new(), Ctx::Module);
+    walker.tree
+}
+
+/// What kind of block the walker is currently inside.
+#[derive(Debug, Clone)]
+enum Ctx {
+    /// File root or an inline `mod` body.
+    Module,
+    /// `impl Type { … }`: `pub fn`s become methods of the owner.
+    InherentImpl(String),
+    /// `impl Trait for Type { … }`: nothing is recorded.
+    TraitImpl,
+    /// `pub trait Name { … }`: every `fn` is public API of the trait.
+    TraitDecl(String),
+}
+
+/// Keywords that may precede `fn` in a declaration.
+const FN_MODIFIERS: &[&str] = &["const", "unsafe", "async", "extern"];
+/// Identifiers that can appear in a type path but never name the type.
+const TYPE_NOISE: &[&str] = &[
+    "dyn", "mut", "const", "for", "where", "as", "crate", "super",
+];
+
+struct Walker<'a, 'b> {
+    view: &'b FileView<'a>,
+    tree: ItemTree,
+}
+
+impl<'a, 'b> Walker<'a, 'b> {
+    fn text(&self, ci: usize) -> &'a str {
+        self.view.ctext(ci).unwrap_or("")
+    }
+
+    /// Walks the code-token range `[start, end)` at item position.
+    fn walk(&mut self, start: usize, end: usize, module: String, ctx: Ctx) {
+        let mut i = start;
+        while i < end {
+            if self.view.is_excluded(i) || self.view.is_in_macro(i) {
+                i += 1;
+                continue;
+            }
+            if let Some((close, _)) = self.view.parse_attr(i) {
+                i = close + 1;
+                continue;
+            }
+            // Optional visibility.
+            let (is_pub, k) = self.parse_visibility(i);
+            let next = match self.dispatch(i, k, end, is_pub, &module, &ctx) {
+                Some(n) => n,
+                None => i + 1,
+            };
+            i = next.max(i + 1);
+        }
+    }
+
+    /// Parses `pub` / `pub(crate)` / … at `i`. Returns whether the item
+    /// is unrestricted-public and the index of the token after the
+    /// visibility.
+    fn parse_visibility(&self, i: usize) -> (bool, usize) {
+        if self.text(i) != "pub" {
+            return (false, i);
+        }
+        if self.view.ctok(i + 1).map(|t| t.kind) == Some(crate::lexer::TokenKind::OpenParen) {
+            let close = self
+                .view
+                .matching_close(
+                    i + 1,
+                    crate::lexer::TokenKind::OpenParen,
+                    crate::lexer::TokenKind::CloseParen,
+                )
+                .unwrap_or(i + 1);
+            return (false, close + 1);
+        }
+        (true, i + 1)
+    }
+
+    /// Handles one item starting at `i` (visibility already parsed; the
+    /// keyword sits at `k`). Returns the code index just past the item.
+    fn dispatch(
+        &mut self,
+        i: usize,
+        k: usize,
+        end: usize,
+        is_pub: bool,
+        module: &str,
+        ctx: &Ctx,
+    ) -> Option<usize> {
+        let kw = self.text(k);
+        match kw {
+            "use" => {
+                self.record_use(k);
+                self.view.item_end(k).map(|e| e + 1)
+            }
+            "mod" => self.parse_mod(i, k, module),
+            "impl" => self.parse_impl(i, k, module),
+            "trait" => self.parse_trait(i, k, is_pub, module),
+            "struct" => self.parse_struct(i, k, is_pub, module),
+            "enum" | "union" => {
+                if is_pub {
+                    self.record_simple(
+                        if kw == "enum" {
+                            ItemKind::Enum
+                        } else {
+                            ItemKind::Union
+                        },
+                        i,
+                        k,
+                        module,
+                    );
+                }
+                self.view.item_end(k).map(|e| e + 1)
+            }
+            "type" => {
+                if is_pub {
+                    self.record_simple(ItemKind::TypeAlias, i, k, module);
+                }
+                self.view.item_end(k).map(|e| e + 1)
+            }
+            "const" | "static" if self.text(k + 1) != "fn" => {
+                if is_pub {
+                    let owner = match ctx {
+                        Ctx::InherentImpl(o) => Some(o.clone()),
+                        _ => None,
+                    };
+                    self.record_const(i, k, kw, module, owner);
+                }
+                self.view.item_end(k).map(|e| e + 1)
+            }
+            _ if kw == "fn" || FN_MODIFIERS.contains(&kw) => {
+                // Skip `const`/`unsafe`/`async`/`extern "ABI"` up to `fn`.
+                let mut f = k;
+                for _ in 0..4 {
+                    if self.text(f) == "fn" {
+                        break;
+                    }
+                    if FN_MODIFIERS.contains(&self.text(f)) {
+                        f += 1;
+                        // `extern "C"` carries a literal.
+                        if self.view.ctok(f).map(|t| t.kind) == Some(crate::lexer::TokenKind::Str) {
+                            f += 1;
+                        }
+                        continue;
+                    }
+                    break;
+                }
+                if self.text(f) != "fn" {
+                    // `extern "C" { … }` block or stray modifier: skip item.
+                    return self.view.item_end(i).map(|e| e + 1);
+                }
+                let record = match ctx {
+                    Ctx::Module | Ctx::InherentImpl(_) => is_pub,
+                    Ctx::TraitDecl(_) => true,
+                    Ctx::TraitImpl => false,
+                };
+                if record {
+                    let owner = match ctx {
+                        Ctx::InherentImpl(o) | Ctx::TraitDecl(o) => Some(o.clone()),
+                        _ => None,
+                    };
+                    self.record_fn(i, f, module, owner);
+                }
+                self.view.item_end(k).map(|e| e + 1)
+            }
+            _ => {
+                // Macro invocation (`name! …;`) or anything unrecognised:
+                // skip to the end of the statement/item.
+                let _ = end;
+                self.view.item_end(i).map(|e| e + 1)
+            }
+        }
+    }
+
+    /// Records the first path segment of a `use` declaration.
+    fn record_use(&mut self, k: usize) {
+        let line = self.view.ctok(k).map(|t| t.line).unwrap_or(0);
+        let mut j = k + 1;
+        if self.text(j) == "::" {
+            j += 1;
+        }
+        let seg = self.text(j);
+        if !seg.is_empty() {
+            self.tree.uses.push(UseDecl {
+                first_segment: seg.trim_start_matches("r#").to_string(),
+                line,
+            });
+        }
+    }
+
+    /// `mod name { … }` (recursed into) or `mod name;` (skipped).
+    fn parse_mod(&mut self, i: usize, k: usize, module: &str) -> Option<usize> {
+        let name = self.text(k + 1).trim_start_matches("r#").to_string();
+        let open = k + 2;
+        if self.view.ctok(open).map(|t| t.kind) == Some(crate::lexer::TokenKind::OpenBrace) {
+            let close = self.view.matching_close(
+                open,
+                crate::lexer::TokenKind::OpenBrace,
+                crate::lexer::TokenKind::CloseBrace,
+            )?;
+            let inner = if module.is_empty() {
+                name
+            } else {
+                format!("{module}::{name}")
+            };
+            self.walk(open + 1, close, inner, Ctx::Module);
+            return Some(close + 1);
+        }
+        self.view.item_end(i).map(|e| e + 1)
+    }
+
+    /// `impl [<…>] [Trait for] Type [where …] { … }`.
+    fn parse_impl(&mut self, _i: usize, k: usize, module: &str) -> Option<usize> {
+        let mut j = k + 1;
+        j = self.skip_generics(j);
+        // Collect header tokens up to the body `{` at angle depth 0,
+        // splitting at a top-level `for`.
+        let mut angle = 0i32;
+        let mut before_for: Vec<usize> = Vec::new();
+        let mut after_for: Vec<usize> = Vec::new();
+        let mut saw_for = false;
+        let mut open = None;
+        while j < self.view.code.len() {
+            let t = self.text(j);
+            match t {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "<<" => angle += 2,
+                ">>" => angle -= 2,
+                "->" => {}
+                "for" if angle == 0 => {
+                    saw_for = true;
+                    j += 1;
+                    continue;
+                }
+                "where" if angle == 0 => {
+                    // `where` ends the type; scan forward to the `{`.
+                    while j < self.view.code.len()
+                        && self.view.ctok(j).map(|t| t.kind)
+                            != Some(crate::lexer::TokenKind::OpenBrace)
+                    {
+                        j += 1;
+                    }
+                    open = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+            if self.view.ctok(j).map(|t| t.kind) == Some(crate::lexer::TokenKind::OpenBrace)
+                && angle <= 0
+            {
+                open = Some(j);
+                break;
+            }
+            if saw_for {
+                after_for.push(j);
+            } else {
+                before_for.push(j);
+            }
+            j += 1;
+        }
+        let open = open?;
+        let close = self.view.matching_close(
+            open,
+            crate::lexer::TokenKind::OpenBrace,
+            crate::lexer::TokenKind::CloseBrace,
+        )?;
+        let self_type = if saw_for { &after_for } else { &before_for };
+        let owner = self.last_type_ident(self_type);
+        let ctx = if saw_for {
+            Ctx::TraitImpl
+        } else {
+            Ctx::InherentImpl(owner.unwrap_or_default())
+        };
+        self.walk(open + 1, close, module.to_string(), ctx);
+        Some(close + 1)
+    }
+
+    /// The rightmost plain identifier at angle depth 0 in a type path —
+    /// `core::fmt::Display` → `Display`, `Foo<T>` → `Foo`.
+    fn last_type_ident(&self, idxs: &[usize]) -> Option<String> {
+        let mut angle = 0i32;
+        let mut found = None;
+        for &ci in idxs {
+            match self.text(ci) {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "<<" => angle += 2,
+                ">>" => angle -= 2,
+                t if angle == 0
+                    && self.view.ctok(ci).map(|t| t.kind)
+                        == Some(crate::lexer::TokenKind::Ident)
+                    && !TYPE_NOISE.contains(&t) =>
+                {
+                    found = Some(t.trim_start_matches("r#").to_string());
+                }
+                _ => {}
+            }
+        }
+        found
+    }
+
+    /// `pub trait Name { … }`: record and descend; private traits skipped.
+    fn parse_trait(&mut self, i: usize, k: usize, is_pub: bool, module: &str) -> Option<usize> {
+        if !is_pub {
+            return self.view.item_end(i).map(|e| e + 1);
+        }
+        let name = self.text(k + 1).trim_start_matches("r#").to_string();
+        self.record_simple(ItemKind::Trait, i, k, module);
+        // Find the body `{` (skipping generics, supertraits, where).
+        let mut j = k + 2;
+        let mut angle = 0i32;
+        while j < self.view.code.len() {
+            match self.text(j) {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "<<" => angle += 2,
+                ">>" => angle -= 2,
+                _ => {}
+            }
+            if self.view.ctok(j).map(|t| t.kind) == Some(crate::lexer::TokenKind::OpenBrace)
+                && angle <= 0
+            {
+                break;
+            }
+            j += 1;
+        }
+        let close = self.view.matching_close(
+            j,
+            crate::lexer::TokenKind::OpenBrace,
+            crate::lexer::TokenKind::CloseBrace,
+        )?;
+        self.walk(j + 1, close, module.to_string(), Ctx::TraitDecl(name));
+        Some(close + 1)
+    }
+
+    /// `pub struct Name …`: records the struct and its public fields.
+    fn parse_struct(&mut self, i: usize, k: usize, is_pub: bool, module: &str) -> Option<usize> {
+        if !is_pub {
+            return self.view.item_end(i).map(|e| e + 1);
+        }
+        let name = self.text(k + 1).trim_start_matches("r#").to_string();
+        self.record_simple(ItemKind::Struct, i, k, module);
+        let mut j = self.skip_generics(k + 2);
+        match self.view.ctok(j).map(|t| t.kind) {
+            Some(crate::lexer::TokenKind::OpenParen) => {
+                let close = self.view.matching_close(
+                    j,
+                    crate::lexer::TokenKind::OpenParen,
+                    crate::lexer::TokenKind::CloseParen,
+                )?;
+                self.record_tuple_fields(j, close, module, &name);
+                self.view.item_end(k).map(|e| e + 1)
+            }
+            Some(crate::lexer::TokenKind::OpenBrace) => {
+                let close = self.view.matching_close(
+                    j,
+                    crate::lexer::TokenKind::OpenBrace,
+                    crate::lexer::TokenKind::CloseBrace,
+                )?;
+                self.record_named_fields(j, close, module, &name);
+                Some(close + 1)
+            }
+            _ => {
+                // Unit struct `pub struct X;` (or a `where` clause).
+                while j < self.view.code.len() && self.text(j) != ";" {
+                    j += 1;
+                }
+                Some(j + 1)
+            }
+        }
+    }
+
+    /// Splits the code range `(open, close)` at top-level commas.
+    fn split_fields(&self, open: usize, close: usize) -> Vec<Vec<usize>> {
+        let mut chunks = Vec::new();
+        let mut current = Vec::new();
+        let mut depth = 0i32;
+        let mut angle = 0i32;
+        for ci in open + 1..close {
+            let t = self.text(ci);
+            match self.view.ctok(ci).map(|t| t.kind) {
+                Some(
+                    crate::lexer::TokenKind::OpenParen
+                    | crate::lexer::TokenKind::OpenBracket
+                    | crate::lexer::TokenKind::OpenBrace,
+                ) => depth += 1,
+                Some(
+                    crate::lexer::TokenKind::CloseParen
+                    | crate::lexer::TokenKind::CloseBracket
+                    | crate::lexer::TokenKind::CloseBrace,
+                ) => depth -= 1,
+                _ => match t {
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    "<<" => angle += 2,
+                    ">>" => angle -= 2,
+                    _ => {}
+                },
+            }
+            if t == "," && depth == 0 && angle == 0 {
+                chunks.push(std::mem::take(&mut current));
+            } else {
+                current.push(ci);
+            }
+        }
+        if !current.is_empty() {
+            chunks.push(current);
+        }
+        chunks
+    }
+
+    /// Records `pub` positional fields of a tuple struct.
+    fn record_tuple_fields(&mut self, open: usize, close: usize, module: &str, owner: &str) {
+        for (index, chunk) in self.split_fields(open, close).into_iter().enumerate() {
+            let chunk = self.strip_field_attrs(chunk);
+            let Some((&first, ty)) = chunk.split_first() else {
+                continue;
+            };
+            if self.text(first) != "pub" {
+                continue;
+            }
+            // `pub(crate)` tuple fields are not public API.
+            if ty.first().map(|&c| self.view.ctok(c).map(|t| t.kind))
+                == Some(Some(crate::lexer::TokenKind::OpenParen))
+            {
+                continue;
+            }
+            let tok = self.view.ctok(first).copied();
+            let Some(tok) = tok else { continue };
+            self.tree.items.push(PubItem {
+                kind: ItemKind::Field,
+                module: module.to_string(),
+                owner: Some(owner.to_string()),
+                name: index.to_string(),
+                signature: format!(": {}", self.join(ty)),
+                line: tok.line,
+                col: tok.col,
+                f64_spans: self.f64_spans(ty),
+            });
+        }
+    }
+
+    /// Records `pub name: Type` fields of a braced struct.
+    fn record_named_fields(&mut self, open: usize, close: usize, module: &str, owner: &str) {
+        for chunk in self.split_fields(open, close) {
+            let chunk = self.strip_field_attrs(chunk);
+            let Some((&first, rest)) = chunk.split_first() else {
+                continue;
+            };
+            if self.text(first) != "pub" {
+                continue;
+            }
+            let Some((&name_ci, rest)) = rest.split_first() else {
+                continue;
+            };
+            if self.view.ctok(name_ci).map(|t| t.kind) != Some(crate::lexer::TokenKind::Ident) {
+                continue; // pub(crate) field or malformed
+            }
+            let Some((&colon, ty)) = rest.split_first() else {
+                continue;
+            };
+            if self.text(colon) != ":" {
+                continue;
+            }
+            let Some(tok) = self.view.ctok(name_ci).copied() else {
+                continue;
+            };
+            self.tree.items.push(PubItem {
+                kind: ItemKind::Field,
+                module: module.to_string(),
+                owner: Some(owner.to_string()),
+                name: self.text(name_ci).trim_start_matches("r#").to_string(),
+                signature: format!(": {}", self.join(ty)),
+                line: tok.line,
+                col: tok.col,
+                f64_spans: self.f64_spans(ty),
+            });
+        }
+    }
+
+    /// Drops leading `#[…]` attribute tokens from a field chunk.
+    fn strip_field_attrs(&self, chunk: Vec<usize>) -> Vec<usize> {
+        let mut idx = 0usize;
+        while idx < chunk.len() && self.text(chunk[idx]) == "#" {
+            // Find the matching `]` within the chunk.
+            let mut depth = 0i32;
+            let mut j = idx + 1;
+            while j < chunk.len() {
+                match self.view.ctok(chunk[j]).map(|t| t.kind) {
+                    Some(crate::lexer::TokenKind::OpenBracket) => depth += 1,
+                    Some(crate::lexer::TokenKind::CloseBracket) => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            idx = j + 1;
+        }
+        chunk.into_iter().skip(idx).collect()
+    }
+
+    /// Records a `pub fn` / trait `fn` with its normalized signature.
+    fn record_fn(&mut self, i: usize, f: usize, module: &str, owner: Option<String>) {
+        let name_ci = f + 1;
+        let name = self.text(name_ci).trim_start_matches("r#").to_string();
+        if name.is_empty() {
+            return;
+        }
+        let mut j = self.skip_generics(name_ci + 1);
+        if self.view.ctok(j).map(|t| t.kind) != Some(crate::lexer::TokenKind::OpenParen) {
+            return;
+        }
+        let Some(params_close) = self.view.matching_close(
+            j,
+            crate::lexer::TokenKind::OpenParen,
+            crate::lexer::TokenKind::CloseParen,
+        ) else {
+            return;
+        };
+        let mut sig_idxs: Vec<usize> = (j..=params_close).collect();
+        // Return type: `-> Type` up to `{`, `;` or `where` at depth 0.
+        j = params_close + 1;
+        if self.text(j) == "->" {
+            sig_idxs.push(j);
+            j += 1;
+            let mut angle = 0i32;
+            let mut depth = 0i32;
+            while j < self.view.code.len() {
+                let t = self.text(j);
+                let kind = self.view.ctok(j).map(|t| t.kind);
+                if angle <= 0
+                    && depth == 0
+                    && (kind == Some(crate::lexer::TokenKind::OpenBrace)
+                        || t == ";"
+                        || t == "where")
+                {
+                    break;
+                }
+                match kind {
+                    Some(
+                        crate::lexer::TokenKind::OpenParen | crate::lexer::TokenKind::OpenBracket,
+                    ) => depth += 1,
+                    Some(
+                        crate::lexer::TokenKind::CloseParen | crate::lexer::TokenKind::CloseBracket,
+                    ) => depth -= 1,
+                    _ => match t {
+                        "<" => angle += 1,
+                        ">" => angle -= 1,
+                        "<<" => angle += 2,
+                        ">>" => angle -= 2,
+                        _ => {}
+                    },
+                }
+                sig_idxs.push(j);
+                j += 1;
+            }
+        }
+        let Some(anchor) = self.view.ctok(i).copied() else {
+            return;
+        };
+        self.tree.items.push(PubItem {
+            kind: ItemKind::Fn,
+            module: module.to_string(),
+            owner,
+            name,
+            signature: self.join(&sig_idxs),
+            line: anchor.line,
+            col: anchor.col,
+            f64_spans: self.f64_spans(&sig_idxs),
+        });
+    }
+
+    /// Records an enum/trait/type-alias/struct header item.
+    fn record_simple(&mut self, kind: ItemKind, i: usize, k: usize, module: &str) {
+        let name = self.text(k + 1).trim_start_matches("r#").to_string();
+        let Some(anchor) = self.view.ctok(i).copied() else {
+            return;
+        };
+        self.tree.items.push(PubItem {
+            kind,
+            module: module.to_string(),
+            owner: None,
+            name,
+            signature: String::new(),
+            line: anchor.line,
+            col: anchor.col,
+            f64_spans: Vec::new(),
+        });
+    }
+
+    /// Records a `pub const NAME: Type` / `pub static NAME: Type` item.
+    fn record_const(&mut self, i: usize, k: usize, kw: &str, module: &str, owner: Option<String>) {
+        let kind = if kw == "const" {
+            ItemKind::Const
+        } else {
+            ItemKind::Static
+        };
+        let mut n = k + 1;
+        if self.text(n) == "mut" {
+            n += 1;
+        }
+        let name = self.text(n).trim_start_matches("r#").to_string();
+        // Type: after `:` up to a top-level `=` or `;`.
+        let mut ty = Vec::new();
+        if self.text(n + 1) == ":" {
+            let mut j = n + 2;
+            let mut angle = 0i32;
+            let mut depth = 0i32;
+            while j < self.view.code.len() {
+                let t = self.text(j);
+                if angle <= 0 && depth == 0 && (t == "=" || t == ";") {
+                    break;
+                }
+                match self.view.ctok(j).map(|t| t.kind) {
+                    Some(
+                        crate::lexer::TokenKind::OpenParen | crate::lexer::TokenKind::OpenBracket,
+                    ) => depth += 1,
+                    Some(
+                        crate::lexer::TokenKind::CloseParen | crate::lexer::TokenKind::CloseBracket,
+                    ) => depth -= 1,
+                    _ => match t {
+                        "<" => angle += 1,
+                        ">" => angle -= 1,
+                        "<<" => angle += 2,
+                        ">>" => angle -= 2,
+                        _ => {}
+                    },
+                }
+                ty.push(j);
+                j += 1;
+            }
+        }
+        let Some(anchor) = self.view.ctok(i).copied() else {
+            return;
+        };
+        self.tree.items.push(PubItem {
+            kind,
+            module: module.to_string(),
+            owner,
+            name,
+            signature: if ty.is_empty() {
+                String::new()
+            } else {
+                format!(": {}", self.join(&ty))
+            },
+            line: anchor.line,
+            col: anchor.col,
+            f64_spans: Vec::new(),
+        });
+    }
+
+    /// Skips a generic parameter list `<…>` starting at `j`, tracking
+    /// `<<`/`>>` which the lexer emits as single shift tokens.
+    fn skip_generics(&self, j: usize) -> usize {
+        if self.text(j) != "<" {
+            return j;
+        }
+        let mut angle = 0i32;
+        let mut k = j;
+        while k < self.view.code.len() {
+            match self.text(k) {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "<<" => angle += 2,
+                ">>" => angle -= 2,
+                _ => {}
+            }
+            k += 1;
+            if angle <= 0 {
+                break;
+            }
+        }
+        k
+    }
+
+    /// The positions of bare `f64` identifier tokens among `idxs`.
+    fn f64_spans(&self, idxs: &[usize]) -> Vec<(u32, u32)> {
+        idxs.iter()
+            .filter_map(|&ci| self.view.ctok(ci))
+            .filter(|t| t.kind == crate::lexer::TokenKind::Ident && t.text(self.view.src) == "f64")
+            .map(|t| (t.line, t.col))
+            .collect()
+    }
+
+    /// Joins token texts with minimal, deterministic spacing.
+    fn join(&self, idxs: &[usize]) -> String {
+        const NO_SPACE_BEFORE: &[&str] = &[",", ";", ")", "]", ">", ">>", "::", ":", ".", "?", "<"];
+        const NO_SPACE_AFTER: &[&str] = &["(", "[", "<", "&", "::", ".", "!", "#", "'"];
+        let mut out = String::new();
+        let mut prev: Option<&str> = None;
+        for &ci in idxs {
+            let t = self.text(ci);
+            if t.is_empty() {
+                continue;
+            }
+            let glue = match prev {
+                None => false,
+                Some(p) => !(NO_SPACE_BEFORE.contains(&t) || NO_SPACE_AFTER.contains(&p)),
+            };
+            if glue {
+                out.push(' ');
+            }
+            out.push_str(t);
+            prev = Some(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ItemTree {
+        parse_items("test.rs", src)
+    }
+
+    fn entries(tree: &ItemTree) -> Vec<String> {
+        tree.items
+            .iter()
+            .map(|i| {
+                format!(
+                    "{} {}{}{}{}",
+                    i.kind.keyword(),
+                    if i.module.is_empty() {
+                        String::new()
+                    } else {
+                        format!("{}::", i.module)
+                    },
+                    i.owner
+                        .as_ref()
+                        .map(|o| if i.kind == ItemKind::Field {
+                            format!("{o}.")
+                        } else {
+                            format!("{o}::")
+                        })
+                        .unwrap_or_default(),
+                    i.name,
+                    i.signature
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn free_fn_signature() {
+        let t = parse("pub fn scale(x: f64, len: Length) -> f64 { x }");
+        assert_eq!(entries(&t), ["fn scale(x: f64, len: Length) -> f64"]);
+        assert_eq!(t.items[0].f64_spans.len(), 2);
+    }
+
+    #[test]
+    fn private_fn_is_not_recorded() {
+        assert!(parse("fn helper(x: f64) -> f64 { x }").items.is_empty());
+    }
+
+    #[test]
+    fn pub_crate_is_not_recorded() {
+        assert!(parse("pub(crate) fn helper(x: f64) -> f64 { x }")
+            .items
+            .is_empty());
+        assert!(parse("pub(in crate::a) struct S;").items.is_empty());
+    }
+
+    #[test]
+    fn inherent_impl_methods_get_an_owner() {
+        let t = parse("struct W; impl W { pub fn volts(&self) -> f64 { 0.0 } }");
+        assert_eq!(entries(&t), ["fn W::volts(&self) -> f64"]);
+        assert_eq!(t.items[0].f64_spans.len(), 1);
+    }
+
+    #[test]
+    fn trait_impl_methods_are_skipped() {
+        let src = "pub struct W;\nimpl core::fmt::Display for W {\n    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result { Ok(()) }\n}";
+        let t = parse(src);
+        assert_eq!(entries(&t), ["struct W"]);
+    }
+
+    #[test]
+    fn trait_decl_methods_are_recorded() {
+        let t = parse("pub trait Model { fn eval(&self, v: f64) -> f64; }");
+        assert_eq!(
+            entries(&t),
+            ["trait Model", "fn Model::eval(&self, v: f64) -> f64"]
+        );
+    }
+
+    #[test]
+    fn private_trait_is_invisible() {
+        assert!(parse("trait Hidden { fn f(&self) -> f64; }")
+            .items
+            .is_empty());
+    }
+
+    #[test]
+    fn struct_fields_named_and_tuple() {
+        let src =
+            "pub struct P { pub x: f64, y: f64, pub(crate) z: f64 }\npub struct T(pub f64, u8);";
+        let t = parse(src);
+        assert_eq!(
+            entries(&t),
+            ["struct P", "field P.x: f64", "struct T", "field T.0: f64"]
+        );
+    }
+
+    #[test]
+    fn inline_modules_extend_the_path() {
+        let src = "pub mod outer { pub mod inner { pub fn f() {} } }";
+        let t = parse(src);
+        assert_eq!(entries(&t), ["fn outer::inner::f()"]);
+    }
+
+    #[test]
+    fn generics_with_shift_tokens_are_skipped() {
+        // `Vec<Vec<f64>>` ends with a `>>` shift token.
+        let t = parse("pub fn rows(m: Vec<Vec<f64>>) -> usize { m.len() }");
+        assert_eq!(entries(&t), ["fn rows(m: Vec<Vec<f64>>) -> usize"]);
+        assert_eq!(t.items[0].f64_spans.len(), 1);
+    }
+
+    #[test]
+    fn const_and_static_record_their_type() {
+        let t = parse("pub const K: f64 = 1.0;\npub static NAME: &str = \"x\";");
+        assert_eq!(entries(&t), ["const K: f64", "static NAME: &str"]);
+        // Consts are not raw-f64 targets.
+        assert!(t.items[0].f64_spans.is_empty());
+    }
+
+    #[test]
+    fn uses_record_first_segment() {
+        let src = "use srlr_units::{Length, Voltage};\nuse std::fmt;\npub use srlr_tech::Device;";
+        let t = parse(src);
+        let segs: Vec<&str> = t.uses.iter().map(|u| u.first_segment.as_str()).collect();
+        assert_eq!(segs, ["srlr_units", "std", "srlr_tech"]);
+    }
+
+    #[test]
+    fn test_code_is_invisible() {
+        let src = "#[cfg(test)]\nmod tests { pub fn t(x: f64) -> f64 { x } }\npub fn real() {}";
+        assert_eq!(entries(&parse(src)), ["fn real()"]);
+    }
+
+    #[test]
+    fn macro_bodies_are_invisible() {
+        let src =
+            "macro_rules! gen { () => { pub fn hidden(x: f64) -> f64 { x } }; }\npub fn real() {}";
+        assert_eq!(entries(&parse(src)), ["fn real()"]);
+    }
+
+    #[test]
+    fn enum_and_type_alias_are_headers_only() {
+        let t = parse("pub enum E { A(f64) }\npub type Alias = f64;");
+        assert_eq!(entries(&t), ["enum E", "type Alias"]);
+    }
+
+    #[test]
+    fn where_clause_ends_the_return_type() {
+        let t = parse("pub fn f<T>(x: T) -> f64 where T: Into<f64> { 0.0 }");
+        assert_eq!(entries(&t), ["fn f(x: T) -> f64"]);
+        assert_eq!(t.items[0].f64_spans.len(), 1);
+    }
+
+    #[test]
+    fn impl_with_generics_finds_the_owner() {
+        let t = parse("pub struct B<T>(pub T); impl<T: Clone> B<T> { pub fn get(&self) -> T { self.0.clone() } }");
+        assert!(entries(&t).contains(&"fn B::get(&self) -> T".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_are_normalized() {
+        let t = parse("pub fn r#type(r#fn: f64) -> f64 { r#fn }");
+        assert_eq!(t.items[0].name, "type");
+    }
+}

@@ -167,6 +167,20 @@ fn is_ident_continue(c: char) -> bool {
 pub fn lex(src: &str) -> Vec<Token> {
     let mut cur = Cursor::new(src);
     let mut out = Vec::new();
+    // A shebang (`#!…`) is legal only as the very first bytes of a file,
+    // and only when it does not open an inner attribute (`#![…]`). Treat
+    // the whole line as a plain comment so `#` and `!` never reach the
+    // rule engine as operators.
+    if src.starts_with("#!") && !src.starts_with("#![") {
+        cur.bump_while(|c| c != '\n');
+        out.push(Token {
+            kind: TokenKind::LineComment { doc: false },
+            start: 0,
+            end: cur.pos,
+            line: 1,
+            col: 1,
+        });
+    }
     while let Some(c) = cur.peek() {
         let (start, line, col) = (cur.pos, cur.line, cur.col);
         let kind = lex_one(&mut cur, c);
@@ -614,6 +628,29 @@ mod tests {
         let ks = kinds(r#""a\"b" c"#);
         assert_eq!(ks[0], (TokenKind::Str, r#""a\"b""#.into()));
         assert_eq!(ks[1], (TokenKind::Ident, "c".into()));
+    }
+
+    #[test]
+    fn shebang_is_a_comment() {
+        let ks = kinds("#!/usr/bin/env run-cargo-script\nfn main() {}");
+        assert_eq!(ks[0].0, TokenKind::LineComment { doc: false });
+        assert_eq!(ks[0].1, "#!/usr/bin/env run-cargo-script");
+        assert_eq!(ks[1], (TokenKind::Ident, "fn".into()));
+    }
+
+    #[test]
+    fn inner_attribute_is_not_a_shebang() {
+        let ks = kinds("#![allow(dead_code)]");
+        assert_eq!(ks[0], (TokenKind::Op, "#".into()));
+        assert_eq!(ks[1], (TokenKind::Op, "!".into()));
+        assert_eq!(ks[2].0, TokenKind::OpenBracket);
+    }
+
+    #[test]
+    fn shebang_mid_file_is_not_special() {
+        // `#!` after the first byte lexes as two operator tokens.
+        let ks = kinds("x\n#!/bin/sh");
+        assert_eq!(ks[1], (TokenKind::Op, "#".into()));
     }
 
     #[test]

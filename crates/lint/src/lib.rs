@@ -18,24 +18,43 @@
 //!   `srlr-units` carry doc comments,
 //! * `indexing` — advisory, opt-in (`--warn-indexing`).
 //!
+//! On top of the token scan, [`items`] parses each file into an item
+//! tree (modules, `use` declarations, public fns/structs/impls with
+//! signatures — no expression parsing) feeding three cross-file rules
+//! in [`semantic`]:
+//!
+//! * `raw-f64-api` — public fns/fields in the dimensioned crates
+//!   (`tech`/`circuit`/`core`/`link`) use `srlr-units` newtypes, not
+//!   bare `f64`,
+//! * `crate-layering` — imports and `Cargo.toml` dependencies follow
+//!   the DAG `units → tech → circuit → core → link → noc` with
+//!   `rng`/`parallel`/`telemetry` as shared leaves,
+//! * `api-lock` — each crate's public surface matches its committed
+//!   `api-lock.txt` snapshot (`--write-api-lock` accepts changes).
+//!
 //! Violations are waved through only by an inline
 //! `// srlr-lint: allow(rule, reason = "…")` with a mandatory reason, or
-//! by an entry in the shrink-only `lint-baseline.txt`.
+//! by an entry in the shrink-only `lint-baseline.txt`. Reports render as
+//! rustc-style text or SARIF 2.1.0 ([`sarif`], `--format sarif`).
 
 pub mod analyze;
 pub mod baseline;
 pub mod diagnostics;
+pub mod items;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
+pub mod semantic;
 pub mod walk;
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::PathBuf;
 
-use analyze::AnalyzeOptions;
+use analyze::{AnalyzeOptions, Suppression};
 use baseline::Baseline;
 use diagnostics::Diagnostic;
+use semantic::ParsedFile;
 
 /// Path prefixes (relative, `/`-separated) whose public items must carry
 /// doc comments.
@@ -147,33 +166,84 @@ pub fn options_for(rel: &str, warn_indexing: bool) -> AnalyzeOptions {
     }
 }
 
+/// Per-file suppression comments, keyed by workspace-relative path.
+type SuppressionMap = BTreeMap<String, Vec<Suppression>>;
+
+/// Scans and parses every workspace file; the shared front half of
+/// [`run`] and [`write_api_locks`].
+fn scan(config: &Config) -> Result<(Vec<ParsedFile>, SuppressionMap, Vec<Diagnostic>), Error> {
+    let files = walk::workspace_files(&config.root)
+        .map_err(io_err(format!("walking {}", config.root.display())))?;
+
+    let mut parsed = Vec::new();
+    let mut suppressions = BTreeMap::new();
+    let mut diags = Vec::new();
+    for file in &files {
+        let src = std::fs::read_to_string(&file.abs)
+            .map_err(io_err(format!("reading {}", file.abs.display())))?;
+        let rel = file.rel.replace('\\', "/");
+        let opts = options_for(&rel, config.warn_indexing);
+        let analysis = analyze::analyze_file(&rel, &src, opts);
+        diags.extend(analysis.diags);
+        suppressions.insert(rel.clone(), analysis.suppressions);
+        let tree = items::parse_items(&rel, &src);
+        parsed.push(ParsedFile { rel, src, tree });
+    }
+    Ok((parsed, suppressions, diags))
+}
+
 /// Scans the workspace and partitions the results against the baseline.
 pub fn run(config: &Config) -> Result<Report, Error> {
     let bl = Baseline::load(&config.baseline_path).map_err(io_err(format!(
         "reading {}",
         config.baseline_path.display()
     )))?;
-    let files = walk::workspace_files(&config.root)
-        .map_err(io_err(format!("walking {}", config.root.display())))?;
+    let (parsed, suppressions, mut diags) = scan(config)?;
 
-    let mut diags = Vec::new();
-    let mut files_checked = 0usize;
-    for file in &files {
-        let src = std::fs::read_to_string(&file.abs)
-            .map_err(io_err(format!("reading {}", file.abs.display())))?;
-        let opts = options_for(&file.rel, config.warn_indexing);
-        diags.extend(analyze::analyze_source(&file.rel, &src, opts));
-        files_checked += 1;
+    for file in &parsed {
+        diags.extend(semantic::check_raw_f64(file));
+        diags.extend(semantic::check_layering_uses(file));
     }
+    diags.extend(
+        semantic::check_layering_manifests(&config.root).map_err(io_err(format!(
+            "reading manifests under {}",
+            config.root.display()
+        )))?,
+    );
+    diags.extend(semantic::check_api_lock(&parsed, &config.root));
+
+    // Suppressions are per source file; diagnostics anchored elsewhere
+    // (Cargo.toml, api-lock.txt) have no suppression scope by design.
+    for d in &mut diags {
+        d.path = d.path.replace('\\', "/");
+    }
+    diags.retain(|d| {
+        !(d.rule.suppressible()
+            && suppressions.get(&d.path).is_some_and(|supps| {
+                supps
+                    .iter()
+                    .any(|s| s.rule == d.rule && (d.line == s.line || d.line == s.line + 1))
+            }))
+    });
     diags.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
 
     let (fresh, baselined, stale) = bl.partition(diags);
     Ok(Report {
-        files_checked,
+        files_checked: parsed.len(),
         fresh,
         baselined,
         stale,
     })
+}
+
+/// Regenerates every crate's `api-lock.txt` from the current public
+/// surface. Returns the written paths.
+pub fn write_api_locks(config: &Config) -> Result<Vec<PathBuf>, Error> {
+    let (parsed, _, _) = scan(config)?;
+    semantic::write_api_locks(&parsed, &config.root).map_err(io_err(format!(
+        "writing api-lock files under {}",
+        config.root.display()
+    )))
 }
 
 #[cfg(test)]

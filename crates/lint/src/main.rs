@@ -9,7 +9,7 @@ use std::process::ExitCode;
 
 use srlr_lint::baseline::Baseline;
 use srlr_lint::rules::ALL_RULES;
-use srlr_lint::{run, Config};
+use srlr_lint::{run, sarif, write_api_locks, Config};
 
 const USAGE: &str = "\
 srlr-lint: workspace static analysis (determinism, no-panic, doc coverage)
@@ -23,15 +23,24 @@ OPTIONS:
     --deny-all          also fail on stale baseline entries (CI mode)
     --warn-indexing     enable the advisory indexing rule
     --write-baseline    rewrite the baseline from current violations
+    --write-api-lock    rewrite every api-lock.txt from the current public surface
+    --format <FMT>      output format: text (default) or sarif
     --list-rules        print the rule catalog and exit
     --help              print this help
 ";
+
+enum Format {
+    Text,
+    Sarif,
+}
 
 struct Cli {
     config: Config,
     deny_all: bool,
     write_baseline: bool,
+    write_api_lock: bool,
     list_rules: bool,
+    format: Format,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -40,7 +49,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut deny_all = false;
     let mut warn_indexing = false;
     let mut write_baseline = false;
+    let mut write_api_lock = false;
     let mut list_rules = false;
+    let mut format = Format::Text;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -56,6 +67,15 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--deny-all" => deny_all = true,
             "--warn-indexing" => warn_indexing = true,
             "--write-baseline" => write_baseline = true,
+            "--write-api-lock" => write_api_lock = true,
+            "--format" => {
+                let v = it.next().ok_or("--format needs `text` or `sarif`")?;
+                format = match v.as_str() {
+                    "text" => Format::Text,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format `{other}` (text|sarif)")),
+                };
+            }
             "--list-rules" => list_rules = true,
             "--help" | "-h" => return Err(String::new()), // usage, exit 0 path handled below
             other => return Err(format!("unknown option `{other}`")),
@@ -71,7 +91,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         config,
         deny_all,
         write_baseline,
+        write_api_lock,
         list_rules,
+        format,
     })
 }
 
@@ -98,6 +120,19 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if cli.write_api_lock {
+        match write_api_locks(&cli.config) {
+            Ok(paths) => {
+                println!("wrote {} api-lock file(s)", paths.len());
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     let report = match run(&cli.config) {
         Ok(r) => r,
         Err(e) => {
@@ -119,6 +154,17 @@ fn main() -> ExitCode {
             cli.config.baseline_path.display()
         );
         return ExitCode::SUCCESS;
+    }
+
+    if matches!(cli.format, Format::Sarif) {
+        print!("{}", sarif::render(&report));
+        let failures = report.failures().count();
+        let stale_fails = cli.deny_all && !report.stale.is_empty();
+        return if failures > 0 || stale_fails {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
     }
 
     for d in &report.fresh {

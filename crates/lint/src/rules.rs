@@ -48,6 +48,19 @@ pub enum RuleId {
     /// indices. Off by default (token-level analysis cannot see types),
     /// enabled with `--warn-indexing`.
     Indexing,
+    /// A public fn or field in the dimensioned crates (`tech`, `circuit`,
+    /// `core`, `link`) that takes or returns a bare `f64` where an
+    /// `srlr-units` newtype exists. Genuinely dimensionless values carry
+    /// an inline `allow` explaining why.
+    RawF64Api,
+    /// A `use srlr_*` import or a `Cargo.toml` dependency that points
+    /// against the crate DAG `units → tech → circuit → core → link → noc`
+    /// (with `rng`/`parallel`/`telemetry`/`criterion` as shared leaves).
+    CrateLayering,
+    /// The crate's public surface drifted from its committed
+    /// `api-lock.txt` snapshot: an addition or removal that nobody
+    /// reviewed. Accept intentional changes with `--write-api-lock`.
+    ApiLock,
     /// A `srlr-lint:` suppression comment that is malformed, names an
     /// unknown rule, or omits the mandatory `reason = "…"`.
     BadSuppression,
@@ -66,6 +79,9 @@ pub const ALL_RULES: &[RuleId] = &[
     RuleId::NoPrint,
     RuleId::MissingDoc,
     RuleId::Indexing,
+    RuleId::RawF64Api,
+    RuleId::CrateLayering,
+    RuleId::ApiLock,
     RuleId::BadSuppression,
     RuleId::StaleBaseline,
 ];
@@ -83,6 +99,9 @@ impl RuleId {
             RuleId::NoPrint => "no-print",
             RuleId::MissingDoc => "missing-doc",
             RuleId::Indexing => "indexing",
+            RuleId::RawF64Api => "raw-f64-api",
+            RuleId::CrateLayering => "crate-layering",
+            RuleId::ApiLock => "api-lock",
             RuleId::BadSuppression => "bad-suppression",
             RuleId::StaleBaseline => "stale-baseline",
         }
@@ -109,6 +128,17 @@ impl RuleId {
             }
             RuleId::MissingDoc => "public items in doc-covered crates need doc comments",
             RuleId::Indexing => "advisory: expr[index] can panic (enable with --warn-indexing)",
+            RuleId::RawF64Api => {
+                "public fns/fields in dimensioned crates must use srlr-units newtypes, not bare f64"
+            }
+            RuleId::CrateLayering => {
+                "imports and Cargo.toml deps must follow units -> tech -> circuit -> core -> \
+                 link -> noc"
+            }
+            RuleId::ApiLock => {
+                "public API surface must match the committed api-lock.txt (--write-api-lock to \
+                 accept)"
+            }
             RuleId::BadSuppression => "suppression comments need a known rule and a reason",
             RuleId::StaleBaseline => "baseline entries must match a real violation (shrink-only)",
         }

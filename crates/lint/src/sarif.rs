@@ -1,0 +1,157 @@
+//! SARIF 2.1.0 emitter for lint reports.
+//!
+//! SARIF (Static Analysis Results Interchange Format) is the exchange
+//! format CI systems and code-review UIs ingest; emitting it lets the
+//! lint's findings annotate pull requests without any custom glue. The
+//! document is assembled by hand on top of `srlr_telemetry::json`'s
+//! string escaping — the workspace stays dependency-free.
+
+use srlr_telemetry::json::write_str;
+
+use crate::diagnostics::Diagnostic;
+use crate::rules::ALL_RULES;
+use crate::Report;
+
+/// Renders `report` as a single-run SARIF 2.1.0 document.
+///
+/// Fresh violations become `results` (advisory rules at level
+/// `warning`, everything else `error`); baselined and stale entries are
+/// a text-output concern and are not exported.
+pub fn render(report: &Report) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"$schema\":");
+    write_str(&mut out, "https://json.schemastore.org/sarif-2.1.0.json");
+    out.push_str(",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"srlr-lint\",");
+    out.push_str("\"informationUri\":");
+    write_str(&mut out, "https://example.invalid/srlr-lint");
+    out.push_str(",\"rules\":[");
+    for (i, rule) in ALL_RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"id\":");
+        write_str(&mut out, rule.name());
+        out.push_str(",\"shortDescription\":{\"text\":");
+        write_str(&mut out, rule.description());
+        out.push_str("}}");
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, diag) in report.fresh.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_result(&mut out, diag);
+    }
+    out.push_str("]}]}");
+    out.push('\n');
+    out
+}
+
+fn write_result(out: &mut String, diag: &Diagnostic) {
+    let level = if diag.rule.advisory() {
+        "warning"
+    } else {
+        "error"
+    };
+    out.push_str("{\"ruleId\":");
+    write_str(out, diag.rule.name());
+    out.push_str(",\"level\":");
+    write_str(out, level);
+    out.push_str(",\"message\":{\"text\":");
+    write_str(out, &diag.message);
+    out.push_str("},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":");
+    write_str(out, &diag.path);
+    out.push_str(&format!(
+        "}},\"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]}}",
+        diag.line, diag.col
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleId;
+    use srlr_telemetry::json::{parse, Json};
+
+    fn diag(rule: RuleId, path: &str, line: u32, message: &str) -> Diagnostic {
+        Diagnostic {
+            path: path.to_string(),
+            line,
+            col: 5,
+            rule,
+            message: message.to_string(),
+            snippet: String::new(),
+            width: 1,
+        }
+    }
+
+    fn results(doc: &Json) -> Vec<&Json> {
+        let Json::Obj(top) = doc else {
+            panic!("not an object")
+        };
+        let Some(Json::Arr(runs)) = top.get("runs") else {
+            panic!("no runs")
+        };
+        let Json::Obj(run) = &runs[0] else {
+            panic!("run not an object")
+        };
+        let Some(Json::Arr(results)) = run.get("results") else {
+            panic!("no results")
+        };
+        results.iter().collect()
+    }
+
+    #[test]
+    fn empty_report_is_valid_sarif() {
+        let doc = parse(&render(&Report::default())).expect("valid JSON");
+        let Json::Obj(top) = &doc else { panic!() };
+        assert_eq!(top.get("version"), Some(&Json::Str("2.1.0".into())));
+        assert!(results(&doc).is_empty());
+    }
+
+    #[test]
+    fn diagnostics_become_results_with_locations() {
+        let mut report = Report::default();
+        report.fresh.push(diag(
+            RuleId::NoPanic,
+            "crates/noc/src/router.rs",
+            42,
+            "an \"escaped\" message\nwith a newline",
+        ));
+        report
+            .fresh
+            .push(diag(RuleId::Indexing, "src/lib.rs", 7, "advisory"));
+        let doc = parse(&render(&report)).expect("valid JSON");
+        let results = results(&doc);
+        assert_eq!(results.len(), 2);
+        let Json::Obj(first) = results[0] else {
+            panic!()
+        };
+        assert_eq!(first.get("ruleId"), Some(&Json::Str("no-panic".into())));
+        assert_eq!(first.get("level"), Some(&Json::Str("error".into())));
+        let Json::Obj(second) = results[1] else {
+            panic!()
+        };
+        assert_eq!(second.get("level"), Some(&Json::Str("warning".into())));
+    }
+
+    #[test]
+    fn every_rule_is_declared_in_the_driver() {
+        let doc = parse(&render(&Report::default())).expect("valid JSON");
+        let Json::Obj(top) = &doc else { panic!() };
+        let Some(Json::Arr(runs)) = top.get("runs") else {
+            panic!()
+        };
+        let Json::Obj(run) = &runs[0] else { panic!() };
+        let Some(Json::Obj(tool)) = run.get("tool") else {
+            panic!()
+        };
+        let Some(Json::Obj(driver)) = tool.get("driver") else {
+            panic!()
+        };
+        let Some(Json::Arr(rules)) = driver.get("rules") else {
+            panic!()
+        };
+        assert_eq!(rules.len(), ALL_RULES.len());
+    }
+}

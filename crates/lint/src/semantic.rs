@@ -1,0 +1,535 @@
+//! Cross-file semantic rules built on the item tree: `raw-f64-api`,
+//! `crate-layering` and `api-lock`.
+//!
+//! These are the rules a token scan cannot express: they need item
+//! identities (who owns this signature?), crate identities (which layer
+//! does this file belong to?) and workspace state (the committed
+//! `api-lock.txt` snapshots and the `Cargo.toml` dependency sections).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+use crate::diagnostics::Diagnostic;
+use crate::items::{ItemKind, ItemTree, PubItem};
+use crate::rules::RuleId;
+
+/// One scanned file with its source and parsed item tree.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// Full source text (for diagnostic snippets).
+    pub src: String,
+    /// The parsed item skeleton.
+    pub tree: ItemTree,
+}
+
+/// Crates ordered along the signal-modeling stack; each may depend on
+/// strictly earlier entries (plus the shared leaves).
+const LAYERS: &[&str] = &["units", "tech", "circuit", "core", "link", "noc"];
+/// Leaf utility crates: usable from any layer, may use no `srlr` crate
+/// themselves.
+const LEAVES: &[&str] = &["rng", "parallel", "telemetry", "criterion"];
+/// Tool/front-end crates: consumers of the whole stack, unconstrained.
+const TOOLS: &[&str] = &["cli", "bench", "lint"];
+
+/// Crates whose public fns/fields must use `srlr-units` newtypes.
+const DIMENSIONED: &[&str] = &["tech", "circuit", "core", "link"];
+
+/// The crate directory a workspace-relative path belongs to: `Some("tech")`
+/// for `crates/tech/src/…`, `Some("")` for the umbrella `src/…`.
+pub fn crate_of(rel: &str) -> Option<&str> {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        return rest.split('/').next();
+    }
+    if rel.starts_with("src/") {
+        return Some("");
+    }
+    None
+}
+
+/// Whether crate `from` may depend on crate `to` under the layering DAG.
+fn layering_allows(from: &str, to: &str) -> bool {
+    if from == to {
+        return true;
+    }
+    // The umbrella facade and the tool crates consume the whole stack.
+    if from.is_empty() || TOOLS.contains(&from) {
+        return true;
+    }
+    // Leaves depend on nothing inside the workspace.
+    if LEAVES.contains(&from) {
+        return false;
+    }
+    // Unknown crates are treated as tools until they are classified.
+    let Some(from_rank) = LAYERS.iter().position(|&l| l == from) else {
+        return true;
+    };
+    if LEAVES.contains(&to) {
+        return true;
+    }
+    match LAYERS.iter().position(|&l| l == to) {
+        Some(to_rank) => to_rank < from_rank,
+        None => false, // layered crates may not reach into tool crates
+    }
+}
+
+/// Builds a diagnostic anchored at `(line, col)` in `file`.
+fn source_diag(
+    file: &ParsedFile,
+    line: u32,
+    col: u32,
+    width: u32,
+    rule: RuleId,
+    message: String,
+) -> Diagnostic {
+    let snippet = file
+        .src
+        .lines()
+        .nth(line.saturating_sub(1) as usize)
+        .unwrap_or("")
+        .to_string();
+    Diagnostic {
+        path: file.rel.clone(),
+        line,
+        col,
+        rule,
+        message,
+        snippet,
+        width: width.max(1),
+    }
+}
+
+// ---------------------------------------------------------------------
+// raw-f64-api
+// ---------------------------------------------------------------------
+
+/// Flags public fns and fields in the dimensioned crates whose signature
+/// carries a bare `f64`.
+pub fn check_raw_f64(file: &ParsedFile) -> Vec<Diagnostic> {
+    let Some(krate) = crate_of(&file.rel) else {
+        return Vec::new();
+    };
+    if !DIMENSIONED.contains(&krate) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for item in &file.tree.items {
+        if !matches!(item.kind, ItemKind::Fn | ItemKind::Field) || item.f64_spans.is_empty() {
+            continue;
+        }
+        let what = match item.kind {
+            ItemKind::Fn => "fn",
+            _ => "field",
+        };
+        let qualified = match &item.owner {
+            Some(o) if item.kind == ItemKind::Field => format!("{o}.{}", item.name),
+            Some(o) => format!("{o}::{}", item.name),
+            None => item.name.clone(),
+        };
+        let n = item.f64_spans.len();
+        let plural = if n == 1 { "" } else { "s" };
+        out.push(source_diag(
+            file,
+            item.line,
+            item.col,
+            item.name.chars().count() as u32,
+            RuleId::RawF64Api,
+            format!(
+                "public {what} `{qualified}` exposes {n} bare `f64`{plural}; use an \
+                 `srlr-units` newtype, or allow with a reason naming the dimensionless \
+                 quantity"
+            ),
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// crate-layering
+// ---------------------------------------------------------------------
+
+/// Checks every `use srlr_*` declaration against the layering DAG.
+pub fn check_layering_uses(file: &ParsedFile) -> Vec<Diagnostic> {
+    let Some(from) = crate_of(&file.rel) else {
+        return Vec::new();
+    };
+    let from = from.to_string();
+    let mut out = Vec::new();
+    for decl in &file.tree.uses {
+        let Some(to) = decl.first_segment.strip_prefix("srlr_") else {
+            continue;
+        };
+        if layering_allows(&from, to) {
+            continue;
+        }
+        out.push(source_diag(
+            file,
+            decl.line,
+            1,
+            decl.first_segment.chars().count() as u32,
+            RuleId::CrateLayering,
+            format!(
+                "`{}` may not use `srlr-{to}`: the crate DAG is {} with {} as shared leaves",
+                display_crate(&from),
+                LAYERS.join(" -> "),
+                LEAVES.join("/"),
+            ),
+        ));
+    }
+    out
+}
+
+fn display_crate(dir: &str) -> String {
+    if dir.is_empty() {
+        "the umbrella crate".to_string()
+    } else {
+        format!("srlr-{dir}")
+    }
+}
+
+/// Checks every `crates/*/Cargo.toml` `[dependencies]` section against the
+/// layering DAG. `[dev-dependencies]` are exempt (tests may reach
+/// anywhere).
+pub fn check_layering_manifests(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Ok(out);
+    }
+    let mut dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .collect::<std::io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    for dir in dirs {
+        let manifest = dir.join("Cargo.toml");
+        let Ok(text) = std::fs::read_to_string(&manifest) else {
+            continue;
+        };
+        let from = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let rel = format!("crates/{from}/Cargo.toml");
+        let mut in_deps = false;
+        for (idx, line) in text.lines().enumerate() {
+            let trimmed = line.trim();
+            if trimmed.starts_with('[') {
+                in_deps = trimmed == "[dependencies]";
+                continue;
+            }
+            if !in_deps {
+                continue;
+            }
+            let Some(dep) = trimmed.split(['.', ' ', '=']).next() else {
+                continue;
+            };
+            let Some(to) = dep.strip_prefix("srlr-") else {
+                continue;
+            };
+            if layering_allows(&from, to) {
+                continue;
+            }
+            out.push(Diagnostic {
+                path: rel.clone(),
+                line: idx as u32 + 1,
+                col: 1,
+                rule: RuleId::CrateLayering,
+                message: format!(
+                    "`srlr-{from}` may not depend on `srlr-{to}`: the crate DAG is {} with \
+                     {} as shared leaves",
+                    LAYERS.join(" -> "),
+                    LEAVES.join("/"),
+                ),
+                snippet: line.to_string(),
+                width: dep.chars().count() as u32,
+            });
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// api-lock
+// ---------------------------------------------------------------------
+
+/// The api-lock entry line for one public item.
+pub fn lock_entry(item: &PubItem) -> String {
+    let module = if item.module.is_empty() {
+        String::new()
+    } else {
+        format!("{}::", item.module)
+    };
+    let owner = match &item.owner {
+        Some(o) if item.kind == ItemKind::Field => format!("{o}."),
+        Some(o) => format!("{o}::"),
+        None => String::new(),
+    };
+    format!(
+        "{} {module}{owner}{}{}",
+        item.kind.keyword(),
+        item.name,
+        item.signature
+    )
+}
+
+/// The in-file module path of `rel` within its crate (`""` for the crate
+/// root `lib.rs`, `bias` for `src/bias.rs`, `a::b` for `src/a/b.rs`).
+fn file_module(rel: &str) -> String {
+    let after_src = rel.split_once("src/").map(|(_, tail)| tail).unwrap_or(rel);
+    let mut parts: Vec<&str> = after_src.split('/').collect();
+    let Some(last) = parts.pop() else {
+        return String::new();
+    };
+    let stem = last.trim_end_matches(".rs");
+    if stem != "lib" && stem != "mod" {
+        parts.push(stem);
+    }
+    parts.join("::")
+}
+
+/// Whether a file contributes to the crate's public API surface (binary
+/// entry points do not).
+fn is_api_file(rel: &str) -> bool {
+    !(rel.ends_with("/main.rs") || rel == "main.rs" || rel.contains("/bin/"))
+}
+
+/// The lock-file path for a crate directory (`""` = umbrella root).
+pub fn lock_path(root: &Path, krate: &str) -> PathBuf {
+    if krate.is_empty() {
+        root.join("api-lock.txt")
+    } else {
+        root.join("crates").join(krate).join("api-lock.txt")
+    }
+}
+
+/// The display (workspace-relative) path of a crate's lock file.
+fn lock_rel(krate: &str) -> String {
+    if krate.is_empty() {
+        "api-lock.txt".to_string()
+    } else {
+        format!("crates/{krate}/api-lock.txt")
+    }
+}
+
+/// Current public surface per crate: entry → (file rel, line) of the item
+/// that produced it (first occurrence wins for duplicates).
+fn current_surface(
+    files: &[ParsedFile],
+) -> BTreeMap<String, BTreeMap<String, (&ParsedFile, u32, u32)>> {
+    let mut by_crate: BTreeMap<String, BTreeMap<String, (&ParsedFile, u32, u32)>> = BTreeMap::new();
+    for file in files {
+        let Some(krate) = crate_of(&file.rel) else {
+            continue;
+        };
+        if !is_api_file(&file.rel) {
+            continue;
+        }
+        let module = file_module(&file.rel);
+        let entries = by_crate.entry(krate.to_string()).or_default();
+        for item in &file.tree.items {
+            let mut qualified = item.clone();
+            qualified.module = match (&module[..], &item.module[..]) {
+                ("", m) => m.to_string(),
+                (f, "") => f.to_string(),
+                (f, m) => format!("{f}::{m}"),
+            };
+            entries
+                .entry(lock_entry(&qualified))
+                .or_insert((file, item.line, item.col));
+        }
+    }
+    by_crate
+}
+
+/// Compares the current public surface with each committed
+/// `api-lock.txt`. Crates without a lock file are not locked.
+pub fn check_api_lock(files: &[ParsedFile], root: &Path) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let surface = current_surface(files);
+    for (krate, entries) in &surface {
+        let path = lock_path(root, krate);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue; // not locked
+        };
+        let rel = lock_rel(krate);
+        let mut locked: BTreeMap<&str, u32> = BTreeMap::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            locked.entry(line).or_insert(idx as u32 + 1);
+        }
+        for (entry, (file, line, col)) in entries {
+            if locked.contains_key(entry.as_str()) {
+                continue;
+            }
+            out.push(source_diag(
+                file,
+                *line,
+                *col,
+                3,
+                RuleId::ApiLock,
+                format!(
+                    "public API addition not in {rel}: `{entry}`; review the change and run \
+                     `srlr-lint --write-api-lock` to accept it"
+                ),
+            ));
+        }
+        for (entry, line) in &locked {
+            if entries.contains_key(*entry) {
+                continue;
+            }
+            out.push(Diagnostic {
+                path: rel.clone(),
+                line: *line,
+                col: 1,
+                rule: RuleId::ApiLock,
+                message: format!(
+                    "locked public API entry no longer exists: `{entry}`; if the removal is \
+                     intentional run `srlr-lint --write-api-lock`"
+                ),
+                snippet: (*entry).to_string(),
+                width: entry.chars().count() as u32,
+            });
+        }
+    }
+    out
+}
+
+/// Regenerates every crate's `api-lock.txt` from the current surface.
+/// Returns the written paths.
+pub fn write_api_locks(files: &[ParsedFile], root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let surface = current_surface(files);
+    let mut written = Vec::new();
+    for (krate, entries) in &surface {
+        let path = lock_path(root, krate);
+        let mut content = String::from(
+            "# srlr-lint api-lock: the reviewed public API surface of this crate.\n\
+             # Regenerate with `srlr-lint --write-api-lock` after an intentional API change.\n",
+        );
+        let sorted: BTreeSet<&String> = entries.keys().collect();
+        for entry in sorted {
+            content.push_str(entry);
+            content.push('\n');
+        }
+        std::fs::write(&path, content)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_items;
+
+    fn parsed(rel: &str, src: &str) -> ParsedFile {
+        ParsedFile {
+            rel: rel.to_string(),
+            src: src.to_string(),
+            tree: parse_items(rel, src),
+        }
+    }
+
+    #[test]
+    fn raw_f64_fires_only_in_dimensioned_crates() {
+        let src = "pub fn volts(&self) -> f64 { 0.0 }";
+        let in_tech = parsed("crates/tech/src/device.rs", src);
+        assert_eq!(check_raw_f64(&in_tech).len(), 1);
+        let in_units = parsed("crates/units/src/voltage.rs", src);
+        assert!(check_raw_f64(&in_units).is_empty());
+        let in_noc = parsed("crates/noc/src/router.rs", src);
+        assert!(check_raw_f64(&in_noc).is_empty());
+    }
+
+    #[test]
+    fn raw_f64_message_names_the_item() {
+        let f = parsed(
+            "crates/core/src/design.rs",
+            "pub struct D { pub margin: f64 }",
+        );
+        let d = check_raw_f64(&f);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("`D.margin`"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn raw_f64_ignores_consts_and_private_items() {
+        let f = parsed(
+            "crates/tech/src/x.rs",
+            "pub const K: f64 = 1.0;\nfn private(x: f64) -> f64 { x }",
+        );
+        assert!(check_raw_f64(&f).is_empty());
+    }
+
+    #[test]
+    fn layering_dag() {
+        assert!(layering_allows("tech", "units"));
+        assert!(layering_allows("noc", "link"));
+        assert!(layering_allows("link", "rng"));
+        assert!(layering_allows("cli", "noc"));
+        assert!(layering_allows("", "noc"));
+        assert!(!layering_allows("tech", "noc"));
+        assert!(!layering_allows("units", "tech"));
+        assert!(!layering_allows("rng", "units"));
+        assert!(!layering_allows("circuit", "core"));
+        assert!(!layering_allows("core", "lint"));
+    }
+
+    #[test]
+    fn layering_use_violation_fires() {
+        let f = parsed("crates/tech/src/bad.rs", "use srlr_noc::Network;\n");
+        let d = check_layering_uses(&f);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RuleId::CrateLayering);
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn layering_allows_downward_uses() {
+        let f = parsed(
+            "crates/noc/src/lib.rs",
+            "use srlr_link::SrlrLink;\nuse srlr_units::Voltage;\nuse std::fmt;\n",
+        );
+        assert!(check_layering_uses(&f).is_empty());
+    }
+
+    #[test]
+    fn file_module_paths() {
+        assert_eq!(file_module("crates/tech/src/lib.rs"), "");
+        assert_eq!(file_module("crates/tech/src/bias.rs"), "bias");
+        assert_eq!(file_module("crates/noc/src/a/b.rs"), "a::b");
+        assert_eq!(file_module("crates/noc/src/a/mod.rs"), "a");
+        assert_eq!(file_module("src/lib.rs"), "");
+    }
+
+    #[test]
+    fn lock_entries_are_qualified_by_file_module() {
+        let f = parsed(
+            "crates/tech/src/bias.rs",
+            "pub struct B { pub p: Power }\nimpl B { pub fn p(&self) -> Power { self.p } }",
+        );
+        let files = [f];
+        let surface = current_surface(&files);
+        let entries: Vec<&String> = surface["tech"].keys().collect();
+        assert_eq!(
+            entries,
+            [
+                "field bias::B.p: Power",
+                "fn bias::B::p(&self) -> Power",
+                "struct bias::B"
+            ]
+        );
+    }
+
+    #[test]
+    fn main_rs_is_not_api() {
+        let f = parsed("crates/cli/src/main.rs", "pub fn run() {}");
+        assert!(current_surface(&[f]).is_empty());
+    }
+}

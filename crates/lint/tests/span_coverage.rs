@@ -1,0 +1,92 @@
+//! Lexer hardening: tokenizing every workspace source file must yield
+//! monotonically increasing, non-overlapping spans that cover the file
+//! (every gap between tokens is whitespace-only).
+//!
+//! This is the property the whole lint rests on — if the lexer drops or
+//! double-counts a byte on any real file (raw strings, nested block
+//! comments, raw identifiers, a shebang line), every downstream rule
+//! silently inspects the wrong text.
+
+use std::path::Path;
+
+use srlr_lint::lexer::lex;
+use srlr_lint::walk::workspace_files;
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Asserts the span-coverage property for one source text.
+fn assert_covered(label: &str, src: &str) {
+    let tokens = lex(src);
+    let mut pos = 0usize;
+    for (i, tok) in tokens.iter().enumerate() {
+        assert!(
+            tok.start >= pos,
+            "{label}: token {i} starts at {} before previous end {pos}",
+            tok.start
+        );
+        assert!(
+            tok.end > tok.start,
+            "{label}: token {i} has an empty or inverted span {}..{}",
+            tok.start,
+            tok.end
+        );
+        let gap = &src[pos..tok.start];
+        assert!(
+            gap.chars().all(char::is_whitespace),
+            "{label}: non-whitespace gap {pos}..{} before token {i}: {gap:?}",
+            tok.start
+        );
+        pos = tok.end;
+    }
+    assert!(
+        pos <= src.len(),
+        "{label}: final token ends at {pos}, past {} bytes",
+        src.len()
+    );
+    let tail = &src[pos..];
+    assert!(
+        tail.chars().all(char::is_whitespace),
+        "{label}: non-whitespace tail after last token: {tail:?}"
+    );
+}
+
+#[test]
+fn every_workspace_file_is_covered_by_disjoint_spans() {
+    let files = workspace_files(&workspace_root()).expect("walk workspace");
+    assert!(files.len() > 30, "walk found the workspace sources");
+    for file in &files {
+        let src = std::fs::read_to_string(&file.abs).expect("read source");
+        assert_covered(&file.rel, &src);
+    }
+}
+
+#[test]
+fn edge_cases_are_covered() {
+    for (label, src) in [
+        ("empty", ""),
+        ("whitespace only", "  \n\t \n"),
+        ("shebang", "#!/usr/bin/env run-cargo-script\nfn main() {}\n"),
+        ("inner attribute", "#![forbid(unsafe_code)]\nfn main() {}\n"),
+        ("raw identifier", "fn r#type(r#fn: u8) -> u8 { r#fn }\n"),
+        ("raw string", "const S: &str = r#\"quote \" inside\"#;\n"),
+        (
+            "nested block comment",
+            "/* outer /* inner */ tail */ fn f() {}\n",
+        ),
+        (
+            "lifetime vs char",
+            "fn f<'a>(x: &'a char) -> char { 'x' }\n",
+        ),
+        ("unterminated string", "const S: &str = \"no end"),
+        ("unterminated comment", "/* never closed"),
+        ("shift generics", "type M = Vec<Vec<f64>>;\n"),
+        (
+            "unicode",
+            "// héllo wörld 🦀\nfn f() { let _ = \"日本語\"; }\n",
+        ),
+    ] {
+        assert_covered(label, src);
+    }
+}

@@ -14,7 +14,7 @@ use crate::topology::{Coord, Mesh};
 use srlr_link::baselines::EqualizedLink;
 use srlr_link::SrlrLink;
 use srlr_tech::Technology;
-use srlr_units::{EnergyPerBit, Length};
+use srlr_units::{Area, EnergyPerBit, Length};
 
 /// A mesh augmented with express channels along rows and columns every
 /// `interval` nodes.
@@ -119,10 +119,10 @@ pub struct ExpressComparison {
     pub srlr_avg_hops: f64,
     /// Average `(express, local)` hops on the express mesh.
     pub express_avg_hops: (f64, f64),
-    /// Per-bit driver area of one equalized express channel (um²).
-    pub express_driver_area_um2: f64,
-    /// Area of the SRLRs replaced per bit-lane hop (um²).
-    pub srlr_cell_area_um2: f64,
+    /// Per-bit driver area of one equalized express channel.
+    pub express_driver_area: Area,
+    /// Area of the SRLRs replaced per bit-lane hop.
+    pub srlr_cell_area: Area,
 }
 
 impl ExpressComparison {
@@ -149,8 +149,8 @@ impl ExpressComparison {
             ),
             srlr_avg_hops: baseline_hops,
             express_avg_hops: (e_hops, l_hops),
-            express_driver_area_um2: equalized.driver_area_um2,
-            srlr_cell_area_um2: 47.9,
+            express_driver_area: equalized.driver_area,
+            srlr_cell_area: Area::from_square_micrometers(47.9),
         }
     }
 
@@ -167,7 +167,7 @@ impl ExpressComparison {
 
     /// Driver-area ratio of one express bit-lane vs one SRLR cell.
     pub fn driver_area_ratio(&self) -> f64 {
-        self.express_driver_area_um2 / self.srlr_cell_area_um2
+        self.express_driver_area.value() / self.srlr_cell_area.value()
     }
 }
 

@@ -23,6 +23,7 @@ pub struct OgueyReference {
     pub nominal: Current,
     /// Residual (second-order) sensitivity of the output current to
     /// drive-strength variation, as a fraction per unit multiplier change.
+    // srlr-lint: allow(raw-f64-api, reason = "dimensionless fractional sensitivity")
     pub residual_sensitivity: f64,
     /// Static power drawn by the reference core and its mirrors.
     pub power: Power,
@@ -143,6 +144,7 @@ impl AdaptiveSwingBias {
     /// # Panics
     ///
     /// Panics if `total` is not strictly positive.
+    // srlr-lint: allow(raw-f64-api, reason = "a power fraction is dimensionless")
     pub fn power_fraction_of(&self, total: Power) -> f64 {
         assert!(total.watts() > 0.0, "total power must be positive");
         self.reference.power.watts() / total.watts()

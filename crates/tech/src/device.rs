@@ -2,7 +2,7 @@
 //! per-instance (local) threshold shift.
 
 use crate::mosfet::MosfetModel;
-use srlr_units::{Capacitance, Current, Resistance, Voltage};
+use srlr_units::{Capacitance, Current, Length, Resistance, Voltage};
 
 /// Which flavour a [`Device`] is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -24,17 +24,21 @@ impl core::fmt::Display for MosKind {
 
 /// A sized transistor instance.
 ///
-/// Widths and lengths are stored in metres. The instance carries its own
-/// copy of the model so global-corner and local-mismatch shifts can be
-/// applied per device.
+/// The instance carries its own copy of the model so global-corner and
+/// local-mismatch shifts can be applied per device.
 ///
 /// # Examples
 ///
 /// ```
 /// use srlr_tech::{Device, MosKind, MosfetModel};
-/// use srlr_units::Voltage;
+/// use srlr_units::{Length, Voltage};
 ///
-/// let m1 = Device::new(MosKind::Nmos, MosfetModel::nmos_soi45(), 0.6e-6, 45e-9);
+/// let m1 = Device::new(
+///     MosKind::Nmos,
+///     MosfetModel::nmos_soi45(),
+///     Length::from_micrometers(0.6),
+///     Length::from_nanometers(45.0),
+/// );
 /// let i = m1.drain_current(Voltage::from_volts(0.8), Voltage::from_volts(0.4));
 /// assert!(i.microamperes() > 0.0);
 /// ```
@@ -42,30 +46,30 @@ impl core::fmt::Display for MosKind {
 pub struct Device {
     kind: MosKind,
     model: MosfetModel,
-    width_m: f64,
-    length_m: f64,
+    width: Length,
+    length: Length,
 }
 
 impl Device {
-    /// Creates a device with the given drawn width and length in metres.
+    /// Creates a device with the given drawn width and length.
     ///
     /// # Panics
     ///
     /// Panics if width or length is not strictly positive and finite.
-    pub fn new(kind: MosKind, model: MosfetModel, width_m: f64, length_m: f64) -> Self {
+    pub fn new(kind: MosKind, model: MosfetModel, width: Length, length: Length) -> Self {
         assert!(
-            width_m > 0.0 && width_m.is_finite(),
+            width.meters() > 0.0 && width.is_finite(),
             "device width must be positive"
         );
         assert!(
-            length_m > 0.0 && length_m.is_finite(),
+            length.meters() > 0.0 && length.is_finite(),
             "device length must be positive"
         );
         Self {
             kind,
             model,
-            width_m,
-            length_m,
+            width,
+            length,
         }
     }
 
@@ -79,19 +83,20 @@ impl Device {
         &self.model
     }
 
-    /// Drawn width in metres.
-    pub fn width_m(&self) -> f64 {
-        self.width_m
+    /// Drawn width.
+    pub fn width(&self) -> Length {
+        self.width
     }
 
-    /// Drawn length in metres.
-    pub fn length_m(&self) -> f64 {
-        self.length_m
+    /// Drawn length.
+    pub fn length(&self) -> Length {
+        self.length
     }
 
     /// `W/L` ratio.
+    // srlr-lint: allow(raw-f64-api, reason = "W/L is a dimensionless geometry ratio")
     pub fn ratio(&self) -> f64 {
-        self.width_m / self.length_m
+        self.width / self.length
     }
 
     /// Effective threshold voltage (magnitude) including variation.
@@ -112,17 +117,17 @@ impl Device {
 
     /// Total gate capacitance.
     pub fn gate_capacitance(&self) -> Capacitance {
-        self.model.gate_capacitance(self.width_m, self.length_m)
+        self.model.gate_capacitance(self.width, self.length)
     }
 
     /// Drain diffusion capacitance.
     pub fn drain_capacitance(&self) -> Capacitance {
-        self.model.junction_capacitance(self.width_m)
+        self.model.junction_capacitance(self.width)
     }
 
     /// Off-state leakage (`Vgs = 0`, `Vds = VDD`) of this device.
     pub fn off_current(&self) -> Current {
-        Current::from_amperes(self.model.off_current_per_width * self.width_m)
+        self.model.off_current_per_width * self.width
     }
 
     /// Effective switching resistance at full gate drive `vdd`:
@@ -147,7 +152,9 @@ impl Device {
 
     /// Returns a copy with an extra threshold shift and drive multiplier
     /// (used to fold in global corners and local mismatch).
+    // srlr-lint: allow(raw-f64-api, reason = "drive_mult is a dimensionless multiplier on the drive factor")
     #[must_use]
+    // srlr-lint: allow(raw-f64-api, reason = "drive multiplier is a dimensionless variation factor")
     pub fn with_variation(&self, dvth: Voltage, drive_mult: f64) -> Self {
         Self {
             model: self.model.with_variation(dvth, drive_mult),
@@ -159,15 +166,15 @@ impl Device {
     ///
     /// # Panics
     ///
-    /// Panics if `width_m` is not strictly positive and finite.
+    /// Panics if `width` is not strictly positive and finite.
     #[must_use]
-    pub fn with_width(&self, width_m: f64) -> Self {
+    pub fn with_width(&self, width: Length) -> Self {
         assert!(
-            width_m > 0.0 && width_m.is_finite(),
+            width.meters() > 0.0 && width.is_finite(),
             "device width must be positive"
         );
         Self {
-            width_m,
+            width,
             ..self.clone()
         }
     }
@@ -176,16 +183,21 @@ impl Device {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use srlr_units::Voltage;
+    use srlr_units::{Length, Voltage};
 
     fn unit_nmos() -> Device {
-        Device::new(MosKind::Nmos, MosfetModel::nmos_soi45(), 1.0e-6, 45e-9)
+        Device::new(
+            MosKind::Nmos,
+            MosfetModel::nmos_soi45(),
+            Length::from_micrometers(1.0),
+            Length::from_nanometers(45.0),
+        )
     }
 
     #[test]
     fn current_scales_with_width() {
         let d1 = unit_nmos();
-        let d2 = d1.with_width(2.0e-6);
+        let d2 = d1.with_width(Length::from_micrometers(2.0));
         let vg = Voltage::from_volts(0.8);
         let vd = Voltage::from_volts(0.4);
         let i1 = d1.drain_current(vg, vd);
@@ -203,7 +215,7 @@ mod tests {
     #[test]
     fn wider_device_has_lower_resistance() {
         let narrow = unit_nmos();
-        let wide = narrow.with_width(4.0e-6);
+        let wide = narrow.with_width(Length::from_micrometers(4.0));
         let vdd = Voltage::from_volts(0.8);
         assert!(wide.effective_resistance(vdd) < narrow.effective_resistance(vdd));
     }
@@ -219,7 +231,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "width must be positive")]
     fn zero_width_is_rejected() {
-        let _ = Device::new(MosKind::Nmos, MosfetModel::nmos_soi45(), 0.0, 45e-9);
+        let _ = Device::new(
+            MosKind::Nmos,
+            MosfetModel::nmos_soi45(),
+            Length::zero(),
+            Length::from_nanometers(45.0),
+        );
     }
 
     #[test]
@@ -233,7 +250,7 @@ mod tests {
         let d = unit_nmos();
         assert!(d.gate_capacitance().femtofarads() > 0.3);
         assert!(d.drain_capacitance().femtofarads() > 0.3);
-        let wide = d.with_width(2e-6);
+        let wide = d.with_width(Length::from_micrometers(2.0));
         assert!(wide.gate_capacitance() > d.gate_capacitance());
     }
 

@@ -22,7 +22,7 @@
 use crate::technology::Technology;
 use crate::variation::{GlobalVariation, LocalMismatch};
 use srlr_rng::{stream_seed, Xoshiro256pp};
-use srlr_units::Voltage;
+use srlr_units::{Length, Voltage};
 
 /// A bare deterministic Gaussian stream (Box–Muller over a seeded
 /// xoshiro256++ generator) for callers that need noise without the full
@@ -49,6 +49,7 @@ impl GaussianRng {
     }
 
     /// Draws one standard Gaussian variate (Box–Muller, cached pair).
+    // srlr-lint: allow(raw-f64-api, reason = "a standard normal variate is dimensionless")
     pub fn sample(&mut self) -> f64 {
         if let Some(z) = self.spare.take() {
             return z;
@@ -68,12 +69,13 @@ impl GaussianRng {
 /// so chain elaboration can run against either.
 pub trait MismatchSampler {
     /// Samples a local threshold shift for a device of the given drawn
-    /// dimensions (metres).
-    fn sample_local_vth(&mut self, width_m: f64, length_m: f64) -> Voltage;
+    /// dimensions.
+    fn sample_local_vth(&mut self, width: Length, length: Length) -> Voltage;
 
     /// Samples a local drive multiplier for a device of the given drawn
-    /// dimensions (metres); must stay positive.
-    fn sample_local_drive(&mut self, width_m: f64, length_m: f64) -> f64;
+    /// dimensions; must stay positive.
+    // srlr-lint: allow(raw-f64-api, reason = "local drive mismatch is a dimensionless multiplier")
+    fn sample_local_drive(&mut self, width: Length, length: Length) -> f64;
 }
 
 /// The per-technology variation magnitudes shared by every sampler.
@@ -114,27 +116,28 @@ impl DieSampler {
     }
 
     /// Samples a local threshold shift for a device of the given drawn
-    /// dimensions (metres).
-    pub fn local_vth(&mut self, width_m: f64, length_m: f64) -> Voltage {
-        let sigma = self.sigmas.mismatch.sigma_vth(width_m, length_m);
+    /// dimensions.
+    pub fn local_vth(&mut self, width: Length, length: Length) -> Voltage {
+        let sigma = self.sigmas.mismatch.sigma_vth(width, length);
         Voltage::from_volts(self.rng.sample() * sigma.volts())
     }
 
     /// Samples a local drive multiplier for a device of the given drawn
-    /// dimensions (metres); clamped to stay positive.
-    pub fn local_drive(&mut self, width_m: f64, length_m: f64) -> f64 {
-        let sigma = self.sigmas.mismatch.sigma_drive(width_m, length_m);
+    /// dimensions; clamped to stay positive.
+    // srlr-lint: allow(raw-f64-api, reason = "local drive mismatch is a dimensionless multiplier")
+    pub fn local_drive(&mut self, width: Length, length: Length) -> f64 {
+        let sigma = self.sigmas.mismatch.sigma_drive(width, length);
         (1.0 + self.rng.sample() * sigma).max(0.1)
     }
 }
 
 impl MismatchSampler for DieSampler {
-    fn sample_local_vth(&mut self, width_m: f64, length_m: f64) -> Voltage {
-        self.local_vth(width_m, length_m)
+    fn sample_local_vth(&mut self, width: Length, length: Length) -> Voltage {
+        self.local_vth(width, length)
     }
 
-    fn sample_local_drive(&mut self, width_m: f64, length_m: f64) -> f64 {
-        self.local_drive(width_m, length_m)
+    fn sample_local_drive(&mut self, width: Length, length: Length) -> f64 {
+        self.local_drive(width, length)
     }
 }
 
@@ -220,6 +223,7 @@ impl MonteCarlo {
 
     /// Draws one standard Gaussian variate from the sequential stream
     /// (Box–Muller, cached pair).
+    // srlr-lint: allow(raw-f64-api, reason = "a standard normal variate is dimensionless")
     pub fn standard_gaussian(&mut self) -> f64 {
         self.gauss.sample()
     }
@@ -239,28 +243,28 @@ impl MonteCarlo {
     }
 
     /// Samples a local threshold shift for a device of the given drawn
-    /// dimensions (metres) from the sequential stream.
-    pub fn sample_local_vth(&mut self, width_m: f64, length_m: f64) -> Voltage {
-        let sigma = self.sigmas.mismatch.sigma_vth(width_m, length_m);
+    /// dimensions from the sequential stream.
+    pub fn sample_local_vth(&mut self, width: Length, length: Length) -> Voltage {
+        let sigma = self.sigmas.mismatch.sigma_vth(width, length);
         Voltage::from_volts(self.gauss.sample() * sigma.volts())
     }
 
     /// Samples a local drive multiplier for a device of the given drawn
-    /// dimensions (metres) from the sequential stream; clamped to stay
-    /// positive.
-    pub fn sample_local_drive(&mut self, width_m: f64, length_m: f64) -> f64 {
-        let sigma = self.sigmas.mismatch.sigma_drive(width_m, length_m);
+    /// dimensions from the sequential stream; clamped to stay positive.
+    // srlr-lint: allow(raw-f64-api, reason = "local drive mismatch is a dimensionless multiplier")
+    pub fn sample_local_drive(&mut self, width: Length, length: Length) -> f64 {
+        let sigma = self.sigmas.mismatch.sigma_drive(width, length);
         (1.0 + self.gauss.sample() * sigma).max(0.1)
     }
 }
 
 impl MismatchSampler for MonteCarlo {
-    fn sample_local_vth(&mut self, width_m: f64, length_m: f64) -> Voltage {
-        MonteCarlo::sample_local_vth(self, width_m, length_m)
+    fn sample_local_vth(&mut self, width: Length, length: Length) -> Voltage {
+        MonteCarlo::sample_local_vth(self, width, length)
     }
 
-    fn sample_local_drive(&mut self, width_m: f64, length_m: f64) -> f64 {
-        MonteCarlo::sample_local_drive(self, width_m, length_m)
+    fn sample_local_drive(&mut self, width: Length, length: Length) -> f64 {
+        MonteCarlo::sample_local_drive(self, width, length)
     }
 }
 
@@ -279,6 +283,7 @@ impl ErrorProbability {
     /// # Panics
     ///
     /// Panics if `trials` is zero.
+    // srlr-lint: allow(raw-f64-api, reason = "a probability is dimensionless")
     pub fn estimate(self) -> f64 {
         assert!(
             self.trials > 0,
@@ -293,6 +298,7 @@ impl ErrorProbability {
     /// # Panics
     ///
     /// Panics if `trials` is zero.
+    // srlr-lint: allow(raw-f64-api, reason = "a probability is dimensionless")
     pub fn upper_bound_95(self) -> f64 {
         assert!(
             self.trials > 0,
@@ -377,9 +383,11 @@ mod tests {
     fn die_sampler_mismatch_is_deterministic() {
         let mc = sampler(9);
         let draw = |mut die: DieSampler| {
+            let w = Length::from_micrometers(0.3);
+            let l = Length::from_nanometers(45.0);
             let g = die.global_variation();
-            let v = die.local_vth(0.3e-6, 45e-9);
-            let d = die.local_drive(0.3e-6, 45e-9);
+            let v = die.local_vth(w, l);
+            let d = die.local_drive(w, l);
             (g, v, d)
         };
         assert_eq!(draw(mc.die(4)), draw(mc.die(4)));
@@ -421,14 +429,17 @@ mod tests {
     fn local_mismatch_scales_with_area() {
         let mut mc = sampler(11);
         let n = 5000;
-        let spread = |mc: &mut MonteCarlo, w: f64| {
+        let spread = |mc: &mut MonteCarlo, w: Length| {
             let v: Vec<f64> = (0..n)
-                .map(|_| mc.sample_local_vth(w, 45e-9).volts())
+                .map(|_| {
+                    mc.sample_local_vth(w, Length::from_nanometers(45.0))
+                        .volts()
+                })
                 .collect();
             (v.iter().map(|x| x * x).sum::<f64>() / n as f64).sqrt()
         };
-        let small = spread(&mut mc, 0.2e-6);
-        let large = spread(&mut mc, 3.2e-6);
+        let small = spread(&mut mc, Length::from_micrometers(0.2));
+        let large = spread(&mut mc, Length::from_micrometers(3.2));
         assert!(small > large * 2.0, "small {small} vs large {large}");
     }
 

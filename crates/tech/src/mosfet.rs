@@ -7,7 +7,10 @@
 //! exponentially with the usual subthreshold slope; the two regions are
 //! stitched continuously so transient integration never sees a current jump.
 
-use srlr_units::{Capacitance, Current, Voltage};
+use srlr_units::{
+    Capacitance, CapacitancePerArea, CapacitancePerLength, Current, CurrentPerLength, Length,
+    Voltage,
+};
 
 /// Thermal voltage kT/q at 300 K.
 pub const THERMAL_VOLTAGE: Voltage = Voltage::new(0.02585);
@@ -22,23 +25,27 @@ pub struct MosfetModel {
     /// Drive factor: saturation current per unit W/L ratio at 1 V overdrive.
     pub drive_factor: Current,
     /// Velocity-saturation index alpha (2.0 = long channel, ~1.2–1.4 at 45 nm).
+    // srlr-lint: allow(raw-f64-api, reason = "dimensionless fitted exponent of the alpha-power law")
     pub alpha: f64,
     /// Saturation-voltage factor: `Vdsat = kv * (Vgs − Vth)^(alpha/2)`.
+    // srlr-lint: allow(raw-f64-api, reason = "fitted factor with the fractional unit V^(1-alpha/2); no newtype expresses it")
     pub vdsat_factor: f64,
     /// Channel-length modulation, 1/V (`Id` grows by `lambda·Vds` in saturation).
+    // srlr-lint: allow(raw-f64-api, reason = "1/V coefficient; only ever multiplies a voltage difference in volts")
     pub lambda: f64,
     /// Subthreshold slope factor n (slope = n · ln(10) · kT/q per decade).
+    // srlr-lint: allow(raw-f64-api, reason = "dimensionless ideality factor")
     pub subthreshold_n: f64,
-    /// Gate capacitance per unit gate area (F/m²), including poly depletion.
-    pub cox: f64,
-    /// Overlap + fringe gate capacitance per unit gate width (F/m).
-    pub c_overlap_per_width: f64,
-    /// Drain/source junction capacitance per unit width (F/m).
-    pub c_junction_per_width: f64,
-    /// Off-state (Vgs = 0, Vds = VDD) leakage per unit width (A/m) — the
+    /// Gate capacitance per unit gate area, including poly depletion.
+    pub cox: CapacitancePerArea,
+    /// Overlap + fringe gate capacitance per unit gate width.
+    pub c_overlap_per_width: CapacitancePerLength,
+    /// Drain/source junction capacitance per unit width.
+    pub c_junction_per_width: CapacitancePerLength,
+    /// Off-state (Vgs = 0, Vds = VDD) leakage per unit width — the
     /// datasheet `I_off` spec; the smooth subthreshold tail above is for
     /// transient continuity, not leakage-power accounting.
-    pub off_current_per_width: f64,
+    pub off_current_per_width: CurrentPerLength,
 }
 
 impl MosfetModel {
@@ -53,11 +60,11 @@ impl MosfetModel {
             vdsat_factor: 0.9,
             lambda: 0.15,
             subthreshold_n: 1.4,
-            cox: 1.5e-2,
-            c_overlap_per_width: 0.35e-9,
-            c_junction_per_width: 0.5e-9,
+            cox: CapacitancePerArea::from_farads_per_square_meter(1.5e-2),
+            c_overlap_per_width: CapacitancePerLength::from_farads_per_meter(0.35e-9),
+            c_junction_per_width: CapacitancePerLength::from_farads_per_meter(0.5e-9),
             // 30 nA/um, a typical standard-Vt 45 nm spec.
-            off_current_per_width: 0.030,
+            off_current_per_width: CurrentPerLength::from_nanoamperes_per_micrometer(30.0),
         }
     }
 
@@ -70,10 +77,10 @@ impl MosfetModel {
             vdsat_factor: 1.0,
             lambda: 0.18,
             subthreshold_n: 1.45,
-            cox: 1.5e-2,
-            c_overlap_per_width: 0.35e-9,
-            c_junction_per_width: 0.55e-9,
-            off_current_per_width: 0.020,
+            cox: CapacitancePerArea::from_farads_per_square_meter(1.5e-2),
+            c_overlap_per_width: CapacitancePerLength::from_farads_per_meter(0.35e-9),
+            c_junction_per_width: CapacitancePerLength::from_farads_per_meter(0.55e-9),
+            off_current_per_width: CurrentPerLength::from_nanoamperes_per_micrometer(20.0),
         }
     }
 
@@ -146,22 +153,23 @@ impl MosfetModel {
         Current::from_amperes(i)
     }
 
-    /// Gate capacitance of a device with the given drawn width and length
-    /// (in metres).
-    pub fn gate_capacitance(&self, width_m: f64, length_m: f64) -> Capacitance {
-        Capacitance::from_farads(self.cox * width_m * length_m + self.c_overlap_per_width * width_m)
+    /// Gate capacitance of a device with the given drawn width and length.
+    pub fn gate_capacitance(&self, width: Length, length: Length) -> Capacitance {
+        self.cox * (width * length) + self.c_overlap_per_width * width
     }
 
     /// Drain (or source) diffusion capacitance for the given drawn width.
-    pub fn junction_capacitance(&self, width_m: f64) -> Capacitance {
-        Capacitance::from_farads(self.c_junction_per_width * width_m)
+    pub fn junction_capacitance(&self, width: Length) -> Capacitance {
+        self.c_junction_per_width * width
     }
 
     /// Returns a copy with the threshold voltage shifted by `dvth`
     /// (process variation) and the drive factor scaled by `drive_mult`.
     /// Off-current follows the threshold shift exponentially (one
     /// subthreshold slope per `n·kT/q` of shift).
+    // srlr-lint: allow(raw-f64-api, reason = "drive_mult is a dimensionless multiplier on the drive factor")
     #[must_use]
+    // srlr-lint: allow(raw-f64-api, reason = "drive multiplier is a dimensionless variation factor")
     pub fn with_variation(&self, dvth: Voltage, drive_mult: f64) -> Self {
         let slope = self.subthreshold_n * THERMAL_VOLTAGE.volts();
         Self {
@@ -294,8 +302,9 @@ mod tests {
     #[test]
     fn gate_capacitance_scales_with_area() {
         let m = nmos();
-        let small = m.gate_capacitance(0.5e-6, 45e-9);
-        let big = m.gate_capacitance(1.0e-6, 45e-9);
+        let small =
+            m.gate_capacitance(Length::from_micrometers(0.5), Length::from_nanometers(45.0));
+        let big = m.gate_capacitance(Length::from_micrometers(1.0), Length::from_nanometers(45.0));
         assert!(big.femtofarads() > small.femtofarads() * 1.9);
         // Around 1 fF/um of width including overlap.
         assert!(big.femtofarads() > 0.5 && big.femtofarads() < 2.0);

@@ -20,7 +20,7 @@
 use crate::device::{Device, MosKind};
 use crate::technology::Technology;
 use crate::wire::WireGeometry;
-use srlr_units::{Capacitance, Length, Resistance, TimeInterval};
+use srlr_units::{Capacitance, DelayPerLength, Length, Resistance, TimeInterval};
 
 /// The delay-optimal repeated-wire design point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,17 +28,18 @@ pub struct RepeaterInsertion {
     /// Optimal repeater spacing.
     pub segment_length: Length,
     /// Optimal repeater size (in unit-inverter multiples).
+    // srlr-lint: allow(raw-f64-api, reason = "repeater size is a dimensionless unit-inverter multiple")
     pub size_multiple: f64,
-    /// Resulting delay per unit length (s/m).
-    pub delay_per_meter: f64,
+    /// Resulting delay per unit length.
+    pub delay_per_length: DelayPerLength,
 }
 
 impl RepeaterInsertion {
     /// Computes the classical optimum for the given wire geometry.
     pub fn optimal(tech: &Technology, wire: WireGeometry) -> Self {
         let (r0, cin, cp) = Self::unit_inverter(tech);
-        let r = wire.resistance_per_length();
-        let c = wire.capacitance_per_length();
+        let r = wire.resistance_per_length().ohms_per_meter();
+        let c = wire.capacitance_per_length().farads_per_meter();
 
         let l_opt = (2.0 * r0.ohms() * (cin + cp).farads() / (r * c)).sqrt();
         let h_opt = (r0.ohms() * c / (r * cin.farads())).sqrt();
@@ -49,13 +50,13 @@ impl RepeaterInsertion {
         Self {
             segment_length: Length::from_meters(l_opt),
             size_multiple: h_opt,
-            delay_per_meter,
+            delay_per_length: DelayPerLength::from_seconds_per_meter(delay_per_meter),
         }
     }
 
     /// Delay of a wire of `length` at this design point.
     pub fn delay(&self, length: Length) -> TimeInterval {
-        TimeInterval::from_seconds(self.delay_per_meter * length.meters())
+        self.delay_per_length * length
     }
 
     /// Relative delay penalty of repeating at `spacing` instead of the
@@ -66,6 +67,7 @@ impl RepeaterInsertion {
     /// # Panics
     ///
     /// Panics if `spacing` is not strictly positive.
+    // srlr-lint: allow(raw-f64-api, reason = "relative delay penalty is a dimensionless ratio")
     pub fn delay_penalty_at(&self, spacing: Length) -> f64 {
         assert!(spacing.meters() > 0.0, "spacing must be positive");
         let x = spacing.meters() / self.segment_length.meters();
@@ -75,8 +77,18 @@ impl RepeaterInsertion {
     /// The unit inverter's `(R0, Cin, Cparasitic)` in this technology:
     /// a 1 um NMOS with a 2 um PMOS.
     fn unit_inverter(tech: &Technology) -> (Resistance, Capacitance, Capacitance) {
-        let n = Device::new(MosKind::Nmos, tech.nmos, 1.0e-6, tech.min_length_m);
-        let p = Device::new(MosKind::Pmos, tech.pmos, 2.0e-6, tech.min_length_m);
+        let n = Device::new(
+            MosKind::Nmos,
+            tech.nmos,
+            Length::from_micrometers(1.0),
+            tech.min_length,
+        );
+        let p = Device::new(
+            MosKind::Pmos,
+            tech.pmos,
+            Length::from_micrometers(2.0),
+            tech.min_length,
+        );
         // Switching resistance: the weaker (PMOS) edge dominates the
         // average; take the mean of the two edges.
         let r0 = Resistance::from_ohms(

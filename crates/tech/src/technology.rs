@@ -3,7 +3,7 @@
 use crate::mosfet::MosfetModel;
 use crate::variation::LocalMismatch;
 use crate::wire::WireGeometry;
-use srlr_units::Voltage;
+use srlr_units::{Length, Voltage};
 
 /// A complete technology description.
 ///
@@ -37,15 +37,17 @@ pub struct Technology {
     pub nmos: MosfetModel,
     /// PMOS model parameters.
     pub pmos: MosfetModel,
-    /// Minimum drawn channel length (metres).
-    pub min_length_m: f64,
+    /// Minimum drawn channel length.
+    pub min_length: Length,
     /// Default link-wire geometry.
     pub wire: WireGeometry,
     /// Die-to-die threshold-voltage sigma (corners sit at 3 sigma).
     pub global_sigma_vth: Voltage,
     /// Die-to-die relative drive-strength sigma.
+    // srlr-lint: allow(raw-f64-api, reason = "relative (dimensionless) sigma of the drive multiplier")
     pub global_sigma_drive: f64,
     /// Die-to-die relative wire R/C sigma.
+    // srlr-lint: allow(raw-f64-api, reason = "relative (dimensionless) sigma of the wire R/C multipliers")
     pub global_sigma_wire: f64,
     /// Pelgrom local-mismatch coefficients.
     pub local_mismatch: LocalMismatch,
@@ -60,7 +62,7 @@ impl Technology {
             nominal_swing: Voltage::from_millivolts(350.0),
             nmos: MosfetModel::nmos_soi45(),
             pmos: MosfetModel::pmos_soi45(),
-            min_length_m: 45e-9,
+            min_length: Length::from_nanometers(45.0),
             wire: WireGeometry::paper_default(),
             global_sigma_vth: Voltage::from_millivolts(20.0),
             global_sigma_drive: 0.04,
@@ -84,7 +86,7 @@ mod tests {
     fn soi45_core_parameters() {
         let t = Technology::soi45();
         assert_eq!(t.vdd, Voltage::from_volts(0.8));
-        assert_eq!(t.min_length_m, 45e-9);
+        assert_eq!(t.min_length, Length::from_nanometers(45.0));
         assert!(t.nominal_swing < t.vdd);
         assert!(t.nmos.vth0 < t.vdd);
     }

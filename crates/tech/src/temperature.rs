@@ -34,6 +34,7 @@ impl Temperature {
     ///
     /// Panics outside the military-plus range 200–450 K where the
     /// first-order coefficients hold.
+    // srlr-lint: allow(raw-f64-api, reason = "Temperature is itself the kelvin newtype; this is its raw-value boundary")
     pub fn from_kelvin(kelvin: f64) -> Self {
         assert!(
             (200.0..=450.0).contains(&kelvin),
@@ -43,6 +44,7 @@ impl Temperature {
     }
 
     /// Creates a temperature from degrees Celsius.
+    // srlr-lint: allow(raw-f64-api, reason = "Temperature is itself the kelvin newtype; this is its raw-value boundary")
     pub fn from_celsius(celsius: f64) -> Self {
         Self::from_kelvin(celsius + 273.15)
     }
@@ -55,11 +57,13 @@ impl Temperature {
     }
 
     /// Kelvin value.
+    // srlr-lint: allow(raw-f64-api, reason = "Temperature is itself the kelvin newtype; this is its raw-value boundary")
     pub fn kelvin(self) -> f64 {
         self.kelvin
     }
 
     /// Degrees Celsius.
+    // srlr-lint: allow(raw-f64-api, reason = "Temperature is itself the kelvin newtype; this is its raw-value boundary")
     pub fn celsius(self) -> f64 {
         self.kelvin - 273.15
     }
@@ -70,6 +74,7 @@ impl Temperature {
     }
 
     /// The drive (mobility) multiplier at this temperature.
+    // srlr-lint: allow(raw-f64-api, reason = "dimensionless mobility multiplier")
     pub fn drive_multiplier(self) -> f64 {
         (self.kelvin / NOMINAL_TEMPERATURE_K).powf(-MOBILITY_EXPONENT)
     }

@@ -7,7 +7,7 @@
 //! monotonically down the link. Local mismatch adds small per-device
 //! scatter on top (Pelgrom's law: `σ(Vth) = A_vt / sqrt(W·L)`).
 
-use srlr_units::Voltage;
+use srlr_units::{Length, Voltage};
 
 /// One die's worth of global (die-to-die) process variation.
 ///
@@ -20,12 +20,16 @@ pub struct GlobalVariation {
     /// PMOS threshold shift (positive magnitude = slower PMOS).
     pub dvth_p: Voltage,
     /// NMOS drive-factor multiplier (mobility/geometry lumped).
+    // srlr-lint: allow(raw-f64-api, reason = "dimensionless multiplier on the drive factor")
     pub drive_mult_n: f64,
     /// PMOS drive-factor multiplier.
+    // srlr-lint: allow(raw-f64-api, reason = "dimensionless multiplier on the drive factor")
     pub drive_mult_p: f64,
     /// Wire resistance multiplier (line thinning/thickening).
+    // srlr-lint: allow(raw-f64-api, reason = "dimensionless multiplier on wire resistance")
     pub wire_r_mult: f64,
     /// Wire capacitance multiplier (dielectric/spacing variation).
+    // srlr-lint: allow(raw-f64-api, reason = "dimensionless multiplier on wire capacitance")
     pub wire_c_mult: f64,
 }
 
@@ -45,6 +49,7 @@ impl GlobalVariation {
     /// A scalar "speed" summary: positive means the die is faster than
     /// typical (lower thresholds / stronger drive), negative slower.
     /// Useful for sorting Monte Carlo populations in diagnostics.
+    // srlr-lint: allow(raw-f64-api, reason = "dimensionless ranking score for diagnostics")
     pub fn speed_index(&self) -> f64 {
         let vth_term = -(self.dvth_n.volts() + self.dvth_p.volts()) / 0.060;
         let drive_term = (self.drive_mult_n - 1.0 + self.drive_mult_p - 1.0) / 0.10;
@@ -79,9 +84,11 @@ impl Default for GlobalVariation {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LocalMismatch {
     /// Pelgrom threshold-matching coefficient, in V·m (typ. ~2 mV·um at 45 nm).
+    // srlr-lint: allow(raw-f64-api, reason = "Pelgrom coefficient in V*m; no newtype exists for this compound unit")
     pub a_vt: f64,
     /// Relative drive-factor mismatch coefficient, in √(m²) units
     /// (`σ(Δβ/β) = a_beta / sqrt(W·L)`).
+    // srlr-lint: allow(raw-f64-api, reason = "Pelgrom coefficient in sqrt(m^2); no newtype exists for this compound unit")
     pub a_beta: f64,
 }
 
@@ -94,26 +101,26 @@ impl LocalMismatch {
         }
     }
 
-    /// Standard deviation of the threshold shift for a `W × L` device
-    /// (dimensions in metres).
+    /// Standard deviation of the threshold shift for a `W × L` device.
     ///
     /// # Panics
     ///
     /// Panics if the area is not strictly positive.
-    pub fn sigma_vth(&self, width_m: f64, length_m: f64) -> Voltage {
-        let area = width_m * length_m;
+    pub fn sigma_vth(&self, width: Length, length: Length) -> Voltage {
+        let area = (width * length).square_meters();
         assert!(area > 0.0, "device area must be positive");
         Voltage::from_volts(self.a_vt / area.sqrt())
     }
 
     /// Standard deviation of the relative drive mismatch for a `W × L`
-    /// device (dimensions in metres).
+    /// device.
     ///
     /// # Panics
     ///
     /// Panics if the area is not strictly positive.
-    pub fn sigma_drive(&self, width_m: f64, length_m: f64) -> f64 {
-        let area = width_m * length_m;
+    // srlr-lint: allow(raw-f64-api, reason = "relative (dimensionless) drive mismatch sigma")
+    pub fn sigma_drive(&self, width: Length, length: Length) -> f64 {
+        let area = (width * length).square_meters();
         assert!(area > 0.0, "device area must be positive");
         self.a_beta / area.sqrt()
     }
@@ -168,8 +175,9 @@ mod tests {
     #[test]
     fn pelgrom_sigma_shrinks_with_area() {
         let lm = LocalMismatch::soi45();
-        let small = lm.sigma_vth(0.2e-6, 45e-9);
-        let big = lm.sigma_vth(2.0e-6, 45e-9);
+        let l45 = Length::from_nanometers(45.0);
+        let small = lm.sigma_vth(Length::from_micrometers(0.2), l45);
+        let big = lm.sigma_vth(Length::from_micrometers(2.0), l45);
         assert!(small > big);
         // sqrt(10) ratio for 10x area.
         assert!((small.volts() / big.volts() - 10f64.sqrt()).abs() < 1e-9);
@@ -179,7 +187,7 @@ mod tests {
     fn pelgrom_sigma_magnitude_is_plausible() {
         // A minimum-ish 0.2 um x 45 nm device: sigma ~ 21 mV.
         let lm = LocalMismatch::soi45();
-        let sigma = lm.sigma_vth(0.2e-6, 45e-9);
+        let sigma = lm.sigma_vth(Length::from_micrometers(0.2), Length::from_nanometers(45.0));
         assert!(
             sigma.millivolts() > 5.0 && sigma.millivolts() < 50.0,
             "{sigma}"
@@ -189,13 +197,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "area must be positive")]
     fn zero_area_rejected() {
-        let _ = LocalMismatch::soi45().sigma_vth(0.0, 45e-9);
+        let _ = LocalMismatch::soi45().sigma_vth(Length::zero(), Length::from_nanometers(45.0));
     }
 
     #[test]
     fn sigma_drive_is_small_fraction() {
         let lm = LocalMismatch::soi45();
-        let s = lm.sigma_drive(1.0e-6, 45e-9);
+        let s = lm.sigma_drive(Length::from_micrometers(1.0), Length::from_nanometers(45.0));
         assert!(s > 0.0 && s < 0.2);
     }
 }

@@ -6,7 +6,10 @@
 //! per-length resistance and capacitance (ground plate + fringe + sidewall
 //! coupling with a Miller factor for worst-case switching neighbours).
 
-use srlr_units::{Capacitance, Length, Resistance, TimeInterval, Voltage};
+use srlr_units::{
+    Capacitance, CapacitancePerLength, Length, Resistance, ResistancePerLength, TimeInterval,
+    Voltage,
+};
 
 /// Vacuum permittivity times the SiO2-ish low-k dielectric constant (F/m).
 const EPS_DIELECTRIC: f64 = 8.854e-12 * 3.3;
@@ -36,6 +39,7 @@ pub enum NeighborActivity {
 
 impl NeighborActivity {
     /// The Miller factor this activity applies to sidewall coupling.
+    // srlr-lint: allow(raw-f64-api, reason = "Miller factor is a dimensionless coupling multiplier")
     pub fn miller_factor(self) -> f64 {
         match self {
             Self::Shielded => 1.0,
@@ -113,6 +117,7 @@ pub struct WireGeometry {
     pub ild_height: Length,
     /// Switching-activity Miller factor applied to sidewall coupling
     /// (1.0 = neighbours quiet, 2.0 = worst-case opposite switching).
+    // srlr-lint: allow(raw-f64-api, reason = "Miller factor is a dimensionless coupling multiplier")
     pub miller_factor: f64,
 }
 
@@ -157,21 +162,23 @@ impl WireGeometry {
         self.width + self.space
     }
 
-    /// Per-length resistance (Ohm per metre of wire).
-    pub fn resistance_per_length(self) -> f64 {
-        RHO_COPPER_EFFECTIVE / (self.width.meters() * self.thickness.meters())
+    /// Per-length resistance of the wire.
+    pub fn resistance_per_length(self) -> ResistancePerLength {
+        ResistancePerLength::from_ohms_per_meter(
+            RHO_COPPER_EFFECTIVE / (self.width.meters() * self.thickness.meters()),
+        )
     }
 
-    /// Per-length capacitance (F per metre of wire): two plate terms to the
-    /// layers above and below, a fringe term, and two sidewall coupling
-    /// terms scaled by the Miller factor.
-    pub fn capacitance_per_length(self) -> f64 {
+    /// Per-length capacitance of the wire: two plate terms to the layers
+    /// above and below, a fringe term, and two sidewall coupling terms
+    /// scaled by the Miller factor.
+    pub fn capacitance_per_length(self) -> CapacitancePerLength {
         let plate = 2.0 * EPS_DIELECTRIC * self.width.meters() / self.ild_height.meters();
         // Empirical fringe term, weakly dependent on geometry.
         let fringe = 2.0 * EPS_DIELECTRIC * 1.1;
         let coupling = 2.0 * EPS_DIELECTRIC * self.thickness.meters() / self.space.meters()
             * self.miller_factor;
-        plate + fringe + coupling
+        CapacitancePerLength::from_farads_per_meter(plate + fringe + coupling)
     }
 
     /// Extracts the parasitics of a wire segment of length `len`.
@@ -183,8 +190,8 @@ impl WireGeometry {
         assert!(len.meters() > 0.0, "wire length must be positive");
         WireRc {
             length: len,
-            resistance: Resistance::from_ohms(self.resistance_per_length() * len.meters()),
-            capacitance: Capacitance::from_farads(self.capacitance_per_length() * len.meters()),
+            resistance: self.resistance_per_length() * len,
+            capacitance: self.capacitance_per_length() * len,
         }
     }
 }
@@ -228,7 +235,9 @@ impl WireRc {
     }
 
     /// Scales R and C by global-variation multipliers.
+    // srlr-lint: allow(raw-f64-api, reason = "r_mult/c_mult are dimensionless variation multipliers")
     #[must_use]
+    // srlr-lint: allow(raw-f64-api, reason = "R/C multipliers are dimensionless variation factors")
     pub fn with_variation(self, r_mult: f64, c_mult: f64) -> Self {
         Self {
             length: self.length,
@@ -349,8 +358,8 @@ mod tests {
         assert!(r(MetalLayer::Intermediate) > r(MetalLayer::SemiGlobal));
         assert!(r(MetalLayer::SemiGlobal) > r(MetalLayer::Global));
         // Local metal is kilohms/mm; global is tens of ohms/mm.
-        assert!(r(MetalLayer::Local) * 1e-3 > 2000.0);
-        assert!(r(MetalLayer::Global) * 1e-3 < 60.0);
+        assert!(r(MetalLayer::Local).ohms_per_millimeter() > 2000.0);
+        assert!(r(MetalLayer::Global).ohms_per_millimeter() < 60.0);
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Per-length and per-area extraction densities.
+//!
+//! Parasitic extraction works in densities: a wire geometry yields Ohm/m
+//! and F/m, a MOSFET model yields F/m^2 of gate oxide and A/m of leakage
+//! per device width. Multiplying by a [`Length`] (or [`Area`]) recovers
+//! the lumped quantity, so `tech`-layer APIs can hand out densities
+//! without ever exposing a bare `f64`.
+
+use crate::electrical::{Capacitance, Current, Resistance};
+use crate::geometry::{Area, Length};
+use crate::time::TimeInterval;
+
+quantity! {
+    /// Wire resistance per unit length in ohms per metre.
+    ///
+    /// ```
+    /// use srlr_units::{Length, ResistancePerLength};
+    /// let r = ResistancePerLength::from_ohms_per_millimeter(138.9);
+    /// let lumped = r * Length::from_millimeters(1.0);
+    /// assert!((lumped.ohms() - 138.9).abs() < 1e-9);
+    /// ```
+    ResistancePerLength, base = "Ohm/m"
+}
+
+quantity_scales!(ResistancePerLength {
+    /// Ohms per metre.
+    from_ohms_per_meter / ohms_per_meter = 1.0,
+    /// Ohms per millimetre.
+    from_ohms_per_millimeter / ohms_per_millimeter = 1e3,
+    /// Ohms per micrometre.
+    from_ohms_per_micrometer / ohms_per_micrometer = 1e6,
+});
+
+quantity! {
+    /// Wire or junction capacitance per unit length in farads per metre.
+    ///
+    /// ```
+    /// use srlr_units::{CapacitancePerLength, Length};
+    /// let c = CapacitancePerLength::from_femtofarads_per_micrometer(0.2);
+    /// let lumped = c * Length::from_millimeters(1.0);
+    /// assert!((lumped.femtofarads() - 200.0).abs() < 1e-9);
+    /// ```
+    CapacitancePerLength, base = "F/m"
+}
+
+quantity_scales!(CapacitancePerLength {
+    /// Farads per metre.
+    from_farads_per_meter / farads_per_meter = 1.0,
+    /// Picofarads per millimetre.
+    from_picofarads_per_millimeter / picofarads_per_millimeter = 1e-9,
+    /// Femtofarads per micrometre.
+    from_femtofarads_per_micrometer / femtofarads_per_micrometer = 1e-9,
+    /// Nanofarads per metre.
+    from_nanofarads_per_meter / nanofarads_per_meter = 1e-9,
+});
+
+quantity! {
+    /// Areal capacitance in farads per square metre (gate-oxide Cox).
+    ///
+    /// ```
+    /// use srlr_units::{Area, CapacitancePerArea};
+    /// let cox = CapacitancePerArea::from_farads_per_square_meter(1.5e-2);
+    /// let gate = cox * Area::from_square_micrometers(0.045);
+    /// assert!((gate.femtofarads() - 0.675).abs() < 1e-9);
+    /// ```
+    CapacitancePerArea, base = "F/m^2"
+}
+
+quantity_scales!(CapacitancePerArea {
+    /// Farads per square metre.
+    from_farads_per_square_meter / farads_per_square_meter = 1.0,
+    /// Femtofarads per square micrometre.
+    from_femtofarads_per_square_micrometer / femtofarads_per_square_micrometer = 1e-3,
+});
+
+quantity! {
+    /// Current per unit device width in amperes per metre (leakage
+    /// densities scale with transistor width).
+    ///
+    /// ```
+    /// use srlr_units::{CurrentPerLength, Length};
+    /// let leak = CurrentPerLength::from_nanoamperes_per_micrometer(30.0);
+    /// let device = leak * Length::from_micrometers(2.0);
+    /// assert!((device.nanoamperes() - 60.0).abs() < 1e-9);
+    /// ```
+    CurrentPerLength, base = "A/m"
+}
+
+quantity_scales!(CurrentPerLength {
+    /// Amperes per metre.
+    from_amperes_per_meter / amperes_per_meter = 1.0,
+    /// Nanoamperes per micrometre.
+    from_nanoamperes_per_micrometer / nanoamperes_per_micrometer = 1e-3,
+    /// Microamperes per micrometre.
+    from_microamperes_per_micrometer / microamperes_per_micrometer = 1.0,
+});
+
+quantity! {
+    /// Propagation delay per unit length in seconds per metre.
+    ///
+    /// A repeated wire's figure of merit: the paper's 1 mm segments run
+    /// at roughly 60 ps/mm under nominal SRLR sizing.
+    ///
+    /// ```
+    /// use srlr_units::{DelayPerLength, Length};
+    /// let d = DelayPerLength::from_picoseconds_per_millimeter(60.0);
+    /// let span = d * Length::from_millimeters(10.0);
+    /// assert!((span.picoseconds() - 600.0).abs() < 1e-6);
+    /// ```
+    DelayPerLength, base = "s/m"
+}
+
+quantity_scales!(DelayPerLength {
+    /// Seconds per metre.
+    from_seconds_per_meter / seconds_per_meter = 1.0,
+    /// Picoseconds per millimetre.
+    from_picoseconds_per_millimeter / picoseconds_per_millimeter = 1e-9,
+    /// Nanoseconds per millimetre.
+    from_nanoseconds_per_millimeter / nanoseconds_per_millimeter = 1e-6,
+});
+
+// Density x extent recovers the lumped quantity (and both divisions).
+quantity_product!(ResistancePerLength, Length => Resistance);
+quantity_product!(CapacitancePerLength, Length => Capacitance);
+quantity_product!(CapacitancePerArea, Area => Capacitance);
+quantity_product!(CurrentPerLength, Length => Current);
+quantity_product!(DelayPerLength, Length => TimeInterval);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_rc_extraction_round_trip() {
+        let r = ResistancePerLength::from_ohms_per_meter(1.389e5);
+        let c = CapacitancePerLength::from_femtofarads_per_micrometer(0.2);
+        let len = Length::from_millimeters(1.0);
+        let lumped_r = r * len;
+        let lumped_c = c * len;
+        assert!((lumped_r.ohms() - 138.9).abs() < 1e-9);
+        assert!((lumped_c.femtofarads() - 200.0).abs() < 1e-9);
+        let tau = lumped_r * lumped_c;
+        assert!((tau.picoseconds() - 27.78).abs() < 1e-6);
+    }
+
+    #[test]
+    fn division_recovers_density() {
+        let lumped = Resistance::from_ohms(138.9);
+        let density = lumped / Length::from_millimeters(1.0);
+        assert!((density.ohms_per_millimeter() - 138.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_capacitance_from_cox_and_area() {
+        let cox = CapacitancePerArea::from_farads_per_square_meter(1.5e-2);
+        let area = Length::from_nanometers(1000.0) * Length::from_nanometers(45.0);
+        let gate = cox * area;
+        assert!((gate.femtofarads() - 0.675).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_scales_with_width() {
+        let leak = CurrentPerLength::from_amperes_per_meter(0.030);
+        let i = leak * Length::from_micrometers(2.0);
+        assert!((i.nanoamperes() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_per_length_times_span() {
+        let d = DelayPerLength::from_picoseconds_per_millimeter(61.0);
+        let t = d * Length::from_millimeters(10.0);
+        assert!((t.picoseconds() - 610.0).abs() < 1e-6);
+        let back = t / Length::from_millimeters(10.0);
+        assert!((back.picoseconds_per_millimeter() - 61.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_aliases_agree() {
+        let a = CapacitancePerLength::from_femtofarads_per_micrometer(0.35);
+        let b = CapacitancePerLength::from_nanofarads_per_meter(0.35);
+        assert!((a.value() - b.value()).abs() < 1e-18);
+        let c = CurrentPerLength::from_microamperes_per_micrometer(0.03);
+        let d = CurrentPerLength::from_amperes_per_meter(0.03);
+        assert!((c.value() - d.value()).abs() < 1e-18);
+    }
+}

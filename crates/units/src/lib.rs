@@ -28,7 +28,8 @@
 //! ```
 //!
 //! The umbrella quantity list lives in the individual modules:
-//! [`electrical`], [`time`], [`energy`], [`geometry`] and [`rate`].
+//! [`electrical`], [`time`], [`energy`], [`geometry`], [`rate`] and
+//! [`density`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +37,8 @@
 #[macro_use]
 mod macros;
 
+/// Per-length and per-area extraction densities.
+pub mod density;
 /// Voltage, current, charge, resistance and capacitance quantities.
 pub mod electrical;
 /// Energy and power quantities.
@@ -49,6 +52,9 @@ pub mod si;
 /// Time and frequency quantities.
 pub mod time;
 
+pub use density::{
+    CapacitancePerArea, CapacitancePerLength, CurrentPerLength, DelayPerLength, ResistancePerLength,
+};
 pub use electrical::{Capacitance, Charge, Current, Resistance, Voltage};
 pub use energy::{Energy, Power};
 pub use geometry::{Area, Length};

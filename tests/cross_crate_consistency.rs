@@ -122,10 +122,10 @@ fn sizing_explorer_confirms_the_paper_design_is_on_the_frontier() {
     let tech = Technology::soi45();
     let design = SrlrDesign::paper_proposed(&tech);
     let explorer = SizingExplorer::new(&tech, design.clone(), 10);
-    let paper_point = explorer.evaluate(design.m1_width_m, design.m2_width_m);
+    let paper_point = explorer.evaluate(design.m1_width, design.m2_width);
     assert!(paper_point.is_viable(), "paper sizing must be viable");
     // A clearly undersized input device must not dominate it.
-    let tiny = explorer.evaluate(0.04e-6, design.m2_width_m);
+    let tiny = explorer.evaluate(srlr_units::Length::from_nanometers(40.0), design.m2_width);
     assert!(
         !tiny.is_viable() || tiny.energy.value() >= paper_point.energy.value(),
         "an undersized M1 should not beat the paper point"

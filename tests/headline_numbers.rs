@@ -5,6 +5,7 @@ use srlr_link::ber::{max_data_rate, BerTester};
 use srlr_link::{ComparisonTable, LinkConfig, SrlrLink};
 use srlr_repro::core::SrlrDesign;
 use srlr_repro::tech::{AdaptiveSwingBias, GlobalVariation, Technology};
+use srlr_repro::units::DataRate;
 
 #[test]
 fn headline_bandwidth_density_matches_exactly() {
@@ -42,9 +43,9 @@ fn max_data_rate_in_the_paper_regime() {
         &SrlrDesign::paper_proposed(&tech),
         LinkConfig::paper_default(),
         &GlobalVariation::nominal(),
-        1.0,
-        10.0,
-        0.1,
+        DataRate::from_gigabits_per_second(1.0),
+        DataRate::from_gigabits_per_second(10.0),
+        DataRate::from_gigabits_per_second(0.1),
     )
     .expect("nominal link works");
     let gbps = rate.gigabits_per_second();
