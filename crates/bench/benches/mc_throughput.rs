@@ -1,16 +1,20 @@
 //! Monte Carlo throughput: dice evaluated per second through the full
-//! Fig. 6 stress-test pipeline, serial versus the parallel sweep engine.
+//! Fig. 6 stress-test pipeline — the scalar one-die-at-a-time reference
+//! versus the certificate-screened batched engine, serial and threaded.
 //!
 //! This is the harness behind the perf numbers quoted in
-//! `EXPERIMENTS.md`: it measures the per-die cost of the counter-based
-//! sampler plus the early-exit link check, then the wall-clock speedup
-//! (or scheduling overhead, on small machines) of `SRLR_THREADS` workers.
+//! `EXPERIMENTS.md`. Besides the ASCII table and the usual
+//! `target/srlr-reports/mc_throughput.json` run report, it writes the
+//! committed snapshot `BENCH_mc_throughput.json` at the repo root
+//! (schema-versioned by `srlr-telemetry`'s run-report version); CI's
+//! bench-smoke job regenerates and validates it with a reduced
+//! `SRLR_MC_RUNS`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use srlr_bench::report;
+use srlr_bench::{report, thread_ladder};
 use srlr_core::SrlrDesign;
 use srlr_link::engine;
-use srlr_link::montecarlo::McExperiment;
+use srlr_link::montecarlo::{McEngine, McExperiment};
 use srlr_tech::Technology;
 use std::time::Instant;
 
@@ -35,13 +39,13 @@ fn print_throughput() {
     let tech = Technology::soi45();
     let design = SrlrDesign::paper_proposed(&tech);
     let n = runs();
+    let available = engine::available_threads();
 
     report::section(&format!(
         "Monte Carlo throughput — {n} dice through the Fig. 6 stress test"
     ));
     println!(
-        "machine: {} available thread(s); SRLR_THREADS={}",
-        engine::available_threads(),
+        "machine: {available} available thread(s); SRLR_THREADS={}",
         std::env::var(engine::THREADS_ENV).unwrap_or_else(|_| "unset".into()),
     );
 
@@ -49,40 +53,75 @@ fn print_throughput() {
     run.param("runs", srlr_telemetry::Value::U64(n as u64));
     run.param(
         "available_threads",
-        srlr_telemetry::Value::U64(engine::available_threads() as u64),
+        srlr_telemetry::Value::U64(available as u64),
     );
-    let mut serial_rate = 0.0;
-    for threads in [1usize, 2, 4, engine::available_threads()] {
-        let exp = McExperiment::paper_default(&tech)
-            .with_runs(n)
-            .with_threads(Some(threads));
-        let rate = dice_per_second(&exp, &design);
+    let base = McExperiment::paper_default(&tech).with_runs(n);
+    run.param(
+        "batch_width",
+        srlr_telemetry::Value::U64(base.batch_width as u64),
+    );
+
+    // The scalar serial reference every speedup below is relative to.
+    let scalar_rate = dice_per_second(
+        &base
+            .clone()
+            .with_engine(McEngine::Scalar)
+            .with_threads(Some(1)),
+        &design,
+    );
+    println!("scalar reference, 1 thread: {scalar_rate:>10.0} dice/s");
+    run.section_metric(
+        "scalar.threads.001",
+        "dice_per_second",
+        srlr_telemetry::Value::F64(scalar_rate),
+    );
+
+    // The batched engine: single-core speedup first (the tentpole
+    // number), then the thread ladder. The ladder is deduplicated —
+    // repeated rungs on small machines used to overwrite each other's
+    // report metrics.
+    let mut batched_serial_rate = 0.0;
+    for threads in thread_ladder(available) {
+        let rate = dice_per_second(&base.clone().with_threads(Some(threads)), &design);
         if threads == 1 {
-            serial_rate = rate;
+            batched_serial_rate = rate;
         }
         println!(
-            "{threads:>3} thread(s): {rate:>10.0} dice/s  (x{:.2} vs serial)",
-            rate / serial_rate.max(f64::MIN_POSITIVE)
+            "batched, {threads:>3} thread(s): {rate:>10.0} dice/s  (x{:.2} vs scalar serial)",
+            rate / scalar_rate.max(f64::MIN_POSITIVE)
         );
         run.section_metric(
-            &format!("threads.{threads:03}"),
+            &format!("batched.threads.{threads:03}"),
             "dice_per_second",
             srlr_telemetry::Value::F64(rate),
         );
     }
+    run.metric(
+        "speedup.batched_serial_vs_scalar_serial",
+        srlr_telemetry::Value::F64(batched_serial_rate / scalar_rate.max(f64::MIN_POSITIVE)),
+    );
+
     report::emit_run_report(&run);
+    report::emit_bench_snapshot(&run);
 }
 
 fn bench(c: &mut Criterion) {
     print_throughput();
     let tech = Technology::soi45();
     let design = SrlrDesign::paper_proposed(&tech);
+    let scalar = McExperiment::paper_default(&tech)
+        .with_runs(100)
+        .with_engine(McEngine::Scalar)
+        .with_threads(Some(1));
     let serial = McExperiment::paper_default(&tech)
         .with_runs(100)
         .with_threads(Some(1));
     let parallel = McExperiment::paper_default(&tech)
         .with_runs(100)
         .with_threads(None);
+    c.bench_function("mc_100_dice_scalar_engine", |b| {
+        b.iter(|| scalar.error_probability(&design))
+    });
     c.bench_function("mc_100_dice_serial", |b| {
         b.iter(|| serial.error_probability(&design))
     });

@@ -1,0 +1,58 @@
+//! Thread ladders for the scaling benchmarks.
+
+/// The `[1, 2, 4, available]` measurement ladder, sorted and
+/// deduplicated.
+///
+/// The naive literal list repeats an entry whenever the machine has 4 or
+/// fewer threads (e.g. `[1, 2, 4, 4]` on a 4-thread box, `[1, 2, 4, 1]`
+/// on a single-core CI runner), which used to make the per-rung
+/// `threads.NNN` run-report metrics collide: the duplicate measurement
+/// silently overwrote the first one. Deduplicating here keeps one
+/// measurement — and one report key — per distinct thread count.
+/// `available` is clamped to at least 1.
+pub fn thread_ladder(available: usize) -> Vec<usize> {
+    let mut ladder = vec![1, 2, 4, available.max(1)];
+    ladder.sort_unstable();
+    ladder.dedup();
+    ladder
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_has_no_duplicate_rungs_on_small_machines() {
+        // Regression: ≤4-thread machines used to produce duplicate rungs
+        // whose report metrics overwrote each other.
+        for available in [0usize, 1, 2, 3, 4] {
+            let ladder = thread_ladder(available);
+            let mut unique = ladder.clone();
+            unique.dedup();
+            assert_eq!(ladder, unique, "duplicates for available={available}");
+        }
+    }
+
+    #[test]
+    fn ladder_is_sorted_and_covers_the_machine() {
+        let ladder = thread_ladder(64);
+        assert_eq!(ladder, vec![1, 2, 4, 64]);
+        assert!(thread_ladder(3).contains(&3));
+        assert_eq!(thread_ladder(1), vec![1, 2, 4]);
+        assert_eq!(thread_ladder(4), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn report_keys_from_the_ladder_are_unique() {
+        // The exact failure mode: formatted metric keys must be unique.
+        for available in 0..=16usize {
+            let keys: Vec<String> = thread_ladder(available)
+                .iter()
+                .map(|t| format!("threads.{t:03}"))
+                .collect();
+            let mut unique = keys.clone();
+            unique.dedup();
+            assert_eq!(keys, unique, "key collision for available={available}");
+        }
+    }
+}

@@ -9,6 +9,8 @@
 #![warn(missing_docs)]
 
 pub mod fig8;
+pub mod ladder;
 pub mod report;
 
 pub use fig8::{fig8_measured_series, fig8_published_points, Fig8Point};
+pub use ladder::thread_ladder;

@@ -28,6 +28,33 @@ pub fn emit_run_report(report: &RunReport) {
     }
 }
 
+/// Directory committed benchmark snapshots land in:
+/// `SRLR_BENCH_SNAPSHOT_DIR` when set, otherwise the workspace root
+/// (two levels above this crate's manifest).
+pub fn snapshot_dir() -> PathBuf {
+    std::env::var_os("SRLR_BENCH_SNAPSHOT_DIR").map_or_else(
+        || PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+        PathBuf::from,
+    )
+}
+
+/// Additionally writes `report` as `BENCH_<name>.json` in
+/// [`snapshot_dir`] — the committed, schema-versioned performance
+/// snapshot (see `EXPERIMENTS.md` for the regeneration recipe). Like
+/// [`emit_run_report`], failures are printed, not fatal.
+pub fn emit_bench_snapshot(report: &RunReport) {
+    let dir = snapshot_dir();
+    let path = dir.join(format!("BENCH_{}.json", report.name()));
+    let outcome = std::fs::create_dir_all(&dir).and_then(|()| {
+        let mut file = std::fs::File::create(&path)?;
+        report.write_to(&mut file)
+    });
+    match outcome {
+        Ok(()) => println!("bench snapshot: {}", path.display()),
+        Err(e) => println!("bench snapshot NOT written to {}: {e}", path.display()),
+    }
+}
+
 /// Prints a boxed section header.
 pub fn section(title: &str) {
     let bar = "=".repeat(title.len() + 4);

@@ -1,0 +1,142 @@
+//! The raw `f64` pulse-domain math shared by [`crate::stage::SrlrStage`]
+//! and the batched evaluator in [`crate::batch`].
+//!
+//! # Why this module exists
+//!
+//! The structure-of-arrays batch evaluator ([`crate::batch::DieBatch`])
+//! must produce results **bit-identical** to the scalar stage map: a die
+//! that passes the Monte Carlo stress test serially must pass it batched,
+//! down to the last ulp of every intermediate. The only way to guarantee
+//! that under compiler and libm evolution is to have exactly one
+//! implementation of each hot expression. `SrlrStage`'s methods delegate
+//! here, and `DieBatch`'s inner loops call the same functions on its flat
+//! parameter arrays — same operations, same order, same results.
+//!
+//! All quantities are in SI base units (volts, seconds, farads, amperes,
+//! joules), matching the payload of every `srlr_units` newtype.
+
+/// M1's discharge current (amperes) at gate voltage `vgs_v`, using the
+/// smoothed alpha-power law of [`crate::stage::SrlrStage`]:
+/// `softplus`-blended overdrive raised to `alpha`, with a subthreshold
+/// attenuation below the threshold.
+#[inline]
+pub(crate) fn m1_current_amperes(
+    vth_v: f64,
+    smooth_v: f64,
+    drive_scale: f64,
+    alpha: f64,
+    vgs_v: f64,
+) -> f64 {
+    let overdrive = vgs_v - vth_v;
+    let x = overdrive / smooth_v;
+    let eff = if x > 30.0 {
+        overdrive
+    } else {
+        smooth_v * x.exp().ln_1p()
+    };
+    let mut i = drive_scale * eff.powf(alpha);
+    if x < 0.0 {
+        i *= (x / 1.4).exp();
+    }
+    i
+}
+
+/// Time (seconds) for M1 to pull node X through the amplifier threshold,
+/// fighting the keeper: `C_x · depth / max(I_m1 − I_keeper, 1 pA)`.
+///
+/// `cx_depth_coulombs` is the precomputed product `C_x · depth` (the
+/// charge M1 must remove), hoisted because it is die-constant.
+#[inline]
+pub(crate) fn x_discharge_seconds(
+    m1_amperes: f64,
+    keeper_amperes: f64,
+    cx_depth_coulombs: f64,
+) -> f64 {
+    let i = (m1_amperes - keeper_amperes).max(1e-12);
+    cx_depth_coulombs / i
+}
+
+/// Far-end swing (volts) the outgoing segment delivers for an output
+/// pulse of width `w_s`: the RC step response
+/// `V_drive · (1 − e^(−w/τ))`, zero for non-positive widths.
+///
+/// `charge_tau_s` must already carry the scalar path's `max(τ, 1 fs)`
+/// floor (it is die-constant, so pre-flooring is exact).
+#[inline]
+pub(crate) fn delivered_swing_volts(drive_v: f64, charge_tau_s: f64, w_s: f64) -> f64 {
+    if w_s <= 0.0 {
+        return 0.0;
+    }
+    drive_v * (1.0 - (-w_s / charge_tau_s).exp())
+}
+
+/// Wire energy (joules) of one launched pulse: near-end charge toward the
+/// drive level with the driver-dominated time constant, times VDD.
+///
+/// `tau_near_s` must already carry the `max(τ, 1 fs)` floor.
+#[inline]
+pub(crate) fn wire_energy_joules(
+    drive_v: f64,
+    tau_near_s: f64,
+    wire_cap_f: f64,
+    vdd_v: f64,
+    w_s: f64,
+) -> f64 {
+    let v_near = if w_s <= 0.0 {
+        0.0
+    } else {
+        drive_v * (1.0 - (-w_s / tau_near_s).exp())
+    };
+    wire_cap_f * v_near * vdd_v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn current_is_monotone_in_vgs() {
+        let mut last = 0.0;
+        for mv in [100.0, 200.0, 280.0, 300.0, 350.0, 500.0, 2000.0] {
+            let i = m1_current_amperes(0.28, 0.034, 1e-3, 1.3, mv * 1e-3);
+            assert!(i > last, "current must grow with vgs");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn deep_saturation_uses_the_linear_overdrive() {
+        // x > 30 switches to the raw overdrive; the blend must be
+        // continuous enough that the two branches agree closely there.
+        let smooth = 0.034;
+        let vth = 0.28;
+        let vgs = vth + 30.0 * smooth * 1.001;
+        let above = m1_current_amperes(vth, smooth, 1e-3, 1.3, vgs);
+        let just_below = m1_current_amperes(vth, smooth, 1e-3, 1.3, vgs * 0.9999);
+        assert!((above / just_below - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn discharge_time_floors_the_net_current() {
+        // Keeper stronger than M1: the 1 pA floor keeps the time finite.
+        let t = x_discharge_seconds(1e-15, 1e-6, 1e-16);
+        assert!(t.is_finite() && t > 0.0);
+    }
+
+    #[test]
+    fn delivered_swing_is_zero_at_nonpositive_width() {
+        assert_eq!(delivered_swing_volts(0.45, 50e-12, 0.0), 0.0);
+        assert_eq!(delivered_swing_volts(0.45, 50e-12, -1e-12), 0.0);
+    }
+
+    #[test]
+    fn delivered_swing_saturates_at_drive() {
+        let v = delivered_swing_volts(0.45, 50e-12, 10e-9);
+        assert!(v <= 0.45 && v > 0.449);
+    }
+
+    #[test]
+    fn wire_energy_is_zero_for_dead_pulses() {
+        assert_eq!(wire_energy_joules(0.45, 50e-12, 200e-15, 1.0, 0.0), 0.0);
+    }
+}

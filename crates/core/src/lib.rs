@@ -49,11 +49,13 @@
 #![warn(missing_docs)]
 
 pub mod area;
+pub mod batch;
 pub mod crossbar;
 pub mod delay;
 pub mod design;
 pub mod driver;
 pub mod energy;
+pub(crate) mod kernel;
 pub mod modem;
 pub mod pulse;
 pub mod sizing;
@@ -61,6 +63,7 @@ pub mod stage;
 pub mod transient;
 
 pub use area::SrlrArea;
+pub use batch::DieBatch;
 pub use crossbar::SrlrCrossbar;
 pub use delay::{DelayCellDesign, DelayCellKind};
 pub use design::{SrlrChain, SrlrDesign};

@@ -15,6 +15,7 @@
 //! monotone pulse-width drift at global corners that the alternating delay
 //! cell, NMOS driver and adaptive swing scheme are designed to contain.
 
+use crate::kernel;
 use crate::pulse::{PulseState, StageOutcome};
 use srlr_units::{Capacitance, Energy, Resistance, TimeInterval, Voltage};
 
@@ -93,39 +94,41 @@ pub struct SrlrStage {
 impl SrlrStage {
     /// Charging time constant of the outgoing segment as seen from the
     /// far end (driver resistance plus half the distributed wire).
+    #[inline]
     pub fn charge_tau(&self) -> TimeInterval {
         (self.charge_resistance + self.wire_resistance * 0.5) * self.wire_capacitance
     }
 
     /// Discharging time constant of the outgoing segment (pull-down plus
     /// half the wire) — governs inter-symbol interference.
+    #[inline]
     pub fn discharge_tau(&self) -> TimeInterval {
         (self.discharge_resistance + self.wire_resistance * 0.5) * self.wire_capacitance
     }
 
     /// M1's discharge current at the given gate (input swing) voltage.
+    #[inline]
     fn m1_current_amperes(&self, vgs: Voltage) -> f64 {
-        let overdrive = vgs.volts() - self.m1_vth.volts();
-        let x = overdrive / self.m1_smooth;
-        let eff = if x > 30.0 {
-            overdrive
-        } else {
-            self.m1_smooth * x.exp().ln_1p()
-        };
-        let mut i = self.m1_drive_scale * eff.powf(self.m1_alpha);
-        if x < 0.0 {
-            i *= (x / 1.4).exp();
-        }
-        i
+        kernel::m1_current_amperes(
+            self.m1_vth.volts(),
+            self.m1_smooth,
+            self.m1_drive_scale,
+            self.m1_alpha,
+            vgs.volts(),
+        )
     }
 
     /// Time for M1 to pull node X down through the amplifier threshold at
     /// the given input swing, fighting the keeper M2. Weak inputs give a
     /// net current near zero and an effectively unbounded discharge time —
     /// detection fails gracefully rather than at a hard threshold.
+    #[inline]
     pub fn x_discharge_time(&self, input_swing: Voltage) -> TimeInterval {
-        let i = (self.m1_current_amperes(input_swing) - self.keeper_current.amperes()).max(1e-12);
-        TimeInterval::from_seconds(self.c_x.farads() * self.x_discharge_depth.volts() / i)
+        TimeInterval::from_seconds(kernel::x_discharge_seconds(
+            self.m1_current_amperes(input_swing),
+            self.keeper_current.amperes(),
+            self.c_x.farads() * self.x_discharge_depth.volts(),
+        ))
     }
 
     /// The amplifier rising time for a given input swing: intrinsic rise
@@ -137,27 +140,30 @@ impl SrlrStage {
 
     /// Far-end swing the outgoing segment delivers for an output pulse of
     /// width `w`.
+    #[inline]
     pub fn delivered_swing(&self, w: TimeInterval) -> Voltage {
-        if w.seconds() <= 0.0 {
-            return Voltage::zero();
-        }
-        let tau = self.charge_tau().seconds().max(1e-15);
-        self.drive_level * (1.0 - (-w.seconds() / tau).exp())
+        Voltage::from_volts(kernel::delivered_swing_volts(
+            self.drive_level.volts(),
+            self.charge_tau().seconds().max(1e-15),
+            w.seconds(),
+        ))
     }
 
     /// Energy of transmitting one pulse: wire charge drawn from the rail
     /// plus the fixed internal switching energy.
+    #[inline]
     pub fn pulse_energy(&self, w: TimeInterval) -> Energy {
         // Near-end charge: the wire charges toward the drive level with
         // the driver-dominated time constant.
         let tau_near =
             (self.charge_resistance + self.wire_resistance * 0.15) * self.wire_capacitance;
-        let v_near = if w.seconds() <= 0.0 {
-            Voltage::zero()
-        } else {
-            self.drive_level * (1.0 - (-w.seconds() / tau_near.seconds().max(1e-15)).exp())
-        };
-        let wire = self.wire_capacitance * v_near * self.vdd;
+        let wire = Energy::from_joules(kernel::wire_energy_joules(
+            self.drive_level.volts(),
+            tau_near.seconds().max(1e-15),
+            self.wire_capacitance.farads(),
+            self.vdd.volts(),
+            w.seconds(),
+        ));
         wire + self.internal_energy_per_pulse
     }
 

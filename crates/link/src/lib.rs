@@ -44,12 +44,14 @@ pub mod baselines;
 pub mod bathtub;
 pub mod ber;
 pub mod bundle;
+pub(crate) mod certify;
 pub mod comparison;
 pub mod crosstalk;
 pub mod engine;
 pub mod error_model;
 pub mod eye;
 pub mod link;
+pub(crate) mod lockstep;
 pub mod metrics;
 pub mod montecarlo;
 pub mod multicast;
@@ -66,6 +68,6 @@ pub use error_model::LinkErrorModel;
 pub use eye::{measure_eye, EyeReport};
 pub use link::{LinkConfig, SrlrLink, TransmitOutcome};
 pub use metrics::LinkMetrics;
-pub use montecarlo::McExperiment;
+pub use montecarlo::{robustness_ratio, McEngine, McExperiment};
 pub use multicast::MulticastLink;
 pub use prbs::Prbs;

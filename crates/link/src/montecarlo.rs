@@ -13,14 +13,29 @@
 //! [`Prbs::prbs15_for_stream`]`(seed, i)`, so every trial is a pure
 //! function of `(seed, i)` and the result is bit-identical at any thread
 //! count.
+//!
+//! # The batched hot path
+//!
+//! By default ([`McEngine::Batched`]) trials are evaluated in batches of
+//! [`McExperiment::batch_width`] dice: each die is first screened by the
+//! conservative clean-link certificate ([`SrlrLink::robustly_clean`]),
+//! and only the unproven dice are packed into a structure-of-arrays
+//! [`srlr_core::DieBatch`] that advances all of them through the stage map one bit
+//! slot at a time, with a per-lane alive mask standing in for the scalar
+//! early exit. Because the certificate is conservative and the batch
+//! evaluator shares its arithmetic with the scalar stage map (see
+//! [`srlr_core::batch`]), the batched engine is **bit-identical** to
+//! [`McEngine::Scalar`] — results and telemetry bytes — at every batch
+//! width and thread count, which the crate's identity tests assert.
 
 use crate::engine;
 use crate::link::{LinkConfig, SrlrLink};
+use crate::lockstep::Lockstep;
 use crate::prbs::Prbs;
 use srlr_core::SrlrDesign;
 use srlr_tech::montecarlo::ErrorProbability;
 use srlr_tech::{MonteCarlo, Technology};
-use srlr_telemetry::{Obs, Value};
+use srlr_telemetry::{Collector, Obs, Value};
 use srlr_units::Voltage;
 
 /// The Sec. III-B deterministic worst-case stress patterns, shared by
@@ -31,6 +46,25 @@ const WORST_PATTERNS: [&[bool]; 3] = [
     &[true, true, true, true, false, true, true, true, true, false],
     &[true; 16],
 ];
+
+/// Which evaluator runs the per-die stress test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McEngine {
+    /// One die at a time through the scalar stage map — the reference
+    /// implementation every batched result is checked against.
+    Scalar,
+    /// Certificate-screened, structure-of-arrays batches (the default):
+    /// an order of magnitude faster, bit-identical by contract.
+    Batched,
+}
+
+/// How a trial's telemetry span is shaped (single-design runs put every
+/// die on track 0; sweeps put each die on its sweep point's track).
+#[derive(Debug, Clone, Copy)]
+enum TrialSpanShape {
+    Single,
+    Sweep,
+}
 
 /// The Monte Carlo link-failure experiment.
 #[derive(Debug, Clone)]
@@ -47,6 +81,12 @@ pub struct McExperiment<'a> {
     /// Worker threads: `Some(n)` forces `n`, `None` defers to the
     /// `SRLR_THREADS` environment variable (and ultimately the machine).
     pub threads: Option<usize>,
+    /// Which evaluator runs the trials (default [`McEngine::Batched`]).
+    pub engine: McEngine,
+    /// Dice per [`DieBatch`] in the batched engine. Any width gives
+    /// identical results; it only trades scheduling granularity against
+    /// batching efficiency.
+    pub batch_width: usize,
 }
 
 impl<'a> McExperiment<'a> {
@@ -59,6 +99,8 @@ impl<'a> McExperiment<'a> {
             seed: 2013,
             prbs_bits: 256,
             threads: None,
+            engine: McEngine::Batched,
+            batch_width: 32,
         }
     }
 
@@ -74,12 +116,40 @@ impl<'a> McExperiment<'a> {
         self
     }
 
+    /// Overrides the link configuration (data rate, stage count,
+    /// thresholds) the dice are built with.
+    #[must_use]
+    pub fn with_config(mut self, config: LinkConfig) -> Self {
+        self.config = config;
+        self
+    }
+
     /// Forces the worker-thread count (`1` = serial). `None` (the
     /// default) defers to `SRLR_THREADS` / the machine; results are
     /// identical either way.
     #[must_use]
     pub fn with_threads(mut self, threads: Option<usize>) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Selects the evaluator (default [`McEngine::Batched`]); results
+    /// are bit-identical either way.
+    #[must_use]
+    pub fn with_engine(mut self, engine: McEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Overrides the batched engine's dice-per-batch width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    #[must_use]
+    pub fn with_batch_width(mut self, width: usize) -> Self {
+        assert!(width > 0, "batch width must be at least one");
+        self.batch_width = width;
         self
     }
 
@@ -101,6 +171,182 @@ impl<'a> McExperiment<'a> {
         link.transmits_cleanly(&bits)
     }
 
+    /// Records one die's telemetry span, identically for both engines.
+    fn emit_trial_span(&self, child: &mut Collector, shape: TrialSpanShape, i: usize, pass: bool) {
+        match shape {
+            TrialSpanShape::Single => child.span(
+                "trial",
+                "mc",
+                i as f64,
+                1.0,
+                0,
+                &[("trial", Value::U64(i as u64)), ("pass", Value::Bool(pass))],
+            ),
+            TrialSpanShape::Sweep => {
+                let (point, trial) = (i / self.runs, i % self.runs);
+                child.span(
+                    "trial",
+                    "mc.sweep",
+                    i as f64,
+                    1.0,
+                    point as u64,
+                    &[
+                        ("point", Value::U64(point as u64)),
+                        ("trial", Value::U64(trial as u64)),
+                        ("pass", Value::Bool(pass)),
+                    ],
+                );
+            }
+        }
+    }
+
+    /// Pass/fail of every die in the flattened `designs × runs` workload,
+    /// dispatched to the configured engine.
+    fn flat_passes(
+        &self,
+        designs: &[SrlrDesign],
+        shape: TrialSpanShape,
+        obs: &mut Obs,
+    ) -> Vec<bool> {
+        match self.engine {
+            McEngine::Scalar => self.flat_passes_scalar(designs, shape, obs),
+            McEngine::Batched => self.flat_passes_batched(designs, shape, obs),
+        }
+    }
+
+    /// The scalar reference: one die per work item.
+    fn flat_passes_scalar(
+        &self,
+        designs: &[SrlrDesign],
+        shape: TrialSpanShape,
+        obs: &mut Obs,
+    ) -> Vec<bool> {
+        let mc = MonteCarlo::new(self.tech, self.seed);
+        let threads = engine::resolve_threads(self.threads);
+        let total = designs.len() * self.runs;
+        if !obs.is_active() {
+            return engine::par_map_indexed(total, threads, |i| {
+                self.trial_passes(&designs[i / self.runs], &mc, (i % self.runs) as u64)
+            });
+        }
+        let (collector, progress) = (&obs.collector, &obs.progress);
+        let outcomes = engine::par_map_indexed(total, threads, |i| {
+            let pass = self.trial_passes(&designs[i / self.runs], &mc, (i % self.runs) as u64);
+            progress.tick();
+            let mut child = collector.child();
+            self.emit_trial_span(&mut child, shape, i, pass);
+            (pass, child)
+        });
+        let mut passes = Vec::with_capacity(total);
+        for (pass, child) in outcomes {
+            obs.collector.merge(child);
+            passes.push(pass);
+        }
+        passes
+    }
+
+    /// The batched engine: one [`DieBatch`] per work item. Workers
+    /// record per-lane spans in flattened-index order into one child
+    /// collector per batch; children merge back in batch order, so the
+    /// telemetry byte stream equals the scalar engine's.
+    fn flat_passes_batched(
+        &self,
+        designs: &[SrlrDesign],
+        shape: TrialSpanShape,
+        obs: &mut Obs,
+    ) -> Vec<bool> {
+        let mc = MonteCarlo::new(self.tech, self.seed);
+        let threads = engine::resolve_threads(self.threads);
+        let total = designs.len() * self.runs;
+        let width = self.batch_width;
+        let n_batches = total.div_ceil(width);
+        if !obs.is_active() {
+            let chunks = engine::par_map_indexed(n_batches, threads, |b| {
+                let first = b * width;
+                self.eval_batch(designs, &mc, first, width.min(total - first))
+            });
+            return chunks.concat();
+        }
+        let (collector, progress) = (&obs.collector, &obs.progress);
+        let outcomes = engine::par_map_indexed(n_batches, threads, |b| {
+            let first = b * width;
+            let passes = self.eval_batch(designs, &mc, first, width.min(total - first));
+            let mut child = collector.child();
+            for (k, &pass) in passes.iter().enumerate() {
+                progress.tick();
+                self.emit_trial_span(&mut child, shape, first + k, pass);
+            }
+            (passes, child)
+        });
+        let mut passes = Vec::with_capacity(total);
+        for (chunk, child) in outcomes {
+            obs.collector.merge(child);
+            passes.extend(chunk);
+        }
+        passes
+    }
+
+    /// Evaluates the flattened trials `first..first + count` as one
+    /// batch: certificate-screen each die, then advance the unproven
+    /// ones in lockstep through the stress patterns.
+    fn eval_batch(
+        &self,
+        designs: &[SrlrDesign],
+        mc: &MonteCarlo,
+        first: usize,
+        count: usize,
+    ) -> Vec<bool> {
+        let mut pass = vec![false; count];
+        // Build each die exactly as the scalar trial does; certified
+        // dice are proven clean for every pattern and skip simulation.
+        let mut lanes: Vec<(usize, SrlrLink)> = Vec::new();
+        for (k, slot) in pass.iter_mut().enumerate() {
+            let i = first + k;
+            let (point, trial) = (i / self.runs, (i % self.runs) as u64);
+            let mut die = mc.die(trial);
+            let var = die.global_variation();
+            let link = SrlrLink::on_die_with_mismatch(
+                self.tech,
+                &designs[point],
+                self.config,
+                &var,
+                &mut die,
+            );
+            if link.robustly_clean() {
+                *slot = true;
+            } else {
+                lanes.push((k, link));
+            }
+        }
+        if lanes.is_empty() {
+            return pass;
+        }
+
+        let mut run = Lockstep::new(&lanes);
+        for p in WORST_PATTERNS {
+            run.check_shared(p);
+        }
+        if self.prbs_bits > 0 && run.any_contending() {
+            // Per-lane PRBS stimulus, generated only for lanes still in
+            // contention.
+            let prbs: Vec<Option<Vec<bool>>> = lanes
+                .iter()
+                .enumerate()
+                .map(|(lane, (k, _))| {
+                    run.is_contending(lane).then(|| {
+                        let trial = ((first + k) % self.runs) as u64;
+                        Prbs::prbs15_for_stream(self.seed, trial).take_bits(self.prbs_bits)
+                    })
+                })
+                .collect();
+            run.check_per_lane(&prbs, self.prbs_bits);
+        }
+        for (lane, (k, _)) in lanes.iter().enumerate() {
+            pass[*k] = run.verdicts()[lane];
+        }
+        pass
+    }
+
     /// Runs the experiment for one design, returning the error
     /// probability over the sampled dice.
     pub fn error_probability(&self, design: &SrlrDesign) -> ErrorProbability {
@@ -114,47 +360,16 @@ impl<'a> McExperiment<'a> {
     ///
     /// When `obs` is inactive this *is* the untraced path — same code,
     /// no allocation, bit-identical result. When active, workers record
-    /// into per-trial child collectors that are merged back in trial
-    /// order, so the telemetry bytes are identical at any thread count.
+    /// into per-item child collectors that are merged back in item
+    /// order, so the telemetry bytes are identical at any thread count
+    /// (and across both engines).
     pub fn error_probability_observed(
         &self,
         design: &SrlrDesign,
         obs: &mut Obs,
     ) -> ErrorProbability {
-        let mc = MonteCarlo::new(self.tech, self.seed);
-        let threads = engine::resolve_threads(self.threads);
-        if !obs.is_active() {
-            let failures = engine::par_count(self.runs, threads, |trial| {
-                !self.trial_passes(design, &mc, trial as u64)
-            });
-            return ErrorProbability {
-                failures,
-                trials: self.runs,
-            };
-        }
-        let (collector, progress) = (&obs.collector, &obs.progress);
-        let outcomes = engine::par_map_indexed(self.runs, threads, |trial| {
-            let pass = self.trial_passes(design, &mc, trial as u64);
-            progress.tick();
-            let mut child = collector.child();
-            child.span(
-                "trial",
-                "mc",
-                trial as f64,
-                1.0,
-                0,
-                &[
-                    ("trial", Value::U64(trial as u64)),
-                    ("pass", Value::Bool(pass)),
-                ],
-            );
-            (pass, child)
-        });
-        let mut failures = 0usize;
-        for (pass, child) in outcomes {
-            obs.collector.merge(child);
-            failures += usize::from(!pass);
-        }
+        let passes = self.flat_passes(std::slice::from_ref(design), TrialSpanShape::Single, obs);
+        let failures = passes.iter().filter(|&&ok| !ok).count();
         obs.collector.add("mc.trials", self.runs as u64);
         obs.collector.add("mc.failures", failures as u64);
         obs.collector.set_metric(
@@ -183,8 +398,10 @@ impl<'a> McExperiment<'a> {
     /// [`McExperiment::swing_sweep`] with observability (see
     /// [`McExperiment::error_probability_observed`]): each die becomes a
     /// `trial` span on the track of its sweep point, per-point tallies
-    /// land as `mc.point.NNN.*` metrics, and `obs.progress` ticks once
-    /// per die across the whole flattened workload.
+    /// land as `mc.point.NNN.*` metrics (the prefix widens past 1000
+    /// points so lexicographic order always matches numeric order), and
+    /// `obs.progress` ticks once per die across the whole flattened
+    /// workload.
     pub fn swing_sweep_observed(
         &self,
         design: &SrlrDesign,
@@ -195,41 +412,7 @@ impl<'a> McExperiment<'a> {
             .iter()
             .map(|&s| design.with_nominal_swing(s))
             .collect();
-        let mc = MonteCarlo::new(self.tech, self.seed);
-        let threads = engine::resolve_threads(self.threads);
-        let passes = if obs.is_active() {
-            let (collector, progress) = (&obs.collector, &obs.progress);
-            let outcomes = engine::par_map_indexed(swings.len() * self.runs, threads, |i| {
-                let (point, trial) = (i / self.runs, i % self.runs);
-                let pass = self.trial_passes(&designs[point], &mc, trial as u64);
-                progress.tick();
-                let mut child = collector.child();
-                child.span(
-                    "trial",
-                    "mc.sweep",
-                    i as f64,
-                    1.0,
-                    point as u64,
-                    &[
-                        ("point", Value::U64(point as u64)),
-                        ("trial", Value::U64(trial as u64)),
-                        ("pass", Value::Bool(pass)),
-                    ],
-                );
-                (pass, child)
-            });
-            let mut passes = Vec::with_capacity(outcomes.len());
-            for (pass, child) in outcomes {
-                obs.collector.merge(child);
-                passes.push(pass);
-            }
-            passes
-        } else {
-            engine::par_map_indexed(swings.len() * self.runs, threads, |i| {
-                let (point, trial) = (i / self.runs, i % self.runs);
-                self.trial_passes(&designs[point], &mc, trial as u64)
-            })
-        };
+        let passes = self.flat_passes(&designs, TrialSpanShape::Sweep, obs);
         let sweep: Vec<(Voltage, ErrorProbability)> = swings
             .iter()
             .zip(passes.chunks(self.runs))
@@ -247,7 +430,7 @@ impl<'a> McExperiment<'a> {
             obs.collector
                 .add("mc.trials", (swings.len() * self.runs) as u64);
             for (point, (swing, p)) in sweep.iter().enumerate() {
-                let prefix = format!("mc.point.{point:03}");
+                let prefix = point_metric_prefix(point, swings.len());
                 obs.collector.set_metric(
                     &format!("{prefix}.swing_mv"),
                     Value::F64(swing.millivolts()),
@@ -266,19 +449,54 @@ impl<'a> McExperiment<'a> {
     /// swing (the paper reports ≈3.7x).
     ///
     /// Returns `(proposed, straightforward, ratio)`; the ratio is
-    /// `straightforward / proposed` failure probabilities, `inf` when the
-    /// proposed design never failed.
+    /// `straightforward / proposed` failure probabilities. When either
+    /// design recorded zero failures the raw estimate degenerates (0/0
+    /// would read as infinite immunity even for two equally clean
+    /// designs), so the ratio falls back to the Wilson 95% upper bounds
+    /// — finite, conservative, and 1-ish when both designs are clean.
     // srlr-lint: allow(raw-f64-api, reason = "immunity ratio is a dimensionless quotient of probabilities")
     pub fn immunity_ratio(&self) -> (ErrorProbability, ErrorProbability, f64) {
         let proposed = self.error_probability(&SrlrDesign::paper_proposed(self.tech));
         let straightforward = self.error_probability(&SrlrDesign::straightforward(self.tech));
-        let ratio = if proposed.failures == 0 {
-            f64::INFINITY
-        } else {
-            straightforward.estimate() / proposed.estimate()
-        };
+        let ratio = robustness_ratio(&straightforward, &proposed);
         (proposed, straightforward, ratio)
     }
+}
+
+/// The `straightforward / proposed` robustness ratio behind
+/// [`McExperiment::immunity_ratio`].
+///
+/// With failures on both sides this is the plain quotient of estimates.
+/// When either side observed zero failures, the quotient of Wilson 95%
+/// upper bounds ([`ErrorProbability::upper_bound_95`]) stands in: both
+/// bounds are strictly positive for any trial count, so the ratio stays
+/// finite — in particular, two designs that never failed compare as ≈1,
+/// not as infinitely different.
+// srlr-lint: allow(raw-f64-api, reason = "robustness ratio is a dimensionless quotient of probabilities")
+pub fn robustness_ratio(straightforward: &ErrorProbability, proposed: &ErrorProbability) -> f64 {
+    if straightforward.failures == 0 || proposed.failures == 0 {
+        straightforward.upper_bound_95() / proposed.upper_bound_95()
+    } else {
+        straightforward.estimate() / proposed.estimate()
+    }
+}
+
+/// Metric-key prefix for sweep point `point` of `points`: zero-padded to
+/// at least three digits, widening with the sweep so lexicographic order
+/// matches numeric order at any point count.
+fn point_metric_prefix(point: usize, points: usize) -> String {
+    let width = decimal_digits(points.saturating_sub(1)).max(3);
+    format!("mc.point.{point:0width$}")
+}
+
+/// Number of decimal digits of `n` (1 for 0).
+fn decimal_digits(mut n: usize) -> usize {
+    let mut digits = 1;
+    while n >= 10 {
+        n /= 10;
+        digits += 1;
+    }
+    digits
 }
 
 #[cfg(test)]
@@ -363,6 +581,26 @@ mod tests {
     }
 
     #[test]
+    fn batched_engine_matches_scalar_engine() {
+        // The other half of the contract: the default batched engine
+        // returns exactly what the scalar reference returns.
+        let tech = Technology::soi45();
+        let design = SrlrDesign::paper_proposed(&tech);
+        let base = McExperiment::paper_default(&tech).with_runs(120);
+        let scalar = base
+            .clone()
+            .with_engine(McEngine::Scalar)
+            .error_probability(&design);
+        for width in [1usize, 4, 32] {
+            let batched = base
+                .clone()
+                .with_batch_width(width)
+                .error_probability(&design);
+            assert_eq!(scalar, batched, "batch width {width} diverged");
+        }
+    }
+
+    #[test]
     fn parallel_sweep_matches_serial_sweep() {
         let tech = Technology::soi45();
         let design = SrlrDesign::paper_proposed(&tech);
@@ -387,8 +625,14 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_batch_width_rejected() {
+        let tech = Technology::soi45();
+        let _ = McExperiment::paper_default(&tech).with_batch_width(0);
+    }
+
+    #[test]
     fn observed_run_matches_unobserved_bit_for_bit() {
-        use srlr_telemetry::Collector;
         let tech = Technology::soi45();
         let design = SrlrDesign::paper_proposed(&tech);
         let exp = McExperiment::paper_default(&tech).with_runs(60);
@@ -406,7 +650,6 @@ mod tests {
 
     #[test]
     fn telemetry_is_bit_identical_across_thread_counts() {
-        use srlr_telemetry::Collector;
         let tech = Technology::soi45();
         let design = SrlrDesign::paper_proposed(&tech);
         let swings = [
@@ -438,5 +681,58 @@ mod tests {
         // Spans arrive in flattened-index order regardless of threads.
         let text = String::from_utf8(jsonl1).expect("utf8");
         assert_eq!(text.lines().filter(|l| l.contains("\"span\"")).count(), 80);
+    }
+
+    #[test]
+    fn equally_clean_designs_report_finite_immunity() {
+        // Regression: 0 failures / 0 failures used to read as infinite
+        // immunity; the Wilson-bound fallback keeps it finite (and ~1
+        // for identical evidence).
+        let both_zero = ErrorProbability {
+            failures: 0,
+            trials: 1000,
+        };
+        let ratio = robustness_ratio(&both_zero, &both_zero);
+        assert!(ratio.is_finite(), "0/0 must not read as infinite immunity");
+        assert!((ratio - 1.0).abs() < 1e-12, "equal evidence ⇒ ratio 1");
+    }
+
+    #[test]
+    fn one_sided_zero_failures_still_finite_and_ordered() {
+        let clean = ErrorProbability {
+            failures: 0,
+            trials: 1000,
+        };
+        let dirty = ErrorProbability {
+            failures: 100,
+            trials: 1000,
+        };
+        let ratio = robustness_ratio(&dirty, &clean);
+        assert!(ratio.is_finite() && ratio > 1.0, "ratio {ratio}");
+        let inverse = robustness_ratio(&clean, &dirty);
+        assert!(inverse.is_finite() && inverse < 1.0, "inverse {inverse}");
+    }
+
+    #[test]
+    fn point_metric_prefixes_sort_lexicographically_at_any_count() {
+        // Regression: the fixed {point:03} scheme interleaved past 999
+        // points (mc.point.1000 < mc.point.999 lexicographically).
+        for points in [1usize, 7, 1000, 1500, 12_000] {
+            let keys: Vec<String> = (0..points)
+                .map(|p| point_metric_prefix(p, points))
+                .collect();
+            let mut sorted = keys.clone();
+            sorted.sort();
+            assert_eq!(keys, sorted, "keys interleave at {points} points");
+        }
+    }
+
+    #[test]
+    fn point_metric_prefix_keeps_the_legacy_shape_for_small_sweeps() {
+        // ≤1000 points keep the three-digit keys PR 4's consumers parse.
+        assert_eq!(point_metric_prefix(0, 7), "mc.point.000");
+        assert_eq!(point_metric_prefix(999, 1000), "mc.point.999");
+        assert_eq!(point_metric_prefix(0, 1500), "mc.point.0000");
+        assert_eq!(point_metric_prefix(1499, 1500), "mc.point.1499");
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::engine;
 use crate::link::{LinkConfig, SrlrLink};
+use crate::lockstep::Lockstep;
 use crate::prbs::Prbs;
 use srlr_core::SrlrDesign;
 use srlr_tech::{GlobalVariation, Technology};
@@ -76,14 +77,43 @@ impl ShmooPlot {
             .map(|&swing| design.with_nominal_swing(swing))
             .collect();
 
+        // Cells are evaluated in certificate-screened batches: proven
+        // clean dies skip simulation, the rest run the stress patterns
+        // in one lockstep DieBatch per work item. Identical verdicts to
+        // per-cell `transmits_cleanly` (the batched-engine contract).
+        const BATCH_WIDTH: usize = 32;
         let cols = rates.len();
+        let total = swings.len() * cols;
         let n_threads = engine::resolve_threads(threads);
-        let cells = engine::par_map_indexed(swings.len() * cols, n_threads, |i| {
-            let (row, col) = (i / cols, i % cols);
-            let config = LinkConfig::paper_default().with_data_rate(rates[col]);
-            let link = SrlrLink::on_die(tech, &row_designs[row], config, var);
-            stress.iter().all(|p| link.transmits_cleanly(p))
+        let n_batches = total.div_ceil(BATCH_WIDTH);
+        let chunks = engine::par_map_indexed(n_batches, n_threads, |b| {
+            let first = b * BATCH_WIDTH;
+            let count = BATCH_WIDTH.min(total - first);
+            let mut pass = vec![false; count];
+            let mut lanes: Vec<(usize, SrlrLink)> = Vec::new();
+            for (k, slot) in pass.iter_mut().enumerate() {
+                let i = first + k;
+                let (row, col) = (i / cols, i % cols);
+                let config = LinkConfig::paper_default().with_data_rate(rates[col]);
+                let link = SrlrLink::on_die(tech, &row_designs[row], config, var);
+                if link.robustly_clean() {
+                    *slot = true;
+                } else {
+                    lanes.push((k, link));
+                }
+            }
+            if !lanes.is_empty() {
+                let mut run = Lockstep::new(&lanes);
+                for p in &stress {
+                    run.check_shared(p);
+                }
+                for (lane, (k, _)) in lanes.iter().enumerate() {
+                    pass[*k] = run.verdicts()[lane];
+                }
+            }
+            pass
         });
+        let cells = chunks.concat();
         let pass = cells.chunks(cols).map(<[bool]>::to_vec).collect();
         Self {
             swings,
@@ -243,6 +273,36 @@ mod tests {
                 paper_shmoo_with_threads(&tech, 128, Some(threads)),
                 "threads={threads} diverged from the serial shmoo"
             );
+        }
+    }
+
+    #[test]
+    fn batched_shmoo_matches_per_cell_scalar_transmission() {
+        // Every cell of the batched map must equal the straightforward
+        // one-link-at-a-time stress check it replaced.
+        let tech = Technology::soi45();
+        let design = SrlrDesign::paper_proposed(&tech);
+        let var = GlobalVariation::nominal();
+        let prbs_bits = 64;
+        let p = paper_shmoo(&tech, prbs_bits);
+        let mut stress: Vec<Vec<bool>> = vec![
+            [true, false].repeat(32),
+            [true, true, true, true, false].repeat(13),
+            vec![true; 64],
+        ];
+        stress.push(Prbs::prbs15().take_bits(prbs_bits));
+        for (row, &swing) in p.swings.iter().enumerate() {
+            let d = design.with_nominal_swing(swing);
+            for (col, &rate) in p.rates.iter().enumerate() {
+                let config = LinkConfig::paper_default().with_data_rate(rate);
+                let link = SrlrLink::on_die(&tech, &d, config, &var);
+                let scalar = stress.iter().all(|s| link.transmits_cleanly(s));
+                assert_eq!(
+                    p.passes(row, col),
+                    scalar,
+                    "cell ({row}, {col}) diverged from the scalar stress check"
+                );
+            }
         }
     }
 

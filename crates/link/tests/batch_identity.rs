@@ -1,0 +1,162 @@
+//! The batched-engine contract, probed at the awkward boundaries: for
+//! every batch width and thread count, [`McEngine::Batched`] must return
+//! exactly what the scalar serial reference returns — results *and*
+//! telemetry bytes (PR 4's determinism contract extends to the engine
+//! choice).
+
+use srlr_core::SrlrDesign;
+use srlr_link::{LinkConfig, McEngine, McExperiment};
+use srlr_tech::Technology;
+use srlr_telemetry::{Collector, Obs};
+use srlr_units::Voltage;
+
+/// Swings that land in the failing, marginal and healthy regions, so
+/// both the certificate fast path and the DieBatch fallback are hit.
+fn sweep_swings() -> Vec<Voltage> {
+    [300.0, 400.0, 500.0]
+        .iter()
+        .map(|&mv| Voltage::from_millivolts(mv))
+        .collect()
+}
+
+#[test]
+fn batched_matches_scalar_at_awkward_widths_and_thread_counts() {
+    // 37 runs is a multiple of no batch width in the set, so every
+    // configuration exercises a ragged final batch (and width 1 the
+    // one-lane degenerate case).
+    let tech = Technology::soi45();
+    let design = SrlrDesign::paper_proposed(&tech);
+    let base = McExperiment::paper_default(&tech).with_runs(37);
+    let reference = base
+        .clone()
+        .with_engine(McEngine::Scalar)
+        .with_threads(Some(1))
+        .swing_sweep(&design, &sweep_swings());
+    for width in [1usize, 4, 8] {
+        for threads in [1usize, 2, 8] {
+            let batched = base
+                .clone()
+                .with_batch_width(width)
+                .with_threads(Some(threads))
+                .swing_sweep(&design, &sweep_swings());
+            assert_eq!(
+                reference, batched,
+                "width {width} × threads {threads} diverged from the scalar serial sweep"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_matches_scalar_with_no_prbs_stimulus() {
+    // prbs_bits = 0: only the deterministic worst-case patterns run, and
+    // the per-lane PRBS phase must be skipped entirely.
+    let tech = Technology::soi45();
+    let design = SrlrDesign::paper_proposed(&tech);
+    let mut base = McExperiment::paper_default(&tech).with_runs(30);
+    base.prbs_bits = 0;
+    let scalar = base
+        .clone()
+        .with_engine(McEngine::Scalar)
+        .with_threads(Some(1))
+        .swing_sweep(&design, &sweep_swings());
+    let batched = base
+        .with_batch_width(4)
+        .swing_sweep(&design, &sweep_swings());
+    assert_eq!(scalar, batched);
+}
+
+#[test]
+fn batched_matches_scalar_on_a_single_stage_link() {
+    // One stage: the launcher bookkeeping degenerates (the PM mirrors
+    // the only stage, which also drives the demodulator directly).
+    let tech = Technology::soi45();
+    let design = SrlrDesign::paper_proposed(&tech);
+    let config = LinkConfig {
+        stages: 1,
+        ..LinkConfig::paper_default()
+    };
+    let base = McExperiment::paper_default(&tech)
+        .with_config(config)
+        .with_runs(25);
+    let scalar = base
+        .clone()
+        .with_engine(McEngine::Scalar)
+        .with_threads(Some(1))
+        .swing_sweep(&design, &sweep_swings());
+    let batched = base
+        .with_batch_width(8)
+        .swing_sweep(&design, &sweep_swings());
+    assert_eq!(scalar, batched);
+}
+
+#[test]
+fn telemetry_bytes_are_identical_across_engines_widths_and_threads() {
+    // The strong form of the contract: the JSONL event stream and the
+    // chrome trace emitted by an observed sweep are byte-identical no
+    // matter which engine, batch width, or thread count produced them.
+    let tech = Technology::soi45();
+    let design = SrlrDesign::paper_proposed(&tech);
+    let run = |engine: McEngine, width: usize, threads: usize| {
+        let exp = McExperiment::paper_default(&tech)
+            .with_runs(21)
+            .with_engine(engine)
+            .with_batch_width(width)
+            .with_threads(Some(threads));
+        let mut obs = Obs {
+            collector: Collector::enabled("batch-identity"),
+            ..Obs::default()
+        };
+        let sweep = exp.swing_sweep_observed(&design, &sweep_swings(), &mut obs);
+        let mut jsonl = Vec::new();
+        obs.collector
+            .write_events_jsonl(&mut jsonl)
+            .expect("vec write");
+        (sweep, jsonl, obs.collector.chrome_trace_json())
+    };
+    let (sweep_ref, jsonl_ref, chrome_ref) = run(McEngine::Scalar, 1, 1);
+    for (engine, width, threads) in [
+        (McEngine::Scalar, 1, 8),
+        (McEngine::Batched, 1, 1),
+        (McEngine::Batched, 4, 2),
+        (McEngine::Batched, 8, 8),
+        (McEngine::Batched, 64, 2),
+    ] {
+        let (sweep, jsonl, chrome) = run(engine, width, threads);
+        assert_eq!(
+            sweep_ref, sweep,
+            "{engine:?} width {width} threads {threads}: results diverged"
+        );
+        assert_eq!(
+            jsonl_ref, jsonl,
+            "{engine:?} width {width} threads {threads}: JSONL diverged"
+        );
+        assert_eq!(
+            chrome_ref, chrome,
+            "{engine:?} width {width} threads {threads}: trace diverged"
+        );
+    }
+}
+
+#[test]
+fn error_probability_matches_across_engines_at_width_one() {
+    // Width 1 runs the full certificate + single-lane DieBatch machinery
+    // per die — the slowest but most direct equivalence check.
+    let tech = Technology::soi45();
+    let design =
+        SrlrDesign::paper_proposed(&tech).with_nominal_swing(Voltage::from_millivolts(400.0));
+    let base = McExperiment::paper_default(&tech).with_runs(37);
+    let scalar = base
+        .clone()
+        .with_engine(McEngine::Scalar)
+        .with_threads(Some(1))
+        .error_probability(&design);
+    for threads in [1usize, 2, 8] {
+        let batched = base
+            .clone()
+            .with_batch_width(1)
+            .with_threads(Some(threads))
+            .error_probability(&design);
+        assert_eq!(scalar, batched, "threads {threads} diverged at width 1");
+    }
+}
