@@ -46,6 +46,13 @@ pub fn help() -> String {
        lint   [--root DIR] [--format text|sarif] [--deny-all]\n\
                                         workspace static analysis (see\n\
                                         srlr-lint --list-rules)\n\
+       verify-noc [--cols C] [--rows R] [--ber B] [--retries LIST]\n\
+              [--packet-len L] [--variant correct|no-watermark]\n\
+              [--format text|json|sarif]\n\
+                                        exhaustive model check of the\n\
+                                        retry protocol: deadlock-freedom,\n\
+                                        no overtaking, termination, and\n\
+                                        the exact DTMC delivery rate\n\
        help                             this text\n\
      \n\
      --threads T: worker threads (0 or unset = SRLR_THREADS env var, then\n\
@@ -845,6 +852,259 @@ pub fn lint(rest: &[String]) -> Result<String, CliError> {
         // diagnostics as the message so they stay visible.
         Err(CliError::Experiment(format!(
             "lint found {failures} violation(s)\n{out}"
+        )))
+    }
+}
+
+/// `srlr verify-noc [...]`: exhaustive model check of the mesh retry
+/// protocol via `srlr-model`.
+///
+/// For every retry budget in `--retries` the checker enumerates the
+/// reachable state space of every ordered XY route of the mesh and
+/// discharges deadlock-freedom, the no-overtaking watermark invariant
+/// and termination, then solves the graph as an absorbing DTMC for the
+/// exact delivery probability. `--variant no-watermark` checks the
+/// deliberately broken scheduler, which produces replayable
+/// counterexample traces (dumped through `--events-out`, rendered in
+/// text, and exported as SARIF results).
+///
+/// Exit behaviour mirrors `lint`: violations fail with exit `1` in
+/// `text`/`json` formats; `--format sarif` always succeeds so CI can
+/// archive the document from a failing tree (the gate is a text run).
+pub fn verify_noc(rest: &[String]) -> Result<String, CliError> {
+    use srlr_model::{closed_form_delivery, verify, ModelConfig, Variant};
+    use srlr_telemetry::json::{write_f64, write_str};
+
+    let flags = Flags::parse(
+        rest,
+        &[
+            "cols",
+            "rows",
+            "ber",
+            "retries",
+            "packet-len",
+            "variant",
+            "format",
+            "trace-out",
+            "metrics-out",
+            "events-out",
+        ],
+    )?;
+    let tel = TelemetryOpts::from_flags(&flags);
+    let cols: u16 = flags.get_or("cols", 2)?;
+    let rows: u16 = flags.get_or("rows", 2)?;
+    let ber: f64 = flags.get_or("ber", 1e-3)?;
+    let packet_len: usize = flags.get_or("packet-len", 4)?;
+    let format = flags.get_str("format").unwrap_or("text");
+    if !matches!(format, "text" | "json" | "sarif") {
+        return Err(CliError::Usage(format!(
+            "unknown verify-noc format `{format}` (text|json|sarif)"
+        )));
+    }
+    let variant = match flags.get_str("variant").unwrap_or("correct") {
+        "correct" => Variant::Correct,
+        "no-watermark" => Variant::IgnoreBusyWatermark,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown variant `{other}` (correct|no-watermark)"
+            )))
+        }
+    };
+    // Exhaustive enumeration is exponential in packet length and route
+    // length; these bounds keep a check interactive (well under a
+    // second on the 2x2 CI configuration).
+    if !(1..=4).contains(&cols) || !(1..=4).contains(&rows) {
+        return Err(CliError::Usage("mesh sides must be in 1..=4".into()));
+    }
+    if !(1..=6).contains(&packet_len) {
+        return Err(CliError::Usage("--packet-len must be in 1..=6".into()));
+    }
+    if !(ber.is_finite() && (0.0..1.0).contains(&ber)) {
+        return Err(CliError::Usage(format!("BER `{ber}` outside [0, 1)")));
+    }
+    let raw = flags.get_str("retries").unwrap_or("0,1,3");
+    let mut budgets: Vec<u32> = Vec::new();
+    for part in raw.split(',') {
+        let budget: u32 = part
+            .trim()
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad retry budget `{part}`")))?;
+        if budget > 6 {
+            return Err(CliError::Usage(
+                "retry budgets above 6 are unchecked".into(),
+            ));
+        }
+        budgets.push(budget);
+    }
+    if budgets.is_empty() {
+        return Err(CliError::Usage("need at least one retry budget".into()));
+    }
+
+    let mut obs = tel.obs("counterexample-step", "verify-noc", budgets.len() as u64);
+    let mut reports = Vec::new();
+    for &budget in &budgets {
+        let config = ModelConfig::new(
+            Mesh::new(cols, rows),
+            packet_len,
+            FaultConfig::new(ber).with_max_retries(budget),
+        )
+        .with_variant(variant);
+        let report = verify(&config);
+        for violation in report.violations() {
+            violation.emit(&mut obs.collector);
+        }
+        obs.progress.tick();
+        reports.push((budget, closed_form_delivery(&config), report));
+    }
+    let total_violations: usize = reports.iter().map(|(_, _, r)| r.violations().count()).sum();
+    let all_proven = reports.iter().all(|(_, _, r)| r.all_proven());
+
+    let mut run_report = RunReport::new("verify-noc");
+    run_report.param("cols", Value::U64(u64::from(cols)));
+    run_report.param("rows", Value::U64(u64::from(rows)));
+    run_report.param("ber", Value::F64(ber));
+    run_report.param("packet_len", Value::U64(packet_len as u64));
+    run_report.param("variant", Value::Str(variant.name().to_owned()));
+    for (i, (budget, closed, report)) in reports.iter().enumerate() {
+        let section = format!("budget.{i:03}");
+        run_report.section_metric(&section, "max_retries", Value::U64(u64::from(*budget)));
+        run_report.section_metric(&section, "states", Value::U64(report.total_states as u64));
+        run_report.section_metric(
+            &section,
+            "transitions",
+            Value::U64(report.total_transitions as u64),
+        );
+        run_report.section_metric(
+            &section,
+            "deliver_probability",
+            Value::F64(report.deliver_probability),
+        );
+        run_report.section_metric(&section, "closed_form", Value::F64(*closed));
+        run_report.section_metric(&section, "deadlock_free", Value::Bool(report.deadlock_free));
+        run_report.section_metric(&section, "no_overtaking", Value::Bool(report.no_overtaking));
+        run_report.section_metric(&section, "terminates", Value::Bool(report.terminates));
+    }
+    run_report.absorb_collector(&obs.collector);
+    tel.write(&obs.collector, &run_report)?;
+
+    let routes = reports.first().map_or(0, |(_, _, r)| r.pairs.len());
+    let out = match format {
+        "sarif" => {
+            let mut doc = sarif::SarifDoc::new("srlr-model", "https://example.invalid/srlr-model");
+            doc.rule(
+                "no-overtaking",
+                "a retried wormhole head is never overtaken by its own tail",
+            );
+            doc.rule(
+                "deadlock",
+                "every non-terminal state has an enabled crossing",
+            );
+            doc.rule("termination", "every run ends in Delivered or CountedDrop");
+            for (budget, _, report) in &reports {
+                for v in report.violations() {
+                    let uri = format!(
+                        "model://{cols}x{rows}/budget-{budget}/route/{},{}-{},{}",
+                        v.src.x, v.src.y, v.dst.x, v.dst.y
+                    );
+                    doc.result(v.kind.rule(), "error", &v.render(), &uri, 1, 1);
+                }
+            }
+            return Ok(doc.render());
+        }
+        "json" => {
+            let mut out = String::from("{\"mesh\":");
+            write_str(&mut out, &format!("{cols}x{rows}"));
+            out.push_str(",\"ber\":");
+            write_f64(&mut out, ber);
+            let _ = write!(out, ",\"packet_len\":{packet_len},\"variant\":");
+            write_str(&mut out, variant.name());
+            let _ = write!(out, ",\"routes\":{routes},\"budgets\":[");
+            for (i, (budget, closed, report)) in reports.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"max_retries\":{budget},\"states\":{},\"transitions\":{},\
+                     \"deliver_probability\":",
+                    report.total_states, report.total_transitions
+                );
+                write_f64(&mut out, report.deliver_probability);
+                out.push_str(",\"closed_form\":");
+                write_f64(&mut out, *closed);
+                let _ = write!(
+                    out,
+                    ",\"deadlock_free\":{},\"no_overtaking\":{},\"terminates\":{},\
+                     \"violations\":[",
+                    report.deadlock_free, report.no_overtaking, report.terminates
+                );
+                for (j, v) in report.violations().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"rule\":");
+                    write_str(&mut out, v.kind.rule());
+                    out.push_str(",\"src\":");
+                    write_str(&mut out, &v.src.to_string());
+                    out.push_str(",\"dst\":");
+                    write_str(&mut out, &v.dst.to_string());
+                    let _ = write!(out, ",\"steps\":{},\"message\":", v.trace.len());
+                    write_str(&mut out, &v.message);
+                    out.push('}');
+                }
+                out.push_str("]}");
+            }
+            out.push_str("]}\n");
+            out
+        }
+        _ => {
+            let mut out = format!(
+                "exhaustive model check: {cols}x{rows} mesh, {packet_len}-flit packets, \
+                 ber {ber:.1e}, variant {}\n{routes} ordered routes per budget\n\n",
+                variant.name()
+            );
+            let _ = writeln!(
+                out,
+                "{:>8} {:>9} {:>12} {:>18} {:>14} {:>14} {:>11}",
+                "budget",
+                "states",
+                "transitions",
+                "P(deliver) exact",
+                "deadlock-free",
+                "overtake-free",
+                "terminates"
+            );
+            for (budget, _, report) in &reports {
+                let _ = writeln!(
+                    out,
+                    "{:>8} {:>9} {:>12} {:>18.12} {:>14} {:>14} {:>11}",
+                    budget,
+                    report.total_states,
+                    report.total_transitions,
+                    report.deliver_probability,
+                    if report.deadlock_free { "yes" } else { "NO" },
+                    if report.no_overtaking { "yes" } else { "NO" },
+                    if report.terminates { "yes" } else { "NO" },
+                );
+            }
+            out.push('\n');
+            for (budget, _, report) in &reports {
+                for v in report.violations() {
+                    let _ = writeln!(out, "[budget {budget}] {}", v.render());
+                }
+            }
+            if all_proven {
+                let _ = writeln!(out, "all proofs hold across {} budget(s)", reports.len());
+            }
+            out
+        }
+    };
+
+    if all_proven {
+        Ok(out)
+    } else {
+        Err(CliError::Experiment(format!(
+            "model check found {total_violations} counterexample(s)\n{out}"
         )))
     }
 }

@@ -75,6 +75,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "bathtub" => commands::bathtub(rest),
         "crosstalk" => commands::crosstalk(),
         "lint" => commands::lint(rest),
+        "verify-noc" => commands::verify_noc(rest),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`; try `srlr help`"
         ))),
@@ -110,6 +111,8 @@ mod tests {
             "noc",
             "express",
             "sizing",
+            "lint",
+            "verify-noc",
         ] {
             assert!(out.contains(cmd), "help must mention {cmd}");
         }

@@ -19,7 +19,7 @@
 //! the same die, at any batch width and any thread count. This holds
 //! because:
 //!
-//! * every hot expression is evaluated by the same [`crate::kernel`]
+//! * every hot expression is evaluated by the same private `kernel`
 //!   functions the scalar path delegates to, in the same order on the
 //!   same operands;
 //! * hoisted constants (`exp(−t_bit/τ_discharge)`, the launch pulse's

@@ -83,7 +83,7 @@ pub struct McExperiment<'a> {
     pub threads: Option<usize>,
     /// Which evaluator runs the trials (default [`McEngine::Batched`]).
     pub engine: McEngine,
-    /// Dice per [`DieBatch`] in the batched engine. Any width gives
+    /// Dice per [`srlr_core::DieBatch`] in the batched engine. Any width gives
     /// identical results; it only trades scheduling granularity against
     /// batching efficiency.
     pub batch_width: usize,

@@ -26,7 +26,7 @@ pub struct ParsedFile {
 
 /// Crates ordered along the signal-modeling stack; each may depend on
 /// strictly earlier entries (plus the shared leaves).
-const LAYERS: &[&str] = &["units", "tech", "circuit", "core", "link", "noc"];
+const LAYERS: &[&str] = &["units", "tech", "circuit", "core", "link", "noc", "model"];
 /// Leaf utility crates: usable from any layer, may use no `srlr` crate
 /// themselves.
 const LEAVES: &[&str] = &["rng", "parallel", "telemetry", "criterion"];
@@ -474,6 +474,12 @@ mod tests {
         assert!(layering_allows("link", "rng"));
         assert!(layering_allows("cli", "noc"));
         assert!(layering_allows("", "noc"));
+        // The model checker sits atop the noc layer and shares its
+        // transition semantics (srlr_noc::protocol).
+        assert!(layering_allows("model", "noc"));
+        assert!(layering_allows("model", "telemetry"));
+        assert!(layering_allows("cli", "model"));
+        assert!(!layering_allows("noc", "model"));
         assert!(!layering_allows("tech", "noc"));
         assert!(!layering_allows("units", "tech"));
         assert!(!layering_allows("rng", "units"));

@@ -1,0 +1,1164 @@
+//! Exhaustive-state checker for the mesh link fault/retry protocol.
+//!
+//! # What is modelled
+//!
+//! One wormhole packet of `packet_len` flits travelling from a source
+//! to a destination along the deterministic XY route, crossing `h`
+//! links.  Each link crossing runs the *shared* retry automaton from
+//! [`srlr_noc::protocol`] — the same `retry_step` the cycle simulator
+//! folds its sampled outcomes through — so the checker and the
+//! simulator cannot drift apart on protocol semantics.
+//!
+//! Nondeterminism is confined to the crossing outcome: a crossing
+//! either delivers after `k` detected corruptions (`k = 0..=R`, each
+//! with its accumulated NACK/backoff delay) or exhausts the retry
+//! budget and poisons the packet.  Silent CRC escapes deliver with the
+//! same attempt count and delay as a clean pass, so the two branches
+//! reach identical successor states and are merged into one weighted
+//! branch (see [`ModelConfig::silent_escape`]).
+//!
+//! # State, scheduling and canonicalization
+//!
+//! A state records, per flit, either `Done` or the next route link and
+//! the cycle at which the flit is ready to cross it; per route link,
+//! the `busy_until` watermark (latest granted arrival); and a
+//! `poisoned` bit (some crossing exhausted its budget).  Flit `i`
+//! injects at cycle `i` (one flit per cycle), a router adds one cycle
+//! between links, and a crossing with `extra_delay` occupies the link
+//! until [`srlr_noc::protocol::link_arrival`].
+//!
+//! Enabled crossings (flit at the head of its link, wormhole order
+//! respected) always target *distinct* links, so they commute: the
+//! checker explores the single representative interleaving that picks
+//! the lowest `(ready, flit)` crossing first, which preserves both the
+//! reachable per-link orderings and the product of crossing
+//! probabilities.
+//!
+//! States are canonicalized before interning: ready times are shifted
+//! so the earliest pending flit sits at cycle 1, and watermarks are
+//! clamped from below to `base - 1` before the same shift.  The clamp
+//! is a bisimulation: an arrival is always at least `base + 1`, so a
+//! watermark at or below `base - 1` can neither change
+//! `link_arrival` (the `ready + delay` arm wins the max) nor trip the
+//! overtake predicate (`arrival <= busy`).  Terminal states discard
+//! timing entirely, collapsing to two absorbing classes.
+//!
+//! # Proof obligations
+//!
+//! * **Termination / acyclicity** — every transition moves exactly one
+//!   flit across exactly one link, so the progress measure
+//!   `sum(links crossed)` strictly increases.  The checker asserts
+//!   this on every edge; it bounds every run by `packet_len * h`
+//!   crossings and makes BFS discovery order a topological order.
+//! * **Deadlock-freedom** — every reachable non-terminal state has an
+//!   enabled crossing.
+//! * **No mid-wormhole overtaking** — no crossing arrives at or before
+//!   the link's previously granted arrival.  The deliberately broken
+//!   [`Variant::IgnoreBusyWatermark`] scheduler violates this and
+//!   yields a replayable counterexample trace.
+//!
+//! # Exact delivery probability
+//!
+//! Weighting each branch by its probability turns the state graph into
+//! an absorbing DTMC solved exactly by sparse Gaussian elimination
+//! ([`crate::dtmc`]).  Because the graph is acyclic and assembled in
+//! BFS order, the elimination incurs zero fill-in — reported and
+//! asserted, not assumed.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use srlr_noc::protocol::{link_arrival, retry_step, AttemptOutcome, RetryState, RetryStep};
+use srlr_noc::{Coord, FaultConfig, Mesh};
+use srlr_telemetry::{Collector, Value};
+
+use crate::dtmc::SparseSystem;
+
+/// Which link-scheduling rule the checker verifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// The production rule: arrivals floor at `busy_until + 1`
+    /// (`srlr_noc::protocol::link_arrival`).
+    Correct,
+    /// A deliberately broken rule that ignores the watermark and lets a
+    /// retried head flit be overtaken by its own tail.  Exists so the
+    /// checker's counterexample machinery is itself testable.
+    IgnoreBusyWatermark,
+}
+
+impl Variant {
+    /// Stable lowercase name used in reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Correct => "correct",
+            Variant::IgnoreBusyWatermark => "no-watermark",
+        }
+    }
+}
+
+/// Configuration of one model-checking run.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// The mesh whose XY routes are checked.
+    pub mesh: Mesh,
+    /// Flits per packet (wormhole length).
+    pub packet_len: usize,
+    /// Fault/retry parameters shared with the simulator.
+    pub fault: FaultConfig,
+    /// Conditional probability that a *corrupted* codeword passes the
+    /// CRC undetected.  The CRC-16 in use has Hamming distance 4 over
+    /// the 80-bit codeword, so at the BERs swept here the escape
+    /// fraction is below `1e-9`; the default of `0.0` shifts the exact
+    /// delivery probability by far less than a Monte Carlo confidence
+    /// interval.  Kept as a knob so the sensitivity is measurable.
+    pub silent_escape: f64,
+    /// Scheduling rule under test.
+    pub variant: Variant,
+}
+
+impl ModelConfig {
+    /// Creates a configuration for the correct scheduler with no
+    /// silent CRC escapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packet_len` is zero.
+    pub fn new(mesh: Mesh, packet_len: usize, fault: FaultConfig) -> Self {
+        assert!(packet_len > 0, "a packet needs at least one flit");
+        ModelConfig {
+            mesh,
+            packet_len,
+            fault,
+            silent_escape: 0.0,
+            variant: Variant::Correct,
+        }
+    }
+
+    /// The 2x2 mesh configuration the paper-reproduction CI proves:
+    /// four-flit packets with the given BER and retry budget.
+    pub fn two_by_two(ber: f64, max_retries: u32) -> Self {
+        ModelConfig::new(
+            Mesh::new(2, 2),
+            4,
+            FaultConfig::new(ber).with_max_retries(max_retries),
+        )
+    }
+
+    /// Replaces the scheduling rule under test.
+    pub fn with_variant(mut self, variant: Variant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Replaces the packet length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packet_len` is zero.
+    pub fn with_packet_len(mut self, packet_len: usize) -> Self {
+        assert!(packet_len > 0, "a packet needs at least one flit");
+        self.packet_len = packet_len;
+        self
+    }
+
+    /// Replaces the conditional silent-escape probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= silent_escape < 1`.
+    pub fn with_silent_escape(mut self, silent_escape: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&silent_escape),
+            "silent escape must be a probability below one"
+        );
+        self.silent_escape = silent_escape;
+        self
+    }
+
+    /// Probability that one crossing attempt is *detected* as corrupt:
+    /// the word-error probability minus the silent-escape slice.
+    pub fn detected_probability(&self) -> f64 {
+        self.fault.word_error_probability() * (1.0 - self.silent_escape)
+    }
+}
+
+/// One terminal outcome of a single link crossing, derived by running
+/// the shared retry automaton to completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossingOutcome {
+    /// Transmissions used (first try plus retries).
+    pub attempts: u32,
+    /// NACKs raised along the way.
+    pub nacks: u32,
+    /// Whether the flit crossed (clean or as a silent escape).
+    pub delivered: bool,
+    /// Extra cycles beyond the nominal link delay.
+    pub extra_delay: u64,
+    /// Probability of this outcome for one crossing.
+    pub probability: f64,
+}
+
+/// Enumerates every terminal shape of one crossing, with its exact
+/// probability: `k` detections then delivery for `k = 0..=R`, plus
+/// budget exhaustion after `R + 1` detections.
+pub fn crossing_outcomes(config: &ModelConfig) -> Vec<CrossingOutcome> {
+    let detected = config.detected_probability();
+    let mut outcomes = Vec::with_capacity(config.fault.max_retries as usize + 2);
+    let mut state = RetryState::start();
+    // Probability that every attempt so far was detected.
+    let mut mass = 1.0;
+    loop {
+        // Delivery branch: clean pass and silent escape reach identical
+        // successor states, so they are merged into one branch whose
+        // weight is "this attempt was not detected".
+        if let RetryStep::Done(tx) = retry_step(&config.fault, state, AttemptOutcome::Clean) {
+            outcomes.push(CrossingOutcome {
+                attempts: tx.attempts,
+                nacks: tx.nacks,
+                delivered: true,
+                extra_delay: tx.extra_delay,
+                probability: mass * (1.0 - detected),
+            });
+        }
+        // Detection branch: either another retry round, or exhaustion.
+        match retry_step(&config.fault, state, AttemptOutcome::Detected) {
+            RetryStep::Continue(next) => {
+                state = next;
+                mass *= detected;
+            }
+            RetryStep::Done(tx) => {
+                outcomes.push(CrossingOutcome {
+                    attempts: tx.attempts,
+                    nacks: tx.nacks,
+                    delivered: false,
+                    extra_delay: tx.extra_delay,
+                    probability: mass * detected,
+                });
+                return outcomes;
+            }
+        }
+    }
+}
+
+/// Where one flit is within its route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum FlitPos {
+    /// Waiting to cross route link `link`, ready at cycle `ready`.
+    Pending {
+        /// Index into the route's link list.
+        link: u32,
+        /// Cycle at which the flit may cross.
+        ready: u64,
+    },
+    /// Ejected at the destination.
+    Done,
+}
+
+/// A (possibly canonical) protocol state of one packet on one route.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct State {
+    flits: Vec<FlitPos>,
+    /// Per route link: latest granted arrival cycle.
+    busy: Vec<u64>,
+    /// Some crossing exhausted the retry budget.
+    poisoned: bool,
+}
+
+impl State {
+    fn initial(packet_len: usize, hops: usize) -> State {
+        State {
+            flits: (0..packet_len)
+                .map(|i| FlitPos::Pending {
+                    link: 0,
+                    ready: i as u64,
+                })
+                .collect(),
+            busy: vec![0; hops],
+            poisoned: false,
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        self.flits.iter().all(|f| *f == FlitPos::Done)
+    }
+
+    /// Total links crossed — the strictly increasing progress measure.
+    fn progress(&self, hops: usize) -> u64 {
+        self.flits
+            .iter()
+            .map(|f| match *f {
+                FlitPos::Done => hops as u64,
+                FlitPos::Pending { link, .. } => u64::from(link),
+            })
+            .sum()
+    }
+
+    /// The deterministic representative crossing: among flits whose
+    /// wormhole predecessor is strictly ahead, the lowest
+    /// `(ready, flit index)`.  Returns `(flit, link, ready)`.
+    fn chosen(&self) -> Option<(usize, u32, u64)> {
+        let mut best: Option<(u64, usize, u32)> = None;
+        for (i, f) in self.flits.iter().enumerate() {
+            let FlitPos::Pending { link, ready } = *f else {
+                continue;
+            };
+            let predecessor_ahead = i == 0
+                || match self.flits[i - 1] {
+                    FlitPos::Done => true,
+                    FlitPos::Pending { link: ahead, .. } => ahead > link,
+                };
+            if !predecessor_ahead {
+                continue;
+            }
+            if best.is_none_or(|(r, idx, _)| (ready, i) < (r, idx)) {
+                best = Some((ready, i, link));
+            }
+        }
+        best.map(|(ready, i, link)| (i, link, ready))
+    }
+
+    /// Time-shift canonical form; see the module docs for why the
+    /// watermark clamp is a bisimulation.
+    fn canonicalize(mut self) -> State {
+        let base = self
+            .flits
+            .iter()
+            .filter_map(|f| match *f {
+                FlitPos::Pending { ready, .. } => Some(ready),
+                FlitPos::Done => None,
+            })
+            .min();
+        match base {
+            None => {
+                // Terminal: only the poisoned bit matters.
+                for b in &mut self.busy {
+                    *b = 0;
+                }
+            }
+            Some(base) => {
+                for f in &mut self.flits {
+                    if let FlitPos::Pending { ready, .. } = f {
+                        *ready = *ready - base + 1;
+                    }
+                }
+                for b in &mut self.busy {
+                    // max(b, base - 1) - (base - 1), computed without
+                    // underflow; watermarks below base - 1 are
+                    // indistinguishable from base - 1.
+                    *b = (*b + 1).saturating_sub(base);
+                }
+            }
+        }
+        self
+    }
+}
+
+/// One concrete link crossing in a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Flit index within the packet.
+    pub flit: usize,
+    /// Route link index (0 = first hop).
+    pub link: u32,
+    /// Upstream router of the link.
+    pub from: Coord,
+    /// Downstream router of the link.
+    pub to: Coord,
+    /// Transmissions used by this crossing.
+    pub attempts: u32,
+    /// NACKs raised by this crossing.
+    pub nacks: u32,
+    /// Whether the flit crossed.
+    pub delivered: bool,
+    /// Retry delay beyond the nominal link cycle.
+    pub extra_delay: u64,
+    /// Cycle the flit was ready to cross.
+    pub sent: u64,
+    /// Cycle the flit arrived downstream.
+    pub arrival: u64,
+    /// The link's watermark before this crossing was granted.
+    pub busy_before: u64,
+}
+
+/// Kind of proof obligation a counterexample violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A reachable non-terminal state with no enabled crossing.
+    Deadlock,
+    /// A crossing arrived at or before the link's previous arrival.
+    Overtaking,
+    /// A transition failed to increase the progress measure.
+    Progress,
+}
+
+impl ViolationKind {
+    /// Stable rule identifier used in SARIF output.
+    pub fn rule(self) -> &'static str {
+        match self {
+            ViolationKind::Deadlock => "deadlock",
+            ViolationKind::Overtaking => "no-overtaking",
+            ViolationKind::Progress => "termination",
+        }
+    }
+}
+
+/// A violated proof obligation with a replayable counterexample.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which obligation failed.
+    pub kind: ViolationKind,
+    /// Route source.
+    pub src: Coord,
+    /// Route destination.
+    pub dst: Coord,
+    /// Outcome index chosen at each step from the initial state; feed
+    /// to [`replay_choices`] to reproduce the trace.
+    pub choices: Vec<usize>,
+    /// The concrete crossings, in absolute cycles.
+    pub trace: Vec<TraceStep>,
+    /// Human-readable description of the failing step.
+    pub message: String,
+}
+
+impl Violation {
+    /// Renders the counterexample as indented text, one crossing per
+    /// line, suitable for CLI output and SARIF messages.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} violated on route {} -> {}: {}\n",
+            self.kind.rule(),
+            self.src,
+            self.dst,
+            self.message
+        );
+        for step in &self.trace {
+            out.push_str(&format!(
+                "  flit {} link {} ({} -> {}): sent @{} arrived @{} \
+                 (watermark {}), {} attempts, {} nacks, {}\n",
+                step.flit,
+                step.link,
+                step.from,
+                step.to,
+                step.sent,
+                step.arrival,
+                step.busy_before,
+                step.attempts,
+                step.nacks,
+                if step.delivered {
+                    "delivered"
+                } else {
+                    "dropped"
+                },
+            ));
+        }
+        out
+    }
+
+    /// Emits the counterexample as telemetry events: one
+    /// `model.violation` header followed by one `model.crossing` per
+    /// trace step (timestamped by step index).
+    pub fn emit(&self, collector: &mut Collector) {
+        collector.event(
+            "model.violation",
+            0.0,
+            &[
+                ("rule", Value::Str(self.kind.rule().to_string())),
+                ("src", Value::Str(self.src.to_string())),
+                ("dst", Value::Str(self.dst.to_string())),
+                ("message", Value::Str(self.message.clone())),
+                ("steps", Value::U64(self.trace.len() as u64)),
+            ],
+        );
+        for (i, step) in self.trace.iter().enumerate() {
+            collector.event(
+                "model.crossing",
+                i as f64,
+                &[
+                    ("flit", Value::U64(step.flit as u64)),
+                    ("link", Value::U64(u64::from(step.link))),
+                    ("from", Value::Str(step.from.to_string())),
+                    ("to", Value::Str(step.to.to_string())),
+                    ("sent", Value::U64(step.sent)),
+                    ("arrival", Value::U64(step.arrival)),
+                    ("busy_before", Value::U64(step.busy_before)),
+                    ("attempts", Value::U64(u64::from(step.attempts))),
+                    ("nacks", Value::U64(u64::from(step.nacks))),
+                    ("delivered", Value::Bool(step.delivered)),
+                ],
+            );
+        }
+    }
+}
+
+/// Result of exhaustively checking one (source, destination) route.
+#[derive(Debug, Clone)]
+pub struct PairResult {
+    /// Route source.
+    pub src: Coord,
+    /// Route destination.
+    pub dst: Coord,
+    /// Links on the XY route.
+    pub hops: usize,
+    /// Reachable canonical states (including the absorbing classes).
+    pub states: usize,
+    /// Explored transitions.
+    pub transitions: usize,
+    /// Transient (non-terminal) states — the DTMC system size.
+    pub transient: usize,
+    /// Exact probability the packet is delivered (reaches `Delivered`).
+    pub deliver_probability: f64,
+    /// Whether the linear solve succeeded (a DAG chain always does).
+    pub solved: bool,
+    /// Matrix entries created during elimination; zero in BFS order.
+    pub fill_in: usize,
+    /// The `Delivered` absorbing state is reachable.
+    pub delivered_reachable: bool,
+    /// The `CountedDrop` absorbing state is reachable.
+    pub drop_reachable: bool,
+    /// Every reachable non-terminal state has an enabled crossing.
+    pub deadlock_free: bool,
+    /// No crossing arrived at or before a previously granted arrival.
+    pub no_overtaking: bool,
+    /// Every transition increased the progress measure by one.
+    pub progress_monotone: bool,
+    /// Counterexamples (traces kept for the first few per kind).
+    pub violations: Vec<Violation>,
+}
+
+impl PairResult {
+    /// All three qualitative obligations hold for this route.
+    pub fn all_proven(&self) -> bool {
+        self.deadlock_free && self.no_overtaking && self.progress_monotone
+    }
+}
+
+/// Full traces kept per violation kind per pair; further violations
+/// are still *counted* via the proof flags but not materialized.
+const TRACES_PER_KIND: usize = 3;
+
+struct Applied {
+    state: State,
+    step: TraceStep,
+    overtake: bool,
+}
+
+/// Applies one crossing outcome to `state` (absolute or canonical —
+/// the arithmetic is shift-invariant).
+fn apply(
+    config: &ModelConfig,
+    route: &[(Coord, Coord)],
+    state: &State,
+    flit: usize,
+    link: u32,
+    ready: u64,
+    outcome: &CrossingOutcome,
+) -> Applied {
+    let hops = route.len();
+    let li = link as usize;
+    let delay = 1 + outcome.extra_delay;
+    let busy_before = state.busy[li];
+    let arrival = match config.variant {
+        Variant::Correct => link_arrival(ready, delay, busy_before),
+        Variant::IgnoreBusyWatermark => ready + delay,
+    };
+    let overtake = arrival <= busy_before;
+    let mut next = state.clone();
+    // Track the max so later overtakes under the broken variant are
+    // still judged against the true latest granted arrival.
+    next.busy[li] = busy_before.max(arrival);
+    next.flits[flit] = if li + 1 == hops {
+        FlitPos::Done
+    } else {
+        FlitPos::Pending {
+            link: link + 1,
+            ready: arrival + 1,
+        }
+    };
+    next.poisoned |= !outcome.delivered;
+    let (from, to) = route[li];
+    Applied {
+        state: next,
+        step: TraceStep {
+            flit,
+            link,
+            from,
+            to,
+            attempts: outcome.attempts,
+            nacks: outcome.nacks,
+            delivered: outcome.delivered,
+            extra_delay: outcome.extra_delay,
+            sent: ready,
+            arrival,
+            busy_before,
+        },
+        overtake,
+    }
+}
+
+fn route_links(mesh: Mesh, src: Coord, dst: Coord) -> Vec<(Coord, Coord)> {
+    let path = mesh.xy_path(src, dst);
+    path.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+/// The result of replaying a choice sequence or an outcome oracle.
+#[derive(Debug, Clone)]
+pub struct Replayed {
+    /// The packet reached the destination unpoisoned.
+    pub delivered: bool,
+    /// Whether the replay reached a terminal state.
+    pub terminal: bool,
+    /// Concrete crossings in absolute cycles.
+    pub steps: Vec<TraceStep>,
+    /// Total transmissions across all crossings.
+    pub attempts: u64,
+    /// Total NACKs across all crossings.
+    pub nacks: u64,
+}
+
+/// Replays the deterministic schedule from the initial state, asking
+/// `oracle(flit, link)` for the outcome index of each crossing (out of
+/// range indices select the exhaustion branch).  Runs until terminal.
+pub fn replay<F: FnMut(usize, u32) -> usize>(
+    config: &ModelConfig,
+    src: Coord,
+    dst: Coord,
+    mut oracle: F,
+) -> Replayed {
+    let route = route_links(config.mesh, src, dst);
+    let outcomes = crossing_outcomes(config);
+    let mut state = State::initial(config.packet_len, route.len().max(1));
+    let mut steps = Vec::new();
+    let (mut attempts, mut nacks) = (0u64, 0u64);
+    if route.is_empty() {
+        // Degenerate src == dst route: immediately delivered.
+        for f in &mut state.flits {
+            *f = FlitPos::Done;
+        }
+    }
+    while let Some((flit, link, ready)) = state.chosen() {
+        let pick = oracle(flit, link).min(outcomes.len() - 1);
+        let applied = apply(config, &route, &state, flit, link, ready, &outcomes[pick]);
+        attempts += u64::from(applied.step.attempts);
+        nacks += u64::from(applied.step.nacks);
+        steps.push(applied.step);
+        state = applied.state;
+    }
+    Replayed {
+        delivered: state.is_terminal() && !state.poisoned,
+        terminal: state.is_terminal(),
+        steps,
+        attempts,
+        nacks,
+    }
+}
+
+/// Replays a recorded counterexample prefix: feeds `choices` in order
+/// and stops when they run out (the trace may end mid-flight).
+pub fn replay_choices(config: &ModelConfig, src: Coord, dst: Coord, choices: &[usize]) -> Replayed {
+    let route = route_links(config.mesh, src, dst);
+    let outcomes = crossing_outcomes(config);
+    let mut state = State::initial(config.packet_len, route.len().max(1));
+    let mut steps = Vec::new();
+    let (mut attempts, mut nacks) = (0u64, 0u64);
+    for &pick in choices {
+        let Some((flit, link, ready)) = state.chosen() else {
+            break;
+        };
+        if route.is_empty() {
+            break;
+        }
+        let pick = pick.min(outcomes.len() - 1);
+        let applied = apply(config, &route, &state, flit, link, ready, &outcomes[pick]);
+        attempts += u64::from(applied.step.attempts);
+        nacks += u64::from(applied.step.nacks);
+        steps.push(applied.step);
+        state = applied.state;
+    }
+    Replayed {
+        delivered: state.is_terminal() && !state.poisoned,
+        terminal: state.is_terminal(),
+        steps,
+        attempts,
+        nacks,
+    }
+}
+
+/// Exhaustively checks one route: BFS over canonical states, proof
+/// obligations, and the exact absorbing-DTMC delivery probability.
+pub fn check_pair(config: &ModelConfig, src: Coord, dst: Coord) -> PairResult {
+    let route = route_links(config.mesh, src, dst);
+    let hops = route.len();
+    let outcomes = crossing_outcomes(config);
+
+    if hops == 0 {
+        // src == dst: nothing to cross, trivially delivered.
+        return PairResult {
+            src,
+            dst,
+            hops,
+            states: 1,
+            transitions: 0,
+            transient: 0,
+            deliver_probability: 1.0,
+            solved: true,
+            fill_in: 0,
+            delivered_reachable: true,
+            drop_reachable: false,
+            deadlock_free: true,
+            no_overtaking: true,
+            progress_monotone: true,
+            violations: Vec::new(),
+        };
+    }
+
+    let mut ids: BTreeMap<State, usize> = BTreeMap::new();
+    let mut states: Vec<State> = Vec::new();
+    let mut parents: Vec<Option<(usize, usize)>> = Vec::new();
+    let mut succs: Vec<Vec<(usize, f64)>> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+
+    let initial = State::initial(config.packet_len, hops).canonicalize();
+    ids.insert(initial.clone(), 0);
+    states.push(initial);
+    parents.push(None);
+    succs.push(Vec::new());
+    queue.push_back(0);
+
+    let mut transitions = 0usize;
+    let mut delivered_reachable = false;
+    let mut drop_reachable = false;
+    let mut deadlock_free = true;
+    let mut no_overtaking = true;
+    let mut progress_monotone = true;
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut kept = BTreeMap::<&'static str, usize>::new();
+
+    // Reconstructs the outcome choices leading to state `id`.
+    let path_to = |parents: &[Option<(usize, usize)>], mut id: usize| -> Vec<usize> {
+        let mut choices = Vec::new();
+        while let Some((parent, pick)) = parents[id] {
+            choices.push(pick);
+            id = parent;
+        }
+        choices.reverse();
+        choices
+    };
+
+    let record = |kind: ViolationKind,
+                  choices: Vec<usize>,
+                  message: String,
+                  kept: &mut BTreeMap<&'static str, usize>,
+                  violations: &mut Vec<Violation>| {
+        let slot = kept.entry(kind.rule()).or_insert(0);
+        if *slot < TRACES_PER_KIND {
+            *slot += 1;
+            let trace = replay_choices(config, src, dst, &choices).steps;
+            violations.push(Violation {
+                kind,
+                src,
+                dst,
+                choices,
+                trace,
+                message,
+            });
+        }
+    };
+
+    while let Some(id) = queue.pop_front() {
+        let state = states[id].clone();
+        if state.is_terminal() {
+            if state.poisoned {
+                drop_reachable = true;
+            } else {
+                delivered_reachable = true;
+            }
+            continue;
+        }
+        let Some((flit, link, ready)) = state.chosen() else {
+            deadlock_free = false;
+            let choices = path_to(&parents, id);
+            record(
+                ViolationKind::Deadlock,
+                choices,
+                format!("no crossing is enabled with {} flits in flight", {
+                    state.flits.iter().filter(|f| **f != FlitPos::Done).count()
+                }),
+                &mut kept,
+                &mut violations,
+            );
+            continue;
+        };
+        let progress_here = state.progress(hops);
+        for (pick, outcome) in outcomes.iter().enumerate() {
+            let applied = apply(config, &route, &state, flit, link, ready, outcome);
+            transitions += 1;
+            if applied.overtake {
+                no_overtaking = false;
+                let mut choices = path_to(&parents, id);
+                choices.push(pick);
+                record(
+                    ViolationKind::Overtaking,
+                    choices,
+                    format!(
+                        "flit {} arrived at cycle {} on link {} whose watermark \
+                         was already {}",
+                        applied.step.flit, applied.step.arrival, link, applied.step.busy_before
+                    ),
+                    &mut kept,
+                    &mut violations,
+                );
+            }
+            if applied.state.progress(hops) != progress_here + 1 {
+                progress_monotone = false;
+                let mut choices = path_to(&parents, id);
+                choices.push(pick);
+                record(
+                    ViolationKind::Progress,
+                    choices,
+                    "a transition failed to cross exactly one link".to_string(),
+                    &mut kept,
+                    &mut violations,
+                );
+            }
+            let canonical = applied.state.canonicalize();
+            let next_id = match ids.get(&canonical) {
+                Some(&existing) => existing,
+                None => {
+                    let fresh = states.len();
+                    ids.insert(canonical.clone(), fresh);
+                    states.push(canonical);
+                    parents.push(Some((id, pick)));
+                    succs.push(Vec::new());
+                    queue.push_back(fresh);
+                    fresh
+                }
+            };
+            succs[id].push((next_id, outcome.probability));
+        }
+    }
+
+    // Absorbing-DTMC solve: x_t = sum_succ p * (x_succ | [delivered]).
+    let mut transient_index: Vec<Option<usize>> = vec![None; states.len()];
+    let mut transient = 0usize;
+    for (id, state) in states.iter().enumerate() {
+        if !state.is_terminal() {
+            transient_index[id] = Some(transient);
+            transient += 1;
+        }
+    }
+    let mut system = SparseSystem::new(transient);
+    for (id, edges) in succs.iter().enumerate() {
+        let Some(row) = transient_index[id] else {
+            continue;
+        };
+        system.add(row, row, 1.0);
+        for &(next_id, p) in edges {
+            match transient_index[next_id] {
+                Some(col) => system.add(row, col, -p),
+                None => {
+                    if !states[next_id].poisoned {
+                        system.add_rhs(row, p);
+                    }
+                }
+            }
+        }
+    }
+    let (deliver_probability, solved, fill_in) = if transient == 0 {
+        (if drop_reachable { 0.0 } else { 1.0 }, true, 0)
+    } else {
+        match system.solve() {
+            Some(solution) => (solution.x[0], true, solution.fill_in),
+            None => (f64::NAN, false, 0),
+        }
+    };
+
+    PairResult {
+        src,
+        dst,
+        hops,
+        states: states.len(),
+        transitions,
+        transient,
+        deliver_probability,
+        solved,
+        fill_in,
+        delivered_reachable,
+        drop_reachable,
+        deadlock_free,
+        no_overtaking,
+        progress_monotone,
+        violations,
+    }
+}
+
+/// Aggregate verification verdict over every ordered route of a mesh.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// The configuration that was checked.
+    pub config: ModelConfig,
+    /// One result per ordered (src, dst) pair with `src != dst`.
+    pub pairs: Vec<PairResult>,
+    /// Reachable canonical states summed over pairs.
+    pub total_states: usize,
+    /// Transitions summed over pairs.
+    pub total_transitions: usize,
+    /// Mean exact delivery probability over ordered pairs — the
+    /// quantity uniform-random traffic estimates by Monte Carlo.
+    pub deliver_probability: f64,
+    /// Deadlock-freedom holds on every route.
+    pub deadlock_free: bool,
+    /// No-overtaking holds on every route.
+    pub no_overtaking: bool,
+    /// The progress measure increased on every transition.
+    pub terminates: bool,
+}
+
+impl VerifyReport {
+    /// All qualitative obligations hold on every route.
+    pub fn all_proven(&self) -> bool {
+        self.deadlock_free && self.no_overtaking && self.terminates
+    }
+
+    /// Every recorded counterexample across all pairs.
+    pub fn violations(&self) -> impl Iterator<Item = &Violation> {
+        self.pairs.iter().flat_map(|p| p.violations.iter())
+    }
+}
+
+/// Checks every ordered (src, dst) route of the configured mesh.
+pub fn verify(config: &ModelConfig) -> VerifyReport {
+    let mesh = config.mesh;
+    let mut pairs = Vec::new();
+    for s in 0..mesh.len() {
+        for d in 0..mesh.len() {
+            if s == d {
+                continue;
+            }
+            let src = mesh.coord_of(s);
+            let dst = mesh.coord_of(d);
+            pairs.push(check_pair(config, src, dst));
+        }
+    }
+    let total_states = pairs.iter().map(|p| p.states).sum();
+    let total_transitions = pairs.iter().map(|p| p.transitions).sum();
+    let deliver_probability = if pairs.is_empty() {
+        1.0
+    } else {
+        pairs.iter().map(|p| p.deliver_probability).sum::<f64>() / pairs.len() as f64
+    };
+    VerifyReport {
+        config: config.clone(),
+        deadlock_free: pairs.iter().all(|p| p.deadlock_free),
+        no_overtaking: pairs.iter().all(|p| p.no_overtaking),
+        terminates: pairs.iter().all(|p| p.progress_monotone),
+        total_states,
+        total_transitions,
+        deliver_probability,
+        pairs,
+    }
+}
+
+/// The closed-form delivery probability the DTMC must reproduce: each
+/// of the `packet_len * hops` crossings independently survives with
+/// probability `1 - D^(R+1)`, averaged over ordered pairs.
+pub fn closed_form_delivery(config: &ModelConfig) -> f64 {
+    let detected = config.detected_probability();
+    let exhaust = detected.powi(config.fault.max_retries as i32 + 1);
+    let survive = 1.0 - exhaust;
+    let mesh = config.mesh;
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for s in 0..mesh.len() {
+        for d in 0..mesh.len() {
+            if s == d {
+                continue;
+            }
+            let hops = mesh.coord_of(s).hop_distance(mesh.coord_of(d));
+            let crossings = (config.packet_len as u32) * hops;
+            total += survive.powi(crossings as i32);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        1.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(ber: f64, retries: u32) -> ModelConfig {
+        ModelConfig::two_by_two(ber, retries)
+    }
+
+    #[test]
+    fn crossing_outcomes_cover_the_probability_space() {
+        let config = cfg(0.002, 3);
+        let outs = crossing_outcomes(&config);
+        // R + 2 branches: delivered after 0..=3 detections, exhausted.
+        assert_eq!(outs.len(), 5);
+        let mass: f64 = outs.iter().map(|o| o.probability).sum();
+        assert!((mass - 1.0).abs() < 1e-12, "mass {mass}");
+        assert!(outs[..4].iter().all(|o| o.delivered));
+        assert!(!outs[4].delivered);
+        // Delays follow ack_timeout + backoff accumulation: 0, 2, 5, 9.
+        let delays: Vec<u64> = outs[..4].iter().map(|o| o.extra_delay).collect();
+        assert_eq!(delays, vec![0, 2, 5, 9]);
+        // Exhaustion probability is D^(R+1).
+        let d = config.detected_probability();
+        assert!((outs[4].probability - d.powi(4)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_ber_has_a_single_reachable_terminal() {
+        let config = cfg(0.0, 3);
+        let report = verify(&config);
+        assert!(report.all_proven());
+        assert!((report.deliver_probability - 1.0).abs() < 1e-12);
+        for pair in &report.pairs {
+            assert!(pair.delivered_reachable);
+            // With BER 0 the drop branch has probability 0 but is still
+            // *enumerated* (nondeterministic semantics), so it remains
+            // reachable in the qualitative graph.
+            assert!(pair.drop_reachable);
+            assert!(pair.solved);
+        }
+    }
+
+    #[test]
+    fn the_correct_scheduler_is_proven_at_the_issue_retry_budgets() {
+        for retries in [0u32, 1, 3] {
+            let report = verify(&cfg(0.01, retries));
+            assert!(report.all_proven(), "budget {retries} failed");
+            assert!(report.deadlock_free);
+            assert!(report.no_overtaking);
+            assert!(report.terminates);
+            assert!(report.violations().next().is_none());
+            assert!(report.total_states > 0);
+        }
+    }
+
+    #[test]
+    fn dtmc_matches_the_closed_form_on_every_pair() {
+        for (ber, retries) in [(0.001, 0), (0.003, 1), (0.01, 3)] {
+            let config = cfg(ber, retries);
+            let detected = config.detected_probability();
+            let survive = 1.0 - detected.powi(retries as i32 + 1);
+            let report = verify(&config);
+            for pair in &report.pairs {
+                assert!(pair.solved);
+                let crossings = (config.packet_len * pair.hops) as i32;
+                let expect = survive.powi(crossings);
+                assert!(
+                    (pair.deliver_probability - expect).abs() < 1e-12,
+                    "pair {} -> {}: dtmc {} closed {}",
+                    pair.src,
+                    pair.dst,
+                    pair.deliver_probability,
+                    expect
+                );
+            }
+            let aggregate = closed_form_delivery(&config);
+            assert!((report.deliver_probability - aggregate).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bfs_order_incurs_zero_fill_in() {
+        let report = verify(&cfg(0.01, 3));
+        for pair in &report.pairs {
+            assert_eq!(pair.fill_in, 0, "fill-in on {} -> {}", pair.src, pair.dst);
+        }
+    }
+
+    #[test]
+    fn the_broken_scheduler_yields_an_overtaking_counterexample() {
+        let config = cfg(0.01, 3).with_variant(Variant::IgnoreBusyWatermark);
+        let report = verify(&config);
+        assert!(!report.no_overtaking);
+        // Deadlock-freedom and termination are unaffected by the
+        // scheduling bug.
+        assert!(report.deadlock_free);
+        assert!(report.terminates);
+        let violation = report
+            .violations()
+            .find(|v| v.kind == ViolationKind::Overtaking)
+            .expect("counterexample");
+        // The recorded choice sequence replays to the same trace and
+        // its final step is the overtake.
+        let replayed = replay_choices(&config, violation.src, violation.dst, &violation.choices);
+        assert_eq!(replayed.steps, violation.trace);
+        let last = violation.trace.last().expect("non-empty trace");
+        assert!(last.arrival <= last.busy_before);
+    }
+
+    #[test]
+    fn overtaking_requires_a_nonzero_retry_budget() {
+        // With no retries every crossing takes exactly one cycle, so
+        // even the broken scheduler cannot reorder flits.
+        let config = cfg(0.01, 0).with_variant(Variant::IgnoreBusyWatermark);
+        let report = verify(&config);
+        assert!(report.no_overtaking);
+    }
+
+    #[test]
+    fn canonicalization_is_shift_invariant() {
+        let a = State {
+            flits: vec![
+                FlitPos::Pending { link: 1, ready: 7 },
+                FlitPos::Pending { link: 0, ready: 5 },
+            ],
+            busy: vec![6, 2],
+            poisoned: false,
+        };
+        let mut b = a.clone();
+        for f in &mut b.flits {
+            if let FlitPos::Pending { ready, .. } = f {
+                *ready += 13;
+            }
+        }
+        for w in &mut b.busy {
+            *w += 13;
+        }
+        assert_eq!(a.clone().canonicalize(), b.canonicalize());
+        // The watermark below base - 1 clamps to the same bucket as
+        // base - 1 exactly.
+        let mut c = a.clone();
+        c.busy[1] = 0;
+        let mut d = a;
+        d.busy[1] = 4; // base 5 -> base - 1 = 4
+        assert_eq!(c.canonicalize(), d.canonicalize());
+    }
+
+    #[test]
+    fn replay_reaches_a_terminal_state_for_any_oracle() {
+        let config = cfg(0.01, 2);
+        let src = Coord::new(0, 0);
+        let dst = Coord::new(1, 1);
+        // Always-clean oracle.
+        let clean = replay(&config, src, dst, |_, _| 0);
+        assert!(clean.terminal && clean.delivered);
+        assert_eq!(clean.steps.len(), config.packet_len * 2);
+        // Always-exhaust oracle: poisoned but still terminates.
+        let poisoned = replay(&config, src, dst, |_, _| usize::MAX);
+        assert!(poisoned.terminal && !poisoned.delivered);
+    }
+
+    #[test]
+    fn state_space_is_shared_across_equivalent_timings() {
+        // A modest budget keeps the canonical space small; the point is
+        // that it is *much* smaller than the 5^8 outcome tree.
+        let report = verify(&cfg(0.01, 3));
+        for pair in &report.pairs {
+            let tree: usize = (5usize).pow((4 * pair.hops) as u32);
+            assert!(
+                pair.states * 20 < tree,
+                "canonicalization failed to merge: {} states vs {} paths",
+                pair.states,
+                tree
+            );
+        }
+    }
+}

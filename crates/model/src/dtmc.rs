@@ -1,0 +1,241 @@
+//! Sparse linear algebra for absorbing discrete-time Markov chains.
+//!
+//! The model checker turns the reachable state graph of a (source,
+//! destination) pair into an absorbing DTMC: transient states are the
+//! non-terminal canonical states, the two absorbing classes are
+//! `Delivered` and `CountedDrop`.  The absorption probability vector
+//! `x` (probability of ending in `Delivered` from each transient
+//! state) solves the linear system `(I - Q) x = b`, where `Q` is the
+//! transient-to-transient transition matrix and `b` accumulates the
+//! one-step probabilities of jumping straight into `Delivered`.
+//!
+//! Because every protocol transition strictly increases the progress
+//! measure (total links crossed), the state graph is acyclic and the
+//! BFS discovery order is a topological order.  Eliminating unknowns
+//! in that order therefore produces *zero fill-in*: `(I - Q)` is
+//! upper-triangular up to the diagonal when rows and columns are
+//! numbered by discovery.  The solver still runs a general sparse
+//! Gaussian elimination with partial pivoting — the triangularity is
+//! an emergent property we report (`fill_in`) and assert in tests,
+//! not an assumption baked into the algorithm.
+
+use std::collections::BTreeMap;
+
+/// Pivots with absolute value below this are treated as singular.
+const PIVOT_FLOOR: f64 = 1.0e-300;
+
+/// A sparse square system `A x = rhs` with rows stored as ordered maps.
+#[derive(Debug, Clone)]
+pub struct SparseSystem {
+    n: usize,
+    rows: Vec<BTreeMap<usize, f64>>,
+    rhs: Vec<f64>,
+}
+
+/// Outcome of a successful solve.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The solution vector `x`.
+    pub x: Vec<f64>,
+    /// Number of matrix entries *created* during elimination (entries
+    /// that were structurally zero in the assembled system).  Zero for
+    /// systems assembled in topological order.
+    pub fill_in: usize,
+}
+
+impl SparseSystem {
+    /// Creates an `n`-by-`n` system with all coefficients zero.
+    pub fn new(n: usize) -> Self {
+        SparseSystem {
+            n,
+            rows: vec![BTreeMap::new(); n],
+            rhs: vec![0.0; n],
+        }
+    }
+
+    /// Number of unknowns.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the system has no unknowns.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds `coeff` to `A[row][col]`.  Out-of-range indices are ignored
+    /// so that callers can assemble defensively.
+    pub fn add(&mut self, row: usize, col: usize, coeff: f64) {
+        if row < self.n && col < self.n {
+            *self.rows[row].entry(col).or_insert(0.0) += coeff;
+        }
+    }
+
+    /// Adds `value` to `rhs[row]`.  Out-of-range indices are ignored.
+    pub fn add_rhs(&mut self, row: usize, value: f64) {
+        if row < self.n {
+            self.rhs[row] += value;
+        }
+    }
+
+    /// Number of structurally non-zero coefficients currently stored.
+    pub fn nonzeros(&self) -> usize {
+        self.rows.iter().map(BTreeMap::len).sum()
+    }
+
+    /// Solves the system by sparse Gaussian elimination with partial
+    /// (max-magnitude) pivoting, consuming the assembled coefficients.
+    ///
+    /// Returns `None` when a pivot column is numerically singular.
+    pub fn solve(mut self) -> Option<Solution> {
+        let n = self.n;
+        let assembled = self.nonzeros();
+        let mut created = 0usize;
+        for k in 0..n {
+            // Partial pivoting: pick the row at or below k with the
+            // largest magnitude in column k.
+            let mut best = k;
+            let mut best_mag = self.rows[k].get(&k).map_or(0.0, |v| v.abs());
+            for (offset, row) in self.rows[k + 1..].iter().enumerate() {
+                let mag = row.get(&k).map_or(0.0, |v| v.abs());
+                if mag > best_mag {
+                    best_mag = mag;
+                    best = k + 1 + offset;
+                }
+            }
+            if best_mag < PIVOT_FLOOR {
+                return None;
+            }
+            if best != k {
+                self.rows.swap(k, best);
+                self.rhs.swap(k, best);
+            }
+            let pivot = *self.rows[k].get(&k)?;
+            // Eliminate column k from every later row that carries it.
+            let pivot_row: Vec<(usize, f64)> =
+                self.rows[k].range(k + 1..).map(|(&c, &v)| (c, v)).collect();
+            let pivot_rhs = self.rhs[k];
+            for r in k + 1..n {
+                let factor = match self.rows[r].remove(&k) {
+                    Some(v) => v / pivot,
+                    None => continue,
+                };
+                for &(c, v) in &pivot_row {
+                    let slot = self.rows[r].entry(c).or_insert_with(|| {
+                        created += 1;
+                        0.0
+                    });
+                    *slot -= factor * v;
+                }
+                self.rhs[r] -= factor * pivot_rhs;
+            }
+        }
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for k in (0..n).rev() {
+            let mut acc = self.rhs[k];
+            for (&c, &v) in self.rows[k].range(k + 1..) {
+                acc -= v * x[c];
+            }
+            let pivot = *self.rows[k].get(&k)?;
+            x[k] = acc / pivot;
+        }
+        let _ = assembled;
+        Some(Solution {
+            x,
+            fill_in: created,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_a_dense_3x3_system() {
+        // 2x + y = 5 ; x + 3y + z = 10 ; y + 2z = 7  ->  x=2, y=1, z=3... check:
+        // 2*2+1=5 ok; 2+3+3=8 not 10.  Pick an exact one instead:
+        // x + y = 3 ; 2y + z = 5 ; 4z = 4  ->  z=1, y=2, x=1.
+        let mut sys = SparseSystem::new(3);
+        sys.add(0, 0, 1.0);
+        sys.add(0, 1, 1.0);
+        sys.add_rhs(0, 3.0);
+        sys.add(1, 1, 2.0);
+        sys.add(1, 2, 1.0);
+        sys.add_rhs(1, 5.0);
+        sys.add(2, 2, 4.0);
+        sys.add_rhs(2, 4.0);
+        let sol = sys.solve().expect("nonsingular");
+        assert!((sol.x[0] - 1.0).abs() < 1e-12);
+        assert!((sol.x[1] - 2.0).abs() < 1e-12);
+        assert!((sol.x[2] - 1.0).abs() < 1e-12);
+        // Upper triangular already: no fill-in.
+        assert_eq!(sol.fill_in, 0);
+    }
+
+    #[test]
+    fn pivots_when_the_diagonal_is_zero() {
+        // 0x + y = 2 ; x + y = 3  ->  x=1, y=2 (requires a row swap).
+        let mut sys = SparseSystem::new(2);
+        sys.add(0, 1, 1.0);
+        sys.add_rhs(0, 2.0);
+        sys.add(1, 0, 1.0);
+        sys.add(1, 1, 1.0);
+        sys.add_rhs(1, 3.0);
+        let sol = sys.solve().expect("nonsingular after pivot");
+        assert!((sol.x[0] - 1.0).abs() < 1e-12);
+        assert!((sol.x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reports_singular_systems() {
+        let mut sys = SparseSystem::new(2);
+        sys.add(0, 0, 1.0);
+        sys.add(0, 1, 1.0);
+        sys.add(1, 0, 1.0);
+        sys.add(1, 1, 1.0);
+        assert!(sys.solve().is_none());
+    }
+
+    #[test]
+    fn counts_fill_in_on_a_lower_triangle() {
+        // A dense lower-triangular-plus-band system forces fill when a
+        // row below the pivot lacks entries the pivot row has.
+        let mut sys = SparseSystem::new(3);
+        sys.add(0, 0, 2.0);
+        sys.add(0, 2, 1.0);
+        sys.add_rhs(0, 4.0);
+        sys.add(1, 0, 1.0);
+        sys.add(1, 1, 1.0);
+        sys.add_rhs(1, 3.0);
+        sys.add(2, 1, 1.0);
+        sys.add(2, 2, 1.0);
+        sys.add_rhs(2, 3.0);
+        let sol = sys.solve().expect("nonsingular");
+        // Row 1 gains a column-2 entry from the elimination of column 0.
+        assert!(sol.fill_in > 0);
+        // Residual check instead of hand-solving.
+        let (x, y, z) = (sol.x[0], sol.x[1], sol.x[2]);
+        assert!((2.0 * x + z - 4.0).abs() < 1e-12);
+        assert!((x + y - 3.0).abs() < 1e-12);
+        assert!((y + z - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn an_absorbing_chain_absorbs_with_probability_one() {
+        // Two transient states: s0 -> s1 (p=0.5) or Delivered (0.5);
+        // s1 -> Delivered (0.7) or Dropped (0.3).
+        // x0 = 0.5 + 0.5 * x1 ; x1 = 0.7.
+        let mut sys = SparseSystem::new(2);
+        sys.add(0, 0, 1.0);
+        sys.add(0, 1, -0.5);
+        sys.add_rhs(0, 0.5);
+        sys.add(1, 1, 1.0);
+        sys.add_rhs(1, 0.7);
+        let sol = sys.solve().expect("nonsingular");
+        assert!((sol.x[1] - 0.7).abs() < 1e-15);
+        assert!((sol.x[0] - 0.85).abs() < 1e-15);
+        assert_eq!(sol.fill_in, 0);
+    }
+}

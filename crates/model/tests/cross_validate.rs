@@ -1,0 +1,84 @@
+//! Cross-validation of the exact DTMC against Monte Carlo (ISSUE 8
+//! acceptance): at every BER in the swept grid, the model's exact
+//! delivery probability must fall inside the simulator's 95% Wilson
+//! interval.
+//!
+//! The sweep runs the real `ber_sweep` harness on a 2x2 mesh under
+//! uniform-random traffic (destination uniform over the other three
+//! nodes, i.e. the 12 ordered pairs the checker enumerates).  The
+//! model side is `verify(...)`, whose aggregate is the mean of the
+//! per-pair absorption probabilities — the same quantity the sampled
+//! delivered fraction estimates.
+
+use srlr_model::{closed_form_delivery, verify, ModelConfig};
+use srlr_noc::traffic::Pattern;
+use srlr_noc::{ber_sweep, FaultConfig, NocConfig};
+
+const PACKET_LEN: usize = 4;
+const MAX_RETRIES: u32 = 1;
+const BERS: [f64; 5] = [0.0, 5.0e-4, 1.0e-3, 2.0e-3, 4.0e-3];
+
+#[test]
+fn exact_delivery_probability_lies_inside_the_wilson_interval_at_every_ber() {
+    let base = NocConfig::paper_default()
+        .with_size(2, 2)
+        .with_packet_len(PACKET_LEN);
+    let template = FaultConfig::new(0.0)
+        .with_seed(0x5EED)
+        .with_max_retries(MAX_RETRIES);
+    let points = ber_sweep(
+        base,
+        template,
+        Pattern::UniformRandom,
+        0.10,
+        500,
+        6_000,
+        &BERS,
+        Some(1),
+    );
+    assert_eq!(points.len(), BERS.len());
+
+    for point in &points {
+        let config = ModelConfig::new(
+            srlr_noc::Mesh::new(2, 2),
+            PACKET_LEN,
+            FaultConfig::new(point.ber).with_max_retries(MAX_RETRIES),
+        );
+        let report = verify(&config);
+        assert!(
+            report.all_proven(),
+            "qualitative obligations failed at ber {}",
+            point.ber
+        );
+        let exact = report.deliver_probability;
+
+        let (lo, hi) = point
+            .stats
+            .delivered_interval_95()
+            .expect("measured window terminated packets");
+        assert!(
+            lo <= exact && exact <= hi,
+            "ber {}: exact {exact} outside Wilson interval [{lo}, {hi}] \
+             (MC delivered fraction {})",
+            point.ber,
+            point.stats.delivered_fraction(),
+        );
+
+        // The DTMC agrees with the independent closed form, so the
+        // interval check above is not vacuous about the solver.
+        let closed = closed_form_delivery(&config);
+        assert!(
+            (exact - closed).abs() < 1e-12,
+            "ber {}: dtmc {exact} vs closed form {closed}",
+            point.ber
+        );
+    }
+
+    // The grid must include points with real attrition, otherwise the
+    // interval containment is trivial.
+    let worst = points
+        .last()
+        .map(|p| p.stats.delivered_fraction())
+        .unwrap_or(1.0);
+    assert!(worst < 0.9, "sweep too benign: {worst}");
+}

@@ -1,0 +1,145 @@
+//! Lockstep bridge between the cycle simulator and the model checker.
+//!
+//! A single packet is run through the full `srlr-noc` simulator while a
+//! shadow `FaultModel` — same seed, same per-link RNG streams, same
+//! flit payloads — replays each link crossing to extract the concrete
+//! outcome sequence.  Feeding those outcomes into the checker's
+//! deterministic replay must reproduce the simulator's verdict exactly:
+//! delivered/dropped, total retransmissions, and total NACKs.  Because
+//! both sides fold outcomes through the one shared
+//! `srlr_noc::protocol::retry_step`, any drift here is a semantics bug.
+
+use srlr_model::{replay, ModelConfig};
+use srlr_noc::{
+    Coord, FaultConfig, FaultModel, LinkTransmission, Mesh, Network, NocConfig, Packet, PacketId,
+};
+
+const PACKET_LEN: usize = 4;
+
+/// Runs the shadow fault model over every (link, flit) crossing of the
+/// route in the simulator's per-link order (flit order — a single
+/// wormhole packet crosses each link head to tail).
+fn shadow_outcomes(
+    fault: FaultConfig,
+    mesh: Mesh,
+    src: Coord,
+    dst: Coord,
+    packet: &Packet,
+) -> Vec<Vec<LinkTransmission>> {
+    let mut shadow = FaultModel::new(fault, mesh);
+    let flits = packet.flits(dst);
+    let path = mesh.xy_path(src, dst);
+    path.windows(2)
+        .map(|w| {
+            let dir = mesh.xy_route(w[0], dst);
+            flits
+                .iter()
+                .map(|f| shadow.transmit(w[0], dir, f))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn simulator_and_checker_agree_on_every_seeded_run() {
+    let mesh = Mesh::new(2, 2);
+    let src = Coord::new(0, 0);
+    let dst = Coord::new(1, 1);
+    let (mut delivered_runs, mut dropped_runs, mut retried_runs) = (0u32, 0u32, 0u32);
+
+    for seed in 0..60u64 {
+        let fault = FaultConfig::new(0.002).with_seed(seed).with_max_retries(1);
+
+        // Full simulator run: one packet, no competing traffic.
+        let mut net = Network::new(
+            NocConfig::paper_default()
+                .with_size(2, 2)
+                .with_packet_len(PACKET_LEN)
+                .with_faults(fault),
+        );
+        let packet = Packet::unicast(PacketId(1), src, dst, PACKET_LEN, 0);
+        net.enqueue(packet.clone());
+        let done = net
+            .run_until_delivered(1, 10_000)
+            .expect("single packet terminates");
+        let sim_delivered = !done.is_empty();
+        assert_eq!(net.packets_dropped() > 0, !sim_delivered);
+        let sim_retries = net.counters().retry_hops;
+        let sim_nacks = net.counters().nacks;
+
+        // Shadow replay: same seed, same streams, same flit payloads.
+        let outcomes = shadow_outcomes(fault, mesh, src, dst, &packet);
+        let config = ModelConfig::new(mesh, PACKET_LEN, fault);
+        let replayed = replay(&config, src, dst, |flit, link| {
+            let tx = &outcomes[link as usize][flit];
+            if tx.delivered {
+                (tx.attempts - 1) as usize
+            } else {
+                usize::MAX // exhaustion branch
+            }
+        });
+
+        assert!(replayed.terminal, "seed {seed}: replay must terminate");
+        assert_eq!(
+            replayed.delivered, sim_delivered,
+            "seed {seed}: verdict mismatch"
+        );
+        assert_eq!(
+            replayed.attempts - replayed.steps.len() as u64,
+            sim_retries,
+            "seed {seed}: retransmission count mismatch"
+        );
+        assert_eq!(
+            replayed.nacks, sim_nacks,
+            "seed {seed}: NACK count mismatch"
+        );
+        assert_eq!(replayed.steps.len(), PACKET_LEN * 2);
+
+        delivered_runs += u32::from(sim_delivered);
+        dropped_runs += u32::from(!sim_delivered);
+        retried_runs += u32::from(sim_retries > 0);
+    }
+
+    // The seed range must actually exercise all three behaviours, or
+    // the lockstep assertions above prove nothing.
+    assert!(delivered_runs > 0, "no run delivered");
+    assert!(dropped_runs > 0, "no run dropped");
+    assert!(retried_runs > 10, "too few runs retried: {retried_runs}");
+}
+
+#[test]
+fn shadow_outcomes_match_the_simulators_fault_tally() {
+    // Aggregate cross-check on a different (ber, budget) point: the
+    // shadow's attempt arithmetic must match the simulator's tally of
+    // retransmitted flits and exhausted crossings.
+    let mesh = Mesh::new(2, 2);
+    let src = Coord::new(1, 1);
+    let dst = Coord::new(0, 0);
+    for seed in [3u64, 17, 90] {
+        let fault = FaultConfig::new(0.004).with_seed(seed).with_max_retries(2);
+        let mut net = Network::new(
+            NocConfig::paper_default()
+                .with_size(2, 2)
+                .with_packet_len(PACKET_LEN)
+                .with_faults(fault),
+        );
+        let packet = Packet::unicast(PacketId(9), src, dst, PACKET_LEN, 0);
+        net.enqueue(packet.clone());
+        net.run_until_delivered(1, 10_000)
+            .expect("single packet terminates");
+
+        let outcomes = shadow_outcomes(fault, mesh, src, dst, &packet);
+        let shadow_retries: u64 = outcomes
+            .iter()
+            .flatten()
+            .map(|tx| u64::from(tx.attempts - 1))
+            .sum();
+        let shadow_exhausted = outcomes.iter().flatten().filter(|tx| !tx.delivered).count() as u64;
+        assert_eq!(shadow_retries, net.counters().retry_hops, "seed {seed}");
+        assert_eq!(
+            shadow_exhausted > 0,
+            net.packets_dropped() > 0,
+            "seed {seed}"
+        );
+    }
+}

@@ -33,6 +33,7 @@
 //!   delivered/dropped accounting reports.
 
 use crate::packet::{crc16, Flit};
+use crate::protocol::{retry_step, AttemptOutcome, RetryState, RetryStep};
 use crate::router::NocConfig;
 use crate::stats::{Histogram, NetworkStats};
 use crate::topology::{Coord, Direction, Mesh};
@@ -261,59 +262,55 @@ impl FaultModel {
     /// Pushes `flit` across the link leaving `from` through `dir`,
     /// sampling corruption, CRC detection and the retransmission
     /// protocol. Local-port "traversals" are fault-free by construction.
+    ///
+    /// The protocol semantics live in [`crate::protocol::retry_step`]
+    /// (shared verbatim with the `srlr-model` checker); this method only
+    /// samples the per-attempt [`AttemptOutcome`]s from the link's RNG
+    /// stream and keeps the tallies.
     pub fn transmit(&mut self, from: Coord, dir: Direction, flit: &Flit) -> LinkTransmission {
         let Some(stream) = self.stream_index(from, dir) else {
             return LinkTransmission::clean(1, 0, 0);
         };
-        let max_attempts = self.config.max_retries + 1;
-        let mut attempts = 1u32;
-        let mut nacks = 0u32;
-        let mut extra_delay = 0u64;
+        let mut state = RetryState::start();
         loop {
             let corrupted =
                 self.word_error > 0.0 && self.streams[stream].next_f64() < self.word_error;
-            if !corrupted {
-                return LinkTransmission::clean(attempts, nacks, extra_delay);
-            }
-            self.tally.flits_corrupted += 1;
-            let (payload, crc) = corrupt_codeword(
-                &mut self.streams[stream],
-                flit.payload,
-                flit.crc,
-                self.config.ber,
-            );
-            if crc16(payload) == crc {
-                // The CRC check passes on corrupted bits: silent escape.
-                self.tally.silent_corruptions += 1;
-                if extra_delay > 0 {
-                    self.tally.retry_delay.record(extra_delay);
+            let outcome = if corrupted {
+                self.tally.flits_corrupted += 1;
+                let (payload, crc) = corrupt_codeword(
+                    &mut self.streams[stream],
+                    flit.payload,
+                    flit.crc,
+                    self.config.ber,
+                );
+                if crc16(payload) == crc {
+                    // The CRC check passes on corrupted bits: silent escape.
+                    AttemptOutcome::Silent
+                } else {
+                    // Detected: NACK back to the sender.
+                    AttemptOutcome::Detected
                 }
-                return LinkTransmission {
-                    attempts,
-                    nacks,
-                    delivered: true,
-                    silent: true,
-                    extra_delay,
-                };
-            }
-            // Detected: NACK back to the sender.
-            nacks += 1;
-            if attempts >= max_attempts {
-                self.tally.retries_exhausted += 1;
-                if extra_delay > 0 {
-                    self.tally.retry_delay.record(extra_delay);
+            } else {
+                AttemptOutcome::Clean
+            };
+            match retry_step(&self.config, state, outcome) {
+                RetryStep::Continue(next) => {
+                    state = next;
+                    self.tally.flits_retransmitted += 1;
                 }
-                return LinkTransmission {
-                    attempts,
-                    nacks,
-                    delivered: false,
-                    silent: false,
-                    extra_delay,
-                };
+                RetryStep::Done(tx) => {
+                    if tx.silent {
+                        self.tally.silent_corruptions += 1;
+                    }
+                    if !tx.delivered {
+                        self.tally.retries_exhausted += 1;
+                    }
+                    if (tx.silent || !tx.delivered) && tx.extra_delay > 0 {
+                        self.tally.retry_delay.record(tx.extra_delay);
+                    }
+                    return tx;
+                }
             }
-            extra_delay += self.config.ack_timeout + self.config.backoff * u64::from(attempts - 1);
-            attempts += 1;
-            self.tally.flits_retransmitted += 1;
         }
     }
 }
@@ -438,6 +435,10 @@ pub fn ber_sweep_observed(
             &format!("{prefix}.delivered_fraction"),
             Value::F64(point.stats.delivered_fraction()),
         );
+        if let Some((lo, hi)) = point.stats.delivered_interval_95() {
+            child.set_metric(&format!("{prefix}.delivered_lower_95"), Value::F64(lo));
+            child.set_metric(&format!("{prefix}.delivered_upper_95"), Value::F64(hi));
+        }
         child.set_metric(
             &format!("{prefix}.retries_exhausted"),
             Value::U64(point.stats.faults.retries_exhausted),
@@ -640,7 +641,40 @@ mod tests {
             "one span per BER point"
         );
         assert!(text.contains("\"ber.point.001.latency.p50\""));
+        assert!(
+            text.contains("\"ber.point.001.delivered_lower_95\"")
+                && text.contains("\"ber.point.001.delivered_upper_95\""),
+            "the Wilson interval must be exposed per sweep point"
+        );
         assert!(text.contains("\"name\":\"ber.points\",\"value\":3"));
+    }
+
+    #[test]
+    fn sampled_transmissions_replay_through_the_pure_automaton() {
+        // Lockstep with `crate::protocol`: every transmission the RNG-driven
+        // fault model produces on a seeded run, replayed through the pure
+        // automaton the model checker enumerates, must reproduce itself
+        // bit-for-bit — attempts, NACKs, delay and delivery flags.
+        use crate::protocol::replay_transmission;
+        let dirs = [
+            Direction::East,
+            Direction::North,
+            Direction::West,
+            Direction::South,
+        ];
+        for (seed, ber) in [(1u64, 0.05), (2, 0.2), (3, 0.45)] {
+            let config = FaultConfig::new(ber).with_seed(seed).with_max_retries(3);
+            let mut fm = FaultModel::new(config, Mesh::new(4, 4));
+            for k in 0..1500usize {
+                let from = Coord::new((k % 3) as u16 + 1, (k % 2) as u16 + 1);
+                let tx = fm.transmit(from, dirs[k % dirs.len()], &flit());
+                assert_eq!(
+                    replay_transmission(fm.config(), &tx),
+                    Some(tx),
+                    "seed {seed} ber {ber} transmission {k} diverged from the automaton"
+                );
+            }
+        }
     }
 
     #[test]

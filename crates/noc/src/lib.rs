@@ -22,6 +22,8 @@
 //! * [`fault`] — BER-driven link fault injection with CRC-16 detection
 //!   and bounded NACK/retransmission (the system-level consequence of
 //!   the paper's measured link BER),
+//! * [`protocol`] — the pure retry/scheduling transition functions the
+//!   fault model and the `srlr-model` exhaustive checker share,
 //! * [`power`] — per-event energy accounting with a pluggable datapath
 //!   (full-swing repeated wires vs the SRLR low-swing datapath), the
 //!   published RAW/TRIPS/TeraFLOPS breakdowns, and the paper's router
@@ -52,6 +54,7 @@ pub mod multicast;
 pub mod network;
 pub mod packet;
 pub mod power;
+pub mod protocol;
 pub mod router;
 pub mod routing;
 pub mod stats;
@@ -63,6 +66,7 @@ pub use bufferless::DeflectionNetwork;
 pub use express::{ExpressComparison, ExpressTopology};
 pub use fault::{
     ber_sweep, ber_sweep_observed, FaultConfig, FaultModel, FaultSweepPoint, FaultTally,
+    LinkTransmission,
 };
 pub use multicast::MulticastAccounting;
 pub use network::{Network, StalledError};

@@ -554,13 +554,19 @@ impl Network {
                                 }
                             }
                             // Retransmission delay must not let this flit
-                            // overtake an earlier one on the same wire.
+                            // overtake an earlier one on the same wire
+                            // (the shared scheduling rule the checker
+                            // verifies, see `crate::protocol`).
                             let link = self.mesh.index_of(here) * Direction::MESH.len()
                                 + s.out_port.index();
                             if let Some(tel) = self.telemetry.as_mut() {
                                 tel.link_flits[link] += 1;
                             }
-                            let at = (self.cycle + delay).max(self.link_busy_until[link] + 1);
+                            let at = crate::protocol::link_arrival(
+                                self.cycle,
+                                delay,
+                                self.link_busy_until[link],
+                            );
                             self.link_busy_until[link] = at;
                             self.pending_flits[self.mesh.index_of(next)].push((
                                 at,

@@ -1,0 +1,312 @@
+//! The pure, side-effect-free transition semantics of the link-level
+//! fault/retry protocol — shared by the cycle-accurate simulator and the
+//! `srlr-model` exhaustive checker.
+//!
+//! [`crate::fault::FaultModel::transmit`] *samples* attempt outcomes
+//! from its per-link RNG streams and folds them through [`retry_step`];
+//! the model checker *enumerates* every outcome sequence through the
+//! same function. [`crate::Network::step`] schedules each link arrival
+//! through [`link_arrival`]; the checker applies the identical rule to
+//! its abstract states. Because both consumers call these two functions
+//! — rather than each re-implementing the protocol — a property proved
+//! by the checker is a property of the code the simulator runs, not of
+//! a hand-copied model that could drift.
+//!
+//! Everything here is a pure function of its arguments: no RNG, no
+//! tallies, no I/O. The sampling, accounting and telemetry stay in
+//! [`crate::fault`] and [`crate::network`].
+
+use crate::fault::{FaultConfig, LinkTransmission};
+
+/// The receiver-side verdict on one transmission attempt of a flit
+/// codeword across a link.
+///
+/// The simulator samples this from the injected BER and a real CRC-16
+/// check over the corrupted bits; the checker enumerates all three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// The codeword crossed uncorrupted: ACK, transmission complete.
+    Clean,
+    /// Corrupted and caught by the CRC: NACK back over the reverse wire.
+    Detected,
+    /// Corrupted but the CRC still matched — an undetected escape. The
+    /// flit is delivered carrying wrong bits.
+    Silent,
+}
+
+/// The sender-side retry automaton state between attempts of one flit
+/// on one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryState {
+    /// Transmissions performed so far, counting the one in flight.
+    pub attempts: u32,
+    /// NACKs received so far.
+    pub nacks: u32,
+    /// Retransmission delay accumulated so far, in cycles on top of the
+    /// normal link latency.
+    pub extra_delay: u64,
+}
+
+impl RetryState {
+    /// The state at the first transmission attempt.
+    pub fn start() -> Self {
+        Self {
+            attempts: 1,
+            nacks: 0,
+            extra_delay: 0,
+        }
+    }
+}
+
+/// The result of folding one [`AttemptOutcome`] into a [`RetryState`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryStep {
+    /// The attempt was NACKed and budget remains: retransmit from the
+    /// carried state after its accumulated delay.
+    Continue(RetryState),
+    /// The transmission terminated (clean, silent escape, or budget
+    /// exhausted — see [`LinkTransmission::delivered`]).
+    Done(LinkTransmission),
+}
+
+/// Advances the retry automaton by one attempt outcome.
+///
+/// Semantics (exactly the PR 2 protocol):
+///
+/// * `Clean` / `Silent` terminate immediately with `delivered = true`.
+/// * `Detected` costs a NACK. With `attempts > max_retries` the budget
+///   is exhausted: the flit goes through poisoned (`delivered = false`)
+///   and its packet will be discarded at ejection. Otherwise retry `k`
+///   (1-based) adds `ack_timeout + backoff * (k - 1)` cycles of delay
+///   and the automaton continues.
+pub fn retry_step(config: &FaultConfig, state: RetryState, outcome: AttemptOutcome) -> RetryStep {
+    let RetryState {
+        attempts,
+        nacks,
+        extra_delay,
+    } = state;
+    match outcome {
+        AttemptOutcome::Clean => RetryStep::Done(LinkTransmission {
+            attempts,
+            nacks,
+            delivered: true,
+            silent: false,
+            extra_delay,
+        }),
+        AttemptOutcome::Silent => RetryStep::Done(LinkTransmission {
+            attempts,
+            nacks,
+            delivered: true,
+            silent: true,
+            extra_delay,
+        }),
+        AttemptOutcome::Detected => {
+            let nacks = nacks + 1;
+            if attempts > config.max_retries {
+                RetryStep::Done(LinkTransmission {
+                    attempts,
+                    nacks,
+                    delivered: false,
+                    silent: false,
+                    extra_delay,
+                })
+            } else {
+                RetryStep::Continue(RetryState {
+                    attempts: attempts + 1,
+                    nacks,
+                    extra_delay: extra_delay
+                        + config.ack_timeout
+                        + config.backoff * u64::from(attempts - 1),
+                })
+            }
+        }
+    }
+}
+
+/// Replays a completed transmission through the automaton and returns
+/// the reconstructed [`LinkTransmission`].
+///
+/// A terminated transmission fully determines its outcome sequence:
+/// every non-final attempt was `Detected`, and the final attempt is
+/// `Clean`, `Silent` or the exhausting `Detected`. This is the lockstep
+/// bridge used by tests: a transmission sampled by the simulator,
+/// replayed here, must reproduce itself bit-for-bit.
+///
+/// Returns `None` if `tx` is not a trace the automaton can produce
+/// under `config` (e.g. more attempts than the budget allows).
+pub fn replay_transmission(
+    config: &FaultConfig,
+    tx: &LinkTransmission,
+) -> Option<LinkTransmission> {
+    let mut state = RetryState::start();
+    for _ in 1..tx.attempts {
+        match retry_step(config, state, AttemptOutcome::Detected) {
+            RetryStep::Continue(next) => state = next,
+            RetryStep::Done(_) => return None,
+        }
+    }
+    let last = if tx.silent {
+        AttemptOutcome::Silent
+    } else if tx.delivered {
+        AttemptOutcome::Clean
+    } else {
+        AttemptOutcome::Detected
+    };
+    match retry_step(config, state, last) {
+        RetryStep::Done(replayed) => Some(replayed),
+        RetryStep::Continue(_) => None,
+    }
+}
+
+/// The link scheduling rule: the cycle at which a flit sent at `cycle`
+/// with total latency `delay` (pipeline + retransmission) arrives at
+/// the far router, given the latest arrival already granted on the same
+/// directed link.
+///
+/// The `busy_until + 1` floor is the no-overtaking watermark: a flit
+/// whose predecessor was stalled by retries is pushed behind it, so
+/// per-link arrival order always equals send order and a wormhole can
+/// never be re-interleaved mid-flight.
+pub fn link_arrival(cycle: u64, delay: u64, busy_until: u64) -> u64 {
+    (cycle + delay).max(busy_until + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultConfig;
+
+    fn config(retries: u32) -> FaultConfig {
+        FaultConfig::new(1e-3)
+            .with_max_retries(retries)
+            .with_timing(2, 1)
+    }
+
+    #[test]
+    fn clean_first_attempt_terminates() {
+        let step = retry_step(&config(4), RetryState::start(), AttemptOutcome::Clean);
+        assert_eq!(
+            step,
+            RetryStep::Done(LinkTransmission {
+                attempts: 1,
+                nacks: 0,
+                delivered: true,
+                silent: false,
+                extra_delay: 0,
+            })
+        );
+    }
+
+    #[test]
+    fn detected_accumulates_backoff_then_exhausts() {
+        let cfg = config(2);
+        let mut state = RetryState::start();
+        // Retry 1: +ack_timeout (2) + backoff*0.
+        let RetryStep::Continue(next) = retry_step(&cfg, state, AttemptOutcome::Detected) else {
+            panic!("budget remains after one NACK");
+        };
+        state = next;
+        assert_eq!((state.attempts, state.nacks, state.extra_delay), (2, 1, 2));
+        // Retry 2: +ack_timeout (2) + backoff*1.
+        let RetryStep::Continue(next) = retry_step(&cfg, state, AttemptOutcome::Detected) else {
+            panic!("budget remains after two NACKs");
+        };
+        state = next;
+        assert_eq!((state.attempts, state.nacks, state.extra_delay), (3, 2, 5));
+        // Third detected attempt exhausts the 2-retry budget.
+        let RetryStep::Done(tx) = retry_step(&cfg, state, AttemptOutcome::Detected) else {
+            panic!("budget must exhaust");
+        };
+        assert_eq!(tx.attempts, 3);
+        assert_eq!(tx.nacks, 3);
+        assert!(!tx.delivered);
+        assert!(!tx.silent);
+        assert_eq!(tx.extra_delay, 5);
+    }
+
+    #[test]
+    fn zero_budget_exhausts_on_first_detection() {
+        let RetryStep::Done(tx) =
+            retry_step(&config(0), RetryState::start(), AttemptOutcome::Detected)
+        else {
+            panic!("no retries allowed");
+        };
+        assert!(!tx.delivered);
+        assert_eq!((tx.attempts, tx.nacks, tx.extra_delay), (1, 1, 0));
+    }
+
+    #[test]
+    fn silent_escape_is_delivered_with_the_accumulated_delay() {
+        let cfg = config(4);
+        let RetryStep::Continue(state) =
+            retry_step(&cfg, RetryState::start(), AttemptOutcome::Detected)
+        else {
+            panic!("budget remains");
+        };
+        let RetryStep::Done(tx) = retry_step(&cfg, state, AttemptOutcome::Silent) else {
+            panic!("silent terminates");
+        };
+        assert!(tx.delivered && tx.silent);
+        assert_eq!((tx.attempts, tx.nacks, tx.extra_delay), (2, 1, 2));
+    }
+
+    #[test]
+    fn replay_reconstructs_every_terminal_shape() {
+        let cfg = config(3);
+        // Enumerate the terminals by driving the automaton directly.
+        let mut state = RetryState::start();
+        loop {
+            let RetryStep::Done(clean) = retry_step(&cfg, state, AttemptOutcome::Clean) else {
+                panic!("clean always terminates");
+            };
+            assert_eq!(replay_transmission(&cfg, &clean), Some(clean));
+            let RetryStep::Done(silent) = retry_step(&cfg, state, AttemptOutcome::Silent) else {
+                panic!("silent always terminates");
+            };
+            assert_eq!(replay_transmission(&cfg, &silent), Some(silent));
+            match retry_step(&cfg, state, AttemptOutcome::Detected) {
+                RetryStep::Continue(next) => state = next,
+                RetryStep::Done(exhausted) => {
+                    assert_eq!(replay_transmission(&cfg, &exhausted), Some(exhausted));
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replay_rejects_impossible_traces() {
+        let cfg = config(1);
+        let forged = LinkTransmission {
+            attempts: 9,
+            nacks: 8,
+            delivered: true,
+            silent: false,
+            extra_delay: 0,
+        };
+        assert_eq!(replay_transmission(&cfg, &forged), None);
+    }
+
+    #[test]
+    fn link_arrival_floors_at_the_watermark() {
+        // Unconstrained link: plain latency.
+        assert_eq!(link_arrival(10, 3, 0), 13);
+        // Watermark ahead of the natural arrival: pushed behind it.
+        assert_eq!(link_arrival(10, 3, 20), 21);
+        // Equal: still strictly after the previous arrival.
+        assert_eq!(link_arrival(10, 3, 13), 14);
+    }
+
+    #[test]
+    fn link_arrival_is_strictly_monotone_per_link() {
+        // Chained sends through the rule always produce strictly
+        // increasing arrivals, whatever the per-send delays do.
+        let mut busy = 0;
+        let delays = [5u64, 1, 9, 1, 1, 14, 1];
+        for (i, &d) in delays.iter().enumerate() {
+            let at = link_arrival(i as u64, d, busy);
+            assert!(at > busy, "arrival {at} must pass watermark {busy}");
+            busy = at;
+        }
+    }
+}

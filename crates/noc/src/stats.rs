@@ -267,6 +267,28 @@ impl NetworkStats {
         }
     }
 
+    /// Wilson-score 95 % confidence interval `(lower, upper)` on the
+    /// delivered fraction, treating each terminated packet as one
+    /// Bernoulli trial, or `None` for an empty window. This is the
+    /// interval the `srlr-model` exact delivery probability is
+    /// cross-validated against, exposed here (and in the `ber_sweep`
+    /// telemetry) so downstream consumers read the same numbers as the
+    /// integration test.
+    pub fn delivered_interval_95(&self) -> Option<(f64, f64)> {
+        let terminated = self.packets_received + self.packets_dropped;
+        if terminated == 0 {
+            return None;
+        }
+        // The Wilson machinery is phrased in failures; a drop is the
+        // failure event, so the delivered interval is its complement.
+        let drops = srlr_tech::montecarlo::ErrorProbability {
+            failures: self.packets_dropped as usize,
+            trials: terminated as usize,
+        };
+        let (drop_lo, drop_hi) = drops.interval_95();
+        Some((1.0 - drop_hi, 1.0 - drop_lo))
+    }
+
     /// Accepted throughput in flits per node per cycle.
     ///
     /// # Panics
@@ -486,6 +508,25 @@ mod tests {
         s.packets_dropped = 1;
         assert!((s.delivered_fraction() - 0.9).abs() < 1e-12);
         assert_eq!(NetworkStats::new(10, 4).delivered_fraction(), 1.0);
+    }
+
+    #[test]
+    fn delivered_interval_brackets_the_fraction() {
+        let mut s = stats_with(&[10; 90]);
+        s.packets_dropped = 10;
+        let (lo, hi) = s.delivered_interval_95().expect("terminated packets");
+        let point = s.delivered_fraction();
+        assert!(lo < point && point < hi, "{lo} < {point} < {hi}");
+        assert!(lo > 0.8 && hi < 1.0, "100 trials at 90 %: ({lo}, {hi})");
+
+        // Zero drops: the interval hangs off 1.0 but never exceeds it.
+        let clean = stats_with(&[10; 50]);
+        let (lo, hi) = clean.delivered_interval_95().expect("terminated packets");
+        assert_eq!(hi, 1.0);
+        assert!(lo < 1.0 && lo > 0.9);
+
+        // An empty window has no trials to build an interval from.
+        assert_eq!(NetworkStats::new(10, 4).delivered_interval_95(), None);
     }
 
     #[test]

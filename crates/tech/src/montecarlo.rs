@@ -300,6 +300,29 @@ impl ErrorProbability {
     /// Panics if `trials` is zero.
     // srlr-lint: allow(raw-f64-api, reason = "a probability is dimensionless")
     pub fn upper_bound_95(self) -> f64 {
+        self.interval_95().1
+    }
+
+    /// Wilson-score 95 % lower bound on the failure probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero.
+    // srlr-lint: allow(raw-f64-api, reason = "a probability is dimensionless")
+    pub fn lower_bound_95(self) -> f64 {
+        self.interval_95().0
+    }
+
+    /// The two-sided Wilson-score 95 % confidence interval
+    /// `(lower, upper)` on the failure probability, clamped to `[0, 1]`.
+    /// This is the interval an exact (model-checked) probability is
+    /// validated against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero.
+    // srlr-lint: allow(raw-f64-api, reason = "a probability is dimensionless")
+    pub fn interval_95(self) -> (f64, f64) {
         assert!(
             self.trials > 0,
             "error probability needs at least one trial"
@@ -311,7 +334,10 @@ impl ErrorProbability {
         let denom = 1.0 + z2 / n;
         let centre = p + z2 / (2.0 * n);
         let spread = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
-        ((centre + spread) / denom).min(1.0)
+        (
+            ((centre - spread) / denom).max(0.0),
+            ((centre + spread) / denom).min(1.0),
+        )
     }
 }
 
@@ -461,6 +487,45 @@ mod tests {
         // Rule-of-three-ish: upper bound near 3.8/n for Wilson at 95 %.
         assert!(zero.upper_bound_95() < 0.006);
         assert!(zero.upper_bound_95() > 0.001);
+    }
+
+    #[test]
+    fn wilson_interval_brackets_the_estimate() {
+        let p = ErrorProbability {
+            failures: 30,
+            trials: 1000,
+        };
+        let (lo, hi) = p.interval_95();
+        assert_eq!(lo, p.lower_bound_95());
+        assert_eq!(hi, p.upper_bound_95());
+        assert!(lo < p.estimate() && p.estimate() < hi);
+        assert!(lo > 0.0, "30/1000 is clearly away from zero");
+
+        // Degenerate corners stay clamped to [0, 1].
+        let zero = ErrorProbability {
+            failures: 0,
+            trials: 50,
+        };
+        assert_eq!(zero.lower_bound_95(), 0.0);
+        let all = ErrorProbability {
+            failures: 50,
+            trials: 50,
+        };
+        assert_eq!(all.upper_bound_95(), 1.0);
+        assert!(all.lower_bound_95() < 1.0);
+
+        // More trials tighten the interval around the same estimate.
+        let wide = ErrorProbability {
+            failures: 3,
+            trials: 100,
+        };
+        let tight = ErrorProbability {
+            failures: 300,
+            trials: 10_000,
+        };
+        let (wl, wh) = wide.interval_95();
+        let (tl, th) = tight.interval_95();
+        assert!(th - tl < wh - wl);
     }
 
     #[test]
