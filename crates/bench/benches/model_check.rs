@@ -1,6 +1,13 @@
 //! State-space throughput of the `srlr-model` exhaustive checker: how
 //! fast the BFS enumerates canonical states and how fast the absorbing
 //! DTMC solves, across the retry budgets the CI gate proves.
+//!
+//! Besides the `target/srlr-reports/model_check.json` run report, it
+//! writes the committed snapshot `BENCH_model_check.json` at the repo
+//! root (same schema: `srlr-telemetry`'s versioned run report). State
+//! counts and the exact DTMC delivery probabilities are deterministic,
+//! so CI's perf-regression job gates the snapshot with `srlr
+//! bench-diff` at (near-)zero tolerance.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use srlr_bench::report;
@@ -52,6 +59,7 @@ fn print_tables() {
         );
     }
     report::emit_run_report(&run);
+    report::emit_bench_snapshot(&run);
 }
 
 fn bench(c: &mut Criterion) {

@@ -1,6 +1,12 @@
 //! Fault-injection characterisation of the mesh NoC: delivered rate,
 //! honest p99 latency and retransmission energy versus the injected link
 //! BER, plus a Criterion benchmark of the fault-injected hot path.
+//!
+//! Besides the `target/srlr-reports/noc_faults.json` run report, it
+//! writes the committed snapshot `BENCH_noc_faults.json` at the repo
+//! root (same schema: `srlr-telemetry`'s versioned run report). The
+//! sweep is fully deterministic, so CI's perf-regression job gates it
+//! with `srlr bench-diff` at (near-)zero tolerance.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use srlr_bench::report;
@@ -73,6 +79,7 @@ fn print_tables() {
         }
     }
     report::emit_run_report(&run);
+    report::emit_bench_snapshot(&run);
 }
 
 fn bench(c: &mut Criterion) {

@@ -53,18 +53,27 @@ pub fn help() -> String {
                                         retry protocol: deadlock-freedom,\n\
                                         no overtaking, termination, and\n\
                                         the exact DTMC delivery rate\n\
+       profile --in FILE [--top N]      rank a folded profile's frames\n\
+                                        by self time (hotspot table)\n\
+       bench-diff --old A --new B [--tolerance F] [--abs-tolerance F]\n\
+              [--ignore csv]            structured diff of two run\n\
+                                        reports / bench snapshots; exit\n\
+                                        1 on an out-of-band change (the\n\
+                                        CI perf-regression gate)\n\
        help                             this text\n\
      \n\
      --threads T: worker threads (0 or unset = SRLR_THREADS env var, then\n\
      the machine). Results are identical at every thread count.\n\
      \n\
-     telemetry (fig6, waveforms, noc, noc-faults):\n\
+     telemetry (fig6, waveforms, noc, noc-faults, verify-noc):\n\
        --trace-out FILE     Chrome trace_event JSON (Perfetto-loadable)\n\
        --events-out FILE    JSONL structured-event stream\n\
        --metrics-out FILE   versioned machine-readable run report\n\
+       --profile-out FILE   folded-stack self-profile (speedscope /\n\
+                            inferno-compatible; see `srlr profile`)\n\
        --progress           decile progress to stderr (fig6, noc-faults)\n\
      Telemetry never perturbs results and its files are bit-identical at\n\
-     every --threads count.\n"
+     every --threads count; profile timing lives in its own sink.\n"
         .to_owned()
 }
 
@@ -108,8 +117,9 @@ fn parse_threads(flags: &Flags) -> Result<Option<usize>, CliError> {
 }
 
 /// The telemetry file-output flags accepted by the instrumented
-/// subcommands (`fig6`, `waveforms`, `noc`, `noc-faults`).
-const TELEMETRY_FLAGS: [&str; 3] = ["trace-out", "metrics-out", "events-out"];
+/// subcommands (`fig6`, `waveforms`, `noc`, `noc-faults`,
+/// `verify-noc`).
+const TELEMETRY_FLAGS: [&str; 4] = ["trace-out", "metrics-out", "events-out", "profile-out"];
 
 /// Parsed telemetry options of one invocation.
 #[derive(Debug, Default)]
@@ -117,6 +127,7 @@ struct TelemetryOpts {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     events_out: Option<String>,
+    profile_out: Option<String>,
     progress: bool,
 }
 
@@ -128,6 +139,7 @@ impl TelemetryOpts {
             trace_out: flags.get_str("trace-out").map(str::to_owned),
             metrics_out: flags.get_str("metrics-out").map(str::to_owned),
             events_out: flags.get_str("events-out").map(str::to_owned),
+            profile_out: flags.get_str("profile-out").map(str::to_owned),
             progress: flags.is_set("progress"),
         }
     }
@@ -139,7 +151,9 @@ impl TelemetryOpts {
     }
 
     /// The observability hooks for a run of `total` work items with
-    /// timestamps in `timebase`.
+    /// timestamps in `timebase`. With `--profile-out` the profiler runs
+    /// on the wall clock; timing lives in its own sink, so the event
+    /// stream stays bit-identical whether or not profiling is on.
     fn obs(&self, timebase: &str, label: &str, total: u64) -> Obs {
         Obs {
             collector: if self.wants_collector() {
@@ -152,7 +166,24 @@ impl TelemetryOpts {
             } else {
                 Progress::disabled()
             },
+            profiler: if self.profile_out.is_some() {
+                srlr_telemetry::Profiler::enabled(srlr_telemetry::Clock::wall())
+            } else {
+                srlr_telemetry::Profiler::disabled()
+            },
         }
+    }
+
+    /// Writes the folded-stack profile (`--profile-out`), one
+    /// `path;to;frame <self-µs>` line per frame — loadable by
+    /// speedscope and `inferno-flamegraph`, diffable by
+    /// `srlr bench-diff`, rankable by `srlr profile`.
+    fn write_profile(&self, profiler: &srlr_telemetry::Profiler) -> Result<(), CliError> {
+        if let Some(path) = &self.profile_out {
+            let folded = srlr_prof::fold(&profiler.snapshot());
+            write_file(path, folded.as_bytes())?;
+        }
+        Ok(())
     }
 
     /// Drains the run's telemetry into the requested files: the Chrome
@@ -313,6 +344,7 @@ pub fn fig6(rest: &[String]) -> Result<String, CliError> {
             "trace-out",
             "metrics-out",
             "events-out",
+            "profile-out",
         ],
         &["progress"],
     )?;
@@ -378,6 +410,7 @@ pub fn fig6(rest: &[String]) -> Result<String, CliError> {
     report.metric("immunity_ratio", Value::F64(ratio));
     report.absorb_collector(&obs.collector);
     tel.write(&obs.collector, &report)?;
+    tel.write_profile(&obs.profiler)?;
     Ok(out)
 }
 
@@ -409,12 +442,11 @@ pub fn waveforms(rest: &[String]) -> Result<String, CliError> {
     let flags = Flags::parse(rest, &TELEMETRY_FLAGS)?;
     let tel = TelemetryOpts::from_flags(&flags);
     let tech = Technology::soi45();
-    let mut collector = if tel.wants_collector() {
-        Collector::enabled("sim-s")
-    } else {
-        Collector::disabled()
-    };
+    let mut obs = tel.obs("sim-s", "waveforms", 1);
+    let mut collector = std::mem::take(&mut obs.collector);
+    obs.profiler.enter("waveforms.transient");
     let waves = srlr_core::transient::SrlrTransientFixture::fig4_observed(&tech, &mut collector);
+    obs.profiler.exit();
     let mut out = String::new();
     let _ = writeln!(out, "IN (peak {}):", waves.input.peak());
     out.push_str(&waves.input.ascii_plot(8, 80));
@@ -433,6 +465,7 @@ pub fn waveforms(rest: &[String]) -> Result<String, CliError> {
     );
     report.absorb_collector(&collector);
     tel.write(&collector, &report)?;
+    tel.write_profile(&obs.profiler)?;
     Ok(out)
 }
 
@@ -491,6 +524,7 @@ pub fn noc(rest: &[String]) -> Result<String, CliError> {
             "trace-out",
             "metrics-out",
             "events-out",
+            "profile-out",
         ],
     )?;
     let tel = TelemetryOpts::from_flags(&flags);
@@ -520,7 +554,14 @@ pub fn noc(rest: &[String]) -> Result<String, CliError> {
     if tel.wants_collector() {
         net.enable_flit_telemetry();
     }
-    let stats = net.run_warmup_and_measure(Pattern::UniformRandom, load, cycles / 4, cycles);
+    let mut obs = tel.obs("cycle", "noc", cycles);
+    let stats = net.run_warmup_and_measure_profiled(
+        Pattern::UniformRandom,
+        load,
+        cycles / 4,
+        cycles,
+        &mut obs.profiler,
+    );
     let model = PowerModel::for_datapath(&tech, config.flit_bits, datapath);
     let power = model.report(&stats.energy, cycles, config.clock, config.mesh().len());
     let collector = net.take_flit_telemetry().unwrap_or_default();
@@ -544,6 +585,7 @@ pub fn noc(rest: &[String]) -> Result<String, CliError> {
     }
     report.absorb_collector(&collector);
     tel.write(&collector, &report)?;
+    tel.write_profile(&obs.profiler)?;
     Ok(format!(
         "{cols}x{rows} mesh, {datapath}, load {load}\ntraffic: {stats}\npower:   {power}\n"
     ))
@@ -582,6 +624,7 @@ pub fn noc_faults(rest: &[String]) -> Result<String, CliError> {
             "trace-out",
             "metrics-out",
             "events-out",
+            "profile-out",
         ],
         &["progress"],
     )?;
@@ -731,7 +774,85 @@ pub fn noc_faults(rest: &[String]) -> Result<String, CliError> {
     }
     report.absorb_collector(&obs.collector);
     tel.write(&obs.collector, &report)?;
+    tel.write_profile(&obs.profiler)?;
     Ok(out)
+}
+
+/// `srlr profile --in FILE [--top N]`: ranks the frames of a folded
+/// profile (written by any sim subcommand's `--profile-out`) by self
+/// time and prints the top-N hotspot table.
+pub fn profile(rest: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(rest, &["in", "top"])?;
+    let path = flags
+        .get_str("in")
+        .ok_or_else(|| CliError::Usage("profile needs --in FILE".into()))?;
+    let top: usize = flags.get_or("top", 10)?;
+    if top == 0 {
+        return Err(CliError::Usage("--top must be positive".into()));
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Experiment(format!("cannot read `{path}`: {e}")))?;
+    let lines = srlr_prof::parse_folded(&text)
+        .map_err(|e| CliError::Experiment(format!("`{path}` is not a folded profile: {e}")))?;
+    let spots = srlr_prof::hotspots_folded(&lines, top);
+    Ok(format!(
+        "top {} of {} frames by self time ({path})\n\n{}",
+        spots.len(),
+        lines.len(),
+        srlr_prof::render_table(&spots)
+    ))
+}
+
+/// `srlr bench-diff --old A --new B [--tolerance F] [--abs-tolerance F]
+/// [--ignore csv]`: structured diff of two run reports / bench
+/// snapshots (any scalar-leaved JSON). Exit `0` when every change sits
+/// inside the tolerance band, `1` on a regression (the CI gate), `2`
+/// on usage errors — mirroring `lint`.
+pub fn bench_diff(rest: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(
+        rest,
+        &["old", "new", "tolerance", "abs-tolerance", "ignore"],
+    )?;
+    let old_path = flags
+        .get_str("old")
+        .ok_or_else(|| CliError::Usage("bench-diff needs --old FILE".into()))?;
+    let new_path = flags
+        .get_str("new")
+        .ok_or_else(|| CliError::Usage("bench-diff needs --new FILE".into()))?;
+    let rel_tol: f64 = flags.get_or("tolerance", 0.0)?;
+    let abs_tol: f64 = flags.get_or("abs-tolerance", 0.0)?;
+    if !(rel_tol.is_finite() && rel_tol >= 0.0 && abs_tol.is_finite() && abs_tol >= 0.0) {
+        return Err(CliError::Usage(
+            "tolerances must be finite and non-negative".into(),
+        ));
+    }
+    let ignore: Vec<String> = flags
+        .get_str("ignore")
+        .map(|raw| {
+            raw.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_owned)
+                .collect()
+        })
+        .unwrap_or_default();
+    let read = |path: &str| {
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError::Experiment(format!("cannot read `{path}`: {e}")))
+    };
+    let opts = srlr_prof::DiffOptions {
+        rel_tol,
+        abs_tol,
+        ignore,
+    };
+    let report = srlr_prof::diff_reports(&read(old_path)?, &read(new_path)?, &opts)
+        .map_err(CliError::Experiment)?;
+    let out = format!("old: {old_path}\nnew: {new_path}\n{}", report.render());
+    if report.regressed() {
+        Err(CliError::Experiment(out))
+    } else {
+        Ok(out)
+    }
 }
 
 /// `srlr express [--interval K]`.
@@ -872,7 +993,7 @@ pub fn lint(rest: &[String]) -> Result<String, CliError> {
 /// `text`/`json` formats; `--format sarif` always succeeds so CI can
 /// archive the document from a failing tree (the gate is a text run).
 pub fn verify_noc(rest: &[String]) -> Result<String, CliError> {
-    use srlr_model::{closed_form_delivery, verify, ModelConfig, Variant};
+    use srlr_model::{closed_form_delivery, ModelConfig, Variant};
     use srlr_telemetry::json::{write_f64, write_str};
 
     let flags = Flags::parse(
@@ -888,6 +1009,7 @@ pub fn verify_noc(rest: &[String]) -> Result<String, CliError> {
             "trace-out",
             "metrics-out",
             "events-out",
+            "profile-out",
         ],
     )?;
     let tel = TelemetryOpts::from_flags(&flags);
@@ -949,7 +1071,7 @@ pub fn verify_noc(rest: &[String]) -> Result<String, CliError> {
             FaultConfig::new(ber).with_max_retries(budget),
         )
         .with_variant(variant);
-        let report = verify(&config);
+        let report = srlr_model::verify_profiled(&config, &mut obs.profiler);
         for violation in report.violations() {
             violation.emit(&mut obs.collector);
         }
@@ -986,6 +1108,7 @@ pub fn verify_noc(rest: &[String]) -> Result<String, CliError> {
     }
     run_report.absorb_collector(&obs.collector);
     tel.write(&obs.collector, &run_report)?;
+    tel.write_profile(&obs.profiler)?;
 
     let routes = reports.first().map_or(0, |(_, _, r)| r.pairs.len());
     let out = match format {

@@ -16,6 +16,8 @@
 //! srlr express [--interval K]
 //! srlr sizing                  M1/M2 design-space sweep
 //! srlr lint [--format sarif] [--deny-all]   workspace static analysis
+//! srlr profile --in FILE [--top N]          rank a folded profile
+//! srlr bench-diff --old A --new B [--tolerance F]   snapshot gate
 //! ```
 
 #![forbid(unsafe_code)]
@@ -76,6 +78,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "crosstalk" => commands::crosstalk(),
         "lint" => commands::lint(rest),
         "verify-noc" => commands::verify_noc(rest),
+        "profile" => commands::profile(rest),
+        "bench-diff" => commands::bench_diff(rest),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`; try `srlr help`"
         ))),

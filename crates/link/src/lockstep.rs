@@ -8,9 +8,16 @@
 //! patterns to run; the kill-on-error bookkeeping is identical either
 //! way, which is what keeps both batched paths bit-identical to their
 //! scalar references.
+//!
+//! Every check takes the caller's [`Profiler`]: each advanced slot is a
+//! `bit_slot` frame (recorded inside [`DieBatch`]) and each retired
+//! lane bumps a `lane_kill` tally. A disabled profiler costs one
+//! branch per call and never touches the arithmetic, so the
+//! bit-identity contract is unaffected.
 
 use crate::link::SrlrLink;
 use srlr_core::DieBatch;
+use srlr_telemetry::Profiler;
 
 /// One [`DieBatch`] plus kill-on-error verdicts over its lanes.
 pub(crate) struct Lockstep {
@@ -64,14 +71,14 @@ impl Lockstep {
 
     /// Transmits `pattern` to every contending lane on a freshly
     /// drained link (matching one `transmits_cleanly` call per lane).
-    pub(crate) fn check_shared(&mut self, pattern: &[bool]) {
+    pub(crate) fn check_shared(&mut self, pattern: &[bool], prof: &mut Profiler) {
         if !self.batch.any_alive() {
             return;
         }
         self.batch.reset_state();
         for &bit in pattern {
             self.tx.fill(bit);
-            if self.step() {
+            if self.step(prof) {
                 break;
             }
         }
@@ -80,7 +87,12 @@ impl Lockstep {
     /// Fresh-link transmission with per-lane stimulus of `len` bits.
     /// `None` lanes are already retired; their tx bit is irrelevant
     /// (the batch skips dead lanes).
-    pub(crate) fn check_per_lane(&mut self, bits: &[Option<Vec<bool>>], len: usize) {
+    pub(crate) fn check_per_lane(
+        &mut self,
+        bits: &[Option<Vec<bool>>],
+        len: usize,
+        prof: &mut Profiler,
+    ) {
         if !self.batch.any_alive() {
             return;
         }
@@ -91,19 +103,21 @@ impl Lockstep {
                     self.tx[lane] = lane_bits[slot];
                 }
             }
-            if self.step() {
+            if self.step(prof) {
                 break;
             }
         }
     }
 
     /// One bit slot; returns `true` when every lane has been retired.
-    fn step(&mut self) -> bool {
-        self.batch.advance_slot(&self.tx, &mut self.rx);
+    fn step(&mut self, prof: &mut Profiler) -> bool {
+        self.batch
+            .advance_slot_profiled(&self.tx, &mut self.rx, prof);
         for lane in 0..self.ok.len() {
             if self.batch.is_alive(lane) && self.rx[lane] != self.tx[lane] {
                 self.ok[lane] = false;
                 self.batch.kill_lane(lane);
+                prof.count("lane_kill");
             }
         }
         !self.batch.any_alive()

@@ -35,7 +35,7 @@ use crate::prbs::Prbs;
 use srlr_core::SrlrDesign;
 use srlr_tech::montecarlo::ErrorProbability;
 use srlr_tech::{MonteCarlo, Technology};
-use srlr_telemetry::{Collector, Obs, Value};
+use srlr_telemetry::{Collector, Obs, Profiler, Value};
 use srlr_units::Voltage;
 
 /// The Sec. III-B deterministic worst-case stress patterns, shared by
@@ -229,17 +229,21 @@ impl<'a> McExperiment<'a> {
                 self.trial_passes(&designs[i / self.runs], &mc, (i % self.runs) as u64)
             });
         }
-        let (collector, progress) = (&obs.collector, &obs.progress);
+        let (collector, progress, profiler) = (&obs.collector, &obs.progress, &obs.profiler);
         let outcomes = engine::par_map_indexed(total, threads, |i| {
+            let mut prof = profiler.child();
+            prof.enter("mc.trial");
             let pass = self.trial_passes(&designs[i / self.runs], &mc, (i % self.runs) as u64);
+            prof.exit();
             progress.tick();
             let mut child = collector.child();
             self.emit_trial_span(&mut child, shape, i, pass);
-            (pass, child)
+            (pass, child, prof)
         });
         let mut passes = Vec::with_capacity(total);
-        for (pass, child) in outcomes {
+        for (pass, child, prof) in outcomes {
             obs.collector.merge(child);
+            obs.profiler.merge(prof);
             passes.push(pass);
         }
         passes
@@ -263,24 +267,32 @@ impl<'a> McExperiment<'a> {
         if !obs.is_active() {
             let chunks = engine::par_map_indexed(n_batches, threads, |b| {
                 let first = b * width;
-                self.eval_batch(designs, &mc, first, width.min(total - first))
+                self.eval_batch(
+                    designs,
+                    &mc,
+                    first,
+                    width.min(total - first),
+                    &mut Profiler::disabled(),
+                )
             });
             return chunks.concat();
         }
-        let (collector, progress) = (&obs.collector, &obs.progress);
+        let (collector, progress, profiler) = (&obs.collector, &obs.progress, &obs.profiler);
         let outcomes = engine::par_map_indexed(n_batches, threads, |b| {
             let first = b * width;
-            let passes = self.eval_batch(designs, &mc, first, width.min(total - first));
+            let mut prof = profiler.child();
+            let passes = self.eval_batch(designs, &mc, first, width.min(total - first), &mut prof);
             let mut child = collector.child();
             for (k, &pass) in passes.iter().enumerate() {
                 progress.tick();
                 self.emit_trial_span(&mut child, shape, first + k, pass);
             }
-            (passes, child)
+            (passes, child, prof)
         });
         let mut passes = Vec::with_capacity(total);
-        for (chunk, child) in outcomes {
+        for (chunk, child, prof) in outcomes {
             obs.collector.merge(child);
+            obs.profiler.merge(prof);
             passes.extend(chunk);
         }
         passes
@@ -289,20 +301,31 @@ impl<'a> McExperiment<'a> {
     /// Evaluates the flattened trials `first..first + count` as one
     /// batch: certificate-screen each die, then advance the unproven
     /// ones in lockstep through the stress patterns.
+    ///
+    /// Profiling lands in `prof` (free when disabled): an `mc.batch`
+    /// frame wrapping per-die `elaborate`/`certify` frames with
+    /// `cert_hit`/`cert_miss` tallies (batch occupancy = misses per
+    /// batch), and a `kernel` frame whose `bit_slot`/`lane_kill`
+    /// children come from the lockstep harness. The timing sink is
+    /// exempt from the engine's telemetry-byte-identity contract — the
+    /// scalar engine has no batches to profile.
     fn eval_batch(
         &self,
         designs: &[SrlrDesign],
         mc: &MonteCarlo,
         first: usize,
         count: usize,
+        prof: &mut Profiler,
     ) -> Vec<bool> {
         let mut pass = vec![false; count];
+        prof.enter("mc.batch");
         // Build each die exactly as the scalar trial does; certified
         // dice are proven clean for every pattern and skip simulation.
         let mut lanes: Vec<(usize, SrlrLink)> = Vec::new();
         for (k, slot) in pass.iter_mut().enumerate() {
             let i = first + k;
             let (point, trial) = (i / self.runs, (i % self.runs) as u64);
+            prof.enter("elaborate");
             let mut die = mc.die(trial);
             let var = die.global_variation();
             let link = SrlrLink::on_die_with_mismatch(
@@ -312,23 +335,33 @@ impl<'a> McExperiment<'a> {
                 &var,
                 &mut die,
             );
-            if link.robustly_clean() {
+            prof.exit();
+            prof.enter("certify");
+            let certified = link.robustly_clean();
+            prof.exit();
+            if certified {
+                prof.count("cert_hit");
                 *slot = true;
             } else {
+                prof.count("cert_miss");
                 lanes.push((k, link));
             }
         }
         if lanes.is_empty() {
+            prof.exit();
             return pass;
         }
 
+        prof.enter("kernel");
         let mut run = Lockstep::new(&lanes);
         for p in WORST_PATTERNS {
-            run.check_shared(p);
+            run.check_shared(p, prof);
         }
+        prof.exit();
         if self.prbs_bits > 0 && run.any_contending() {
             // Per-lane PRBS stimulus, generated only for lanes still in
             // contention.
+            prof.enter("prbs_gen");
             let prbs: Vec<Option<Vec<bool>>> = lanes
                 .iter()
                 .enumerate()
@@ -339,11 +372,15 @@ impl<'a> McExperiment<'a> {
                     })
                 })
                 .collect();
-            run.check_per_lane(&prbs, self.prbs_bits);
+            prof.exit();
+            prof.enter("kernel");
+            run.check_per_lane(&prbs, self.prbs_bits, prof);
+            prof.exit();
         }
         for (lane, (k, _)) in lanes.iter().enumerate() {
             pass[*k] = run.verdicts()[lane];
         }
+        prof.exit();
         pass
     }
 
@@ -368,7 +405,9 @@ impl<'a> McExperiment<'a> {
         design: &SrlrDesign,
         obs: &mut Obs,
     ) -> ErrorProbability {
+        obs.profiler.enter("mc.run");
         let passes = self.flat_passes(std::slice::from_ref(design), TrialSpanShape::Single, obs);
+        obs.profiler.exit();
         let failures = passes.iter().filter(|&&ok| !ok).count();
         obs.collector.add("mc.trials", self.runs as u64);
         obs.collector.add("mc.failures", failures as u64);
@@ -412,7 +451,9 @@ impl<'a> McExperiment<'a> {
             .iter()
             .map(|&s| design.with_nominal_swing(s))
             .collect();
+        obs.profiler.enter("mc.sweep");
         let passes = self.flat_passes(&designs, TrialSpanShape::Sweep, obs);
+        obs.profiler.exit();
         let sweep: Vec<(Voltage, ErrorProbability)> = swings
             .iter()
             .zip(passes.chunks(self.runs))
@@ -681,6 +722,148 @@ mod tests {
         // Spans arrive in flattened-index order regardless of threads.
         let text = String::from_utf8(jsonl1).expect("utf8");
         assert_eq!(text.lines().filter(|l| l.contains("\"span\"")).count(), 80);
+    }
+
+    #[test]
+    fn profile_is_identical_across_thread_counts_with_tick_clock() {
+        // The profiling determinism contract: with the tick clock, the
+        // whole profile — structure, counts, AND timings — is a pure
+        // function of the work, not of the worker count.
+        use srlr_telemetry::{Clock, Profiler};
+        let tech = Technology::soi45();
+        let design = SrlrDesign::paper_proposed(&tech);
+        let swings = [
+            Voltage::from_millivolts(300.0),
+            Voltage::from_millivolts(450.0),
+        ];
+        let profile_at = |threads: usize| {
+            let exp = McExperiment::paper_default(&tech)
+                .with_runs(60)
+                .with_threads(Some(threads));
+            let mut obs = Obs {
+                profiler: Profiler::enabled(Clock::tick(1.0)),
+                ..Obs::default()
+            };
+            let _ = exp.swing_sweep_observed(&design, &swings, &mut obs);
+            obs.profiler.snapshot()
+        };
+        let p1 = profile_at(1);
+        for threads in [2usize, 8] {
+            assert_eq!(
+                p1,
+                profile_at(threads),
+                "profile diverged at {threads} threads"
+            );
+        }
+        assert!(!p1.nodes.is_empty());
+    }
+
+    #[test]
+    fn profile_counts_cover_every_die_exactly_once() {
+        // Deterministic accounting under the tick clock: the frame and
+        // tally counts are a pure function of the workload.
+        use srlr_telemetry::{Clock, Profiler};
+        let tech = Technology::soi45();
+        let design = SrlrDesign::paper_proposed(&tech);
+        let swings = [
+            Voltage::from_millivolts(300.0),
+            Voltage::from_millivolts(450.0),
+        ];
+        let exp = McExperiment::paper_default(&tech).with_runs(60);
+        let mut obs = Obs {
+            profiler: Profiler::enabled(Clock::tick(1.0)),
+            ..Obs::default()
+        };
+        let _ = exp.swing_sweep_observed(&design, &swings, &mut obs);
+        let profile = obs.profiler.snapshot();
+        let count_of = |name: &str| -> u64 {
+            profile
+                .nodes
+                .iter()
+                .filter(|n| n.name == name)
+                .map(|n| n.count)
+                .sum()
+        };
+        assert_eq!(count_of("cert_hit") + count_of("cert_miss"), 120);
+        assert_eq!(count_of("elaborate"), 120, "one elaboration per die");
+        // Kill-on-first-error retires every failing lane exactly once.
+        assert!(count_of("lane_kill") <= count_of("cert_miss"));
+        // 120 dice at batch width 32, two sweep points of 60: the
+        // flattened workload splits into 4 batches.
+        assert_eq!(count_of("mc.batch"), 4);
+    }
+
+    #[test]
+    fn per_die_screen_owns_the_most_self_time() {
+        // The hotspot-attribution contract behind `srlr fig6
+        // --profile-out`: the certificate screen retires uncertified
+        // lanes within their first corrupted slot, so the lockstep
+        // kernel is nearly idle and the per-die screen (elaboration +
+        // certification) dominates wall-clock self time — the profile
+        // confirms ROADMAP's elaboration-headroom claim rather than
+        // the naive guess that the bit-slot loop is hot. The margin in
+        // practice is ~10x; assert a simple majority to stay robust to
+        // scheduler noise.
+        use srlr_telemetry::{Clock, Profiler};
+        let tech = Technology::soi45();
+        let design = SrlrDesign::paper_proposed(&tech);
+        let swings = [
+            Voltage::from_millivolts(350.0),
+            Voltage::from_millivolts(450.0),
+        ];
+        let exp = McExperiment::paper_default(&tech).with_runs(400);
+        let mut obs = Obs {
+            profiler: Profiler::enabled(Clock::wall()),
+            ..Obs::default()
+        };
+        let _ = exp.swing_sweep_observed(&design, &swings, &mut obs);
+        let profile = obs.profiler.snapshot();
+        let self_of = |name: &str| -> f64 {
+            profile
+                .nodes
+                .iter()
+                .filter(|n| n.name == name)
+                .map(|n| n.self_s)
+                .sum()
+        };
+        let screen = self_of("elaborate") + self_of("certify");
+        let total: f64 = profile.nodes.iter().map(|n| n.self_s).sum();
+        assert!(
+            screen > total / 2.0,
+            "expected the per-die screen to own most self time; got {screen} of {total} s"
+        );
+    }
+
+    #[test]
+    fn profiling_does_not_perturb_results_or_telemetry_bytes() {
+        use srlr_telemetry::{Clock, Profiler};
+        let tech = Technology::soi45();
+        let design = SrlrDesign::paper_proposed(&tech);
+        let exp = McExperiment::paper_default(&tech).with_runs(60);
+        let run = |profiled: bool| {
+            let mut obs = Obs {
+                collector: Collector::enabled("trial-index"),
+                profiler: if profiled {
+                    Profiler::enabled(Clock::tick(1.0))
+                } else {
+                    Profiler::disabled()
+                },
+                ..Obs::default()
+            };
+            let p = exp.error_probability_observed(&design, &mut obs);
+            let mut jsonl = Vec::new();
+            obs.collector
+                .write_events_jsonl(&mut jsonl)
+                .expect("vec write");
+            (p, jsonl)
+        };
+        let (p_off, bytes_off) = run(false);
+        let (p_on, bytes_on) = run(true);
+        assert_eq!(p_off, p_on, "profiling must not change the result");
+        assert_eq!(
+            bytes_off, bytes_on,
+            "timing lives in its own sink; the event sink stays byte-identical"
+        );
     }
 
     #[test]

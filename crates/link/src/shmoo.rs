@@ -104,8 +104,9 @@ impl ShmooPlot {
             }
             if !lanes.is_empty() {
                 let mut run = Lockstep::new(&lanes);
+                let mut prof = srlr_telemetry::Profiler::disabled();
                 for p in &stress {
-                    run.check_shared(p);
+                    run.check_shared(p, &mut prof);
                 }
                 for (lane, (k, _)) in lanes.iter().enumerate() {
                     pass[*k] = run.verdicts()[lane];

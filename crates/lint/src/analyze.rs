@@ -466,7 +466,8 @@ fn scan_code_rules(view: &FileView<'_>, opts: AnalyzeOptions, diags: &mut Vec<Di
                         RuleId::DetTime,
                         format!(
                             "`{text}` reads the wall clock; timing belongs in \
-                             `crates/criterion`, results must not depend on it"
+                             `crates/criterion` or `srlr-telemetry`'s `clock` module \
+                             (use the `Clock` abstraction), results must not depend on it"
                         ),
                     ));
                 } else if text == "spawn"

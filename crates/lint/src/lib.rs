@@ -59,8 +59,10 @@ use semantic::ParsedFile;
 /// Path prefixes (relative, `/`-separated) whose public items must carry
 /// doc comments.
 const DOC_COVERED: &[&str] = &["crates/tech/", "crates/circuit/", "crates/units/"];
-/// Prefix allowed to read the wall clock.
-const TIME_ALLOWED: &[&str] = &["crates/criterion/"];
+/// Paths allowed to read the wall clock: the criterion timing shim and
+/// the telemetry `Clock` abstraction that fences `Instant` for the
+/// profiler (everything else consumes time through `Clock`).
+const TIME_ALLOWED: &[&str] = &["crates/criterion/", "crates/telemetry/src/clock.rs"];
 /// Prefix allowed to spawn threads.
 const SPAWN_ALLOWED: &[&str] = &["crates/parallel/"];
 /// Prefixes allowed to print: the bench harness crate is a reporting
@@ -257,6 +259,10 @@ mod tests {
         assert!(o.check_missing_doc && !o.allow_time && !o.allow_spawn && !o.allow_print);
         let o = options_for("crates/criterion/src/lib.rs", false);
         assert!(!o.check_missing_doc && o.allow_time && !o.allow_spawn);
+        let o = options_for("crates/telemetry/src/clock.rs", false);
+        assert!(o.allow_time, "the telemetry Clock module may use Instant");
+        let o = options_for("crates/telemetry/src/profile.rs", false);
+        assert!(!o.allow_time, "only clock.rs gets the carve-out");
         let o = options_for("crates/parallel/src/pool.rs", false);
         assert!(o.allow_spawn);
         let o = options_for("crates/noc/src/router.rs", true);

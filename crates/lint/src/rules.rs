@@ -26,8 +26,10 @@ pub enum RuleId {
     /// randomized per process, which can leak into results. Use
     /// `BTreeMap`/`BTreeSet` or suppress with a justification.
     DetMap,
-    /// `Instant`/`SystemTime` outside the `crates/criterion` timing shim:
-    /// wall-clock reads make results time-dependent.
+    /// `Instant`/`SystemTime` outside the `crates/criterion` timing shim
+    /// and `srlr-telemetry`'s `clock` module (which fences the wall clock
+    /// behind the `Clock` abstraction): wall-clock reads make results
+    /// time-dependent.
     DetTime,
     /// `spawn(...)` calls outside `srlr-parallel`: all concurrency must go
     /// through the deterministic index-ordered pool.
@@ -119,7 +121,9 @@ impl RuleId {
                 "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! in non-test library code"
             }
             RuleId::DetMap => "no HashMap/HashSet (iteration order leaks): use BTreeMap/BTreeSet",
-            RuleId::DetTime => "no Instant/SystemTime outside crates/criterion",
+            RuleId::DetTime => {
+                "no Instant/SystemTime outside crates/criterion and telemetry::clock"
+            }
             RuleId::DetSpawn => "no spawn() outside srlr-parallel",
             RuleId::FloatEq => "no ==/!= against float literals",
             RuleId::NoPrint => {

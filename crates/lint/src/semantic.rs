@@ -26,7 +26,9 @@ pub struct ParsedFile {
 
 /// Crates ordered along the signal-modeling stack; each may depend on
 /// strictly earlier entries (plus the shared leaves).
-const LAYERS: &[&str] = &["units", "tech", "circuit", "core", "link", "noc", "model"];
+const LAYERS: &[&str] = &[
+    "units", "tech", "circuit", "core", "link", "noc", "model", "prof",
+];
 /// Leaf utility crates: usable from any layer, may use no `srlr` crate
 /// themselves.
 const LEAVES: &[&str] = &["rng", "parallel", "telemetry", "criterion"];
@@ -479,6 +481,12 @@ mod tests {
         assert!(layering_allows("model", "noc"));
         assert!(layering_allows("model", "telemetry"));
         assert!(layering_allows("cli", "model"));
+        // The profile toolkit only reads telemetry artifacts; nothing
+        // below the tool crates may depend on it.
+        assert!(layering_allows("prof", "telemetry"));
+        assert!(layering_allows("cli", "prof"));
+        assert!(!layering_allows("link", "prof"));
+        assert!(!layering_allows("model", "prof"));
         assert!(!layering_allows("noc", "model"));
         assert!(!layering_allows("tech", "noc"));
         assert!(!layering_allows("units", "tech"));

@@ -685,6 +685,19 @@ pub fn replay_choices(config: &ModelConfig, src: Coord, dst: Coord, choices: &[u
 /// Exhaustively checks one route: BFS over canonical states, proof
 /// obligations, and the exact absorbing-DTMC delivery probability.
 pub fn check_pair(config: &ModelConfig, src: Coord, dst: Coord) -> PairResult {
+    check_pair_profiled(config, src, dst, &mut srlr_telemetry::Profiler::disabled())
+}
+
+/// [`check_pair`] with profiling: the state-space exploration lands as
+/// a `model.bfs` frame and the absorbing-chain assembly + solve as a
+/// `model.dtmc` frame. A disabled profiler costs one branch per frame;
+/// this *is* the unprofiled path — same code, same result.
+pub fn check_pair_profiled(
+    config: &ModelConfig,
+    src: Coord,
+    dst: Coord,
+    prof: &mut srlr_telemetry::Profiler,
+) -> PairResult {
     let route = route_links(config.mesh, src, dst);
     let hops = route.len();
     let outcomes = crossing_outcomes(config);
@@ -763,6 +776,7 @@ pub fn check_pair(config: &ModelConfig, src: Coord, dst: Coord) -> PairResult {
         }
     };
 
+    prof.enter("model.bfs");
     while let Some(id) = queue.pop_front() {
         let state = states[id].clone();
         if state.is_terminal() {
@@ -835,7 +849,9 @@ pub fn check_pair(config: &ModelConfig, src: Coord, dst: Coord) -> PairResult {
             succs[id].push((next_id, outcome.probability));
         }
     }
+    prof.exit();
 
+    prof.enter("model.dtmc");
     // Absorbing-DTMC solve: x_t = sum_succ p * (x_succ | [delivered]).
     let mut transient_index: Vec<Option<usize>> = vec![None; states.len()];
     let mut transient = 0usize;
@@ -870,6 +886,7 @@ pub fn check_pair(config: &ModelConfig, src: Coord, dst: Coord) -> PairResult {
             None => (f64::NAN, false, 0),
         }
     };
+    prof.exit();
 
     PairResult {
         src,
@@ -926,8 +943,17 @@ impl VerifyReport {
 
 /// Checks every ordered (src, dst) route of the configured mesh.
 pub fn verify(config: &ModelConfig) -> VerifyReport {
+    verify_profiled(config, &mut srlr_telemetry::Profiler::disabled())
+}
+
+/// [`verify`] with profiling: one `model.verify` frame whose
+/// `model.bfs` / `model.dtmc` children aggregate the exploration and
+/// solve phases over every ordered route. A disabled profiler costs
+/// one branch per frame; this *is* the unprofiled path.
+pub fn verify_profiled(config: &ModelConfig, prof: &mut srlr_telemetry::Profiler) -> VerifyReport {
     let mesh = config.mesh;
     let mut pairs = Vec::new();
+    prof.enter("model.verify");
     for s in 0..mesh.len() {
         for d in 0..mesh.len() {
             if s == d {
@@ -935,9 +961,10 @@ pub fn verify(config: &ModelConfig) -> VerifyReport {
             }
             let src = mesh.coord_of(s);
             let dst = mesh.coord_of(d);
-            pairs.push(check_pair(config, src, dst));
+            pairs.push(check_pair_profiled(config, src, dst, prof));
         }
     }
+    prof.exit();
     let total_states = pairs.iter().map(|p| p.states).sum();
     let total_transitions = pairs.iter().map(|p| p.transitions).sum();
     let deliver_probability = if pairs.is_empty() {
@@ -1009,6 +1036,37 @@ mod tests {
         // Exhaustion probability is D^(R+1).
         let d = config.detected_probability();
         assert!((outs[4].probability - d.powi(4)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn profiled_verify_matches_unprofiled_and_frames_the_phases() {
+        use srlr_telemetry::{Clock, Profiler};
+        let config = cfg(0.01, 2);
+        let plain = verify(&config);
+        let mut prof = Profiler::enabled(Clock::tick(1.0));
+        let profiled = verify_profiled(&config, &mut prof);
+        assert_eq!(plain.total_states, profiled.total_states);
+        assert_eq!(plain.total_transitions, profiled.total_transitions);
+        assert_eq!(
+            plain.deliver_probability.to_bits(),
+            profiled.deliver_probability.to_bits(),
+            "profiling must not perturb the solve"
+        );
+        let profile = prof.snapshot();
+        let node = |name: &str| {
+            profile
+                .nodes
+                .iter()
+                .find(|n| n.name == name)
+                .unwrap_or_else(|| panic!("missing frame {name}"))
+        };
+        // One verify frame; every ordered pair contributes one BFS and
+        // one DTMC invocation, aggregated under it (12 ordered pairs on
+        // the 2x2 mesh).
+        assert_eq!(node("model.verify").count, 1);
+        assert_eq!(node("model.bfs").count, 12);
+        assert_eq!(node("model.dtmc").count, 12);
+        assert_eq!(node("model.bfs").parent, node("model.dtmc").parent);
     }
 
     #[test]

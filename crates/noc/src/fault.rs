@@ -373,8 +373,11 @@ pub fn ber_sweep(
 /// point index, so the merged stream is identical at every thread
 /// count), per-point `ber.point.NNN.*` metrics including the latency
 /// histogram summary, `ber.points` / `ber.packets_*` counters, and a
-/// progress tick per point. With an inactive `obs` this is exactly
-/// [`ber_sweep`]: no allocation, no overhead beyond one branch.
+/// progress tick per point. An enabled `obs.profiler` gets a
+/// `noc.sweep` frame over per-point `noc.point` frames wrapping the
+/// network's `noc.warmup` / `noc.measure` phases, merged in point
+/// order. With an inactive `obs` this is exactly [`ber_sweep`]: no
+/// allocation, no overhead beyond one branch.
 ///
 /// # Panics
 ///
@@ -391,22 +394,28 @@ pub fn ber_sweep_observed(
     threads: Option<usize>,
     obs: &mut srlr_telemetry::Obs,
 ) -> Vec<FaultSweepPoint> {
-    use srlr_telemetry::Value;
+    use srlr_telemetry::{Profiler, Value};
     assert!(!bers.is_empty(), "need at least one BER point");
     let workers = srlr_parallel::resolve_threads(threads);
-    let run_point = |i: usize| {
+    let run_point = |i: usize, prof: &mut Profiler| {
         let ber = bers[i];
         let fault = FaultConfig { ber, ..template };
         let mut net = crate::Network::new(base.with_faults(fault));
-        let stats = net.run_warmup_and_measure(pattern, load, warmup, measure);
+        let stats = net.run_warmup_and_measure_profiled(pattern, load, warmup, measure, prof);
         FaultSweepPoint { ber, stats }
     };
     if !obs.is_active() {
-        return srlr_parallel::par_map_indexed(bers.len(), workers, run_point);
+        return srlr_parallel::par_map_indexed(bers.len(), workers, |i| {
+            run_point(i, &mut Profiler::disabled())
+        });
     }
-    let (collector, progress) = (&obs.collector, &obs.progress);
+    obs.profiler.enter("noc.sweep");
+    let (collector, progress, profiler) = (&obs.collector, &obs.progress, &obs.profiler);
     let observed = srlr_parallel::par_map_indexed(bers.len(), workers, |i| {
-        let point = run_point(i);
+        let mut prof = profiler.child();
+        prof.enter("noc.point");
+        let point = run_point(i, &mut prof);
+        prof.exit();
         let mut child = collector.child();
         child.span(
             "point",
@@ -452,11 +461,12 @@ pub fn ber_sweep_observed(
             child.set_metric(&name, value);
         }
         progress.tick();
-        (point, child)
+        (point, child, prof)
     });
     let mut points = Vec::with_capacity(observed.len());
-    for (point, child) in observed {
+    for (point, child, prof) in observed {
         obs.collector.merge(child);
+        obs.profiler.merge(prof);
         obs.collector.add("ber.points", 1);
         obs.collector
             .add("ber.packets_received", point.stats.packets_received);
@@ -464,6 +474,7 @@ pub fn ber_sweep_observed(
             .add("ber.packets_dropped", point.stats.packets_dropped);
         points.push(point);
     }
+    obs.profiler.exit();
     points
 }
 
@@ -600,7 +611,7 @@ mod tests {
             let mut obs = if observe {
                 srlr_telemetry::Obs {
                     collector: srlr_telemetry::Collector::enabled("point-index"),
-                    progress: srlr_telemetry::Progress::disabled(),
+                    ..srlr_telemetry::Obs::default()
                 }
             } else {
                 srlr_telemetry::Obs::none()
@@ -647,6 +658,49 @@ mod tests {
             "the Wilson interval must be exposed per sweep point"
         );
         assert!(text.contains("\"name\":\"ber.points\",\"value\":3"));
+    }
+
+    #[test]
+    fn ber_sweep_profile_is_thread_invariant_and_frames_every_point() {
+        use srlr_telemetry::{Clock, Profiler};
+        let bers = [0.0, 1e-3, 5e-3];
+        let profile_at = |threads: usize| {
+            let mut obs = srlr_telemetry::Obs {
+                profiler: Profiler::enabled(Clock::tick(1.0)),
+                ..srlr_telemetry::Obs::default()
+            };
+            let _ = ber_sweep_observed(
+                NocConfig::paper_default().with_size(4, 4),
+                FaultConfig::new(0.0),
+                Pattern::UniformRandom,
+                0.05,
+                100,
+                400,
+                &bers,
+                Some(threads),
+                &mut obs,
+            );
+            obs.profiler.snapshot()
+        };
+        let p1 = profile_at(1);
+        for threads in [2usize, 8] {
+            assert_eq!(
+                p1,
+                profile_at(threads),
+                "profile diverged at {threads} threads"
+            );
+        }
+        let count_of = |name: &str| -> u64 {
+            p1.nodes
+                .iter()
+                .filter(|n| n.name == name)
+                .map(|n| n.count)
+                .sum()
+        };
+        assert_eq!(count_of("noc.sweep"), 1);
+        assert_eq!(count_of("noc.point"), bers.len() as u64);
+        assert_eq!(count_of("noc.warmup"), bers.len() as u64);
+        assert_eq!(count_of("noc.measure"), bers.len() as u64);
     }
 
     #[test]

@@ -11,6 +11,47 @@ use crate::traffic::{Pattern, TrafficGenerator};
 use srlr_telemetry::{Collector, Value};
 use std::collections::{BTreeSet, VecDeque};
 
+/// Cycle window over which retry/NACK rates are tallied before being
+/// emitted as one `flit.window` event (rates *over time*, not just
+/// run totals).
+pub const TELEMETRY_WINDOW_CYCLES: u64 = 64;
+
+/// Retry/NACK/drop tallies for the current telemetry window.
+#[derive(Debug, Clone, Copy, Default)]
+struct WindowTally {
+    start: u64,
+    nacks: u64,
+    retries: u64,
+    drops: u64,
+}
+
+impl WindowTally {
+    fn is_empty(&self) -> bool {
+        self.nacks == 0 && self.retries == 0 && self.drops == 0
+    }
+
+    /// Emits the window as one event (skipped when nothing happened)
+    /// and restarts the tally at `now`.
+    fn flush(&mut self, collector: &mut Collector, now: u64) {
+        if !self.is_empty() {
+            collector.event(
+                "flit.window",
+                now as f64,
+                &[
+                    ("window_start", Value::U64(self.start)),
+                    ("nacks", Value::U64(self.nacks)),
+                    ("retries", Value::U64(self.retries)),
+                    ("drops", Value::U64(self.drops)),
+                ],
+            );
+        }
+        *self = WindowTally {
+            start: now,
+            ..WindowTally::default()
+        };
+    }
+}
+
 /// Opt-in flit-lifecycle telemetry (see
 /// [`Network::enable_flit_telemetry`]): a collector of per-flit
 /// lifecycle events plus a per-directed-link traversal tally that
@@ -20,6 +61,17 @@ struct FlitTelemetry {
     collector: Collector,
     /// Flit traversals per directed link (`node * 4 + direction`).
     link_flits: Vec<u64>,
+    /// Retry/NACK tallies for the in-progress cycle window.
+    window: WindowTally,
+    /// Per-cycle samples of the total source-queue depth (packets
+    /// waiting to start injection), for `queue.*` metrics.
+    queue_depth_sum: u64,
+    queue_depth_max: u64,
+    /// Per-cycle samples of total network occupancy (flits buffered,
+    /// streaming in, or on a link).
+    occupancy_sum: u64,
+    occupancy_max: u64,
+    samples: u64,
 }
 
 /// Emits the CRC-fail / NACK / retry lifecycle events and counters for
@@ -241,6 +293,15 @@ impl Network {
         self.telemetry = Some(Box::new(FlitTelemetry {
             collector: Collector::enabled("cycles"),
             link_flits: vec![0; self.mesh.len() * Direction::MESH.len()],
+            window: WindowTally {
+                start: self.cycle,
+                ..WindowTally::default()
+            },
+            queue_depth_sum: 0,
+            queue_depth_max: 0,
+            occupancy_sum: 0,
+            occupancy_max: 0,
+            samples: 0,
         }));
     }
 
@@ -255,7 +316,8 @@ impl Network {
     /// `link.total_flits`, `flit.cycles`). Returns `None` when the
     /// tracer was never enabled; recording stops.
     pub fn take_flit_telemetry(&mut self) -> Option<Collector> {
-        let tel = self.telemetry.take()?;
+        let mut tel = self.telemetry.take()?;
+        tel.window.flush(&mut tel.collector, self.cycle);
         let mut collector = tel.collector;
         let (mut links_used, mut max_flits, mut total_flits) = (0u64, 0u64, 0u64);
         for (link, &flits) in tel.link_flits.iter().enumerate() {
@@ -273,6 +335,35 @@ impl Network {
         collector.set_metric("link.max_flits", Value::U64(max_flits));
         collector.set_metric("link.total_flits", Value::U64(total_flits));
         collector.set_metric("flit.cycles", Value::U64(self.cycle));
+        // Utilization = flits per cycle on a directed link; the peak is
+        // the busiest link, the mean averages over the links that
+        // carried traffic at all.
+        if self.cycle > 0 && links_used > 0 {
+            let cycles = self.cycle as f64;
+            collector.set_metric(
+                "link.peak_utilization",
+                Value::F64(max_flits as f64 / cycles),
+            );
+            collector.set_metric(
+                "link.mean_utilization",
+                Value::F64(total_flits as f64 / (links_used as f64 * cycles)),
+            );
+        }
+        // Per-cycle queue-depth / occupancy samples taken in `step`.
+        collector.set_metric("queue.samples", Value::U64(tel.samples));
+        collector.set_metric("queue.max_depth", Value::U64(tel.queue_depth_max));
+        collector.set_metric("queue.max_occupancy", Value::U64(tel.occupancy_max));
+        if tel.samples > 0 {
+            let n = tel.samples as f64;
+            collector.set_metric(
+                "queue.mean_depth",
+                Value::F64(tel.queue_depth_sum as f64 / n),
+            );
+            collector.set_metric(
+                "queue.mean_occupancy",
+                Value::F64(tel.occupancy_sum as f64 / n),
+            );
+        }
         Some(collector)
     }
 
@@ -402,6 +493,26 @@ impl Network {
     pub fn step(&mut self) -> Vec<(Coord, u64)> {
         let n = self.routers.len();
 
+        // Phase 0 (telemetry only): sample queue depth and occupancy as
+        // of the cycle start, and roll the retry/NACK window over. The
+        // flush timestamp is the current cycle, so the event stream
+        // stays monotone in time.
+        if self.telemetry.is_some() {
+            let depth: u64 = self.source_queues.iter().map(|q| q.len() as u64).sum();
+            let occupancy = self.occupancy() as u64;
+            let cycle = self.cycle;
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.queue_depth_sum += depth;
+                tel.queue_depth_max = tel.queue_depth_max.max(depth);
+                tel.occupancy_sum += occupancy;
+                tel.occupancy_max = tel.occupancy_max.max(occupancy);
+                tel.samples += 1;
+                if cycle - tel.window.start >= TELEMETRY_WINDOW_CYCLES {
+                    tel.window.flush(&mut tel.collector, cycle);
+                }
+            }
+        }
+
         // Phase 1: deliver due link flits and credits.
         for i in 0..n {
             let now = self.cycle;
@@ -510,6 +621,7 @@ impl Network {
                                     ],
                                 );
                                 tel.collector.add("flit.packets_dropped", 1);
+                                tel.window.drops += 1;
                             }
                         } else {
                             let latency = self.cycle - s.flit.inject_cycle + 1;
@@ -551,6 +663,8 @@ impl Network {
                                         s.flit.packet,
                                         &tx,
                                     );
+                                    tel.window.nacks += u64::from(tx.nacks);
+                                    tel.window.retries += u64::from(tx.attempts - 1);
                                 }
                             }
                             // Retransmission delay must not let this flit
@@ -599,6 +713,31 @@ impl Network {
         warmup: u64,
         measure: u64,
     ) -> NetworkStats {
+        self.run_warmup_and_measure_profiled(
+            pattern,
+            injection_rate,
+            warmup,
+            measure,
+            &mut srlr_telemetry::Profiler::disabled(),
+        )
+    }
+
+    /// [`Self::run_warmup_and_measure`] with profiling: the warmup and
+    /// measurement windows land as `noc.warmup` / `noc.measure` frames
+    /// in `prof`. A disabled profiler costs one branch per frame and
+    /// this *is* the unprofiled path — same code, same result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measure` is zero.
+    pub fn run_warmup_and_measure_profiled(
+        &mut self,
+        pattern: Pattern,
+        injection_rate: f64,
+        warmup: u64,
+        measure: u64,
+        prof: &mut srlr_telemetry::Profiler,
+    ) -> NetworkStats {
         assert!(measure > 0, "measurement window must be non-empty");
         let mut gen = TrafficGenerator::new(
             self.mesh,
@@ -607,21 +746,25 @@ impl Network {
             self.config.packet_len,
             self.config.seed,
         );
+        prof.enter("noc.warmup");
         for _ in 0..warmup {
             self.inject_from(&mut gen);
             let _ = self.step();
         }
+        prof.exit();
         let counters_before = self.counters;
         let injected_before = self.injected;
         let dropped_before = self.dropped;
         let faults_before = self.fault.as_ref().map(|f| f.tally().clone());
         let mut stats = NetworkStats::new(measure, self.mesh.len());
+        prof.enter("noc.measure");
         for _ in 0..measure {
             self.inject_from(&mut gen);
             for (_, latency) in self.step() {
                 stats.record_packet(latency);
             }
         }
+        prof.exit();
         // Flit receipt count over the window comes from the counter delta.
         stats.flits_received = self.counters.local_hops - counters_before.local_hops;
         stats.packets_injected = self.injected - injected_before;
@@ -978,6 +1121,116 @@ mod tests {
         assert!(names.contains(&"flit.crc_fail"));
         assert!(names.contains(&"flit.retry"));
         assert!(names.contains(&"flit.drop"));
+    }
+
+    #[test]
+    fn flit_telemetry_samples_queues_and_link_utilization() {
+        let mut net = Network::new(small_config().with_seed(7));
+        net.enable_flit_telemetry();
+        let _ = net.run_warmup_and_measure(Pattern::UniformRandom, 0.10, 200, 800);
+        let cycles = net.cycle();
+        let tel = net.take_flit_telemetry().expect("enabled");
+        // One queue/occupancy sample per simulated cycle.
+        assert_eq!(
+            tel.metrics().get("queue.samples"),
+            Some(&Value::U64(cycles))
+        );
+        let get_f64 = |name: &str| match tel.metrics().get(name) {
+            Some(&Value::F64(v)) => v,
+            other => panic!("{name} missing or not F64: {other:?}"),
+        };
+        let get_u64 = |name: &str| match tel.metrics().get(name) {
+            Some(&Value::U64(v)) => v,
+            other => panic!("{name} missing or not U64: {other:?}"),
+        };
+        // At 10 % load the queues are exercised; means are bounded by
+        // the observed maxima.
+        assert!(get_u64("queue.max_occupancy") > 0);
+        assert!(get_f64("queue.mean_occupancy") > 0.0);
+        assert!(get_f64("queue.mean_occupancy") <= get_u64("queue.max_occupancy") as f64);
+        assert!(get_f64("queue.mean_depth") <= get_u64("queue.max_depth") as f64);
+        // Utilization is flits per cycle on a directed link: positive
+        // under traffic, at most one (the wire carries one flit/cycle).
+        let (mean, peak) = (
+            get_f64("link.mean_utilization"),
+            get_f64("link.peak_utilization"),
+        );
+        assert!(0.0 < mean && mean <= peak && peak <= 1.0, "{mean} {peak}");
+    }
+
+    #[test]
+    fn retry_window_events_tally_the_fault_totals() {
+        let mut net = Network::new(small_config().with_ber(0.02));
+        net.enable_flit_telemetry();
+        let _ = net.run_warmup_and_measure(Pattern::UniformRandom, 0.03, 300, 2000);
+        let tel = net.take_flit_telemetry().expect("enabled");
+        let windows: Vec<_> = tel
+            .events()
+            .iter()
+            .filter(|e| e.name == "flit.window")
+            .collect();
+        assert!(!windows.is_empty(), "2 % BER must produce retry windows");
+        let sum_field = |field: &str| -> u64 {
+            windows
+                .iter()
+                .map(|e| match e.fields.get(field) {
+                    Some(&Value::U64(v)) => v,
+                    other => panic!("window field {field}: {other:?}"),
+                })
+                .sum()
+        };
+        // The windowed rate-over-time decomposition conserves the run
+        // totals exactly.
+        assert_eq!(sum_field("nacks"), tel.counter("flit.nacks"));
+        assert_eq!(sum_field("retries"), tel.counter("flit.retries"));
+        assert_eq!(sum_field("drops"), tel.counter("flit.packets_dropped"));
+        // Windows cover disjoint spans no longer than the window size.
+        for e in &windows {
+            let start = match e.fields.get("window_start") {
+                Some(&Value::U64(v)) => v,
+                other => panic!("window_start: {other:?}"),
+            };
+            assert!(e.ts >= start as f64);
+        }
+    }
+
+    #[test]
+    fn fault_free_runs_emit_no_window_events() {
+        let mut net = Network::new(small_config());
+        net.enable_flit_telemetry();
+        let _ = net.run_warmup_and_measure(Pattern::UniformRandom, 0.05, 100, 400);
+        let tel = net.take_flit_telemetry().expect("enabled");
+        assert!(
+            tel.events().iter().all(|e| e.name != "flit.window"),
+            "empty windows are skipped, not emitted"
+        );
+    }
+
+    #[test]
+    fn profiled_run_matches_unprofiled_and_frames_the_phases() {
+        use srlr_telemetry::{Clock, Profiler};
+        let run = |profile: bool| {
+            let mut net = Network::new(small_config().with_seed(3));
+            let mut prof = if profile {
+                Profiler::enabled(Clock::tick(1.0))
+            } else {
+                Profiler::disabled()
+            };
+            let stats = net.run_warmup_and_measure_profiled(
+                Pattern::UniformRandom,
+                0.05,
+                150,
+                600,
+                &mut prof,
+            );
+            (stats, prof.snapshot())
+        };
+        let (plain, empty) = run(false);
+        assert!(empty.nodes.is_empty());
+        let (profiled, profile) = run(true);
+        assert_eq!(plain, profiled, "profiling must not perturb the run");
+        let names: Vec<&str> = profile.nodes.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, ["noc.warmup", "noc.measure"]);
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Top-N self-time hotspot attribution.
+//!
+//! A flame graph answers "what does the time distribution look like";
+//! the hotspot table answers the optimization question directly: which
+//! frames own the most *self* time, what fraction of the run is that,
+//! and how often were they entered. Works from either a live
+//! [`Profile`] (counts available) or parsed folded lines (counts
+//! unknown, e.g. a file from another tool).
+
+use crate::folded::FoldedLine;
+use srlr_telemetry::Profile;
+use std::fmt::Write as _;
+
+/// One hotspot row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hotspot {
+    /// `;`-joined root-to-frame path.
+    pub path: String,
+    /// Self value in microseconds.
+    pub self_us: u64,
+    /// Share of the profile's total self time, in percent.
+    pub pct: f64,
+    /// Invocation count when known (`None` for folded-file input).
+    pub count: Option<u64>,
+}
+
+/// The top `n` frames of `profile` by self time, descending; ties break
+/// by path so the table is deterministic.
+pub fn hotspots(profile: &Profile, n: usize) -> Vec<Hotspot> {
+    let counts: std::collections::BTreeMap<String, u64> = profile
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, node)| (profile.path(i), node.count))
+        .collect();
+    let rows = crate::folded::fold_lines(profile)
+        .into_iter()
+        .map(|l| {
+            let count = counts.get(&l.path).copied();
+            (l, count)
+        })
+        .collect::<Vec<_>>();
+    rank(rows, n)
+}
+
+/// The top `n` folded lines by value, descending.
+pub fn hotspots_folded(lines: &[FoldedLine], n: usize) -> Vec<Hotspot> {
+    rank(lines.iter().map(|l| (l.clone(), None)).collect(), n)
+}
+
+fn rank(rows: Vec<(FoldedLine, Option<u64>)>, n: usize) -> Vec<Hotspot> {
+    let total: u64 = rows.iter().map(|(l, _)| l.value).sum();
+    let mut spots: Vec<Hotspot> = rows
+        .into_iter()
+        .map(|(l, count)| Hotspot {
+            pct: if total > 0 {
+                l.value as f64 * 100.0 / total as f64
+            } else {
+                0.0
+            },
+            path: l.path,
+            self_us: l.value,
+            count,
+        })
+        .collect();
+    spots.sort_by(|a, b| b.self_us.cmp(&a.self_us).then_with(|| a.path.cmp(&b.path)));
+    spots.truncate(n);
+    spots
+}
+
+/// Renders hotspot rows as an aligned ASCII table (ends with a
+/// newline; empty input renders a placeholder line).
+pub fn render_table(rows: &[Hotspot]) -> String {
+    let mut out = String::new();
+    if rows.is_empty() {
+        out.push_str("(empty profile)\n");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "{:>12}  {:>6}  {:>10}  FRAME",
+        "SELF(us)", "PCT", "COUNT"
+    );
+    for r in rows {
+        let count = r.count.map_or_else(|| "-".to_owned(), |c| c.to_string());
+        let _ = writeln!(
+            out,
+            "{:>12}  {:>5.1}%  {:>10}  {}",
+            r.self_us, r.pct, count, r.path
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srlr_telemetry::{Clock, Profiler};
+
+    fn profile() -> Profile {
+        let mut p = Profiler::enabled(Clock::tick(1.0));
+        p.enter("root"); // 0
+        p.enter("hot"); // 1
+        p.enter("inner"); // 2
+        p.exit(); // 3: inner self 1
+        p.exit(); // 4: hot total 3 self 2
+        p.enter("cold"); // 5
+        p.exit(); // 6: cold self 1
+        p.exit(); // 7: root total 7 self 3
+        p.snapshot()
+    }
+
+    #[test]
+    fn hotspots_rank_by_self_time() {
+        let spots = hotspots(&profile(), 10);
+        assert_eq!(spots[0].path, "root");
+        assert_eq!(spots[0].self_us, 3_000_000);
+        assert_eq!(spots[0].count, Some(1));
+        assert_eq!(spots[1].path, "root;hot");
+        assert_eq!(spots[1].self_us, 2_000_000);
+        // Total self = 7 s; root owns 3/7.
+        assert!((spots[0].pct - 3.0 * 100.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_n_truncates() {
+        assert_eq!(hotspots(&profile(), 2).len(), 2);
+        assert_eq!(hotspots(&profile(), 0).len(), 0);
+    }
+
+    #[test]
+    fn ties_break_by_path() {
+        let lines = vec![
+            FoldedLine {
+                path: "b".into(),
+                value: 5,
+            },
+            FoldedLine {
+                path: "a".into(),
+                value: 5,
+            },
+        ];
+        let spots = hotspots_folded(&lines, 10);
+        assert_eq!(spots[0].path, "a");
+        assert_eq!(spots[0].count, None);
+    }
+
+    #[test]
+    fn table_renders_every_row() {
+        let text = render_table(&hotspots(&profile(), 10));
+        assert!(text.contains("FRAME"));
+        assert!(text.contains("root;hot;inner"));
+        assert_eq!(text.lines().count(), 5, "header + four frames");
+        assert_eq!(render_table(&[]), "(empty profile)\n");
+    }
+
+    #[test]
+    fn all_zero_profile_reports_zero_pct() {
+        let lines = vec![FoldedLine {
+            path: "x".into(),
+            value: 0,
+        }];
+        let spots = hotspots_folded(&lines, 1);
+        assert_eq!(spots[0].pct, 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! `srlr-prof`: profile analysis for the workspace's self-profiling
+//! layer.
+//!
+//! `srlr-telemetry`'s [`Profiler`](srlr_telemetry::Profiler) produces
+//! aggregated call trees ([`Profile`](srlr_telemetry::Profile)); this
+//! crate turns them into artifacts and verdicts:
+//!
+//! * [`folded`] — folded-stack rendering (`frame;frame value` lines,
+//!   the format speedscope and inferno/`flamegraph.pl` load directly),
+//!   plus a parser for reading folded files back.
+//! * [`hotspot`] — top-N self-time attribution tables, the numbers an
+//!   optimization PR argues from.
+//! * [`diff`] — structured comparison of two profiles or two
+//!   `RunReport`/`BENCH_*.json` snapshots with relative tolerance
+//!   bands; drives the `srlr bench-diff` CLI and the CI
+//!   `perf-regression` gate (exit 1 on regression, 2 on usage, 0 when
+//!   clean — the workspace-wide contract).
+//!
+//! The crate is deliberately a *consumer*: it depends only on
+//! `srlr-telemetry` and never touches the clock itself, so analysis is
+//! a pure function of its inputs.
+
+pub mod diff;
+pub mod folded;
+pub mod hotspot;
+
+pub use diff::{
+    diff_flat, diff_profiles, diff_reports, DiffEntry, DiffKind, DiffOptions, DiffReport,
+};
+pub use folded::{fold, fold_lines, parse_folded, FoldedLine};
+pub use hotspot::{hotspots, hotspots_folded, render_table, Hotspot};

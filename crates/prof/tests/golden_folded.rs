@@ -1,0 +1,68 @@
+//! Golden-file test: folded-stack output is byte-stable.
+//!
+//! The fixture replays the MC engine's instrumentation shape — a sweep
+//! frame, two merged per-batch worker children with elaborate/kernel/
+//! bit-slot frames and count-only tallies — against the deterministic
+//! tick clock, and asserts the rendered folded text matches
+//! `tests/golden/mc_small.folded` byte for byte. Any change to frame
+//! aggregation, self-time accounting, micros rounding, sorting, or the
+//! folded syntax shows up as a diff against the committed artifact.
+
+use srlr_prof::{fold, parse_folded};
+use srlr_telemetry::{Clock, Profiler};
+
+fn batch_child(root: &Profiler, with_cert_hit: bool) -> Profiler {
+    let mut c = root.child();
+    c.enter("mc.batch"); // t=0
+    c.enter("elaborate"); // t=1
+    c.exit(); // t=2: elaborate self 1 s
+    if with_cert_hit {
+        c.count("cert_hit");
+    }
+    c.enter("kernel"); // t=3
+    c.enter("bit_slot"); // t=4
+    c.exit(); // t=5
+    c.enter("bit_slot"); // t=6
+    c.exit(); // t=7: bit_slot self 2 s
+    c.count("lane_kill");
+    c.exit(); // t=8: kernel total 5, self 3
+    c.exit(); // t=9: batch total 9, self 3
+    c
+}
+
+fn sample() -> Profiler {
+    let mut root = Profiler::enabled(Clock::tick(1.0));
+    root.enter("mc.sweep"); // t=0
+    let a = batch_child(&root, true);
+    let b = batch_child(&root, false);
+    root.merge(a);
+    root.merge(b);
+    root.exit(); // t=1: sweep total 1 s, self clamps to 0
+    root
+}
+
+#[test]
+fn folded_output_matches_golden_file() {
+    let text = fold(&sample().snapshot());
+    let golden = include_str!("golden/mc_small.folded");
+    assert_eq!(
+        text, golden,
+        "folded output drifted from tests/golden/mc_small.folded;\n\
+         if the change is intentional, update the golden file"
+    );
+}
+
+#[test]
+fn golden_file_itself_parses() {
+    let lines = parse_folded(include_str!("golden/mc_small.folded")).expect("golden parses");
+    assert_eq!(lines.len(), 7);
+    let kernel_total: u64 = lines
+        .iter()
+        .filter(|l| l.path.contains("kernel"))
+        .map(|l| l.value)
+        .sum();
+    assert_eq!(
+        kernel_total, 10_000_000,
+        "kernel family owns 10 s of self time"
+    );
+}

@@ -132,6 +132,47 @@ pub enum Json {
 }
 
 impl Json {
+    /// Appends the JSON encoding of this document to `out` (compact,
+    /// sorted keys, non-finite numbers as `null` — the same conventions
+    /// as the [`Value`] writer, so writer output always re-parses).
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => write_f64(out, *v),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// The compact JSON text of this document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
     /// Looks up `key` when this is an object.
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {

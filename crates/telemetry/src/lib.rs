@@ -23,7 +23,9 @@
 //!   allocating. Instrumented hot loops are free when telemetry is off.
 //! * **Simulated time only.** Timestamps are cycles, trial indices, or
 //!   simulated picoseconds — never the wall clock (`det-time` reserves
-//!   that for the `crates/criterion` shim).
+//!   that for the `crates/criterion` shim and this crate's [`clock`]
+//!   module, where profiling fences it behind the [`Clock`]
+//!   abstraction).
 //! * **Bit-identical at any worker count.** Parallel stages record into
 //!   per-item [`Collector::child`] collectors merged back in item-index
 //!   order, mirroring `par_map_indexed`; spans carry their item index.
@@ -31,29 +33,37 @@
 //! * **Deterministic iteration.** All key/value state lives in
 //!   `BTreeMap`s; sinks emit sorted-key order.
 
+pub mod clock;
 pub mod collect;
 pub mod json;
+pub mod profile;
 pub mod progress;
 pub mod report;
 
+pub use clock::Clock;
 pub use collect::{Collector, Event, Span};
 pub use json::{Json, Value};
+pub use profile::{Profile, ProfileNode, Profiler, PROFILE_VERSION};
 pub use progress::Progress;
 pub use report::{RunReport, RUN_REPORT_VERSION};
 
 /// The observability hooks an experiment accepts: a collector for the
-/// file sinks plus a progress reporter. [`Obs::none`] (the default) is
-/// free — instrumented code branches on it and does no work.
+/// file sinks, a progress reporter, and a call-tree profiler (the
+/// timing sink). [`Obs::none`] (the default) is free — instrumented
+/// code branches on it and does no work.
 #[derive(Debug, Default)]
 pub struct Obs {
     /// Structured event/metric collector (drained by the caller).
     pub collector: Collector,
     /// Progress reporting to stderr.
     pub progress: Progress,
+    /// Span-hierarchy profiler; its timings stay in the profile sink,
+    /// excluded from the byte-identity contract of the other sinks.
+    pub profiler: Profiler,
 }
 
 impl Obs {
-    /// No observability: collector and progress both disabled.
+    /// No observability: all hooks disabled.
     pub fn none() -> Self {
         Self::default()
     }
@@ -61,7 +71,7 @@ impl Obs {
     /// Whether any hook is active (instrumented code may use this to
     /// skip to its untraced fast path).
     pub fn is_active(&self) -> bool {
-        self.collector.is_enabled() || self.progress.is_enabled()
+        self.collector.is_enabled() || self.progress.is_enabled() || self.profiler.is_enabled()
     }
 }
 
@@ -75,18 +85,24 @@ mod tests {
         assert!(!obs.is_active());
         assert!(!obs.collector.is_enabled());
         assert!(!obs.progress.is_enabled());
+        assert!(!obs.profiler.is_enabled());
     }
 
     #[test]
-    fn obs_with_either_hook_is_active() {
+    fn obs_with_any_hook_is_active() {
         let obs = Obs {
             collector: Collector::enabled("t"),
-            progress: Progress::disabled(),
+            ..Obs::default()
         };
         assert!(obs.is_active());
         let obs = Obs {
-            collector: Collector::disabled(),
             progress: Progress::enabled("x", 10),
+            ..Obs::default()
+        };
+        assert!(obs.is_active());
+        let obs = Obs {
+            profiler: Profiler::enabled(Clock::tick(1.0)),
+            ..Obs::default()
         };
         assert!(obs.is_active());
     }

@@ -1,8 +1,9 @@
 //! The zero-cost-when-disabled contract, asserted with a counting
-//! allocator: recording into a disabled [`Collector`] and ticking a
-//! disabled [`Progress`] must perform **zero** heap allocations.
+//! allocator: recording into a disabled [`Collector`], ticking a
+//! disabled [`Progress`], and profiling into a disabled [`Profiler`]
+//! must perform **zero** heap allocations.
 
-use srlr_telemetry::{Collector, Obs, Progress, Value};
+use srlr_telemetry::{Collector, Obs, Profiler, Progress, Value};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -63,6 +64,22 @@ fn disabled_progress_never_allocates() {
 }
 
 #[test]
+fn disabled_profiler_never_allocates() {
+    let mut p = Profiler::disabled();
+    let n = allocations_during(|| {
+        for _ in 0..10_000u64 {
+            p.enter("frame");
+            p.count("tally");
+            p.count_n("bulk", 7);
+            p.exit();
+            let child = p.child();
+            p.merge(child);
+        }
+    });
+    assert_eq!(n, 0, "disabled profiler allocated {n} times");
+}
+
+#[test]
 fn obs_none_never_allocates_after_construction() {
     let mut obs = Obs::none();
     let n = allocations_during(|| {
@@ -71,6 +88,8 @@ fn obs_none_never_allocates_after_construction() {
             obs.collector
                 .event("e", i as f64, &[("k", Value::Bool(true))]);
             obs.progress.tick();
+            obs.profiler.enter("frame");
+            obs.profiler.exit();
         }
     });
     assert_eq!(n, 0, "Obs::none() allocated {n} times");
