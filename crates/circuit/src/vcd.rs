@@ -73,6 +73,7 @@ impl VcdExporter {
         let mut i = index;
         let mut out = String::new();
         loop {
+            // srlr-lint: allow(lossy-cast, reason = "i % 94 < 94 fits in u8")
             out.push(char::from(b'!' + (i % 94) as u8));
             i /= 94;
             if i == 0 {

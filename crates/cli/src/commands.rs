@@ -14,6 +14,7 @@ use srlr_noc::{
     Network, NocConfig, PowerModel,
 };
 use srlr_tech::Technology;
+use srlr_telemetry::sarif::SarifDoc;
 use srlr_telemetry::{Collector, Obs, Progress, RunReport, Value};
 use srlr_units::{DataRate, Voltage};
 use std::fmt::Write as _;
@@ -930,6 +931,9 @@ pub fn sizing() -> Result<String, CliError> {
 /// Delegates to [`srlr_lint::run`]: exit `0` when the tree is clean,
 /// `1` on violations (or stale baseline entries under `--deny-all`) and
 /// `2` for usage errors, matching the standalone `srlr-lint` binary.
+/// `--format sarif` always succeeds so CI can upload the document as an
+/// artifact even when findings gate — the same contract as
+/// `verify-noc --format sarif`.
 pub fn lint(rest: &[String]) -> Result<String, CliError> {
     let flags = Flags::parse_with_switches(rest, &["root", "format"], &["deny-all"])?;
     let root = flags.get_str("root").unwrap_or(".").to_owned();
@@ -949,23 +953,25 @@ pub fn lint(rest: &[String]) -> Result<String, CliError> {
 
     let mut out = String::new();
     if format == "sarif" {
+        // The findings travel inside the document; exporting must not
+        // fail the run or CI loses the artifact it came for.
         out.push_str(&sarif::render(&report));
-    } else {
-        for d in &report.fresh {
-            out.push_str(&d.render());
-        }
-        for key in &report.stale {
-            let _ = writeln!(
-                out,
-                "stale-baseline: `{key}` no longer matches any violation"
-            );
-        }
+        return Ok(out);
+    }
+    for d in &report.fresh {
+        out.push_str(&d.render());
+    }
+    for key in &report.stale {
         let _ = writeln!(
             out,
-            "srlr-lint: {} files checked, {failures} violation(s)",
-            report.files_checked
+            "stale-baseline: `{key}` no longer matches any violation"
         );
     }
+    let _ = writeln!(
+        out,
+        "srlr-lint: {} files checked, {failures} violation(s)",
+        report.files_checked
+    );
     if clean {
         Ok(out)
     } else {
@@ -1113,7 +1119,7 @@ pub fn verify_noc(rest: &[String]) -> Result<String, CliError> {
     let routes = reports.first().map_or(0, |(_, _, r)| r.pairs.len());
     let out = match format {
         "sarif" => {
-            let mut doc = sarif::SarifDoc::new("srlr-model", "https://example.invalid/srlr-model");
+            let mut doc = SarifDoc::new("srlr-model", "https://example.invalid/srlr-model");
             doc.rule(
                 "no-overtaking",
                 "a retried wormhole head is never overtaken by its own tail",

@@ -90,3 +90,47 @@ fn lint_violations_exit_one() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("crate-layering"), "{stderr}");
 }
+
+#[test]
+fn lint_format_sarif_exits_zero_even_with_findings() {
+    // Matching `verify-noc --format sarif`: the document carries the
+    // findings, so CI must receive it (exit 0) even when they gate.
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint_cli_sarif_dirty");
+    let src_dir = root.join("crates/tech/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir fixture");
+    std::fs::write(src_dir.join("lib.rs"), "use srlr_noc::Network;\n").expect("write fixture");
+
+    let out = srlr(&[
+        "lint",
+        "--root",
+        root.to_str().expect("utf-8"),
+        "--format",
+        "sarif",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    let doc = parse(&stdout).expect("stdout must be one valid JSON document");
+    let Json::Obj(top) = &doc else {
+        panic!("SARIF root must be an object")
+    };
+    let Some(Json::Arr(runs)) = top.get("runs") else {
+        panic!("runs array present")
+    };
+    let Json::Obj(run) = &runs[0] else { panic!() };
+    let Some(Json::Arr(results)) = run.get("results") else {
+        panic!("results array present")
+    };
+    assert!(
+        !results.is_empty(),
+        "the finding must appear in the document: {stdout}"
+    );
+
+    // The same workspace under the text format still gates (exit 1).
+    let out = srlr(&["lint", "--root", root.to_str().expect("utf-8")]);
+    assert_eq!(out.status.code(), Some(1));
+}

@@ -230,3 +230,30 @@ fn bench_diff_gates_the_committed_snapshots_against_themselves() {
         assert_eq!(out.status.code(), Some(0), "`{name}` must self-diff clean");
     }
 }
+
+#[test]
+fn committed_hotpath_roots_name_real_profiler_spans() {
+    // `lint-hotpaths.txt` drives the lint's alloc-in-hot-path rule; its
+    // span column must stay in sync with the spans the profiler
+    // actually emits, or the declared roots silently stop describing
+    // the measured hot path.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let text = fs::read_to_string(root.join(srlr_lint::semantic::HOTPATHS_FILE))
+        .expect("committed lint-hotpaths.txt");
+    let hot = srlr_lint::semantic::parse_hotpaths(&text);
+    assert!(hot.malformed.is_empty(), "{:?}", hot.malformed);
+    assert!(!hot.roots.is_empty(), "at least one declared hot root");
+
+    let profile = Scratch::new("hotroots.folded");
+    let _ = run(&["fig6", "--runs", "20", "--profile-out", profile.path()]);
+    let lines = srlr_prof::parse_folded(&profile.read_text()).expect("valid folded profile");
+    let paths: Vec<&str> = lines.iter().map(|l| l.path.as_str()).collect();
+    for root in &hot.roots {
+        assert!(
+            paths.iter().any(|p| p.split(';').any(|f| f == root.span)),
+            "hot root span `{}` (line {}) is not a profiler frame in {paths:?}",
+            root.span,
+            root.line,
+        );
+    }
+}

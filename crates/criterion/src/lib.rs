@@ -96,6 +96,7 @@ fn report(id: &str, samples: &[Duration]) {
     let (Some(min), Some(max)) = (samples.iter().min(), samples.iter().max()) else {
         return; // unreachable: the empty case returned above
     };
+    // srlr-lint: allow(lossy-cast, reason = "Duration division takes u32; sample counts are bench iteration counts, far below 4e9")
     let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
     // srlr-lint: allow(no-print, reason = "the criterion shim IS the bench reporter; its one job is terminal output")
     println!(

@@ -124,6 +124,7 @@ pub fn rate_bathtub_with_threads(
                 link.config().data_rate.bit_period(),
                 link.config().demod_min_width,
             );
+            // srlr-lint: allow(lossy-cast, reason = "seed % 126 + 1 is at most 126, well within u32")
             txs.push(Prbs::prbs7_with_seed((seed % 126 + 1) as u32).take_bits(bits_per_seed));
             noise.push(GaussianRng::new(seed));
         }

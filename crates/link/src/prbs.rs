@@ -75,6 +75,7 @@ impl Prbs {
         let raw = srlr_rng::stream_seed(seed ^ PRBS_SALT, index);
         // Fold to 15 bits; the all-zero state is remapped to the default
         // full register so every index yields a valid maximal sequence.
+        // srlr-lint: allow(lossy-cast, reason = "intentional truncation: the fold keeps only the low 15 bits via the mask")
         let mut state = (raw ^ (raw >> 15) ^ (raw >> 30) ^ (raw >> 45)) as u32 & 0x7FFF;
         if state == 0 {
             state = 0x7FFF;

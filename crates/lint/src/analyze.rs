@@ -14,7 +14,7 @@
 //!   templates are not items); the other rules still apply, since the
 //!   expanded code runs in library context.
 
-use crate::diagnostics::Diagnostic;
+use crate::diagnostics::{to_u32, Diagnostic};
 use crate::lexer::{lex, Token, TokenKind};
 use crate::rules::RuleId;
 
@@ -141,7 +141,7 @@ impl<'a> FileView<'a> {
             rule,
             message,
             snippet,
-            width: tok.text(self.src).chars().count().max(1) as u32,
+            width: to_u32(tok.text(self.src).chars().count().max(1)),
         }
     }
 

@@ -2,6 +2,13 @@
 
 use crate::rules::RuleId;
 
+/// Saturating `usize → u32` for line/column/width arithmetic: the lint's
+/// own `lossy-cast` rule bans bare `as` narrowing, and a 4-billion-line
+/// source dimension is out of scope anyway.
+pub(crate) fn to_u32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {

@@ -32,6 +32,22 @@
 //! * `api-lock` — each crate's public surface matches its committed
 //!   `api-lock.txt` snapshot (`--write-api-lock` accepts changes).
 //!
+//! A third layer ([`exprs`]) walks every function body into call, cast
+//! and float-reduction events, and [`callgraph`] resolves them into a
+//! workspace call graph (name-based, pruned by the layering DAG),
+//! feeding four dataflow rules:
+//!
+//! * `alloc-in-hot-path` — no heap-allocating call in any function
+//!   reachable from the hot roots declared in `lint-hotpaths.txt`
+//!   (span names cross-checked against the profiler's `--profile-out`
+//!   output),
+//! * `unordered-float-reduce` — no float accumulation over iteration
+//!   whose order is not provably index-ordered,
+//! * `rng-stream-discipline` — RNG construction only inside `srlr-rng`
+//!   and the registered sampler entry points,
+//! * `lossy-cast` — no `as` casts to sub-word integer types in library
+//!   code.
+//!
 //! Violations are waved through only by an inline
 //! `// srlr-lint: allow(rule, reason = "…")` with a mandatory reason, or
 //! by an entry in the shrink-only `lint-baseline.txt`. Reports render as
@@ -39,7 +55,9 @@
 
 pub mod analyze;
 pub mod baseline;
+pub mod callgraph;
 pub mod diagnostics;
+pub mod exprs;
 pub mod items;
 pub mod lexer;
 pub mod rules;
@@ -189,7 +207,13 @@ fn scan(config: &Config) -> Result<(Vec<ParsedFile>, SuppressionMap, Vec<Diagnos
         diags.extend(analysis.diags);
         suppressions.insert(rel.clone(), analysis.suppressions);
         let tree = items::parse_items(&rel, &src);
-        parsed.push(ParsedFile { rel, src, tree });
+        let fns = exprs::parse_fns(&rel, &src);
+        parsed.push(ParsedFile {
+            rel,
+            src,
+            tree,
+            fns,
+        });
     }
     Ok((parsed, suppressions, diags))
 }
@@ -205,6 +229,13 @@ pub fn run(config: &Config) -> Result<Report, Error> {
     for file in &parsed {
         diags.extend(semantic::check_raw_f64(file));
         diags.extend(semantic::check_layering_uses(file));
+        diags.extend(semantic::check_unordered_float_reduce(file));
+        diags.extend(semantic::check_rng_stream_discipline(file));
+        diags.extend(semantic::check_lossy_cast(file));
+    }
+    if let Some(hot) = semantic::load_hotpaths(&config.root) {
+        let graph = semantic::build_call_graph(&parsed);
+        diags.extend(semantic::check_alloc_in_hot_path(&parsed, &graph, &hot));
     }
     diags.extend(
         semantic::check_layering_manifests(&config.root).map_err(io_err(format!(

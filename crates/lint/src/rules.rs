@@ -63,6 +63,27 @@ pub enum RuleId {
     /// `api-lock.txt` snapshot: an addition or removal that nobody
     /// reviewed. Accept intentional changes with `--write-api-lock`.
     ApiLock,
+    /// A heap-allocating call (`Vec::new`, `push`, `collect`, `clone`,
+    /// `to_vec`, `format!`, `Box::new`, …) inside a function reachable
+    /// from a profiler-designated hot root declared in
+    /// `lint-hotpaths.txt`. The kernel tier must stay allocation-free so
+    /// its cost is pure arithmetic.
+    AllocInHotPath,
+    /// A floating-point reduction (`.sum::<f64>()`, `.fold(0.0, …)`,
+    /// `.product::<f64>()`) over an iterator chain containing an
+    /// order-unspecified adapter (`par_bridge`, `par_iter`, `read_dir`,
+    /// …). Float addition is not associative; merged parallel results
+    /// must come through `par_map_indexed`-ordered outputs.
+    UnorderedFloatReduce,
+    /// RNG construction (`Xoshiro256pp::new`/`for_stream`,
+    /// `stream_seed`, `splitmix64`) outside `srlr-rng` and the
+    /// registered sampler entry points: every stream must stay
+    /// counter-derived from a trial index.
+    RngStreamDiscipline,
+    /// An `as` cast to a sub-word integer type in library code:
+    /// truncation and sign wrap are silent. Use `From`/`try_from`, or
+    /// allow with a reason proving the range.
+    LossyCast,
     /// A `srlr-lint:` suppression comment that is malformed, names an
     /// unknown rule, or omits the mandatory `reason = "…"`.
     BadSuppression,
@@ -84,6 +105,10 @@ pub const ALL_RULES: &[RuleId] = &[
     RuleId::RawF64Api,
     RuleId::CrateLayering,
     RuleId::ApiLock,
+    RuleId::AllocInHotPath,
+    RuleId::UnorderedFloatReduce,
+    RuleId::RngStreamDiscipline,
+    RuleId::LossyCast,
     RuleId::BadSuppression,
     RuleId::StaleBaseline,
 ];
@@ -104,6 +129,10 @@ impl RuleId {
             RuleId::RawF64Api => "raw-f64-api",
             RuleId::CrateLayering => "crate-layering",
             RuleId::ApiLock => "api-lock",
+            RuleId::AllocInHotPath => "alloc-in-hot-path",
+            RuleId::UnorderedFloatReduce => "unordered-float-reduce",
+            RuleId::RngStreamDiscipline => "rng-stream-discipline",
+            RuleId::LossyCast => "lossy-cast",
             RuleId::BadSuppression => "bad-suppression",
             RuleId::StaleBaseline => "stale-baseline",
         }
@@ -142,6 +171,21 @@ impl RuleId {
             RuleId::ApiLock => {
                 "public API surface must match the committed api-lock.txt (--write-api-lock to \
                  accept)"
+            }
+            RuleId::AllocInHotPath => {
+                "no heap-allocating calls in functions reachable from the lint-hotpaths.txt \
+                 hot roots"
+            }
+            RuleId::UnorderedFloatReduce => {
+                "no float reductions over order-unspecified iteration; merge parallel results \
+                 through par_map_indexed"
+            }
+            RuleId::RngStreamDiscipline => {
+                "no RNG construction outside srlr-rng and the registered sampler entry points"
+            }
+            RuleId::LossyCast => {
+                "no `as` casts to sub-word integer types in library code; use From/try_from \
+                 or allow with a range argument"
             }
             RuleId::BadSuppression => "suppression comments need a known rule and a reason",
             RuleId::StaleBaseline => "baseline entries must match a real violation (shrink-only)",

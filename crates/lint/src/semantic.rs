@@ -1,15 +1,22 @@
-//! Cross-file semantic rules built on the item tree: `raw-f64-api`,
-//! `crate-layering` and `api-lock`.
+//! Cross-file semantic rules built on the item tree and the expression
+//! walker: `raw-f64-api`, `crate-layering`, `api-lock`, plus the
+//! dataflow rules `alloc-in-hot-path`, `unordered-float-reduce`,
+//! `rng-stream-discipline` and `lossy-cast`.
 //!
 //! These are the rules a token scan cannot express: they need item
 //! identities (who owns this signature?), crate identities (which layer
-//! does this file belong to?) and workspace state (the committed
-//! `api-lock.txt` snapshots and the `Cargo.toml` dependency sections).
+//! does this file belong to?), function bodies reduced to call/cast/
+//! reduction events ([`crate::exprs`]), the workspace call graph
+//! ([`crate::callgraph`]) and workspace state (the committed
+//! `api-lock.txt` snapshots, `lint-hotpaths.txt` and the `Cargo.toml`
+//! dependency sections).
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
-use crate::diagnostics::Diagnostic;
+use crate::callgraph::{CallGraph, FileFns, Node};
+use crate::diagnostics::{to_u32, Diagnostic};
+use crate::exprs::{CallEvent, CallKind, FnDef};
 use crate::items::{ItemKind, ItemTree, PubItem};
 use crate::rules::RuleId;
 
@@ -22,6 +29,8 @@ pub struct ParsedFile {
     pub src: String,
     /// The parsed item skeleton.
     pub tree: ItemTree,
+    /// The file's function definitions with their body events.
+    pub fns: Vec<FnDef>,
 }
 
 /// Crates ordered along the signal-modeling stack; each may depend on
@@ -135,7 +144,7 @@ pub fn check_raw_f64(file: &ParsedFile) -> Vec<Diagnostic> {
             file,
             item.line,
             item.col,
-            item.name.chars().count() as u32,
+            to_u32(item.name.chars().count()),
             RuleId::RawF64Api,
             format!(
                 "public {what} `{qualified}` exposes {n} bare `f64`{plural}; use an \
@@ -169,7 +178,7 @@ pub fn check_layering_uses(file: &ParsedFile) -> Vec<Diagnostic> {
             file,
             decl.line,
             1,
-            decl.first_segment.chars().count() as u32,
+            to_u32(decl.first_segment.chars().count()),
             RuleId::CrateLayering,
             format!(
                 "`{}` may not use `srlr-{to}`: the crate DAG is {} with {} as shared leaves",
@@ -237,7 +246,7 @@ pub fn check_layering_manifests(root: &Path) -> std::io::Result<Vec<Diagnostic>>
             }
             out.push(Diagnostic {
                 path: rel.clone(),
-                line: idx as u32 + 1,
+                line: to_u32(idx + 1),
                 col: 1,
                 rule: RuleId::CrateLayering,
                 message: format!(
@@ -247,7 +256,7 @@ pub fn check_layering_manifests(root: &Path) -> std::io::Result<Vec<Diagnostic>>
                     LEAVES.join("/"),
                 ),
                 snippet: line.to_string(),
-                width: dep.chars().count() as u32,
+                width: to_u32(dep.chars().count()),
             });
         }
     }
@@ -364,7 +373,7 @@ pub fn check_api_lock(files: &[ParsedFile], root: &Path) -> Vec<Diagnostic> {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            locked.entry(line).or_insert(idx as u32 + 1);
+            locked.entry(line).or_insert(to_u32(idx + 1));
         }
         for (entry, (file, line, col)) in entries {
             if locked.contains_key(entry.as_str()) {
@@ -396,7 +405,7 @@ pub fn check_api_lock(files: &[ParsedFile], root: &Path) -> Vec<Diagnostic> {
                      intentional run `srlr-lint --write-api-lock`"
                 ),
                 snippet: (*entry).to_string(),
-                width: entry.chars().count() as u32,
+                width: to_u32(entry.chars().count()),
             });
         }
     }
@@ -425,6 +434,400 @@ pub fn write_api_locks(files: &[ParsedFile], root: &Path) -> std::io::Result<Vec
     Ok(written)
 }
 
+// ---------------------------------------------------------------------
+// Dataflow rules: alloc-in-hot-path, unordered-float-reduce,
+// rng-stream-discipline, lossy-cast
+// ---------------------------------------------------------------------
+
+/// The committed hot-root declaration file, relative to the workspace
+/// root.
+pub const HOTPATHS_FILE: &str = "lint-hotpaths.txt";
+
+/// `Type::fn` path calls that allocate.
+const ALLOC_PATH_CALLS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Vec", "from"),
+    ("Box", "new"),
+    ("Rc", "new"),
+    ("Arc", "new"),
+    ("String", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+    ("VecDeque", "new"),
+    ("BTreeMap", "new"),
+    ("BTreeSet", "new"),
+];
+/// Method names that allocate (or may reallocate) their receiver.
+const ALLOC_METHODS: &[&str] = &[
+    "push",
+    "push_str",
+    "collect",
+    "clone",
+    "to_vec",
+    "to_string",
+    "to_owned",
+    "extend",
+    "append",
+    "reserve",
+    "resize",
+];
+/// Macros whose expansion allocates its output.
+const ALLOC_MACROS: &[&str] = &["format", "vec"];
+
+/// Iterator adapters and sources whose yield order is not specified (or
+/// not index-ordered): a float reduction downstream of one of these is
+/// non-deterministic because float addition is not associative. The
+/// sanctioned merge path is `srlr_parallel::par_map_indexed`, whose
+/// outputs are index-ordered by construction.
+const UNORDERED_ADAPTERS: &[&str] = &[
+    "par_bridge",
+    "par_iter",
+    "par_iter_mut",
+    "into_par_iter",
+    "par_chunks",
+    "par_map_unordered",
+    "read_dir",
+];
+
+/// RNG-constructing calls: `Xoshiro256pp::{new, for_stream}` plus the
+/// seed-derivation free functions.
+const RNG_SEED_FNS: &[&str] = &["stream_seed", "splitmix64"];
+
+/// The registered sampler entry points: the only functions outside
+/// `srlr-rng` allowed to construct RNG state. Every entry derives its
+/// stream from an experiment seed plus a stable index
+/// (trial/link/packet), which is what keeps runs bit-identical at any
+/// thread count. Additions to this list are API review, exactly like an
+/// `api-lock.txt` change.
+const REGISTERED_SAMPLERS: &[&str] = &[
+    "srlr-tech::GaussianRng::new",
+    "srlr-tech::GaussianRng::for_stream",
+    "srlr-link::Prbs::prbs15_for_stream",
+    "srlr-noc::TrafficGenerator::new",
+    "srlr-noc::FaultModel::new",
+    "srlr-noc::packet::flit_payload",
+];
+
+/// `as` targets the `lossy-cast` rule flags: sub-word integers, where
+/// truncation and sign wrap are silent. Casts to `u64`/`u128`/`usize`
+/// (lossless widening from every index type used here) and to floats
+/// (dominant idiom: count → ratio) stay token-exempt.
+const LOSSY_CAST_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// The Cargo package name of a crate directory (`core` → `srlr-core`,
+/// the umbrella root → `srlr-repro`).
+fn crate_display_name(dir: &str) -> String {
+    if dir.is_empty() {
+        "srlr-repro".to_string()
+    } else {
+        format!("srlr-{dir}")
+    }
+}
+
+/// Inverse of [`crate_display_name`], for the layering filter.
+fn crate_dir_of_display(name: &str) -> &str {
+    if name == "srlr-repro" {
+        ""
+    } else {
+        name.strip_prefix("srlr-").unwrap_or(name)
+    }
+}
+
+/// The qualified id of a function definition, matching
+/// [`Node::display`]: `srlr-tech::GaussianRng::new` for methods,
+/// `srlr-noc::packet::flit_payload` for module free functions.
+fn fn_id(rel: &str, def: &FnDef) -> String {
+    let krate = crate_display_name(crate_of(rel).unwrap_or_default());
+    let mid = match (&def.owner, file_module(rel)) {
+        (Some(o), _) => format!("{o}::"),
+        (None, m) if m.is_empty() => String::new(),
+        (None, m) => format!("{m}::"),
+    };
+    format!("{krate}::{mid}{}", def.name)
+}
+
+/// Builds the workspace call graph from every file's parsed function
+/// definitions, with edges pruned by the crate layering DAG (code in
+/// `link` cannot call into `noc`, so a method name defined in both is
+/// not resolved upward).
+pub fn build_call_graph(files: &[ParsedFile]) -> CallGraph {
+    let file_fns: Vec<FileFns<'_>> = files
+        .iter()
+        .map(|f| FileFns {
+            crate_name: crate_display_name(crate_of(&f.rel).unwrap_or_default()),
+            module: file_module(&f.rel),
+            defs: &f.fns,
+        })
+        .collect();
+    CallGraph::build(&file_fns, |from, to| {
+        layering_allows(crate_dir_of_display(from), crate_dir_of_display(to))
+    })
+}
+
+/// One hot-root declaration from `lint-hotpaths.txt`.
+#[derive(Debug, Clone)]
+pub struct HotRoot {
+    /// The profiler span name this root is accountable to (must appear
+    /// in `--profile-out` folded output; cross-checked by a CLI test).
+    pub span: String,
+    /// The function pattern, as accepted by
+    /// [`CallGraph::resolve_pattern`].
+    pub pattern: String,
+    /// 1-based line in the declaration file.
+    pub line: u32,
+    /// The raw line text (diagnostic snippet).
+    pub text: String,
+}
+
+/// The parsed `lint-hotpaths.txt`.
+#[derive(Debug, Default)]
+pub struct HotPaths {
+    /// Well-formed declarations.
+    pub roots: Vec<HotRoot>,
+    /// Lines that are neither comments nor `span pattern` pairs.
+    pub malformed: Vec<(u32, String)>,
+}
+
+/// Parses the hot-root declaration format: one `span-name fn-pattern`
+/// pair per line, `#` comments and blank lines ignored.
+pub fn parse_hotpaths(text: &str) -> HotPaths {
+    let mut hot = HotPaths::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        match (fields.next(), fields.next(), fields.next()) {
+            (Some(span), Some(pattern), None) => hot.roots.push(HotRoot {
+                span: span.to_string(),
+                pattern: pattern.to_string(),
+                line: to_u32(idx + 1),
+                text: raw.to_string(),
+            }),
+            _ => hot.malformed.push((to_u32(idx + 1), raw.to_string())),
+        }
+    }
+    hot
+}
+
+/// Loads `<root>/lint-hotpaths.txt`; `None` when the workspace declares
+/// no hot roots (the rule is then inert).
+pub fn load_hotpaths(root: &Path) -> Option<HotPaths> {
+    let text = std::fs::read_to_string(root.join(HOTPATHS_FILE)).ok()?;
+    Some(parse_hotpaths(&text))
+}
+
+/// A diagnostic anchored in the hot-root declaration file itself.
+fn hotpaths_diag(line: u32, text: &str, message: String) -> Diagnostic {
+    Diagnostic {
+        path: HOTPATHS_FILE.to_string(),
+        line,
+        col: 1,
+        rule: RuleId::AllocInHotPath,
+        message,
+        snippet: text.to_string(),
+        width: to_u32(text.trim().chars().count().max(1)),
+    }
+}
+
+/// Whether a call event is a heap allocation.
+fn allocates(call: &CallEvent) -> bool {
+    match call.kind {
+        CallKind::Path => call
+            .qualifier
+            .as_deref()
+            .is_some_and(|q| ALLOC_PATH_CALLS.contains(&(q, call.name.as_str()))),
+        CallKind::Method => ALLOC_METHODS.contains(&call.name.as_str()),
+        CallKind::Macro => ALLOC_MACROS.contains(&call.name.as_str()),
+        CallKind::Bare => false,
+    }
+}
+
+/// `alloc-in-hot-path`: no heap-allocating call in any function the
+/// call graph can reach from a declared hot root.
+///
+/// `crates/telemetry/` is exempt: the profiler's record-keeping
+/// (entered frames, counters) allocates only when profiling is enabled,
+/// and its zero-cost-when-disabled contract is enforced by its own
+/// tests — the hot path's *disabled* cost is one branch. `crates/criterion/`
+/// is exempt for the same structural reason: the bench shim wraps kernels
+/// from the *outside* (timing loops allocate sample vectors between
+/// measured iterations) and is never linked into the simulation hot path.
+pub fn check_alloc_in_hot_path(
+    files: &[ParsedFile],
+    graph: &CallGraph,
+    hot: &HotPaths,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (line, text) in &hot.malformed {
+        out.push(hotpaths_diag(
+            *line,
+            text,
+            format!(
+                "malformed hot-root line in {HOTPATHS_FILE}: expected `span-name crate::Owner::fn`"
+            ),
+        ));
+    }
+    let mut roots: Vec<usize> = Vec::new();
+    let mut root_decl: BTreeMap<usize, &HotRoot> = BTreeMap::new();
+    for root in &hot.roots {
+        let ids = graph.resolve_pattern(&root.pattern);
+        if ids.is_empty() {
+            out.push(hotpaths_diag(
+                root.line,
+                &root.text,
+                format!(
+                    "hot root `{}` matches no workspace function; fix the pattern or delete \
+                     the line (shapes: crate::Owner::fn, crate::fn, crate::module::*)",
+                    root.pattern
+                ),
+            ));
+            continue;
+        }
+        for id in ids {
+            root_decl.entry(id).or_insert(root);
+            roots.push(id);
+        }
+    }
+    let reached = graph.reachable_from(&roots);
+    for (id, node) in graph.nodes().iter().enumerate() {
+        let Some(root_id) = reached[id] else { continue };
+        let file = &files[node.file];
+        if file.rel.starts_with("crates/telemetry/") || file.rel.starts_with("crates/criterion/") {
+            continue;
+        }
+        let def = &file.fns[node.def];
+        let decl = &root_decl[&root_id];
+        let via: &Node = &graph.nodes()[root_id];
+        for call in &def.calls {
+            if !allocates(call) {
+                continue;
+            }
+            out.push(source_diag(
+                file,
+                call.line,
+                call.col,
+                to_u32(call.name.chars().count()),
+                RuleId::AllocInHotPath,
+                format!(
+                    "heap allocation `{}` in hot function `{}` (reachable from `{}` root \
+                     `{}` in {HOTPATHS_FILE})",
+                    call.display(),
+                    node.display(),
+                    decl.span,
+                    via.display(),
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// `unordered-float-reduce`: a float reduction whose chain contains an
+/// adapter with unspecified iteration order.
+pub fn check_unordered_float_reduce(file: &ParsedFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for def in &file.fns {
+        for r in &def.reduces {
+            let Some(bad) = r
+                .chain
+                .iter()
+                .find(|c| UNORDERED_ADAPTERS.contains(&c.as_str()))
+            else {
+                continue;
+            };
+            out.push(source_diag(
+                file,
+                r.line,
+                r.col,
+                to_u32(r.terminator.chars().count()),
+                RuleId::UnorderedFloatReduce,
+                format!(
+                    "float `{}` over order-unspecified iteration (`{bad}`): float addition \
+                     is not associative; merge parallel results through \
+                     `par_map_indexed`-ordered outputs",
+                    r.terminator
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Whether a call event constructs RNG state.
+fn constructs_rng(call: &CallEvent) -> bool {
+    if call.kind == CallKind::Macro {
+        return false;
+    }
+    if RNG_SEED_FNS.contains(&call.name.as_str()) {
+        return true;
+    }
+    call.qualifier.as_deref() == Some("Xoshiro256pp")
+        && matches!(call.name.as_str(), "new" | "for_stream")
+}
+
+/// `rng-stream-discipline`: RNG construction outside `srlr-rng` and the
+/// registered sampler entry points.
+pub fn check_rng_stream_discipline(file: &ParsedFile) -> Vec<Diagnostic> {
+    if file.rel.starts_with("crates/rng/") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for def in &file.fns {
+        if REGISTERED_SAMPLERS.contains(&fn_id(&file.rel, def).as_str()) {
+            continue;
+        }
+        for call in def.calls.iter().filter(|c| constructs_rng(c)) {
+            out.push(source_diag(
+                file,
+                call.line,
+                call.col,
+                to_u32(call.name.chars().count()),
+                RuleId::RngStreamDiscipline,
+                format!(
+                    "RNG construction `{}` in `{}`, which is not a registered sampler: derive \
+                     streams through a REGISTERED_SAMPLERS entry point (srlr-lint semantic.rs) \
+                     so they stay counter-derived from a trial index",
+                    call.display(),
+                    fn_id(&file.rel, def),
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// `lossy-cast`: `as` casts to sub-word integer types in library code.
+/// Binary entry points (`main.rs`) are exempt, matching `no-print`.
+pub fn check_lossy_cast(file: &ParsedFile) -> Vec<Diagnostic> {
+    if file.rel == "main.rs" || file.rel.ends_with("/main.rs") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for def in &file.fns {
+        for cast in &def.casts {
+            if !LOSSY_CAST_TARGETS.contains(&cast.target.as_str()) {
+                continue;
+            }
+            out.push(source_diag(
+                file,
+                cast.line,
+                cast.col,
+                to_u32(cast.target.chars().count()),
+                RuleId::LossyCast,
+                format!(
+                    "lossy `as {0}` cast: use `{0}::try_from` (or `From`), or allow with a \
+                     reason proving the value fits",
+                    cast.target
+                ),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -435,6 +838,7 @@ mod tests {
             rel: rel.to_string(),
             src: src.to_string(),
             tree: parse_items(rel, src),
+            fns: crate::exprs::parse_fns(rel, src),
         }
     }
 
@@ -545,5 +949,120 @@ mod tests {
     fn main_rs_is_not_api() {
         let f = parsed("crates/cli/src/main.rs", "pub fn run() {}");
         assert!(current_surface(&[f]).is_empty());
+    }
+
+    #[test]
+    fn hotpaths_parse_accepts_comments_and_flags_malformed() {
+        let hot = parse_hotpaths(
+            "# comment\n\nbit_slot srlr-core::DieBatch::advance_slot\nbroken\nspan pat extra\n",
+        );
+        assert_eq!(hot.roots.len(), 1);
+        assert_eq!(hot.roots[0].span, "bit_slot");
+        assert_eq!(hot.roots[0].line, 3);
+        assert_eq!(
+            hot.malformed,
+            [(4, "broken".to_string()), (5, "span pat extra".to_string())]
+        );
+    }
+
+    #[test]
+    fn alloc_in_hot_path_fires_transitively() {
+        let files = [
+            parsed(
+                "crates/core/src/batch.rs",
+                "impl DieBatch {\n    pub fn advance_slot(&mut self) { helper(); }\n}\n\
+                 fn helper() { let mut v = Vec::new(); v.push(1); }",
+            ),
+            parsed("crates/core/src/cold.rs", "pub fn cold() { Vec::new(); }"),
+        ];
+        let graph = build_call_graph(&files);
+        let hot = parse_hotpaths("bit_slot srlr-core::DieBatch::advance_slot\n");
+        let d = check_alloc_in_hot_path(&files, &graph, &hot);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].message.contains("Vec::new"));
+        assert!(d[0].message.contains("srlr-core::batch::helper"));
+        assert!(d[0].message.contains("bit_slot"));
+        assert!(
+            d.iter().all(|x| x.path == "crates/core/src/batch.rs"),
+            "cold() is unreachable from the root: {d:?}"
+        );
+    }
+
+    #[test]
+    fn alloc_in_hot_path_reports_unresolved_roots() {
+        let files = [parsed("crates/core/src/batch.rs", "pub fn tick() {}")];
+        let graph = build_call_graph(&files);
+        let hot = parse_hotpaths("bit_slot srlr-core::Nope::missing\n");
+        let d = check_alloc_in_hot_path(&files, &graph, &hot);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].path, HOTPATHS_FILE);
+        assert!(d[0].message.contains("matches no workspace function"));
+    }
+
+    #[test]
+    fn alloc_in_hot_path_exempts_telemetry() {
+        let files = [
+            parsed(
+                "crates/core/src/batch.rs",
+                "impl DieBatch { pub fn advance_slot(&self, p: Profiler) { p.enter(); } }",
+            ),
+            parsed(
+                "crates/telemetry/src/profile.rs",
+                "impl Profiler { pub fn enter(&mut self) { self.frames.push(1); } }",
+            ),
+        ];
+        let graph = build_call_graph(&files);
+        let hot = parse_hotpaths("bit_slot srlr-core::DieBatch::advance_slot\n");
+        assert!(check_alloc_in_hot_path(&files, &graph, &hot).is_empty());
+    }
+
+    #[test]
+    fn unordered_float_reduce_fires_on_unordered_chains_only() {
+        let bad = parsed(
+            "crates/link/src/x.rs",
+            "fn merge(xs: &[f64]) -> f64 { xs.par_bridge().map(|x| x).sum::<f64>() }",
+        );
+        let d = check_unordered_float_reduce(&bad);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("par_bridge"), "{}", d[0].message);
+        let good = parsed(
+            "crates/link/src/x.rs",
+            "fn merge(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }",
+        );
+        assert!(check_unordered_float_reduce(&good).is_empty());
+    }
+
+    #[test]
+    fn rng_discipline_allows_registered_samplers_only() {
+        let bad = parsed(
+            "crates/noc/src/rogue.rs",
+            "fn rogue(seed: u64) -> Xoshiro256pp { Xoshiro256pp::new(seed) }",
+        );
+        let d = check_rng_stream_discipline(&bad);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("not a registered sampler"));
+        let registered = parsed(
+            "crates/tech/src/montecarlo.rs",
+            "impl GaussianRng {\n    pub fn new(seed: u64) -> Self { Self { rng: Xoshiro256pp::new(seed) } }\n}",
+        );
+        assert!(check_rng_stream_discipline(&registered).is_empty());
+        let in_rng = parsed(
+            "crates/rng/src/lib.rs",
+            "pub fn splitmix64(x: u64) -> u64 { splitmix64(x) }",
+        );
+        assert!(check_rng_stream_discipline(&in_rng).is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_flags_subword_targets_only() {
+        let f = parsed(
+            "crates/noc/src/x.rs",
+            "fn f(x: u64) -> u32 { let _ = x as f64; let _ = x as usize; x as u32 }",
+        );
+        let d = check_lossy_cast(&f);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("as u32"));
+        let main = parsed("crates/cli/src/main.rs", "fn f(x: u64) -> u32 { x as u32 }");
+        assert!(check_lossy_cast(&main).is_empty(), "binaries are exempt");
     }
 }

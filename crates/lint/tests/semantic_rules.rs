@@ -262,3 +262,259 @@ fn diagnostics_use_forward_slashes_and_stable_order() {
     assert_eq!(keys[0].0, "crates/tech/src/a.rs");
     assert_eq!(keys[2].0, "crates/tech/src/b.rs");
 }
+
+// -----------------------------------------------------------------
+// alloc-in-hot-path
+// -----------------------------------------------------------------
+
+#[test]
+fn alloc_in_hot_path_fires_and_is_suppressible() {
+    let fx = Fixture::new("alloc_hot_fires");
+    fx.write(
+        "lint-hotpaths.txt",
+        "bit_slot srlr-core::DieBatch::advance_slot\n",
+    );
+    fx.write(
+        "crates/core/src/batch.rs",
+        "impl DieBatch {\n    /// Advance one slot.\n    pub fn advance_slot(&mut self) {\n\
+         \x20       self.scratch.push(1);\n    }\n}\n",
+    );
+    assert_eq!(
+        fx.violations(),
+        [(
+            RuleId::AllocInHotPath,
+            "crates/core/src/batch.rs".to_string()
+        )]
+    );
+
+    fx.write(
+        "crates/core/src/batch.rs",
+        "impl DieBatch {\n    /// Advance one slot.\n    pub fn advance_slot(&mut self) {\n\
+         \x20       // srlr-lint: allow(alloc-in-hot-path, reason = \"amortised: pushes only on the rare resize trial\")\n\
+         \x20       self.scratch.push(1);\n    }\n}\n",
+    );
+    assert!(fx.violations().is_empty(), "reasoned allow must suppress");
+
+    fx.write(
+        "crates/core/src/batch.rs",
+        "impl DieBatch {\n    /// Advance one slot.\n    pub fn advance_slot(&mut self) {\n\
+         \x20       // srlr-lint: allow(alloc-in-hot-path)\n\
+         \x20       self.scratch.push(1);\n    }\n}\n",
+    );
+    let rules: Vec<RuleId> = fx.violations().into_iter().map(|(r, _)| r).collect();
+    assert!(rules.contains(&RuleId::BadSuppression), "{rules:?}");
+    assert!(rules.contains(&RuleId::AllocInHotPath), "{rules:?}");
+}
+
+#[test]
+fn alloc_in_hot_path_follows_cross_crate_calls() {
+    let fx = Fixture::new("alloc_hot_transitive");
+    fx.write(
+        "lint-hotpaths.txt",
+        "kernel srlr-link::Lockstep::check_shared\n",
+    );
+    fx.write(
+        "crates/link/src/lockstep.rs",
+        "impl Lockstep {\n    /// Compare one slot.\n    pub fn check_shared(&self) -> u64 {\n\
+         \x20       helper(1)\n    }\n}\n",
+    );
+    // The allocation is two edges down, in a crate the link layer may use.
+    fx.write(
+        "crates/core/src/kernel.rs",
+        "/// Scratch helper.\npub fn helper(x: u64) -> u64 {\n    let v = vec![x];\n    v[0]\n}\n",
+    );
+    let v = fx.violations();
+    let hot: Vec<&(RuleId, String)> = v
+        .iter()
+        .filter(|(r, _)| *r == RuleId::AllocInHotPath)
+        .collect();
+    assert_eq!(hot.len(), 1, "{v:?}");
+    assert_eq!(hot[0].1, "crates/core/src/kernel.rs");
+}
+
+#[test]
+fn alloc_in_hot_path_flags_bad_root_declarations() {
+    let fx = Fixture::new("alloc_hot_bad_roots");
+    fx.write(
+        "lint-hotpaths.txt",
+        "# comment lines are fine\nbit_slot srlr-core::Nope::nothing\njust-one-field\n",
+    );
+    fx.write("crates/core/src/lib.rs", "/// Quiet.\npub fn quiet() {}\n");
+    let v = fx.violations();
+    assert_eq!(v.len(), 2, "{v:?}");
+    for (rule, path) in &v {
+        assert_eq!(*rule, RuleId::AllocInHotPath);
+        assert_eq!(path, "lint-hotpaths.txt");
+    }
+}
+
+#[test]
+fn alloc_in_hot_path_is_inert_without_a_hotpaths_file() {
+    let fx = Fixture::new("alloc_hot_inert");
+    fx.write(
+        "crates/core/src/batch.rs",
+        "impl DieBatch {\n    /// Advance one slot.\n    pub fn advance_slot(&mut self) {\n\
+         \x20       self.scratch.push(1);\n    }\n}\n",
+    );
+    assert!(
+        fx.violations().is_empty(),
+        "no declared roots, no hot paths"
+    );
+}
+
+// -----------------------------------------------------------------
+// unordered-float-reduce
+// -----------------------------------------------------------------
+
+#[test]
+fn unordered_float_reduce_fires_and_is_suppressible() {
+    let fx = Fixture::new("float_reduce_fires");
+    fx.write(
+        "crates/noc/src/stats.rs",
+        "/// Mean latency.\npub fn mean(v: &[f64]) -> f64 {\n\
+         \x20   v.par_iter().map(|x| x * 2.0).sum::<f64>()\n}\n",
+    );
+    assert_eq!(
+        fx.violations(),
+        [(
+            RuleId::UnorderedFloatReduce,
+            "crates/noc/src/stats.rs".to_string()
+        )]
+    );
+
+    fx.write(
+        "crates/noc/src/stats.rs",
+        "/// Mean latency.\npub fn mean(v: &[f64]) -> f64 {\n\
+         \x20   // srlr-lint: allow(unordered-float-reduce, reason = \"diagnostic-only estimate, never in a byte-identity sink\")\n\
+         \x20   v.par_iter().map(|x| x * 2.0).sum::<f64>()\n}\n",
+    );
+    assert!(fx.violations().is_empty(), "reasoned allow must suppress");
+
+    fx.write(
+        "crates/noc/src/stats.rs",
+        "/// Mean latency.\npub fn mean(v: &[f64]) -> f64 {\n\
+         \x20   // srlr-lint: allow(unordered-float-reduce)\n\
+         \x20   v.par_iter().map(|x| x * 2.0).sum::<f64>()\n}\n",
+    );
+    let rules: Vec<RuleId> = fx.violations().into_iter().map(|(r, _)| r).collect();
+    assert!(rules.contains(&RuleId::BadSuppression), "{rules:?}");
+    assert!(rules.contains(&RuleId::UnorderedFloatReduce), "{rules:?}");
+}
+
+#[test]
+fn unordered_float_reduce_ignores_ordered_chains() {
+    let fx = Fixture::new("float_reduce_ordered");
+    fx.write(
+        "crates/noc/src/stats.rs",
+        "/// Mean latency.\npub fn mean(v: &[f64]) -> f64 {\n\
+         \x20   v.iter().map(|x| x * 2.0).sum::<f64>()\n}\n",
+    );
+    assert!(
+        fx.violations().is_empty(),
+        "index-ordered iteration is fine"
+    );
+}
+
+// -----------------------------------------------------------------
+// rng-stream-discipline
+// -----------------------------------------------------------------
+
+#[test]
+fn rng_stream_discipline_fires_and_is_suppressible() {
+    let fx = Fixture::new("rng_discipline_fires");
+    fx.write(
+        "crates/noc/src/lib.rs",
+        "/// Ad-hoc seed.\npub fn bad_seed(seed: u64, i: u64) -> u64 {\n\
+         \x20   srlr_rng::stream_seed(seed ^ 1, i)\n}\n",
+    );
+    assert_eq!(
+        fx.violations(),
+        [(
+            RuleId::RngStreamDiscipline,
+            "crates/noc/src/lib.rs".to_string()
+        )]
+    );
+
+    fx.write(
+        "crates/noc/src/lib.rs",
+        "/// Ad-hoc seed.\npub fn bad_seed(seed: u64, i: u64) -> u64 {\n\
+         \x20   // srlr-lint: allow(rng-stream-discipline, reason = \"migration shim, registered entry lands with the traffic rework\")\n\
+         \x20   srlr_rng::stream_seed(seed ^ 1, i)\n}\n",
+    );
+    assert!(fx.violations().is_empty(), "reasoned allow must suppress");
+
+    fx.write(
+        "crates/noc/src/lib.rs",
+        "/// Ad-hoc seed.\npub fn bad_seed(seed: u64, i: u64) -> u64 {\n\
+         \x20   // srlr-lint: allow(rng-stream-discipline)\n\
+         \x20   srlr_rng::stream_seed(seed ^ 1, i)\n}\n",
+    );
+    let rules: Vec<RuleId> = fx.violations().into_iter().map(|(r, _)| r).collect();
+    assert!(rules.contains(&RuleId::BadSuppression), "{rules:?}");
+    assert!(rules.contains(&RuleId::RngStreamDiscipline), "{rules:?}");
+}
+
+#[test]
+fn rng_stream_discipline_exempts_the_rng_crate_and_registered_samplers() {
+    let fx = Fixture::new("rng_discipline_scope");
+    fx.write(
+        "crates/rng/src/lib.rs",
+        "/// Derive a stream seed.\npub fn stream_seed(seed: u64, i: u64) -> u64 {\n\
+         \x20   splitmix64(seed ^ i)\n}\n",
+    );
+    fx.write(
+        "crates/noc/src/fault.rs",
+        "impl FaultModel {\n    /// Registered sampler entry.\n    pub fn new(seed: u64) -> Self {\n\
+         \x20       Self { rng: Xoshiro256pp::for_stream(seed, 0) }\n    }\n}\n",
+    );
+    assert!(fx.violations().is_empty());
+}
+
+// -----------------------------------------------------------------
+// lossy-cast
+// -----------------------------------------------------------------
+
+#[test]
+fn lossy_cast_fires_and_is_suppressible() {
+    let fx = Fixture::new("lossy_cast_fires");
+    fx.write(
+        "crates/noc/src/lib.rs",
+        "/// Narrow an index.\npub fn narrow(x: usize) -> u16 {\n    x as u16\n}\n",
+    );
+    assert_eq!(
+        fx.violations(),
+        [(RuleId::LossyCast, "crates/noc/src/lib.rs".to_string())]
+    );
+
+    fx.write(
+        "crates/noc/src/lib.rs",
+        "/// Narrow an index.\npub fn narrow(x: usize) -> u16 {\n\
+         \x20   // srlr-lint: allow(lossy-cast, reason = \"caller guarantees x < 65536 by mesh-size assert\")\n\
+         \x20   x as u16\n}\n",
+    );
+    assert!(fx.violations().is_empty(), "reasoned allow must suppress");
+
+    fx.write(
+        "crates/noc/src/lib.rs",
+        "/// Narrow an index.\npub fn narrow(x: usize) -> u16 {\n\
+         \x20   // srlr-lint: allow(lossy-cast)\n\
+         \x20   x as u16\n}\n",
+    );
+    let rules: Vec<RuleId> = fx.violations().into_iter().map(|(r, _)| r).collect();
+    assert!(rules.contains(&RuleId::BadSuppression), "{rules:?}");
+    assert!(rules.contains(&RuleId::LossyCast), "{rules:?}");
+}
+
+#[test]
+fn lossy_cast_exempts_binaries_and_word_sized_targets() {
+    let fx = Fixture::new("lossy_cast_scope");
+    fx.write(
+        "crates/cli/src/main.rs",
+        "fn main() {\n    let _x = 70000usize as u16;\n}\n",
+    );
+    fx.write(
+        "crates/noc/src/lib.rs",
+        "/// Widen an index.\npub fn widen(x: u32) -> u64 {\n    x as u64\n}\n",
+    );
+    assert!(fx.violations().is_empty());
+}

@@ -82,6 +82,29 @@ fn edge_cases_are_covered() {
         ("unterminated string", "const S: &str = \"no end"),
         ("unterminated comment", "/* never closed"),
         ("shift generics", "type M = Vec<Vec<f64>>;\n"),
+        // Multi-character operators the expression walker leans on:
+        // each must lex as one token, not a prefix plus stragglers.
+        (
+            "inclusive range",
+            "fn f() -> u8 { let mut n = 0; for i in 0..=9 { n += i } n }\n",
+        ),
+        (
+            "range vs float dots",
+            "const R: core::ops::RangeInclusive<f64> = 0.5..=1.5;\n",
+        ),
+        ("thin arrow", "fn g(f: fn(u8) -> u8) -> u8 { f(0) }\n"),
+        (
+            "shift assignment",
+            "fn h(mut x: u64) -> u64 { x <<= 3; x >>= 1; x }\n",
+        ),
+        (
+            "shift assign vs nested generics",
+            "fn k(v: &mut Vec<Vec<u64>>) { v[0][0] <<= 1; }\n",
+        ),
+        (
+            "operator soup",
+            "fn m(mut a: u32) -> bool { a <<= 1; a >>= 2; (0..=a).len() > 0 }\n",
+        ),
         (
             "unicode",
             "// héllo wörld 🦀\nfn f() { let _ = \"日本語\"; }\n",
@@ -89,4 +112,21 @@ fn edge_cases_are_covered() {
     ] {
         assert_covered(label, src);
     }
+}
+
+#[test]
+fn multi_char_operators_lex_as_single_tokens() {
+    let src = "fn f(x: u8) -> u8 { let mut y = x; y <<= 1; y >>= 2; for _ in 0..=3 {} y }\n";
+    let texts: Vec<&str> = lex(src).iter().map(|t| &src[t.start..t.end]).collect();
+    for op in ["->", "<<=", ">>=", "..="] {
+        assert!(
+            texts.contains(&op),
+            "`{op}` must survive as one token: {texts:?}"
+        );
+    }
+    // No orphaned prefixes: a split `<<=` would leave a bare `<<` or `=`
+    // in the stream where none belongs.
+    assert!(!texts.contains(&"<<"), "{texts:?}");
+    assert!(!texts.contains(&">>"), "{texts:?}");
+    assert!(!texts.contains(&".."), "{texts:?}");
 }

@@ -989,6 +989,7 @@ pub fn verify_profiled(config: &ModelConfig, prof: &mut srlr_telemetry::Profiler
 /// probability `1 - D^(R+1)`, averaged over ordered pairs.
 pub fn closed_form_delivery(config: &ModelConfig) -> f64 {
     let detected = config.detected_probability();
+    // srlr-lint: allow(lossy-cast, reason = "powi takes i32; max_retries is a small retry budget (u8-scale), nowhere near i32::MAX")
     let exhaust = detected.powi(config.fault.max_retries as i32 + 1);
     let survive = 1.0 - exhaust;
     let mesh = config.mesh;
@@ -1000,7 +1001,9 @@ pub fn closed_form_delivery(config: &ModelConfig) -> f64 {
                 continue;
             }
             let hops = mesh.coord_of(s).hop_distance(mesh.coord_of(d));
+            // srlr-lint: allow(lossy-cast, reason = "packet lengths are flit counts, far below u32::MAX")
             let crossings = (config.packet_len as u32) * hops;
+            // srlr-lint: allow(lossy-cast, reason = "powi takes i32; crossings = packet_len * hops stays far below i32::MAX for any real mesh")
             total += survive.powi(crossings as i32);
             count += 1;
         }

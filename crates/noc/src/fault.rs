@@ -118,6 +118,7 @@ impl FaultConfig {
     /// Probability that at least one bit of an 80-bit codeword flips in
     /// one traversal.
     pub fn word_error_probability(&self) -> f64 {
+        // srlr-lint: allow(lossy-cast, reason = "powi takes i32; CODEWORD_BITS is the constant 80")
         1.0 - (1.0 - self.ber).powi(CODEWORD_BITS as i32)
     }
 }
@@ -329,6 +330,7 @@ fn corrupt_codeword(rng: &mut Xoshiro256pp, payload: u64, crc: u16, ber: f64) ->
             word ^= 1u128 << bit;
         }
     }
+    // srlr-lint: allow(lossy-cast, reason = "intentional split of the 80-bit codeword: low 16 bits are the CRC, the rest the payload")
     (((word >> 16) as u64), (word as u16))
 }
 

@@ -164,7 +164,9 @@ impl Mesh {
     pub fn coord_of(self, index: usize) -> Coord {
         assert!(index < self.len(), "index {index} outside {self}");
         Coord::new(
+            // srlr-lint: allow(lossy-cast, reason = "index % cols < cols, which is u16")
             (index % usize::from(self.cols)) as u16,
+            // srlr-lint: allow(lossy-cast, reason = "index < rows * cols, so index / cols < rows, which is u16")
             (index / usize::from(self.cols)) as u16,
         )
     }

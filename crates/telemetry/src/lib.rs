@@ -39,6 +39,7 @@ pub mod json;
 pub mod profile;
 pub mod progress;
 pub mod report;
+pub mod sarif;
 
 pub use clock::Clock;
 pub use collect::{Collector, Event, Span};
@@ -46,6 +47,7 @@ pub use json::{Json, Value};
 pub use profile::{Profile, ProfileNode, Profiler, PROFILE_VERSION};
 pub use progress::Progress;
 pub use report::{RunReport, RUN_REPORT_VERSION};
+pub use sarif::SarifDoc;
 
 /// The observability hooks an experiment accepts: a collector for the
 /// file sinks, a progress reporter, and a call-tree profiler (the

@@ -1,0 +1,177 @@
+//! SARIF 2.1.0 single-run document builder.
+//!
+//! SARIF (Static Analysis Results Interchange Format) is the exchange
+//! format CI systems and code-review UIs ingest; emitting it lets a
+//! tool's findings annotate pull requests without any custom glue. The
+//! document is assembled by hand on top of [`crate::json`]'s string
+//! escaping — the workspace stays dependency-free.
+//!
+//! [`SarifDoc`] is the reusable builder: `srlr-lint` renders its report
+//! through it, and `srlr-cli`'s `verify-noc` reuses it for
+//! model-checker counterexamples. It lives here (rather than in the
+//! lint crate) because both producers already depend on telemetry, and
+//! the layering DAG forbids the CLI's siblings from reaching into a
+//! tool crate.
+
+use crate::json::write_str;
+
+/// Builder for a single-run SARIF 2.1.0 document: one tool driver, its
+/// rule table, and a flat list of results.
+#[derive(Debug, Clone)]
+pub struct SarifDoc {
+    header: String,
+    rules: String,
+    rule_count: usize,
+    results: String,
+    result_count: usize,
+}
+
+impl SarifDoc {
+    /// Starts a document for the named tool.
+    pub fn new(tool: &str, information_uri: &str) -> Self {
+        let mut header = String::with_capacity(256);
+        header.push_str("{\"$schema\":");
+        write_str(&mut header, "https://json.schemastore.org/sarif-2.1.0.json");
+        header.push_str(",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":");
+        write_str(&mut header, tool);
+        header.push_str(",\"informationUri\":");
+        write_str(&mut header, information_uri);
+        SarifDoc {
+            header,
+            rules: String::new(),
+            rule_count: 0,
+            results: String::new(),
+            result_count: 0,
+        }
+    }
+
+    /// Declares a rule in the driver's rule table.
+    pub fn rule(&mut self, id: &str, description: &str) -> &mut Self {
+        if self.rule_count > 0 {
+            self.rules.push(',');
+        }
+        self.rule_count += 1;
+        self.rules.push_str("{\"id\":");
+        write_str(&mut self.rules, id);
+        self.rules.push_str(",\"shortDescription\":{\"text\":");
+        write_str(&mut self.rules, description);
+        self.rules.push_str("}}");
+        self
+    }
+
+    /// Appends one result. `level` is a SARIF severity (`"error"`,
+    /// `"warning"`, `"note"`); `uri` is the artifact the result is
+    /// anchored to (for model-checker findings, a synthetic URI naming
+    /// the checked route).
+    pub fn result(
+        &mut self,
+        rule: &str,
+        level: &str,
+        message: &str,
+        uri: &str,
+        line: u32,
+        col: u32,
+    ) -> &mut Self {
+        if self.result_count > 0 {
+            self.results.push(',');
+        }
+        self.result_count += 1;
+        self.results.push_str("{\"ruleId\":");
+        write_str(&mut self.results, rule);
+        self.results.push_str(",\"level\":");
+        write_str(&mut self.results, level);
+        self.results.push_str(",\"message\":{\"text\":");
+        write_str(&mut self.results, message);
+        self.results
+            .push_str("},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":");
+        write_str(&mut self.results, uri);
+        self.results.push_str(&format!(
+            "}},\"region\":{{\"startLine\":{line},\"startColumn\":{col}}}}}}}]}}"
+        ));
+        self
+    }
+
+    /// Number of results appended so far.
+    pub fn results_len(&self) -> usize {
+        self.result_count
+    }
+
+    /// Renders the complete document, newline-terminated.
+    pub fn render(&self) -> String {
+        let mut out =
+            String::with_capacity(self.header.len() + self.rules.len() + self.results.len() + 64);
+        out.push_str(&self.header);
+        out.push_str(",\"rules\":[");
+        out.push_str(&self.rules);
+        out.push_str("]}},\"results\":[");
+        out.push_str(&self.results);
+        out.push_str("]}]}");
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+
+    fn results(doc: &Json) -> Vec<&Json> {
+        let Json::Obj(top) = doc else {
+            panic!("not an object")
+        };
+        let Some(Json::Arr(runs)) = top.get("runs") else {
+            panic!("no runs")
+        };
+        let Json::Obj(run) = &runs[0] else {
+            panic!("run not an object")
+        };
+        let Some(Json::Arr(results)) = run.get("results") else {
+            panic!("no results")
+        };
+        results.iter().collect()
+    }
+
+    #[test]
+    fn empty_document_is_valid_sarif() {
+        let doc = SarifDoc::new("srlr-model", "https://example.invalid/srlr-model");
+        let parsed = parse(&doc.render()).expect("valid JSON");
+        let Json::Obj(top) = &parsed else { panic!() };
+        assert_eq!(top.get("version"), Some(&Json::Str("2.1.0".into())));
+        assert!(results(&parsed).is_empty());
+        assert_eq!(doc.results_len(), 0);
+    }
+
+    #[test]
+    fn the_builder_produces_a_parsable_run_for_any_tool() {
+        let mut doc = SarifDoc::new("srlr-model", "https://example.invalid/srlr-model");
+        doc.rule("no-overtaking", "retried heads are never overtaken");
+        doc.result(
+            "no-overtaking",
+            "error",
+            "flit 1 overtook flit 0\nwith a \"trace\"",
+            "model://2x2/route/0,0-1,1",
+            1,
+            1,
+        );
+        assert_eq!(doc.results_len(), 1);
+        let parsed = parse(&doc.render()).expect("valid JSON");
+        let results = results(&parsed);
+        assert_eq!(results.len(), 1);
+        let Json::Obj(first) = results[0] else {
+            panic!()
+        };
+        assert_eq!(
+            first.get("ruleId"),
+            Some(&Json::Str("no-overtaking".into()))
+        );
+    }
+
+    #[test]
+    fn escaping_survives_hostile_strings() {
+        let mut doc = SarifDoc::new("a \"tool\"\nname", "uri://x");
+        doc.rule("r\\1", "desc with \t control");
+        doc.result("r\\1", "warning", "msg\u{1}", "a \"uri\"", 3, 4);
+        assert!(parse(&doc.render()).is_ok());
+    }
+}
